@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the Figure 6 codec (host throughput of
+//! compress/decompress on full 15-point leaves).
+
+use bonsai_floatfmt::Half;
+use bonsai_isa::{codec, MAX_POINTS};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn leaf_similar() -> Vec<[u16; 3]> {
+    (0..15)
+        .map(|i| {
+            let v = 10.0 + 0.3 * i as f32;
+            [
+                Half::from_f32(v).to_bits(),
+                Half::from_f32(-v * 0.5).to_bits(),
+                Half::from_f32(1.0 + 0.01 * i as f32).to_bits(),
+            ]
+        })
+        .collect()
+}
+
+fn leaf_dissimilar() -> Vec<[u16; 3]> {
+    (0..15)
+        .map(|i| {
+            let v = (2.0f32).powi(i - 7) * if i % 2 == 0 { 1.0 } else { -1.0 };
+            [
+                Half::from_f32(v).to_bits(),
+                Half::from_f32(v * 3.0).to_bits(),
+                Half::from_f32(v * 0.1).to_bits(),
+            ]
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_per_leaf");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(15));
+    for (name, leaf) in [
+        ("similar", leaf_similar()),
+        ("dissimilar", leaf_dissimilar()),
+    ] {
+        group.bench_function(format!("compress_{name}"), |b| {
+            b.iter(|| codec::compress(std::hint::black_box(&leaf)).len())
+        });
+        let compressed = codec::compress(&leaf);
+        group.bench_function(format!("decompress_{name}"), |b| {
+            let mut out = [[0u16; 3]; MAX_POINTS];
+            b.iter(|| {
+                codec::decompress(std::hint::black_box(compressed.bytes()), 15, &mut out);
+                out[7][1]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the floating-point conversions (the
+//! `LDSPZPB`/`SQDWE` hot path of the simulator).
+
+use bonsai_floatfmt::{Half, MiniFormat, PartErrorMem};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn values() -> Vec<f32> {
+    (0..4096)
+        .map(|i| (i as f32 * 0.037 - 75.0) * 1.013)
+        .collect()
+}
+
+fn bench_conversions(c: &mut Criterion) {
+    let vals = values();
+    let halves: Vec<Half> = vals.iter().map(|&v| Half::from_f32(v)).collect();
+
+    let mut group = c.benchmark_group("conversions");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(vals.len() as u64));
+    group.bench_function("f32_to_f16_fast", |b| {
+        b.iter(|| {
+            vals.iter()
+                .map(|&v| Half::from_f32(v).to_bits() as u32)
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("f16_to_f32_fast", |b| {
+        b.iter(|| halves.iter().map(|h| h.to_f32()).sum::<f32>())
+    });
+    group.bench_function("f32_to_f16_generic", |b| {
+        b.iter(|| {
+            vals.iter()
+                .map(|&v| MiniFormat::IEEE_HALF.quantize(v))
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("bfloat16_round_trip", |b| {
+        b.iter(|| {
+            vals.iter()
+                .map(|&v| MiniFormat::BFLOAT16.round_trip(v))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("sqdwe_error_bound", |b| {
+        let lut = PartErrorMem::new();
+        b.iter(|| {
+            halves
+                .iter()
+                .map(|h| lut.max_squared_difference_error(0.25, h.exponent_field()))
+                .sum::<f32>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversions);
+criterion_main!(benches);

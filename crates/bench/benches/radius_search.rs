@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the radius-search paths (host
+//! performance of the library itself; the *simulated* performance
+//! comparison is the `fig9_extract_kernel` binary).
+
+use bonsai_core::{BonsaiTree, SoftwareCodecProcessor};
+use bonsai_geom::Point3;
+use bonsai_isa::Machine;
+use bonsai_kdtree::{BaselineLeafProcessor, KdTreeConfig, SearchStats};
+use bonsai_sim::SimEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn urban_cloud(n: usize) -> Vec<Point3> {
+    let mut state = 0xC0FFEEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32
+    };
+    (0..n)
+        .map(|_| {
+            let cluster = (next() * 40.0).floor();
+            Point3::new(
+                (cluster - 20.0) * 4.0 + next() * 2.0,
+                (next() - 0.5) * 100.0,
+                next() * 2.5,
+            )
+        })
+        .collect()
+}
+
+fn bench_radius_search(c: &mut Criterion) {
+    let cloud = urban_cloud(20_000);
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let mut group = c.benchmark_group("radius_search_per_query");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let radius = 0.8f32;
+
+    group.bench_function("baseline_f32", |b| {
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 97) % cloud.len();
+            tree.kd_tree()
+                .radius_search(&mut sim, &mut proc, cloud[qi], radius, &mut out, &mut stats);
+            out.len()
+        })
+    });
+
+    group.bench_function("bonsai_compressed", |b| {
+        let mut machine = Machine::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 97) % cloud.len();
+            tree.radius_search(
+                &mut sim,
+                &mut machine,
+                cloud[qi],
+                radius,
+                &mut out,
+                &mut stats,
+            );
+            out.len()
+        })
+    });
+
+    group.bench_function("software_codec", |b| {
+        let mut proc = SoftwareCodecProcessor::new(&mut sim, tree.directory());
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut qi = 0;
+        b.iter(|| {
+            qi = (qi + 97) % cloud.len();
+            tree.kd_tree()
+                .radius_search(&mut sim, &mut proc, cloud[qi], radius, &mut out, &mut stats);
+            out.len()
+        })
+    });
+    group.finish();
+
+    // Instrumentation overhead: the same search with the full cache/
+    // branch simulation enabled.
+    let mut group = c.benchmark_group("instrumentation_overhead");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for enabled in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "baseline_search",
+                if enabled { "simulated" } else { "functional" },
+            ),
+            &enabled,
+            |b, &enabled| {
+                let mut sim = if enabled {
+                    SimEngine::new(&bonsai_sim::CpuConfig::a72_like())
+                } else {
+                    SimEngine::disabled()
+                };
+                let mut proc = BaselineLeafProcessor::new(&mut sim);
+                let mut out = Vec::new();
+                let mut stats = SearchStats::default();
+                let mut qi = 0;
+                b.iter(|| {
+                    qi = (qi + 97) % cloud.len();
+                    tree.kd_tree().radius_search(
+                        &mut sim, &mut proc, cloud[qi], radius, &mut out, &mut stats,
+                    );
+                    out.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_radius_search);
+criterion_main!(benches);

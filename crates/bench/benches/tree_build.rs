@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of tree construction: plain k-d tree vs
+//! Bonsai (tree + leaf compression), across cloud sizes.
+
+use bonsai_core::BonsaiTree;
+use bonsai_geom::Point3;
+use bonsai_kdtree::{KdTree, KdTreeConfig};
+use bonsai_sim::SimEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn cloud(n: usize) -> Vec<Point3> {
+    let mut state = 0xBEEFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f32 / (1u64 << 53) as f32
+    };
+    (0..n)
+        .map(|_| Point3::new(next() * 120.0 - 60.0, next() * 120.0 - 60.0, next() * 3.0))
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_build");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [2_000usize, 10_000, 40_000] {
+        let pts = cloud(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("kdtree", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut sim = SimEngine::disabled();
+                KdTree::build(pts.clone(), KdTreeConfig::default(), &mut sim)
+                    .nodes()
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bonsai", n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut sim = SimEngine::disabled();
+                BonsaiTree::build(pts.clone(), KdTreeConfig::default(), &mut sim)
+                    .directory()
+                    .total_bytes()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation: points per leaf (m) — compression ratio, visits per leaf
+//! and extract-kernel gain.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::ablations::LeafSizeAblation;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(6, 1);
+    let result = LeafSizeAblation::run(cli.config, &[4, 8, 15, 16], frames);
+    print!("{}", result.render());
+}

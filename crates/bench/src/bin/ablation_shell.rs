@@ -1,0 +1,12 @@
+//! Ablation: the safety shell — re-computation cost vs the error rate
+//! of skipping it.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::ablations::ShellAblation;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(6, 1);
+    let result = ShellAblation::run(cli.config, frames);
+    print!("{}", result.render());
+}

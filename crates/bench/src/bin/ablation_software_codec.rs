@@ -1,0 +1,12 @@
+//! Ablation: hardware Bonsai instructions vs a software-only codec
+//! (the paper's ~7× radius-search slowdown, Section IV-A).
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::ablations::SoftwareCodecAblation;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(4, 1);
+    let result = SoftwareCodecAblation::run(cli.config, frames);
+    print!("{}", result.render());
+}

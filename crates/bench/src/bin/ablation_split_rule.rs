@@ -1,0 +1,11 @@
+//! Ablation: median vs sliding-midpoint split rule.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::ablations::SplitRuleAblation;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(6, 1);
+    let result = SplitRuleAblation::run(cli.config, frames);
+    print!("{}", result.render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10: data-memory accesses per hierarchy level.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::{fig10::Fig10Result, paired::PairedRun};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = PairedRun::run(cli.config);
+    print!("{}", Fig10Result::from_paired(&run).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: end-to-end latency distribution
+//! (mean −9.26 %, p99 −12.19 % in the paper).
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::{fig11::Fig11Result, paired::PairedRun};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = PairedRun::run(cli.config);
+    print!("{}", Fig11Result::from_paired(&run).render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 12: extract-kernel energy distribution
+//! (mean −10.84 % in the paper).
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::{fig12::Fig12Result, paired::PairedRun};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = PairedRun::run(cli.config);
+    print!("{}", Fig12Result::from_paired(&run).render());
+}

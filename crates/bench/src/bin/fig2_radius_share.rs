@@ -1,0 +1,13 @@
+//! Regenerates Figure 2: radius-search share of execution in the
+//! euclidean-cluster and NDT-matching tasks.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::fig2::Fig2Result;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(10, 2);
+    let scans = if cli.quick { 1 } else { 4 };
+    let result = Fig2Result::run(cli.config, frames, scans);
+    print!("{}", result.render());
+}

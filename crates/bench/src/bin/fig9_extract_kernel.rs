@@ -1,0 +1,11 @@
+//! Regenerates Figure 9a/9b and the Section V-B prose numbers:
+//! extract-kernel metric deltas and bytes-to-load-points.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::{fig9::Fig9Result, paired::PairedRun};
+
+fn main() {
+    let cli = Cli::parse();
+    let run = PairedRun::run(cli.config);
+    print!("{}", Fig9Result::from_paired(&run).render());
+}

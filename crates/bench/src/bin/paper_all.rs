@@ -1,0 +1,77 @@
+//! Regenerates every figure and table in one run (the paired
+//! baseline/Bonsai simulation is shared across Figures 9–12).
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::{
+    ablations::{LeafSizeAblation, ShellAblation, SoftwareCodecAblation, SplitRuleAblation},
+    fig10::Fig10Result,
+    fig11::Fig11Result,
+    fig12::Fig12Result,
+    fig2::Fig2Result,
+    fig9::Fig9Result,
+    paired::PairedRun,
+    sec3a::Sec3aResult,
+    table1::Table1Result,
+    table3::Table3Result,
+    table5::Table5Result,
+};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.config.clone();
+
+    println!("K-D Bonsai reproduction — full evaluation\n");
+    println!(
+        "{}",
+        Fig2Result::run(
+            cfg.clone(),
+            cli.frames_or(10, 2),
+            if cli.quick { 1 } else { 4 }
+        )
+        .render()
+    );
+    println!(
+        "{}",
+        Sec3aResult::run(cfg.clone(), cli.frames_or(20, 2)).render()
+    );
+    println!(
+        "{}",
+        Table1Result::run(
+            cfg.clone(),
+            cli.frames_or(6, 1),
+            if cli.quick { 7 } else { 3 }
+        )
+        .render()
+    );
+
+    let run = PairedRun::run(cfg.clone());
+    println!("{}", Fig9Result::from_paired(&run).render());
+    println!("{}", Fig10Result::from_paired(&run).render());
+    println!("{}", Fig11Result::from_paired(&run).render());
+    println!("{}", Fig12Result::from_paired(&run).render());
+    println!("{}", Table5Result::run().render());
+
+    let mut t3cfg = cfg.clone();
+    let full = cli.frames_or(240, 16);
+    if !cli.quick {
+        t3cfg.sequence.duration_s = full as f32 / t3cfg.sequence.frame_hz;
+    }
+    println!("{}", Table3Result::run(t3cfg, full).render());
+
+    println!(
+        "{}",
+        LeafSizeAblation::run(cfg.clone(), &[4, 8, 15, 16], cli.frames_or(3, 1)).render()
+    );
+    println!(
+        "{}",
+        SplitRuleAblation::run(cfg.clone(), cli.frames_or(3, 1)).render()
+    );
+    println!(
+        "{}",
+        ShellAblation::run(cfg.clone(), cli.frames_or(3, 1)).render()
+    );
+    println!(
+        "{}",
+        SoftwareCodecAblation::run(cfg, cli.frames_or(3, 1)).render()
+    );
+}

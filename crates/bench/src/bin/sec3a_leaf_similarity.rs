@@ -1,0 +1,12 @@
+//! Regenerates the Section III-A leaf value-similarity census
+//! (78 % x / 83 % y sign+exponent uniformity).
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::sec3a::Sec3aResult;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(20, 2);
+    let result = Sec3aResult::run(cli.config, frames);
+    print!("{}", result.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table I: classification error of reduced floating-point
+//! representations.
+
+use bonsai_bench::Cli;
+use bonsai_pipeline::experiments::table1::Table1Result;
+
+fn main() {
+    let cli = Cli::parse();
+    let frames = cli.frames_or(6, 1);
+    let stride = if cli.quick { 7 } else { 1 };
+    let result = Table1Result::run(cli.config, frames, stride);
+    print!("{}", result.render());
+}

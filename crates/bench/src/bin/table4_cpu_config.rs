@@ -1,0 +1,27 @@
+//! Prints Table IV: the baseline CPU model used by the simulator.
+
+use bonsai_pipeline::report::Table;
+use bonsai_sim::{CpuConfig, TimingModel};
+
+fn main() {
+    let cpu = CpuConfig::a72_like();
+    let t = TimingModel::a72_like();
+    let mut table = Table::new("Table IV — baseline CPU model", &["parameter", "value"]);
+    table.row(&["CPU", "OoO ARM v8 64-bit @ 3 GHz (modelled)"]);
+    table.row(&["fetch width", &cpu.fetch_width.to_string()]);
+    table.row(&["issue width", &cpu.issue_width.to_string()]);
+    table.row(&["SIMD", &format!("{}-bit (NEON)", cpu.simd_bits)]);
+    table.row(&["L1 D-cache", "32 KB, 2-way, 64 B lines"]);
+    table.row(&["L2 cache", "1 MB, 16-way, 64 B lines"]);
+    table.row(&["main memory", "DDR3-1600 (170-cycle latency model)"]);
+    table.row(&["sustained µops/cycle", &format!("{}", t.issue_eff)]);
+    table.row(&["load/store ports", &format!("{}", t.mem_ports)]);
+    table.row(&["L2 hit penalty", &format!("{} cycles", t.l2_hit_latency)]);
+    table.row(&["DRAM penalty", &format!("{} cycles", t.dram_latency)]);
+    table.row(&["modelled MLP", &format!("{}", t.mlp)]);
+    table.row(&[
+        "mispredict penalty",
+        &format!("{} cycles", t.mispredict_penalty),
+    ]);
+    print!("{}", table.render());
+}

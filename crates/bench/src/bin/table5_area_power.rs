@@ -1,0 +1,7 @@
+//! Regenerates Table V: area and power of the added Bonsai hardware.
+
+use bonsai_pipeline::experiments::table5::Table5Result;
+
+fn main() {
+    print!("{}", Table5Result::run().render());
+}

@@ -1,0 +1,113 @@
+//! Shared command-line plumbing for the figure/table regeneration
+//! binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` — a small smoke-run configuration (seconds instead of
+//!   minutes);
+//! * `--frames N` — override the number of frames the experiment
+//!   simulates (where applicable).
+//!
+//! Without flags, binaries run the paper-scale configuration: the
+//! eight-minute synthetic drive with 20 × 300 ms systematic sub-samples
+//! (60 simulated frames).
+
+use bonsai_pipeline::ExperimentConfig;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The experiment configuration (paper or quick).
+    pub config: ExperimentConfig,
+    /// Optional frame-count override.
+    pub frames: Option<usize>,
+    /// Whether `--quick` was passed.
+    pub quick: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn parse() -> Cli {
+        Cli::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses the given arguments.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut quick = false;
+        let mut frames = None;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--frames" => {
+                    let v = iter.next().expect("--frames needs a value");
+                    frames = Some(v.parse().expect("--frames needs a number"));
+                }
+                "--help" | "-h" => {
+                    println!("usage: [--quick] [--frames N]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other:?} (try --help)"),
+            }
+        }
+        let config = if quick {
+            ExperimentConfig::quick()
+        } else {
+            ExperimentConfig::paper()
+        };
+        Cli {
+            config,
+            frames,
+            quick,
+        }
+    }
+
+    /// The frame count to use, defaulting per scale.
+    pub fn frames_or(&self, paper_default: usize, quick_default: usize) -> usize {
+        self.frames.unwrap_or(if self.quick {
+            quick_default
+        } else {
+            paper_default
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_scale() {
+        let cli = Cli::parse_from(Vec::new());
+        assert!(!cli.quick);
+        assert_eq!(cli.config.samples, 20);
+        assert_eq!(cli.frames_or(60, 4), 60);
+    }
+
+    #[test]
+    fn quick_flag_switches_config() {
+        let cli = Cli::parse_from(vec!["--quick".to_string()]);
+        assert!(cli.quick);
+        assert_eq!(cli.frames_or(60, 4), 4);
+    }
+
+    #[test]
+    fn frames_override_wins() {
+        let cli = Cli::parse_from(vec![
+            "--quick".to_string(),
+            "--frames".to_string(),
+            "7".to_string(),
+        ]);
+        assert_eq!(cli.frames_or(60, 4), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_argument_panics() {
+        Cli::parse_from(vec!["--bogus".to_string()]);
+    }
+}

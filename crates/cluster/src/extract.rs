@@ -1,0 +1,379 @@
+use bonsai_core::{BonsaiTree, SoftwareCodecProcessor};
+use bonsai_geom::Point3;
+use bonsai_isa::Machine;
+use bonsai_kdtree::{
+    BaselineLeafProcessor, BuildStats, KdTree, KdTreeConfig, Neighbor, SearchStats,
+};
+use bonsai_sim::{Kernel, OpClass, SimEngine};
+
+/// Which leaf-inspection path the extraction uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TreeMode {
+    /// Uncompressed `f32` leaves (the paper's baseline).
+    #[default]
+    Baseline,
+    /// Bonsai-compressed leaves via the ISA extensions.
+    Bonsai,
+    /// Bonsai-compressed leaves decompressed in software (the Section
+    /// IV-A strawman).
+    SoftwareCodec,
+}
+
+/// The result of one euclidean-cluster extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutput {
+    /// Clusters as sorted point-index lists, ordered by seed index —
+    /// deterministic, so outputs of different [`TreeMode`]s compare
+    /// directly.
+    pub clusters: Vec<Vec<u32>>,
+    /// Aggregated search work counters.
+    pub search_stats: SearchStats,
+    /// Tree shape statistics.
+    pub build_stats: BuildStats,
+    /// Compressed-array footprint in bytes (0 in baseline mode).
+    pub compressed_bytes: u64,
+}
+
+/// Branch sites of the cluster BFS.
+mod sites {
+    pub const VISITED: u32 = 0x60;
+    pub const SIZE_FILTER: u32 = 0x61;
+}
+
+/// PCL's `extractEuclideanClusters` (paper Section II-C): grows clusters
+/// by breadth-first expansion over radius-search neighbourhoods.
+///
+/// `points` is the preprocessed (downsampled, ground-free) cloud. The
+/// k-d tree build, leaf compression (under Bonsai) and every radius
+/// search are charged to their respective kernels; the BFS bookkeeping
+/// is charged to `ClusterLogic`.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_cluster::{extract_euclidean_clusters, TreeMode};
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::KdTreeConfig;
+/// use bonsai_sim::SimEngine;
+///
+/// let mut pts = Vec::new();
+/// for i in 0..30 {
+///     pts.push(Point3::new(i as f32 * 0.05, 0.0, 0.0));          // blob A
+///     pts.push(Point3::new(10.0 + i as f32 * 0.05, 0.0, 0.0));   // blob B
+/// }
+/// let mut sim = SimEngine::disabled();
+/// let out = extract_euclidean_clusters(
+///     &mut sim, pts, 0.3, 5, 1000, KdTreeConfig::default(), TreeMode::Baseline);
+/// assert_eq!(out.clusters.len(), 2);
+/// assert_eq!(out.clusters[0].len(), 30);
+/// ```
+pub fn extract_euclidean_clusters(
+    sim: &mut SimEngine,
+    points: Vec<Point3>,
+    tolerance: f32,
+    min_cluster_size: usize,
+    max_cluster_size: usize,
+    tree_cfg: KdTreeConfig,
+    mode: TreeMode,
+) -> ClusterOutput {
+    assert!(tolerance > 0.0, "cluster tolerance must be positive");
+    let n = points.len();
+
+    // Build the tree (Build kernel; + Compress kernel under Bonsai).
+    enum Built {
+        Baseline(KdTree),
+        Bonsai(BonsaiTree),
+    }
+    let built = match mode {
+        TreeMode::Baseline => Built::Baseline(KdTree::build(points, tree_cfg, sim)),
+        TreeMode::Bonsai | TreeMode::SoftwareCodec => {
+            Built::Bonsai(BonsaiTree::build(points, tree_cfg, sim))
+        }
+    };
+    let (tree, bonsai): (&KdTree, Option<&BonsaiTree>) = match &built {
+        Built::Baseline(t) => (t, None),
+        Built::Bonsai(b) => (b.kd_tree(), Some(b)),
+    };
+
+    // Leaf processors are stateful (machine, scratch addresses); create
+    // them once for the whole extraction — per-query construction would
+    // allocate fresh simulated scratch for every search and poison the
+    // cache model with artificial cold misses.
+    let mut machine = Machine::new();
+    let mut baseline_proc = BaselineLeafProcessor::new(sim);
+    let mut software_proc = match mode {
+        TreeMode::SoftwareCodec => bonsai.map(|b| SoftwareCodecProcessor::new(sim, b.directory())),
+        _ => None,
+    };
+    let mut bonsai_proc = match mode {
+        TreeMode::Bonsai => {
+            bonsai.map(|b| bonsai_core::BonsaiLeafProcessor::new(sim, b.directory(), &mut machine))
+        }
+        _ => None,
+    };
+
+    let mut search_stats = SearchStats::default();
+    let mut neighbors: Vec<Neighbor> = Vec::new();
+
+    // BFS state (PCL's `processed` array + seed queue), plus the result
+    // vectors the BFS reads back after every search (the searches wrote
+    // them; the read-back is the `nn_indices[j]` access of PCL's
+    // extractEuclideanClusters loop).
+    let processed_addr = sim.alloc(n as u64, 64);
+    let queue_addr = sim.alloc(n as u64 * 4, 64);
+    let nn_read_addr = sim.alloc(64 * 1024, 64);
+    let mut processed = vec![false; n];
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+
+    for seed in 0..n as u32 {
+        sim.set_kernel(Kernel::ClusterLogic);
+        sim.load(processed_addr + seed as u64, 1);
+        sim.exec(OpClass::IntAlu, 2);
+        let seen = processed[seed as usize];
+        sim.branch(sites::VISITED, seen);
+        if seen {
+            continue;
+        }
+        processed[seed as usize] = true;
+        sim.store(processed_addr + seed as u64, 1);
+
+        let mut queue: Vec<u32> = vec![seed];
+        sim.store(queue_addr, 4);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let q_idx = queue[head];
+            sim.set_kernel(Kernel::ClusterLogic);
+            sim.load(queue_addr + head as u64 * 4, 4);
+            sim.exec(OpClass::IntAlu, 4);
+            head += 1;
+
+            let query = tree.points()[q_idx as usize];
+            match (mode, &mut bonsai_proc, &mut software_proc) {
+                (TreeMode::Baseline, _, _) => tree.radius_search(
+                    sim,
+                    &mut baseline_proc,
+                    query,
+                    tolerance,
+                    &mut neighbors,
+                    &mut search_stats,
+                ),
+                (TreeMode::Bonsai, Some(proc), _) => tree.radius_search(
+                    sim,
+                    proc,
+                    query,
+                    tolerance,
+                    &mut neighbors,
+                    &mut search_stats,
+                ),
+                (TreeMode::SoftwareCodec, _, Some(proc)) => tree.radius_search(
+                    sim,
+                    proc,
+                    query,
+                    tolerance,
+                    &mut neighbors,
+                    &mut search_stats,
+                ),
+                _ => unreachable!("mode/tree mismatch"),
+            }
+
+            sim.set_kernel(Kernel::ClusterLogic);
+            for (j, nb) in neighbors.iter().enumerate() {
+                sim.load(nn_read_addr + (j as u64 % 8192) * 4, 4);
+                sim.load(processed_addr + nb.index as u64, 1);
+                sim.exec(OpClass::IntAlu, 2);
+                let seen = processed[nb.index as usize];
+                sim.branch(sites::VISITED, seen);
+                if !seen {
+                    processed[nb.index as usize] = true;
+                    sim.store(processed_addr + nb.index as u64, 1);
+                    sim.store(queue_addr + queue.len() as u64 * 4, 4);
+                    queue.push(nb.index);
+                }
+            }
+        }
+
+        sim.exec(OpClass::IntAlu, 3);
+        let size_ok = (min_cluster_size..=max_cluster_size).contains(&queue.len());
+        sim.branch(sites::SIZE_FILTER, size_ok);
+        if size_ok {
+            queue.sort_unstable();
+            clusters.push(queue);
+        }
+    }
+    sim.set_kernel(Kernel::Other);
+
+    ClusterOutput {
+        clusters,
+        search_stats,
+        build_stats: tree.build_stats(),
+        compressed_bytes: bonsai.map_or(0, |b| b.compression_stats().compressed_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Point3, n: usize, spread: f32, seed: u64) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32 - 0.5
+        };
+        (0..n)
+            .map(|_| center + Point3::new(next(), next(), next()) * spread)
+            .collect()
+    }
+
+    fn three_blob_cloud() -> Vec<Point3> {
+        let mut pts = blob(Point3::new(5.0, 0.0, 1.0), 120, 0.8, 1);
+        pts.extend(blob(Point3::new(12.0, 6.0, 1.0), 80, 0.7, 2));
+        pts.extend(blob(Point3::new(-8.0, -4.0, 1.0), 150, 0.9, 3));
+        // A couple of isolated noise points that no cluster should keep.
+        pts.push(Point3::new(40.0, 40.0, 1.0));
+        pts.push(Point3::new(-40.0, 35.0, 1.0));
+        pts
+    }
+
+    #[test]
+    fn finds_the_three_blobs() {
+        let mut sim = SimEngine::disabled();
+        let out = extract_euclidean_clusters(
+            &mut sim,
+            three_blob_cloud(),
+            0.5,
+            10,
+            10_000,
+            KdTreeConfig::default(),
+            TreeMode::Baseline,
+        );
+        assert_eq!(out.clusters.len(), 3);
+        let mut sizes: Vec<usize> = out.clusters.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![80, 120, 150]);
+    }
+
+    #[test]
+    fn all_modes_produce_identical_clusters() {
+        let cloud = three_blob_cloud();
+        let mut outputs = Vec::new();
+        for mode in [
+            TreeMode::Baseline,
+            TreeMode::Bonsai,
+            TreeMode::SoftwareCodec,
+        ] {
+            let mut sim = SimEngine::disabled();
+            let out = extract_euclidean_clusters(
+                &mut sim,
+                cloud.clone(),
+                0.5,
+                10,
+                10_000,
+                KdTreeConfig::default(),
+                mode,
+            );
+            outputs.push(out.clusters);
+        }
+        assert_eq!(outputs[0], outputs[1], "bonsai differs from baseline");
+        assert_eq!(
+            outputs[0], outputs[2],
+            "software codec differs from baseline"
+        );
+    }
+
+    #[test]
+    fn clusters_partition_their_points() {
+        let mut sim = SimEngine::disabled();
+        let cloud = three_blob_cloud();
+        let n = cloud.len();
+        let out = extract_euclidean_clusters(
+            &mut sim,
+            cloud,
+            0.5,
+            1,
+            10_000,
+            KdTreeConfig::default(),
+            TreeMode::Baseline,
+        );
+        // With min size 1, every point lands in exactly one cluster.
+        let mut seen = vec![false; n];
+        for c in &out.clusters {
+            for &i in c {
+                assert!(!seen[i as usize]);
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn max_size_filters_giant_clusters() {
+        let mut sim = SimEngine::disabled();
+        let out = extract_euclidean_clusters(
+            &mut sim,
+            three_blob_cloud(),
+            0.5,
+            10,
+            100, // the 120- and 150-point blobs exceed this
+            KdTreeConfig::default(),
+            TreeMode::Baseline,
+        );
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].len(), 80);
+    }
+
+    #[test]
+    fn kernels_are_attributed() {
+        let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+        extract_euclidean_clusters(
+            &mut sim,
+            three_blob_cloud(),
+            0.5,
+            10,
+            10_000,
+            KdTreeConfig::default(),
+            TreeMode::Bonsai,
+        );
+        for k in [
+            Kernel::Build,
+            Kernel::Compress,
+            Kernel::Traverse,
+            Kernel::LeafScan,
+            Kernel::ClusterLogic,
+        ] {
+            assert!(sim.kernel_counters(k).micro_ops() > 0, "kernel {k} empty");
+        }
+    }
+
+    #[test]
+    fn empty_cloud_is_fine() {
+        let mut sim = SimEngine::disabled();
+        let out = extract_euclidean_clusters(
+            &mut sim,
+            Vec::new(),
+            0.5,
+            10,
+            100,
+            KdTreeConfig::default(),
+            TreeMode::Bonsai,
+        );
+        assert!(out.clusters.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_rejected() {
+        let mut sim = SimEngine::disabled();
+        extract_euclidean_clusters(
+            &mut sim,
+            vec![Point3::ZERO],
+            0.0,
+            1,
+            10,
+            KdTreeConfig::default(),
+            TreeMode::Baseline,
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! Point-cloud preprocessing filters (the Autoware euclidean-cluster
+//! node's pre-stages), instrumented under the `Preprocess` kernel.
+
+use std::collections::HashMap;
+
+use bonsai_geom::Point3;
+use bonsai_sim::{Kernel, OpClass, SimEngine};
+
+/// Branch sites of the preprocessing code.
+mod sites {
+    pub const CROP: u32 = 0x50;
+    pub const RANSAC_INLIER: u32 = 0x51;
+}
+
+/// Keeps points within `max_range` of the origin (x–y plane) and with
+/// `z` in `[z_min, z_max]` — Autoware's `removePointsUpTo` + `clipCloud`.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_cluster::filters::crop;
+/// use bonsai_geom::Point3;
+/// use bonsai_sim::SimEngine;
+///
+/// let pts = vec![Point3::new(1.0, 0.0, 0.5), Point3::new(90.0, 0.0, 0.5)];
+/// let mut sim = SimEngine::disabled();
+/// let kept = crop(&mut sim, &pts, 50.0, -0.5, 3.0);
+/// assert_eq!(kept.len(), 1);
+/// ```
+pub fn crop(
+    sim: &mut SimEngine,
+    points: &[Point3],
+    max_range: f32,
+    z_min: f32,
+    z_max: f32,
+) -> Vec<Point3> {
+    let prev = sim.set_kernel(Kernel::Preprocess);
+    let src = sim.alloc(points.len() as u64 * 16, 64);
+    let dst = sim.alloc(points.len() as u64 * 16, 64);
+    let mut out = Vec::with_capacity(points.len());
+    for (i, p) in points.iter().enumerate() {
+        sim.load(src + i as u64 * 16, 12);
+        sim.exec(OpClass::FpAlu, 4);
+        let keep = p.planar_range() <= max_range && p.z >= z_min && p.z <= z_max;
+        sim.branch(sites::CROP, keep);
+        if keep {
+            sim.store(dst + out.len() as u64 * 16, 12);
+            out.push(*p);
+        }
+    }
+    sim.set_kernel(prev);
+    out
+}
+
+/// Voxel-grid downsampling: one centroid per occupied `voxel_size` cube
+/// (PCL `VoxelGrid`, Autoware's `downsampleCloud`).
+///
+/// Output order follows first occupancy of each voxel, which makes the
+/// result deterministic.
+pub fn voxel_downsample(sim: &mut SimEngine, points: &[Point3], voxel_size: f32) -> Vec<Point3> {
+    assert!(voxel_size > 0.0, "voxel size must be positive");
+    let prev = sim.set_kernel(Kernel::Preprocess);
+    let src = sim.alloc(points.len() as u64 * 16, 64);
+    let inv = 1.0 / voxel_size;
+    // Voxel key → (sum, count, output slot).
+    let mut cells: HashMap<(i32, i32, i32), (Point3, u32, u32)> = HashMap::new();
+    let mut order = 0u32;
+    for (i, p) in points.iter().enumerate() {
+        sim.load(src + i as u64 * 16, 12);
+        // Key computation (3 muls + floors) and hash probe.
+        sim.exec(OpClass::FpAlu, 3);
+        sim.exec(OpClass::IntAlu, 8);
+        let key = (
+            (p.x * inv).floor() as i32,
+            (p.y * inv).floor() as i32,
+            (p.z * inv).floor() as i32,
+        );
+        let entry = cells.entry(key).or_insert_with(|| {
+            let slot = order;
+            order += 1;
+            (Point3::ZERO, 0, slot)
+        });
+        entry.0 += *p;
+        entry.1 += 1;
+        sim.store(src + i as u64 * 16, 4); // accumulator update
+    }
+    let mut out = vec![Point3::ZERO; cells.len()];
+    for (sum, count, slot) in cells.values() {
+        sim.exec(OpClass::FpAlu, 3);
+        out[*slot as usize] = *sum / *count as f32;
+    }
+    sim.set_kernel(prev);
+    out
+}
+
+/// Hypothesis scoring evaluates every `RANSAC_SCORE_STRIDE`-th point —
+/// the standard consensus-sampling shortcut (only the final inlier
+/// filter touches every point).
+const RANSAC_SCORE_STRIDE: usize = 4;
+
+/// RANSAC ground-plane removal (Autoware's `removeFloor`, PCL
+/// `SACSegmentation` with a plane model): fits the dominant
+/// near-horizontal plane and drops its inliers.
+///
+/// Returns the non-ground points. Deterministic: the sample sequence is
+/// derived from `seed`.
+pub fn remove_ground(
+    sim: &mut SimEngine,
+    points: &[Point3],
+    distance_threshold: f32,
+    iterations: u32,
+    seed: u64,
+) -> Vec<Point3> {
+    if points.len() < 3 {
+        return points.to_vec();
+    }
+    let prev = sim.set_kernel(Kernel::Preprocess);
+    let src = sim.alloc(points.len() as u64 * 16, 64);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next_index = |n: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n as u64) as usize
+    };
+
+    // Best plane as (unit normal, d) with plane: n·p + d = 0.
+    let mut best: Option<(Point3, f32, u32)> = None;
+    for _ in 0..iterations {
+        let (a, b, c) = (
+            points[next_index(points.len())],
+            points[next_index(points.len())],
+            points[next_index(points.len())],
+        );
+        sim.exec(OpClass::FpAlu, 20); // cross product + normalization
+        let Some(normal) = (b - a).cross(c - a).normalized() else {
+            continue;
+        };
+        // Ground planes are near-horizontal.
+        if normal.z.abs() < 0.9 {
+            continue;
+        }
+        let d = -normal.dot(a);
+        let mut inliers = 0u32;
+        for (i, p) in points.iter().enumerate().step_by(RANSAC_SCORE_STRIDE) {
+            sim.load(src + i as u64 * 16, 12);
+            sim.exec(OpClass::FpAlu, 5);
+            let dist = (normal.dot(*p) + d).abs();
+            let inlier = dist <= distance_threshold;
+            sim.branch(sites::RANSAC_INLIER, inlier);
+            if inlier {
+                inliers += 1;
+            }
+        }
+        if best.is_none_or(|(_, _, bi)| inliers > bi) {
+            best = Some((normal, d, inliers));
+        }
+    }
+
+    let out = match best {
+        Some((normal, d, _)) => points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                sim.load(src + *i as u64 * 16, 12);
+                sim.exec(OpClass::FpAlu, 5);
+                (normal.dot(**p) + d).abs() > distance_threshold
+            })
+            .map(|(_, p)| *p)
+            .collect(),
+        None => points.to_vec(),
+    };
+    sim.set_kernel(prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crop_respects_all_three_limits() {
+        let pts = vec![
+            Point3::new(10.0, 0.0, 1.0),  // keep
+            Point3::new(80.0, 0.0, 1.0),  // too far
+            Point3::new(10.0, 0.0, -2.0), // too low
+            Point3::new(10.0, 0.0, 9.0),  // too high
+        ];
+        let mut sim = SimEngine::disabled();
+        let kept = crop(&mut sim, &pts, 50.0, -0.5, 3.0);
+        assert_eq!(kept, vec![Point3::new(10.0, 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn voxel_downsample_merges_within_cells() {
+        let pts = vec![
+            Point3::new(0.01, 0.01, 0.01),
+            Point3::new(0.09, 0.09, 0.09), // same 0.1 voxel
+            Point3::new(0.51, 0.0, 0.0),   // different voxel
+        ];
+        let mut sim = SimEngine::disabled();
+        let out = voxel_downsample(&mut sim, &pts, 0.1);
+        assert_eq!(out.len(), 2);
+        let centroid = out[0];
+        assert!((centroid.x - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn voxel_downsample_is_deterministic() {
+        let pts: Vec<Point3> = (0..500)
+            .map(|i| Point3::new((i % 31) as f32 * 0.07, (i % 17) as f32 * 0.07, 0.0))
+            .collect();
+        let mut sim = SimEngine::disabled();
+        let a = voxel_downsample(&mut sim, &pts, 0.2);
+        let b = voxel_downsample(&mut sim, &pts, 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_removal_keeps_objects() {
+        // Flat ground at z=0 plus a box of points at z ∈ [1, 2].
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            for j in 0..40 {
+                pts.push(Point3::new(i as f32 * 0.5, j as f32 * 0.5, 0.02));
+            }
+        }
+        let object: Vec<Point3> = (0..100)
+            .map(|i| Point3::new(5.0, (i % 10) as f32 * 0.1, 1.0 + (i / 10) as f32 * 0.1))
+            .collect();
+        pts.extend_from_slice(&object);
+        let mut sim = SimEngine::disabled();
+        let out = remove_ground(&mut sim, &pts, 0.15, 30, 7);
+        // All object points survive; almost all ground removed.
+        assert!(out.len() >= 100 && out.len() < 200, "kept {}", out.len());
+        for p in &object {
+            assert!(out.contains(p));
+        }
+    }
+
+    #[test]
+    fn ground_removal_handles_tiny_inputs() {
+        let pts = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        let mut sim = SimEngine::disabled();
+        assert_eq!(remove_ground(&mut sim, &pts, 0.1, 10, 1).len(), 2);
+    }
+
+    #[test]
+    fn filters_charge_preprocess_kernel() {
+        let pts: Vec<Point3> = (0..200)
+            .map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.5))
+            .collect();
+        let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+        crop(&mut sim, &pts, 50.0, -1.0, 3.0);
+        voxel_downsample(&mut sim, &pts, 0.2);
+        let pre = sim.kernel_counters(Kernel::Preprocess);
+        assert!(pre.loads >= 400);
+        assert_eq!(sim.kernel_counters(Kernel::Build).micro_ops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "voxel size")]
+    fn zero_voxel_size_rejected() {
+        let mut sim = SimEngine::disabled();
+        voxel_downsample(&mut sim, &[Point3::ZERO], 0.0);
+    }
+}

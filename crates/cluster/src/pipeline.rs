@@ -1,0 +1,234 @@
+use bonsai_geom::{Aabb, Point3};
+use bonsai_kdtree::KdTreeConfig;
+use bonsai_sim::{Kernel, OpClass, SimEngine};
+
+use crate::extract::{extract_euclidean_clusters, ClusterOutput, TreeMode};
+use crate::filters;
+
+/// Parameters of the end-to-end euclidean-cluster pipeline, with
+/// Autoware-flavoured defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterParams {
+    /// Keep points within this planar range of the vehicle, meters.
+    pub crop_range: f32,
+    /// Keep points with z above this, meters.
+    pub crop_z_min: f32,
+    /// Keep points with z below this, meters.
+    pub crop_z_max: f32,
+    /// Voxel-grid cell size, meters.
+    pub voxel_size: f32,
+    /// RANSAC ground-plane inlier threshold, meters.
+    pub ground_threshold: f32,
+    /// RANSAC iterations.
+    pub ground_iterations: u32,
+    /// Cluster tolerance (the radius-search radius), meters.
+    pub tolerance: f32,
+    /// Minimum cluster size in points.
+    pub min_cluster_size: usize,
+    /// Maximum cluster size in points.
+    pub max_cluster_size: usize,
+    /// K-d tree construction parameters.
+    pub tree: KdTreeConfig,
+}
+
+impl Default for ClusterParams {
+    fn default() -> ClusterParams {
+        ClusterParams {
+            crop_range: 60.0,
+            crop_z_min: -0.3,
+            crop_z_max: 2.6,
+            voxel_size: 0.15,
+            ground_threshold: 0.12,
+            ground_iterations: 12,
+            tolerance: 0.35,
+            min_cluster_size: 10,
+            max_cluster_size: 50_000,
+            tree: KdTreeConfig::default(),
+        }
+    }
+}
+
+/// Everything one frame produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameResult {
+    /// The extraction output (clusters + stats).
+    pub output: ClusterOutput,
+    /// Per-cluster bounding boxes (post-processing stage).
+    pub boxes: Vec<Aabb>,
+    /// Points entering the extract kernel (after preprocessing).
+    pub clustered_points: usize,
+}
+
+/// The euclidean-cluster frame pipeline: preprocess → extract →
+/// post-process, with every stage charged to its kernel.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct FramePipeline {
+    params: ClusterParams,
+}
+
+impl FramePipeline {
+    /// Creates a pipeline with the given parameters.
+    pub fn new(params: ClusterParams) -> FramePipeline {
+        FramePipeline { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline on a raw sensor frame.
+    pub fn run(&self, sim: &mut SimEngine, raw_cloud: &[Point3], mode: TreeMode) -> FrameResult {
+        self.ingest(sim, raw_cloud);
+        let objects = self.preprocess(sim, raw_cloud);
+        self.cluster_prepared(sim, objects, mode)
+    }
+
+    /// Models the ROS → PCL cloud conversion every Autoware node performs
+    /// on arrival (`pcl::fromROSMsg`): one pass over the raw message,
+    /// field extraction, and a copy into the PCL cloud layout.
+    fn ingest(&self, sim: &mut SimEngine, raw_cloud: &[Point3]) {
+        let prev = sim.set_kernel(Kernel::Preprocess);
+        let msg = sim.alloc(raw_cloud.len() as u64 * 22, 64); // PointCloud2 row stride
+        let cloud = sim.alloc(raw_cloud.len() as u64 * 16, 64);
+        for i in 0..raw_cloud.len() as u64 {
+            sim.load(msg + i * 22, 16);
+            sim.exec(OpClass::IntAlu, 6);
+            sim.store(cloud + i * 16, 16);
+        }
+        sim.set_kernel(prev);
+    }
+
+    /// The preprocessing stages alone (crop → voxel → ground removal):
+    /// the cloud the extract kernel consumes. Exposed for experiments
+    /// that analyse the preprocessed cloud directly (leaf-similarity
+    /// census, Table I error sweeps).
+    pub fn preprocess(&self, sim: &mut SimEngine, raw_cloud: &[Point3]) -> Vec<Point3> {
+        let p = &self.params;
+        let cropped = filters::crop(sim, raw_cloud, p.crop_range, p.crop_z_min, p.crop_z_max);
+        let down = filters::voxel_downsample(sim, &cropped, p.voxel_size);
+        filters::remove_ground(sim, &down, p.ground_threshold, p.ground_iterations, 11)
+    }
+
+    /// Runs extraction + post-processing on an already-preprocessed
+    /// cloud.
+    pub fn cluster_prepared(
+        &self,
+        sim: &mut SimEngine,
+        points: Vec<Point3>,
+        mode: TreeMode,
+    ) -> FrameResult {
+        let p = &self.params;
+        let clustered_points = points.len();
+        let points_addr = sim.alloc(points.len() as u64 * 16, 64);
+        let cloud_for_post = points.clone();
+        let output = extract_euclidean_clusters(
+            sim,
+            points,
+            p.tolerance,
+            p.min_cluster_size,
+            p.max_cluster_size,
+            p.tree,
+            mode,
+        );
+
+        // Post-processing: label points and compute cluster boxes
+        // (Autoware publishes bounding boxes + centroids per cluster).
+        let prev = sim.set_kernel(Kernel::PostProcess);
+        let mut boxes = Vec::with_capacity(output.clusters.len());
+        for cluster in &output.clusters {
+            let mut aabb: Option<Aabb> = None;
+            for &idx in cluster {
+                sim.load(points_addr + idx as u64 * 16, 12);
+                sim.exec(OpClass::FpAlu, 6);
+                sim.store(points_addr + idx as u64 * 16, 4); // label write
+                let pt = cloud_for_post[idx as usize];
+                match &mut aabb {
+                    Some(b) => b.insert(pt),
+                    None => aabb = Some(Aabb::new(pt, pt)),
+                }
+            }
+            boxes.push(aabb.expect("clusters are non-empty"));
+        }
+        sim.set_kernel(prev);
+        FrameResult {
+            output,
+            boxes,
+            clustered_points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_lidar::{DrivingSequence, SequenceConfig};
+
+    #[test]
+    fn full_pipeline_on_a_synthetic_frame_finds_objects() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        let frame = seq.frame(0);
+        let mut sim = SimEngine::disabled();
+        let pipeline = FramePipeline::new(ClusterParams::default());
+        let result = pipeline.run(&mut sim, &frame, TreeMode::Baseline);
+        assert!(
+            result.clustered_points > 100,
+            "kept {}",
+            result.clustered_points
+        );
+        assert!(
+            !result.output.clusters.is_empty(),
+            "no clusters found in {} points",
+            result.clustered_points
+        );
+        assert_eq!(result.boxes.len(), result.output.clusters.len());
+        // Boxes are object-sized, not scene-sized.
+        for b in &result.boxes {
+            let e = b.extent();
+            assert!(e.x < 30.0 && e.y < 30.0, "box too large: {e}");
+        }
+    }
+
+    #[test]
+    fn bonsai_and_baseline_pipelines_agree_end_to_end() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        let frame = seq.frame(3);
+        let pipeline = FramePipeline::new(ClusterParams::default());
+        let mut sim_a = SimEngine::disabled();
+        let a = pipeline.run(&mut sim_a, &frame, TreeMode::Baseline);
+        let mut sim_b = SimEngine::disabled();
+        let b = pipeline.run(&mut sim_b, &frame, TreeMode::Bonsai);
+        assert_eq!(a.output.clusters, b.output.clusters);
+        assert_eq!(a.boxes, b.boxes);
+    }
+
+    #[test]
+    fn pipeline_attributes_all_stage_kernels() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        let frame = seq.frame(1);
+        let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+        let pipeline = FramePipeline::new(ClusterParams::default());
+        pipeline.run(&mut sim, &frame, TreeMode::Bonsai);
+        for k in [
+            Kernel::Preprocess,
+            Kernel::Build,
+            Kernel::Compress,
+            Kernel::Traverse,
+            Kernel::LeafScan,
+            Kernel::ClusterLogic,
+            Kernel::PostProcess,
+        ] {
+            assert!(sim.kernel_counters(k).micro_ops() > 0, "kernel {k} empty");
+        }
+        // The extract kernel dominates the end-to-end work, as in the
+        // paper's Valgrind profile (~90 % of the task).
+        let extract = sim.sum_counters(&Kernel::EXTRACT).micro_ops();
+        let total = sim.totals().micro_ops();
+        assert!(
+            extract as f64 > total as f64 * 0.5,
+            "extract {extract} of {total}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+use bonsai_floatfmt::ReducedFormat;
+use bonsai_geom::Point3;
+use bonsai_kdtree::{KdTree, LeafId, LeafProcessor, Neighbor, SearchStats};
+use bonsai_sim::{OpClass, SimEngine};
+
+/// Leaf inspection with a reduced floating-point representation and **no
+/// accuracy safeguard** — the measurement instrument behind Table I.
+///
+/// Points are classified from their quantized values directly (the query
+/// stays `f32`, matching the `A` operand of the Bonsai FU). Unlike
+/// [`BonsaiLeafProcessor`](crate::BonsaiLeafProcessor) there is no shell
+/// test and no re-computation, so results may differ from the baseline;
+/// the Table I experiment counts exactly those differences:
+///
+/// | format | paper's misclassified points |
+/// |---|---|
+/// | IEEE-754 16-bit | 0.076 % |
+/// | bfloat16 | 0.61 % |
+/// | custom float 24 | 0.0003 % |
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_core::ReducedUncheckedProcessor;
+/// use bonsai_floatfmt::ReducedFormat;
+/// use bonsai_sim::SimEngine;
+///
+/// let mut sim = SimEngine::disabled();
+/// let proc = ReducedUncheckedProcessor::new(&mut sim, ReducedFormat::BFloat16);
+/// assert_eq!(proc.format(), ReducedFormat::BFloat16);
+/// ```
+#[derive(Debug)]
+pub struct ReducedUncheckedProcessor {
+    format: ReducedFormat,
+    out_addr: u64,
+}
+
+impl ReducedUncheckedProcessor {
+    /// Creates a processor quantizing through `format`.
+    pub fn new(sim: &mut SimEngine, format: ReducedFormat) -> ReducedUncheckedProcessor {
+        ReducedUncheckedProcessor {
+            format,
+            out_addr: sim.alloc(64 * 1024, 64),
+        }
+    }
+
+    /// The format being evaluated.
+    pub fn format(&self) -> ReducedFormat {
+        self.format
+    }
+}
+
+impl LeafProcessor for ReducedUncheckedProcessor {
+    fn process_leaf(
+        &mut self,
+        sim: &mut SimEngine,
+        tree: &KdTree,
+        _leaf: LeafId,
+        start: u32,
+        count: u32,
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let bytes_per_point = (self.format.bits() as u64 * 3).div_ceil(8) as u32;
+        stats.points_inspected += count as u64;
+        stats.point_bytes_loaded += count as u64 * bytes_per_point as u64;
+        for i in start..start + count {
+            let idx = tree.vind()[i as usize];
+            sim.load(tree.vind_entry_addr(i), 4);
+            // A hypothetical reduced-point array would be loaded here; the
+            // layout matches the baseline array scaled by the format width.
+            sim.load(tree.point_addr(idx), bytes_per_point);
+            sim.exec(OpClass::IntAlu, 3);
+            sim.exec(OpClass::FpAlu, 8);
+            let p = tree.points()[idx as usize];
+            let pq = Point3::new(
+                self.format.quantize_value(p.x),
+                self.format.quantize_value(p.y),
+                self.format.quantize_value(p.z),
+            );
+            let d_sq = pq.distance_squared(query);
+            let inside = d_sq <= r_sq;
+            sim.branch(0x30, inside);
+            if inside {
+                sim.store(self.out_addr + out.len() as u64 * 8, 8);
+                out.push(Neighbor {
+                    index: idx,
+                    dist_sq: d_sq,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_kdtree::KdTreeConfig;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| Point3::new((next() - 0.5) * 100.0, (next() - 0.5) * 100.0, next() * 3.0))
+            .collect()
+    }
+
+    /// Runs one format over many queries and returns (decisions, flips).
+    fn misclassifications(format: ReducedFormat, r: f32) -> (u64, u64) {
+        let pts = cloud(3000, 42);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(pts.clone(), KdTreeConfig::default(), &mut sim);
+        let mut proc = ReducedUncheckedProcessor::new(&mut sim, format);
+        let mut flips = 0;
+        let mut decisions = 0;
+        for qi in (0..3000).step_by(11) {
+            let q = pts[qi];
+            let mut reduced = Vec::new();
+            let mut stats = SearchStats::default();
+            tree.radius_search(&mut sim, &mut proc, q, r, &mut reduced, &mut stats);
+            let baseline = tree.radius_search_simple(q, r);
+            let rset: std::collections::HashSet<u32> = reduced.iter().map(|n| n.index).collect();
+            let bset: std::collections::HashSet<u32> = baseline.iter().map(|n| n.index).collect();
+            flips += rset.symmetric_difference(&bset).count() as u64;
+            decisions += stats.points_inspected;
+        }
+        (decisions, flips)
+    }
+
+    #[test]
+    fn error_ordering_matches_table1() {
+        // bfloat16 ≫ binary16 ≫ float24 in misclassification rate.
+        let (d16, f16) = misclassifications(ReducedFormat::Ieee16, 2.5);
+        let (dbf, fbf) = misclassifications(ReducedFormat::BFloat16, 2.5);
+        let (d24, f24) = misclassifications(ReducedFormat::Custom24, 2.5);
+        let r16 = f16 as f64 / d16 as f64;
+        let rbf = fbf as f64 / dbf as f64;
+        let r24 = f24 as f64 / d24 as f64;
+        assert!(rbf > r16, "bfloat {rbf} vs ieee16 {r16}");
+        assert!(r16 > r24, "ieee16 {r16} vs float24 {r24}");
+        // Magnitudes in the paper's ballpark (sub-percent for f16).
+        assert!(r16 < 0.01, "ieee16 rate {r16}");
+    }
+
+    #[test]
+    fn reduced_processor_may_differ_from_baseline() {
+        // Sanity: with bfloat16 the flips are actually non-zero on a
+        // boundary-heavy workload (otherwise Table I would be trivial).
+        let (_, flips) = misclassifications(ReducedFormat::BFloat16, 2.5);
+        assert!(flips > 0);
+    }
+}

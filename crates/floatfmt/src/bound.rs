@@ -1,0 +1,211 @@
+//! The paper's worst-case rounding-error bound (Eq. 6) and the
+//! `part_error_mem` lookup table of the square-of-differences FU (Fig. 7).
+
+use crate::Half;
+
+/// The maximum absolute rounding error of an `f32 → f16` conversion whose
+/// result has the given 5-bit biased exponent field — the paper's Eq. 6:
+///
+/// ```text
+/// max(δB) = 2^(exponent − bias) × 2⁻¹¹
+/// ```
+///
+/// Two refinements beyond the equation as printed, both conservative:
+///
+/// * **exponent field 0** (zero / subnormal result): the f16 subnormal
+///   quantum is 2⁻²⁴, so the rounding error is at most 2⁻²⁵;
+/// * **exponent field 31** (infinity / NaN result): the conversion
+///   overflowed, no finite bound exists, and the caller must fall back to
+///   full precision — represented as `f32::INFINITY` so every shell test
+///   is inconclusive.
+///
+/// The bound is evaluated with the exponent of the *rounded* value `B′`,
+/// which the paper notes is the only exponent available at run time.
+/// Rounding to nearest can only keep the exponent or push it up by one
+/// (e.g. `1.9999 → 2.0`), so using `B′`'s exponent can only overestimate
+/// the true bound — the safe direction.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::{max_rounding_error, Half};
+///
+/// let h = Half::from_f32(100.03);
+/// let err = (h.to_f32() - 100.03).abs();
+/// assert!(err <= max_rounding_error(h.exponent_field()));
+/// ```
+pub fn max_rounding_error(exponent_field: u8) -> f32 {
+    match exponent_field {
+        0 => (2.0f32).powi(-25),
+        31 => f32::INFINITY,
+        e => (2.0f32).powi(e as i32 - Half::BIAS - 11),
+    }
+}
+
+/// One row of [`PartErrorMem`]: the two exponent-derived factors of the
+/// paper's Eq. 9,
+///
+/// ```text
+/// max(εsd) = 2·|A − B′|·|max(δB)| + max(δB)²
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartErrorEntry {
+    /// `2 · max(δB)` — multiplied by `|A − B′|` in the FU.
+    pub two_max_delta: f32,
+    /// `max(δB)²` — added as-is.
+    pub max_delta_sq: f32,
+}
+
+/// The 32-entry lookup table (`part_error_mem` in Figure 7) indexed by the
+/// f16 exponent field of `B′`.
+///
+/// The paper pre-computes `2·|max(δB)|` and `max(δB)²` for all 2⁵ = 32
+/// possible exponents so the FU can fetch them in one cycle. This struct
+/// is that ROM; it is embedded in every square-of-differences FU of the
+/// `bonsai-isa` crate.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::{max_rounding_error, PartErrorMem};
+///
+/// let mem = PartErrorMem::new();
+/// let e = mem.lookup(18);
+/// assert_eq!(e.two_max_delta, 2.0 * max_rounding_error(18));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartErrorMem {
+    entries: [PartErrorEntry; 32],
+}
+
+impl PartErrorMem {
+    /// Builds the ROM contents from [`max_rounding_error`].
+    pub fn new() -> PartErrorMem {
+        let mut entries = [PartErrorEntry {
+            two_max_delta: 0.0,
+            max_delta_sq: 0.0,
+        }; 32];
+        for (e, entry) in entries.iter_mut().enumerate() {
+            let d = max_rounding_error(e as u8);
+            *entry = PartErrorEntry {
+                two_max_delta: 2.0 * d,
+                max_delta_sq: d * d,
+            };
+        }
+        PartErrorMem { entries }
+    }
+
+    /// Reads the entry for an exponent field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent_field >= 32` (it is a 5-bit field).
+    pub fn lookup(&self, exponent_field: u8) -> PartErrorEntry {
+        self.entries[exponent_field as usize]
+    }
+
+    /// Evaluates Eq. 9 for a computed difference `|A − B′|` and the
+    /// exponent field of `B′`: the worst-case error of `(A − B′)²` as an
+    /// estimate of `(A − B)²`.
+    pub fn max_squared_difference_error(&self, abs_diff: f32, exponent_field: u8) -> f32 {
+        let e = self.lookup(exponent_field);
+        e.two_max_delta * abs_diff + e.max_delta_sq
+    }
+}
+
+impl Default for PartErrorMem {
+    fn default() -> PartErrorMem {
+        PartErrorMem::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_matches_paper_formula_for_normals() {
+        for e in 1u8..=30 {
+            let expect = (2.0f32).powi(e as i32 - 15) * (2.0f32).powi(-11);
+            assert_eq!(max_rounding_error(e), expect, "exponent field {e}");
+        }
+    }
+
+    #[test]
+    fn bound_holds_for_dense_f32_sweep() {
+        // The actual conversion error must never exceed the bound derived
+        // from the *converted* value's exponent.
+        let mut x = 1e-8f32;
+        while x < 6e4 {
+            for v in [x, -x, x * 1.2345] {
+                let h = Half::from_f32(v);
+                let err = (h.to_f32() as f64 - v as f64).abs();
+                let bound = max_rounding_error(h.exponent_field()) as f64;
+                assert!(err <= bound, "v={v} err={err} bound={bound}");
+            }
+            x *= 1.0173;
+        }
+    }
+
+    #[test]
+    fn subnormal_bound_is_half_quantum() {
+        assert_eq!(max_rounding_error(0), (2.0f32).powi(-25));
+        // A value that rounds to an f16 subnormal obeys it.
+        let v = 3.1e-8f32;
+        let h = Half::from_f32(v);
+        assert_eq!(h.exponent_field(), 0);
+        assert!((h.to_f32() - v).abs() <= max_rounding_error(0));
+    }
+
+    #[test]
+    fn infinite_exponent_forces_recompute() {
+        assert!(max_rounding_error(31).is_infinite());
+    }
+
+    #[test]
+    fn lut_agrees_with_direct_formula() {
+        let mem = PartErrorMem::new();
+        for e in 0u8..32 {
+            let d = max_rounding_error(e);
+            let entry = mem.lookup(e);
+            if d.is_finite() {
+                assert_eq!(entry.two_max_delta, 2.0 * d);
+                assert_eq!(entry.max_delta_sq, d * d);
+            } else {
+                assert!(entry.two_max_delta.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn eq9_bounds_true_squared_difference_error() {
+        let mem = PartErrorMem::new();
+        let mut rng_state = 0x12345678u64;
+        let mut next = || {
+            // Small xorshift so the test has no dependencies.
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) as f32
+        };
+        for _ in 0..100_000 {
+            let a = (next() - 0.5) * 240.0; // query coordinate, f32
+            let b = (next() - 0.5) * 240.0; // original point coordinate
+            let bp = Half::from_f32(b);
+            let b16 = bp.to_f32();
+            let true_sq = (a as f64 - b as f64) * (a as f64 - b as f64);
+            let approx_sq = (a as f64 - b16 as f64) * (a as f64 - b16 as f64);
+            // Evaluate Eq. 9 in f64 so the test checks the mathematical
+            // bound itself; the f32 evaluation done by the FU adds its own
+            // rounding, which `bonsai-core`'s shell-slack absorbs.
+            let entry = mem.lookup(bp.exponent_field());
+            let bound = entry.two_max_delta as f64 * (a as f64 - b16 as f64).abs()
+                + entry.max_delta_sq as f64;
+            assert!(
+                (true_sq - approx_sq).abs() <= bound,
+                "a={a} b={b} err={} bound={bound}",
+                (true_sq - approx_sq).abs()
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! IEEE-754 binary32 bit-field accessors.
+//!
+//! The value-similarity analysis of the paper (Section III-A, Figure 3)
+//! inspects the sign and exponent fields of the `f32` coordinates held by a
+//! k-d tree leaf; when the 9-bit `<sign, exponent>` pair repeats across all
+//! points of the leaf for a coordinate, it is a compression opportunity.
+
+/// The sign bit of an `f32` (0 for non-negative, 1 for negative).
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::f32_sign_bit;
+/// assert_eq!(f32_sign_bit(1.5), 0);
+/// assert_eq!(f32_sign_bit(-0.0), 1);
+/// ```
+pub fn f32_sign_bit(x: f32) -> u32 {
+    x.to_bits() >> 31
+}
+
+/// The 8-bit biased exponent field of an `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::f32_exponent_field;
+/// // 8.2 is in [8, 16) = [2³, 2⁴), so its biased exponent is 127 + 3 = 130
+/// // (the paper's Figure 3b example).
+/// assert_eq!(f32_exponent_field(8.2), 130);
+/// ```
+pub fn f32_exponent_field(x: f32) -> u32 {
+    (x.to_bits() >> 23) & 0xFF
+}
+
+/// The 23-bit mantissa (fraction) field of an `f32`.
+pub fn f32_mantissa(x: f32) -> u32 {
+    x.to_bits() & 0x7F_FFFF
+}
+
+/// The 9-bit `<sign, exponent>` key of an `f32` — the unit of value
+/// similarity the paper merges across a leaf (Section III-A).
+///
+/// Two floats share this key exactly when they have the same sign and lie
+/// within the same power-of-two magnitude bucket.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::sign_exponent_key;
+/// // All of [8, 16) share one key; the bucket boundary at 16 changes it.
+/// assert_eq!(sign_exponent_key(8.2), sign_exponent_key(15.9));
+/// assert_ne!(sign_exponent_key(15.9), sign_exponent_key(16.1));
+/// assert_ne!(sign_exponent_key(8.2), sign_exponent_key(-8.2));
+/// ```
+pub fn sign_exponent_key(x: f32) -> u16 {
+    (x.to_bits() >> 23) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_reassemble_to_original_bits() {
+        for x in [0.0f32, -1.5, 8.2, -120.0, 1e-20, f32::MAX] {
+            let bits = (f32_sign_bit(x) << 31) | (f32_exponent_field(x) << 23) | f32_mantissa(x);
+            assert_eq!(bits, x.to_bits(), "for {x}");
+        }
+    }
+
+    #[test]
+    fn paper_figure3_exponents() {
+        // Figure 3b: x coordinates 8.2 .. 14.7 all have exponent field 130.
+        for x in [8.2f32, 9.7, 12.4, 12.9, 14.7] {
+            assert_eq!(f32_exponent_field(x), 130);
+            assert_eq!(f32_sign_bit(x), 0);
+        }
+        // y coordinates -4.8 .. -2.5 span exponent fields 128..130 (Fig. 3b
+        // shows 129 and 128 among them), so y does not compress there.
+        assert_eq!(f32_sign_bit(-4.8), 1);
+        assert_eq!(f32_exponent_field(-4.8), 129);
+        assert_eq!(f32_exponent_field(-2.5), 128);
+    }
+
+    #[test]
+    fn key_distinguishes_sign_and_bucket() {
+        assert_eq!(sign_exponent_key(2.0), sign_exponent_key(3.9));
+        assert_ne!(sign_exponent_key(2.0), sign_exponent_key(4.0));
+        assert_ne!(sign_exponent_key(2.0), sign_exponent_key(-2.0));
+        // Zero and the smallest subnormals share the 0-exponent bucket.
+        assert_eq!(
+            sign_exponent_key(0.0),
+            sign_exponent_key(f32::MIN_POSITIVE / 4.0)
+        );
+    }
+}

@@ -1,0 +1,126 @@
+use std::fmt;
+
+use crate::MiniFormat;
+
+/// The candidate reduced representations the paper evaluates in Table I.
+///
+/// Each variant names a concrete [`MiniFormat`]; the Table I experiment
+/// quantizes every leaf coordinate through one of these and measures how
+/// often the radius-search classification (Eq. 3) flips relative to the
+/// 32-bit baseline.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::ReducedFormat;
+///
+/// let x = 57.1234f32;
+/// let err16 = (ReducedFormat::Ieee16.quantize_value(x) - x).abs();
+/// let err24 = (ReducedFormat::Custom24.quantize_value(x) - x).abs();
+/// assert!(err24 < err16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducedFormat {
+    /// IEEE-754 binary16 (1/5/10) — the format K-D Bonsai adopts.
+    Ieee16,
+    /// bfloat16 (1/8/7) — the machine-learning format.
+    BFloat16,
+    /// The custom 24-bit format (1/5/18) used as a midway reference.
+    Custom24,
+}
+
+impl ReducedFormat {
+    /// All formats in the order of the paper's Table I rows.
+    pub const ALL: [ReducedFormat; 3] = [
+        ReducedFormat::Ieee16,
+        ReducedFormat::BFloat16,
+        ReducedFormat::Custom24,
+    ];
+
+    /// The underlying format description.
+    pub fn mini_format(self) -> MiniFormat {
+        match self {
+            ReducedFormat::Ieee16 => MiniFormat::IEEE_HALF,
+            ReducedFormat::BFloat16 => MiniFormat::BFLOAT16,
+            ReducedFormat::Custom24 => MiniFormat::FLOAT24,
+        }
+    }
+
+    /// Storage bits per coordinate.
+    pub fn bits(self) -> u32 {
+        self.mini_format().total_bits()
+    }
+
+    /// The `f32` value of `x` after narrowing to this format — i.e. the
+    /// value radius search would see when computing with compressed data.
+    pub fn quantize_value(self, x: f32) -> f32 {
+        self.mini_format().round_trip(x)
+    }
+
+    /// The paper's display name for the format (Table I).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ReducedFormat::Ieee16 => "IEEE-754 16-bits",
+            ReducedFormat::BFloat16 => "bfloat 16",
+            ReducedFormat::Custom24 => "Custom float 24",
+        }
+    }
+}
+
+impl fmt::Display for ReducedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths_match_table1() {
+        assert_eq!(ReducedFormat::Ieee16.bits(), 16);
+        assert_eq!(ReducedFormat::BFloat16.bits(), 16);
+        assert_eq!(ReducedFormat::Custom24.bits(), 24);
+    }
+
+    #[test]
+    fn ieee16_beats_bfloat_in_precision_at_lidar_scale() {
+        // Section III-B: same width, but binary16 balances precision
+        // better for values in a LiDAR's ±120 m range.
+        let mut worse = 0;
+        let mut total = 0;
+        let mut x = 0.05f32;
+        while x < 120.0 {
+            let e16 = (ReducedFormat::Ieee16.quantize_value(x) - x).abs();
+            let ebf = (ReducedFormat::BFloat16.quantize_value(x) - x).abs();
+            if e16 > ebf {
+                worse += 1;
+            }
+            total += 1;
+            x *= 1.0173;
+        }
+        assert_eq!(
+            worse, 0,
+            "binary16 worse than bfloat16 in {worse}/{total} samples"
+        );
+    }
+
+    #[test]
+    fn lidar_range_fits_all_formats() {
+        // None of the formats overflow at the HDL-64E's 120 m range
+        // (Section III-B: no Table I error is due to lack of range).
+        for fmt in ReducedFormat::ALL {
+            let q = fmt.quantize_value(120.0);
+            assert!(q.is_finite());
+            assert!((q - 120.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_rows() {
+        assert_eq!(ReducedFormat::Ieee16.to_string(), "IEEE-754 16-bits");
+        assert_eq!(ReducedFormat::BFloat16.to_string(), "bfloat 16");
+        assert_eq!(ReducedFormat::Custom24.to_string(), "Custom float 24");
+    }
+}

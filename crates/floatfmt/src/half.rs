@@ -1,0 +1,283 @@
+/// An IEEE-754 binary16 ("half precision") value.
+///
+/// This is the storage format of compressed k-d tree leaf coordinates
+/// (paper Section III-B): 1 sign bit, 5 exponent bits (bias 15), 10
+/// mantissa bits. The `LDSPZPB` Bonsai instruction performs exactly this
+/// `f32 → f16` conversion when loading points into the ZipPts buffer.
+///
+/// Conversions use dedicated bit manipulation (not the generic
+/// [`MiniFormat`](crate::MiniFormat) path) because decompression converts
+/// every leaf coordinate on every radius-search visit — it is the hottest
+/// conversion in the simulator. Unit tests cross-check it against the
+/// generic implementation over the full 16-bit space and a wide `f32`
+/// sweep.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::Half;
+///
+/// let h = Half::from_f32(8.2);
+/// assert_eq!(h.sign_exponent(), 0b0_10010); // positive, unbiased exponent 3
+/// assert!((h.to_f32() - 8.2).abs() < 8.0 / 2048.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Half(u16);
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0);
+
+    /// The exponent bias (15).
+    pub const BIAS: i32 = 15;
+
+    /// Number of mantissa bits (10).
+    pub const MANTISSA_BITS: u32 = 10;
+
+    /// Creates a `Half` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Half {
+        Half(bits)
+    }
+
+    /// The raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Half {
+        Half(f32_to_f16_bits(x))
+    }
+
+    /// Converts to `f32` (exact — every binary16 value is an `f32` value).
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// The 6-bit `<sign, exponent>` tuple — the unit the Bonsai
+    /// compress/decompress logic shares across a leaf (Figure 6).
+    ///
+    /// Bit 5 is the sign, bits 4..0 the biased exponent field.
+    pub const fn sign_exponent(self) -> u8 {
+        (self.0 >> Self::MANTISSA_BITS) as u8
+    }
+
+    /// The 10-bit mantissa field.
+    pub const fn mantissa(self) -> u16 {
+        self.0 & 0x3FF
+    }
+
+    /// The 5-bit biased exponent field.
+    pub const fn exponent_field(self) -> u8 {
+        ((self.0 >> Self::MANTISSA_BITS) & 0x1F) as u8
+    }
+
+    /// Reassembles a `Half` from a 6-bit `<sign, exponent>` tuple and a
+    /// 10-bit mantissa — the decompression direction of Figure 6.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_floatfmt::Half;
+    /// let h = Half::from_f32(-12.75);
+    /// let rebuilt = Half::from_parts(h.sign_exponent(), h.mantissa());
+    /// assert_eq!(rebuilt, h);
+    /// ```
+    pub const fn from_parts(sign_exponent: u8, mantissa: u16) -> Half {
+        Half((((sign_exponent & 0x3F) as u16) << Self::MANTISSA_BITS) | (mantissa & 0x3FF))
+    }
+
+    /// Whether this value is NaN.
+    pub const fn is_nan(self) -> bool {
+        self.exponent_field() == 0x1F && self.mantissa() != 0
+    }
+
+    /// Whether this value is positive or negative infinity.
+    pub const fn is_infinite(self) -> bool {
+        self.exponent_field() == 0x1F && self.mantissa() == 0
+    }
+}
+
+impl From<f32> for Half {
+    fn from(x: f32) -> Half {
+        Half::from_f32(x)
+    }
+}
+
+impl From<Half> for f32 {
+    fn from(h: Half) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl std::fmt::Display for Half {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Infinity / NaN.
+        return if man == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+
+    let unbiased = exp - 127;
+    if unbiased >= 16 {
+        return sign | 0x7C00; // Overflow → ∞.
+    }
+    if unbiased >= -14 {
+        // Normal f16 range: drop 13 mantissa bits with RTNE; the carry (if
+        // any) propagates into the exponent, including 65504 → ∞.
+        let half_exp = (unbiased + 15) as u32;
+        let rest = man & 0x1FFF;
+        let mut out = (half_exp << 10) | (man >> 13);
+        if rest > 0x1000 || (rest == 0x1000 && out & 1 == 1) {
+            out += 1;
+        }
+        return sign | out as u16;
+    }
+    if exp == 0 {
+        return sign; // f32 subnormal: magnitude < 2^-126 ≪ f16 quantum.
+    }
+    // Subnormal f16: round the 24-bit significand to the 2^-24 quantum.
+    let shift = -(unbiased + 1) as u32; // 14..=24 covers all subnormal cases
+    if shift > 24 {
+        return sign; // Below half the smallest subnormal.
+    }
+    let sig = 0x80_0000 | man;
+    let rest = sig & ((1 << shift) - 1);
+    let half = 1 << (shift - 1);
+    let mut out = sig >> shift;
+    if rest > half || (rest == half && out & 1 == 1) {
+        out += 1;
+    }
+    sign | out as u16
+}
+
+fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x3FF) as u32;
+    let bits = if exp == 0x1F {
+        // Infinity / NaN.
+        sign | 0x7F80_0000 | (man << 13)
+    } else if exp == 0 {
+        if man == 0 {
+            sign // Signed zero.
+        } else {
+            // Subnormal: normalize man into an f32 normal.
+            let msb = 31 - man.leading_zeros(); // 0..=9
+            let f32_exp = 127 - 24 + msb; // value = man × 2^-24
+            let mantissa = (man << (23 - msb)) & 0x7F_FFFF;
+            sign | (f32_exp << 23) | mantissa
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MiniFormat;
+
+    #[test]
+    fn to_f32_matches_miniformat_for_all_16bit_patterns() {
+        let fmt = MiniFormat::IEEE_HALF;
+        for bits in 0..=u16::MAX {
+            let fast = Half::from_bits(bits).to_f32();
+            let slow = fmt.dequantize(bits as u32);
+            if fast.is_nan() {
+                assert!(slow.is_nan(), "bits {bits:#06x}");
+            } else {
+                assert_eq!(fast, slow, "bits {bits:#06x}");
+                assert_eq!(fast.to_bits(), slow.to_bits(), "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_f32_matches_miniformat_on_wide_sweep() {
+        let fmt = MiniFormat::IEEE_HALF;
+        // Sweep across subnormals, normals, overflow, both signs, and
+        // tie-inducing patterns.
+        let mut x = 1e-9f32;
+        while x < 1e6 {
+            for v in [
+                x,
+                -x,
+                x * (1.0 + 2.0f32.powi(-11)),
+                x * (1.0 + 3.0 * 2.0f32.powi(-11)),
+            ] {
+                assert_eq!(
+                    Half::from_f32(v).to_bits() as u32,
+                    fmt.quantize(v),
+                    "for {v}"
+                );
+            }
+            x *= 1.0371;
+        }
+        for v in [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            65504.0,
+            65520.0,
+            65519.9,
+        ] {
+            assert_eq!(
+                Half::from_f32(v).to_bits() as u32,
+                fmt.quantize(v),
+                "for {v}"
+            );
+        }
+        assert!(Half::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn round_trip_of_representable_values_is_identity() {
+        for bits in (0..=u16::MAX).step_by(7) {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            assert_eq!(Half::from_f32(h.to_f32()), h, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        for bits in [0x0000u16, 0x3C00, 0xC000, 0x7BFF, 0x03FF, 0x8001] {
+            let h = Half::from_bits(bits);
+            assert_eq!(Half::from_parts(h.sign_exponent(), h.mantissa()), h);
+        }
+    }
+
+    #[test]
+    fn sign_exponent_layout() {
+        // -1.0: sign 1, exponent field 15 → 0b1_01111.
+        assert_eq!(Half::from_f32(-1.0).sign_exponent(), 0b10_1111);
+        // 2.0: sign 0, exponent field 16.
+        assert_eq!(Half::from_f32(2.0).sign_exponent(), 0b01_0000);
+    }
+
+    #[test]
+    fn special_value_predicates() {
+        assert!(Half::from_f32(f32::INFINITY).is_infinite());
+        assert!(!Half::from_f32(1.0).is_infinite());
+        assert!(Half::from_f32(f32::NAN).is_nan());
+        assert!(!Half::ZERO.is_nan());
+    }
+}

@@ -1,0 +1,44 @@
+//! Reduced floating-point formats and rounding-error bounds for K-D Bonsai.
+//!
+//! The paper (Section III) compresses k-d tree leaf points in two steps:
+//!
+//! 1. narrow each `f32` coordinate to IEEE-754 binary16 ([`Half`]), chosen
+//!    over `bfloat16` and a custom 24-bit format after the accuracy study
+//!    reproduced by Table I (see [`ReducedFormat`]);
+//! 2. store the 6-bit `<sign, exponent>` of each coordinate once per leaf
+//!    when it repeats across all points (value similarity — handled by the
+//!    `bonsai-core` codec on top of the field accessors in this crate).
+//!
+//! Narrowing is lossy, so the paper derives the worst-case rounding error of
+//! an `f32 → f16` conversion from the f16 exponent alone (Eq. 6):
+//!
+//! ```text
+//! max(δB) = 2^(exponent − bias) × 2⁻¹¹
+//! ```
+//!
+//! [`max_rounding_error`] implements that bound and [`PartErrorMem`] is the
+//! 32-entry lookup table (`part_error_mem` in the paper's Figure 7) the
+//! square-of-differences functional unit consults with the f16 exponent
+//! field.
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_floatfmt::Half;
+//!
+//! let h = Half::from_f32(3.15625);
+//! let x = h.to_f32();
+//! assert!((x - 3.15625).abs() <= bonsai_floatfmt::max_rounding_error(h.exponent_field()));
+//! ```
+
+mod bound;
+mod fields;
+mod formats;
+mod half;
+mod minifloat;
+
+pub use bound::{max_rounding_error, PartErrorEntry, PartErrorMem};
+pub use fields::{f32_exponent_field, f32_mantissa, f32_sign_bit, sign_exponent_key};
+pub use formats::ReducedFormat;
+pub use half::Half;
+pub use minifloat::MiniFormat;

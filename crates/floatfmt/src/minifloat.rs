@@ -1,0 +1,383 @@
+//! A generic reduced-precision binary floating-point format.
+//!
+//! [`MiniFormat`] describes any `1 + exp_bits + man_bits` IEEE-754-style
+//! format and converts to/from `f32` with round-to-nearest-even — the
+//! default IEEE rounding the paper assumes when deriving its error bound
+//! (Section III-C). The three formats of Table I are instances:
+//! binary16 (5/10), bfloat16 (8/7) and the custom float24 (5/18).
+
+/// Description of a reduced binary floating-point format.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_floatfmt::MiniFormat;
+///
+/// let f16 = MiniFormat::IEEE_HALF;
+/// let bits = f16.quantize(1.0005);
+/// // 1.0005 is not representable in 10 mantissa bits; the round trip lands
+/// // on the nearest representable value.
+/// let back = f16.dequantize(bits);
+/// assert!((back - 1.0005).abs() < 0.0005);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MiniFormat {
+    exp_bits: u32,
+    man_bits: u32,
+}
+
+impl MiniFormat {
+    /// IEEE-754 binary16: 1 sign, 5 exponent, 10 mantissa bits.
+    pub const IEEE_HALF: MiniFormat = MiniFormat {
+        exp_bits: 5,
+        man_bits: 10,
+    };
+
+    /// bfloat16: 1 sign, 8 exponent, 7 mantissa bits.
+    pub const BFLOAT16: MiniFormat = MiniFormat {
+        exp_bits: 8,
+        man_bits: 7,
+    };
+
+    /// The paper's custom 24-bit format: 1 sign, 5 exponent, 18 mantissa
+    /// bits (Table I's "Custom float 24").
+    pub const FLOAT24: MiniFormat = MiniFormat {
+        exp_bits: 5,
+        man_bits: 18,
+    };
+
+    /// Creates a format description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exp_bits` is not in `2..=8` or `man_bits` not in `1..=22`
+    /// (the conversion routines assume a format strictly narrower than
+    /// `f32` with a non-degenerate exponent).
+    pub fn new(exp_bits: u32, man_bits: u32) -> MiniFormat {
+        assert!(
+            (2..=8).contains(&exp_bits),
+            "exp_bits must be in 2..=8, got {exp_bits}"
+        );
+        assert!(
+            (1..=22).contains(&man_bits),
+            "man_bits must be in 1..=22, got {man_bits}"
+        );
+        MiniFormat { exp_bits, man_bits }
+    }
+
+    /// Number of exponent bits.
+    pub fn exp_bits(self) -> u32 {
+        self.exp_bits
+    }
+
+    /// Number of mantissa bits.
+    pub fn man_bits(self) -> u32 {
+        self.man_bits
+    }
+
+    /// Total storage width in bits (including the sign).
+    pub fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// The exponent bias, `2^(exp_bits−1) − 1` (15 for binary16).
+    pub fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    /// The all-ones exponent-field value (infinity/NaN marker).
+    pub fn max_exp_field(self) -> u32 {
+        (1 << self.exp_bits) - 1
+    }
+
+    /// The smallest unbiased exponent of a *normal* number (−14 for
+    /// binary16).
+    pub fn min_normal_exp(self) -> i32 {
+        1 - self.bias()
+    }
+
+    /// Converts `x` to this format with round-to-nearest-even, returning
+    /// the packed bits in the low `total_bits()` of the result.
+    ///
+    /// Values whose rounded magnitude exceeds the largest finite value
+    /// become infinity, as IEEE-754 prescribes; NaN becomes a canonical
+    /// quiet NaN.
+    pub fn quantize(self, x: f32) -> u32 {
+        let bits = x.to_bits();
+        let sign = (bits >> 31) & 1;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x7F_FFFF;
+        let mb = self.man_bits;
+        let packed_sign = sign << (self.exp_bits + mb);
+
+        if exp == 0xFF {
+            // Infinity or NaN.
+            let payload = if man == 0 { 0 } else { 1 << (mb - 1) };
+            return packed_sign | (self.max_exp_field() << mb) | payload;
+        }
+        if exp == 0 && man == 0 {
+            return packed_sign; // Signed zero.
+        }
+
+        // Express |x| = sig × 2^(unbiased − 23) with sig normalized into
+        // [2^23, 2^24). f32 subnormals are normalized here too.
+        let (sig, unbiased): (u32, i32) = if exp == 0 {
+            let msb = 31 - man.leading_zeros() as i32;
+            let shift = 23 - msb;
+            (man << shift, -126 - shift)
+        } else {
+            (0x80_0000 | man, exp - 127)
+        };
+
+        if unbiased >= self.min_normal_exp() {
+            // Lands in the target's normal range: keep the top 1+mb bits of
+            // the significand and round the dropped 23−mb bits.
+            let drop = 23 - mb;
+            let q = rtne_shift(sig as u64, drop) as u32;
+            // q has the implicit bit at position mb; a carry to 2^(mb+1)
+            // propagates into the exponent when packed additively.
+            let exp_field = (unbiased + self.bias()) as u32;
+            let packed = (exp_field << mb) + (q - (1 << mb));
+            if (packed >> mb) >= self.max_exp_field() {
+                return packed_sign | (self.max_exp_field() << mb); // Overflow → ∞.
+            }
+            return packed_sign | packed;
+        }
+
+        // Below the normal range: round to a multiple of the subnormal
+        // quantum 2^(min_normal_exp − mb).
+        let quantum_exp = self.min_normal_exp() - mb as i32;
+        let shift = quantum_exp - (unbiased - 23);
+        debug_assert!(shift > 0);
+        if shift >= 64 {
+            return packed_sign; // Far below the smallest subnormal.
+        }
+        let q = rtne_shift(sig as u64, shift as u32) as u32;
+        // q == 2^mb (carry into the smallest normal) packs correctly as
+        // exponent field 1, mantissa 0.
+        packed_sign | q
+    }
+
+    /// Converts packed bits of this format back to `f32`.
+    ///
+    /// Every finite value of a `MiniFormat` is exactly representable in
+    /// `f32`, so this conversion is exact.
+    pub fn dequantize(self, packed: u32) -> f32 {
+        let mb = self.man_bits;
+        let sign = (packed >> (self.exp_bits + mb)) & 1;
+        let exp_field = (packed >> mb) & self.max_exp_field();
+        let man = packed & ((1 << mb) - 1);
+        let magnitude: f64 = if exp_field == self.max_exp_field() {
+            if man == 0 {
+                f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        } else if exp_field == 0 {
+            // Subnormal: man × 2^(min_normal_exp − mb).
+            man as f64 * (self.min_normal_exp() - mb as i32).exp2_f64()
+        } else {
+            let unbiased = exp_field as i32 - self.bias();
+            let significand = ((1u32 << mb) | man) as f64 * (-(mb as i32)).exp2_f64();
+            significand * unbiased.exp2_f64()
+        };
+        let v = magnitude as f32; // Exact: all mini-float values fit in f32.
+        if sign == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Quantize-then-dequantize: the `f32` value nearest-representable in
+    /// this format. This is the "smaller representation" transform whose
+    /// classification error Table I measures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_floatfmt::MiniFormat;
+    /// let rounded = MiniFormat::IEEE_HALF.round_trip(8.2031);
+    /// assert!((rounded - 8.2031).abs() < 8.0 / 1024.0);
+    /// ```
+    pub fn round_trip(self, x: f32) -> f32 {
+        self.dequantize(self.quantize(x))
+    }
+
+    /// The largest finite value of the format.
+    pub fn max_finite(self) -> f32 {
+        let packed = ((self.max_exp_field() - 1) << self.man_bits) | ((1 << self.man_bits) - 1);
+        self.dequantize(packed)
+    }
+}
+
+/// `v >> shift` with IEEE round-to-nearest, ties-to-even.
+fn rtne_shift(v: u64, shift: u32) -> u64 {
+    if shift == 0 {
+        return v;
+    }
+    let q = v >> shift;
+    let rest = v & ((1u64 << shift) - 1);
+    let half = 1u64 << (shift - 1);
+    if rest > half || (rest == half && (q & 1) == 1) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Exact power-of-two helper: `2^self` as `f64`.
+trait Exp2I32 {
+    fn exp2_f64(self) -> f64;
+}
+
+impl Exp2I32 for i32 {
+    fn exp2_f64(self) -> f64 {
+        // f64 covers 2^±1074 exactly for the exponents used here
+        // (|exponent| ≤ 160), so `exp2` of an integer is exact.
+        (self as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_exact_values_round_trip_exactly() {
+        for x in [0.0f32, -0.0, 1.0, -2.5, 0.5, 1024.0, 65504.0, 6.1035156e-5] {
+            assert_eq!(MiniFormat::IEEE_HALF.round_trip(x), x, "for {x}");
+        }
+    }
+
+    #[test]
+    fn half_matches_known_bit_patterns() {
+        let f16 = MiniFormat::IEEE_HALF;
+        assert_eq!(f16.quantize(1.0), 0x3C00);
+        assert_eq!(f16.quantize(-2.0), 0xC000);
+        assert_eq!(f16.quantize(65504.0), 0x7BFF);
+        assert_eq!(f16.quantize(f32::INFINITY), 0x7C00);
+        assert_eq!(f16.quantize(-f32::INFINITY), 0xFC00);
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(f16.quantize(5.9604645e-8), 0x0001);
+        // Smallest positive normal: 2^-14.
+        assert_eq!(f16.quantize(6.1035156e-5), 0x0400);
+    }
+
+    #[test]
+    fn half_overflow_rounds_to_infinity_at_65520() {
+        let f16 = MiniFormat::IEEE_HALF;
+        // 65519.996… rounds down to 65504; ≥ 65520 rounds up to ∞.
+        assert_eq!(f16.round_trip(65519.0), 65504.0);
+        assert_eq!(f16.round_trip(65520.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        let f16 = MiniFormat::IEEE_HALF;
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1 + 2^-10;
+        // ties-to-even keeps the even mantissa (1.0).
+        let tie_even = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(f16.round_trip(tie_even), 1.0);
+        // (1 + 3·2^-11) is halfway between 1+2^-10 (odd) and 1+2^-9 (even).
+        let tie_odd = 1.0 + 3.0 * (2.0f32).powi(-11);
+        assert_eq!(f16.round_trip(tie_odd), 1.0 + (2.0f32).powi(-9));
+    }
+
+    #[test]
+    fn subnormal_rounding_is_to_quantum() {
+        let f16 = MiniFormat::IEEE_HALF;
+        let quantum = (2.0f32).powi(-24);
+        // 2.4 quanta rounds to 2 quanta; 2.6 to 3.
+        assert_eq!(f16.round_trip(2.4 * quantum), 2.0 * quantum);
+        assert_eq!(f16.round_trip(2.6 * quantum), 3.0 * quantum);
+        // Half a quantum is a tie with zero (even): rounds to zero.
+        assert_eq!(f16.round_trip(0.5 * quantum), 0.0);
+        assert!(f16.round_trip(0.51 * quantum) > 0.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        for fmt in [
+            MiniFormat::IEEE_HALF,
+            MiniFormat::BFLOAT16,
+            MiniFormat::FLOAT24,
+        ] {
+            assert!(fmt.round_trip(f32::NAN).is_nan());
+        }
+    }
+
+    #[test]
+    fn bfloat_is_f32_truncation_with_rounding() {
+        let bf = MiniFormat::BFLOAT16;
+        // bfloat16 of x keeps the top 16 bits of the f32 pattern (+RTNE).
+        let x = 3.17459f32;
+        let got = bf.round_trip(x);
+        let expect_bits = {
+            let b = x.to_bits();
+            let rest = b & 0xFFFF;
+            let mut hi = b >> 16;
+            if rest > 0x8000 || (rest == 0x8000 && hi & 1 == 1) {
+                hi += 1;
+            }
+            hi << 16
+        };
+        assert_eq!(got.to_bits(), expect_bits);
+    }
+
+    #[test]
+    fn bfloat_preserves_f32_subnormals_to_its_precision() {
+        let bf = MiniFormat::BFLOAT16;
+        let x = f32::MIN_POSITIVE / 2.0; // f32 subnormal
+        let rt = bf.round_trip(x);
+        assert_eq!(rt, x); // top bits of a power of two survive exactly
+    }
+
+    #[test]
+    fn float24_is_more_precise_than_half() {
+        let x = 100.0303f32;
+        let err24 = (MiniFormat::FLOAT24.round_trip(x) - x).abs();
+        let err16 = (MiniFormat::IEEE_HALF.round_trip(x) - x).abs();
+        assert!(err24 < err16 / 100.0, "err24={err24}, err16={err16}");
+    }
+
+    #[test]
+    fn max_finite_values() {
+        assert_eq!(MiniFormat::IEEE_HALF.max_finite(), 65504.0);
+        // bfloat16 max ≈ 3.39e38.
+        assert!(MiniFormat::BFLOAT16.max_finite() > 3.3e38);
+    }
+
+    #[test]
+    #[should_panic(expected = "man_bits")]
+    fn rejects_f32_width() {
+        MiniFormat::new(8, 23);
+    }
+
+    #[test]
+    fn rounding_error_never_exceeds_half_ulp() {
+        // Brute check against a dense value sweep for all three formats.
+        for fmt in [
+            MiniFormat::IEEE_HALF,
+            MiniFormat::BFLOAT16,
+            MiniFormat::FLOAT24,
+        ] {
+            let mut x = 1e-6f32;
+            while x < 1000.0 {
+                for v in [x, -x] {
+                    let rt = fmt.round_trip(v);
+                    let exact = v as f64;
+                    let err = (rt as f64 - exact).abs();
+                    // ULP at |v| in the target format (normal range).
+                    let exp = exact.abs().log2().floor() as i32;
+                    let ulp = (2.0f64).powi(exp.max(fmt.min_normal_exp()) - fmt.man_bits() as i32);
+                    assert!(
+                        err <= ulp / 2.0 + 1e-30,
+                        "fmt={fmt:?} v={v} err={err} ulp={ulp}"
+                    );
+                }
+                x *= 1.7;
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the reduced floating-point formats: round-trip
+//! idempotence, the Eq. 6 error bound, and ordering preservation.
+
+use bonsai_floatfmt::{max_rounding_error, Half, MiniFormat, PartErrorMem, ReducedFormat};
+use proptest::prelude::*;
+
+/// LiDAR-plausible coordinate values (the paper's operating range).
+fn lidar_coord() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-120.0f32..120.0),
+        (-1.0f32..1.0),     // near-origin (z-like) values
+        (-0.001f32..0.001), // subnormal-f16 territory
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Quantization is idempotent: re-quantizing a representable value
+    /// changes nothing.
+    #[test]
+    fn quantize_is_idempotent(x in lidar_coord()) {
+        for fmt in [MiniFormat::IEEE_HALF, MiniFormat::BFLOAT16, MiniFormat::FLOAT24] {
+            let once = fmt.round_trip(x);
+            let twice = fmt.round_trip(once);
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+    }
+
+    /// The fast `Half` bit path agrees with the generic `MiniFormat`
+    /// implementation on arbitrary values.
+    #[test]
+    fn half_matches_generic(x in any::<f32>()) {
+        let fast = Half::from_f32(x);
+        let slow = MiniFormat::IEEE_HALF.quantize(x) as u16;
+        prop_assert_eq!(fast.to_bits(), slow);
+    }
+
+    /// Eq. 6: the rounding error never exceeds the bound derived from
+    /// the *converted* value's exponent field.
+    #[test]
+    fn rounding_error_obeys_eq6(x in lidar_coord()) {
+        let h = Half::from_f32(x);
+        let err = (h.to_f32() as f64 - x as f64).abs();
+        let bound = max_rounding_error(h.exponent_field()) as f64;
+        prop_assert!(err <= bound, "x={x} err={err} bound={bound}");
+    }
+
+    /// Eq. 9: the squared-difference error bound holds for arbitrary
+    /// query/point coordinate pairs.
+    #[test]
+    fn squared_difference_error_obeys_eq9(a in lidar_coord(), b in lidar_coord()) {
+        let lut = PartErrorMem::new();
+        let h = Half::from_f32(b);
+        let b16 = h.to_f32();
+        let true_sq = (a as f64 - b as f64).powi(2);
+        let approx_sq = (a as f64 - b16 as f64).powi(2);
+        let entry = lut.lookup(h.exponent_field());
+        let bound = entry.two_max_delta as f64 * (a as f64 - b16 as f64).abs()
+            + entry.max_delta_sq as f64;
+        prop_assert!((true_sq - approx_sq).abs() <= bound);
+    }
+
+    /// Quantization preserves (non-strict) ordering.
+    #[test]
+    fn quantization_is_monotone(a in lidar_coord(), b in lidar_coord()) {
+        for fmt in ReducedFormat::ALL {
+            if a <= b {
+                prop_assert!(fmt.quantize_value(a) <= fmt.quantize_value(b));
+            }
+        }
+    }
+
+    /// Sign/exponent sharing: two values of the same sign and power-of-
+    /// two bucket map to the same f16 `<sign, exp>` tuple unless rounding
+    /// carried into the next exponent.
+    #[test]
+    fn nearby_values_often_share_sign_exp(x in 1.0f32..100.0) {
+        let a = Half::from_f32(x);
+        let b = Half::from_f32(x * 1.0001);
+        // Either identical tuples, or exponents one apart (carry).
+        let ea = a.sign_exponent() & 0x1F;
+        let eb = b.sign_exponent() & 0x1F;
+        prop_assert!(ea == eb || eb == ea + 1);
+    }
+}

@@ -1,0 +1,209 @@
+use crate::{Axis, Point3};
+
+/// An axis-aligned bounding box.
+///
+/// The k-d tree computes the bounding box of every subtree during
+/// construction (paper Section II-B); interior nodes derive from it the
+/// per-axis extent used to choose the splitting coordinate, and radius
+/// search prunes subtrees whose box is farther than `r` from the query.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::{Aabb, Point3};
+///
+/// let b = Aabb::from_points([
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(2.0, 4.0, 6.0),
+/// ]).unwrap();
+/// assert_eq!(b.extent(), Point3::new(2.0, 4.0, 6.0));
+/// assert!(b.contains(Point3::new(1.0, 1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Component-wise minimum corner.
+    pub min: Point3,
+    /// Component-wise maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from its two corners.
+    ///
+    /// The corners are normalized component-wise, so the arguments may be
+    /// any two opposite corners of the box.
+    pub fn new(a: Point3, b: Point3) -> Aabb {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// The smallest box containing every point of `points`, or `None` when
+    /// the iterator is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::{Aabb, Point3};
+    /// assert!(Aabb::from_points(std::iter::empty()).is_none());
+    /// let b = Aabb::from_points([Point3::new(1.0, 2.0, 3.0)]).unwrap();
+    /// assert_eq!(b.min, b.max);
+    /// ```
+    pub fn from_points<I: IntoIterator<Item = Point3>>(points: I) -> Option<Aabb> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut aabb = Aabb {
+            min: first,
+            max: first,
+        };
+        for p in iter {
+            aabb.insert(p);
+        }
+        Some(aabb)
+    }
+
+    /// Grows the box (if needed) so that it contains `p`.
+    pub fn insert(&mut self, p: Point3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// The per-axis size of the box.
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// The center of the box.
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// The axis along which the box is widest — the k-d tree's "most spread
+    /// out" splitting-coordinate criterion.
+    ///
+    /// Ties resolve to the earlier axis in `x, y, z` order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::{Aabb, Axis, Point3};
+    /// let b = Aabb::new(Point3::ZERO, Point3::new(1.0, 5.0, 2.0));
+    /// assert_eq!(b.widest_axis(), Axis::Y);
+    /// ```
+    pub fn widest_axis(&self) -> Axis {
+        let e = self.extent();
+        let mut best = Axis::X;
+        for axis in [Axis::Y, Axis::Z] {
+            if e[axis] > e[best] {
+                best = axis;
+            }
+        }
+        best
+    }
+
+    /// Whether `p` lies inside the box (inclusive on all faces).
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The squared euclidean distance from `p` to the box (zero inside).
+    ///
+    /// Radius search visits a subtree only when this is `<= r²`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::{Aabb, Point3};
+    /// let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+    /// assert_eq!(b.distance_squared_to(Point3::new(2.0, 0.5, 0.5)), 1.0);
+    /// assert_eq!(b.distance_squared_to(Point3::splat(0.5)), 0.0);
+    /// ```
+    pub fn distance_squared_to(&self, p: Point3) -> f32 {
+        let mut d2 = 0.0;
+        for axis in Axis::ALL {
+            let v = p[axis];
+            let lo = self.min[axis];
+            let hi = self.max[axis];
+            let d = if v < lo {
+                lo - v
+            } else if v > hi {
+                v - hi
+            } else {
+                0.0
+            };
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// The union of two boxes.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_normalized() {
+        let b = Aabb::new(Point3::new(1.0, -1.0, 5.0), Point3::new(0.0, 2.0, 4.0));
+        assert_eq!(b.min, Point3::new(0.0, -1.0, 4.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_covers_all_inputs() {
+        let pts = [
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(-1.0, 3.0, 2.0),
+            Point3::new(2.0, -5.0, 1.0),
+        ];
+        let b = Aabb::from_points(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Point3::new(-1.0, -5.0, 0.0));
+        assert_eq!(b.max, Point3::new(2.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn distance_is_zero_inside_and_positive_outside() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(2.0));
+        assert_eq!(b.distance_squared_to(Point3::splat(1.0)), 0.0);
+        // Corner distance: offset (1,1,1) from corner (2,2,2).
+        assert_eq!(b.distance_squared_to(Point3::splat(3.0)), 3.0);
+    }
+
+    #[test]
+    fn widest_axis_breaks_ties_toward_x() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        assert_eq!(b.widest_axis(), Axis::X);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        let b = Aabb::new(Point3::splat(2.0), Point3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point3::ZERO));
+        assert!(u.contains(Point3::splat(3.0)));
+    }
+
+    #[test]
+    fn center_and_extent() {
+        let b = Aabb::new(Point3::new(-2.0, 0.0, 2.0), Point3::new(2.0, 4.0, 4.0));
+        assert_eq!(b.center(), Point3::new(0.0, 2.0, 3.0));
+        assert_eq!(b.extent(), Point3::new(4.0, 4.0, 2.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Geometric primitives for the K-D Bonsai reproduction.
+//!
+//! This crate is the foundation of the workspace: it defines the 3-D point
+//! type stored in point clouds and k-d trees ([`Point3`]), axis-aligned
+//! bounding boxes ([`Aabb`]), rays ([`Ray`]), rigid-body transforms
+//! ([`Pose`]) and the small dense linear algebra ([`Mat3`], [`Mat6`],
+//! [`Vec6`]) used by the NDT scan matcher.
+//!
+//! Everything here is plain `f32`/`f64` math with no dependencies; the
+//! simulated Bonsai hardware operates on the IEEE-754 bit patterns of these
+//! values (see the `bonsai-floatfmt` crate).
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_geom::Point3;
+//!
+//! let a = Point3::new(1.0, 2.0, 3.0);
+//! let b = Point3::new(4.0, 6.0, 3.0);
+//! assert_eq!(a.distance_squared(b), 25.0);
+//! assert_eq!(a.distance(b), 5.0);
+//! ```
+
+mod aabb;
+mod matrix;
+mod point;
+mod pose;
+mod ray;
+
+pub use aabb::Aabb;
+pub use matrix::{Mat3, Mat6, Vec6};
+pub use point::{Axis, Point3};
+pub use pose::Pose;
+pub use ray::Ray;

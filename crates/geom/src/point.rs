@@ -1,0 +1,424 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// One of the three spatial axes of a point cloud.
+///
+/// The k-d tree picks a splitting [`Axis`] per interior node; the Bonsai
+/// compressed-leaf encoding keeps one compression flag per axis (`cX`, `cY`,
+/// `cZ` in the paper's Figure 6).
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::{Axis, Point3};
+///
+/// let p = Point3::new(1.0, 2.0, 3.0);
+/// assert_eq!(p[Axis::Z], 3.0);
+/// assert_eq!(Axis::ALL.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// The x axis (index 0). Forward in the vehicle frame.
+    X = 0,
+    /// The y axis (index 1). Left in the vehicle frame.
+    Y = 1,
+    /// The z axis (index 2). Up in the vehicle frame.
+    Z = 2,
+}
+
+impl Axis {
+    /// All three axes in `x, y, z` order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Returns the axis with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 3`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::Axis;
+    /// assert_eq!(Axis::from_index(1), Axis::Y);
+    /// ```
+    pub fn from_index(index: usize) -> Axis {
+        Axis::ALL[index]
+    }
+
+    /// The index of this axis (0, 1 or 2).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// A point (or vector) in 3-D space with `f32` coordinates.
+///
+/// This is the element type of every point cloud in the workspace. The
+/// paper's LiDAR data is single-precision (`f32`, the PCL and Autoware.ai
+/// default), which is the *baseline* representation that K-D Bonsai
+/// compresses.
+///
+/// `Point3` doubles as a vector type: it supports the usual component-wise
+/// arithmetic, dot/cross products and norms. A separate vector type would
+/// add ceremony without preventing any real bug in this codebase.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::Point3;
+///
+/// let p = Point3::new(3.0, 4.0, 0.0);
+/// assert_eq!(p.norm(), 5.0);
+/// assert_eq!((p * 2.0).x, 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// The x coordinate.
+    pub x: f32,
+    /// The y coordinate.
+    pub y: f32,
+    /// The z coordinate.
+    pub z: f32,
+}
+
+impl Point3 {
+    /// The origin, `(0, 0, 0)`.
+    pub const ZERO: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point from its three coordinates.
+    pub const fn new(x: f32, y: f32, z: f32) -> Point3 {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all three coordinates equal to `v`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::Point3;
+    /// assert_eq!(Point3::splat(2.0), Point3::new(2.0, 2.0, 2.0));
+    /// ```
+    pub const fn splat(v: f32) -> Point3 {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Creates a point from a `[x, y, z]` array.
+    pub const fn from_array(a: [f32; 3]) -> Point3 {
+        Point3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
+    }
+
+    /// The coordinates as a `[x, y, z]` array.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::Point3;
+    /// assert_eq!(Point3::new(1.0, 2.0, 3.0).to_array(), [1.0, 2.0, 3.0]);
+    /// ```
+    pub const fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// The squared euclidean distance to `other` (the paper's Eq. 2).
+    ///
+    /// Radius search compares this against `r²` to avoid the square root.
+    pub fn distance_squared(self, other: Point3) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// The euclidean distance to `other` (the paper's Eq. 1).
+    pub fn distance(self, other: Point3) -> f32 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// The euclidean norm (length when viewed as a vector).
+    pub fn norm(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// The squared euclidean norm.
+    pub fn norm_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// The dot product with `other`.
+    pub fn dot(self, other: Point3) -> f32 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// The cross product with `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::Point3;
+    /// let x = Point3::new(1.0, 0.0, 0.0);
+    /// let y = Point3::new(0.0, 1.0, 0.0);
+    /// assert_eq!(x.cross(y), Point3::new(0.0, 0.0, 1.0));
+    /// ```
+    pub fn cross(self, other: Point3) -> Point3 {
+        Point3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Returns this vector scaled to unit length, or `None` when its norm is
+    /// too small for the division to be reliable.
+    pub fn normalized(self) -> Option<Point3> {
+        let n = self.norm();
+        if n > f32::MIN_POSITIVE {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Component-wise minimum of two points.
+    pub fn min(self, other: Point3) -> Point3 {
+        Point3 {
+            x: self.x.min(other.x),
+            y: self.y.min(other.y),
+            z: self.z.min(other.z),
+        }
+    }
+
+    /// Component-wise maximum of two points.
+    pub fn max(self, other: Point3) -> Point3 {
+        Point3 {
+            x: self.x.max(other.x),
+            y: self.y.max(other.y),
+            z: self.z.max(other.z),
+        }
+    }
+
+    /// Whether all three coordinates are finite (no NaN/∞).
+    ///
+    /// LiDAR drivers emit NaN returns for beams that never reflect; the
+    /// preprocessing stage of the pipeline filters them with this predicate.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// The horizontal (x–y plane) range from the origin, in meters.
+    ///
+    /// Used by the LiDAR model and range-based cloud cropping.
+    pub fn planar_range(self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+impl Index<Axis> for Point3 {
+    type Output = f32;
+
+    fn index(&self, axis: Axis) -> &f32 {
+        match axis {
+            Axis::X => &self.x,
+            Axis::Y => &self.y,
+            Axis::Z => &self.z,
+        }
+    }
+}
+
+impl IndexMut<Axis> for Point3 {
+    fn index_mut(&mut self, axis: Axis) -> &mut f32 {
+        match axis {
+            Axis::X => &mut self.x,
+            Axis::Y => &mut self.y,
+            Axis::Z => &mut self.z,
+        }
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f32;
+
+    fn index(&self, i: usize) -> &f32 {
+        &self[Axis::from_index(i)]
+    }
+}
+
+impl IndexMut<usize> for Point3 {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self[Axis::from_index(i)]
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Point3 {
+    fn add_assign(&mut self, rhs: Point3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Point3 {
+    fn sub_assign(&mut self, rhs: Point3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f32> for Point3 {
+    type Output = Point3;
+
+    fn mul(self, s: f32) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f32> for Point3 {
+    type Output = Point3;
+
+    fn div(self, s: f32) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl From<[f32; 3]> for Point3 {
+    fn from(a: [f32; 3]) -> Point3 {
+        Point3::from_array(a)
+    }
+}
+
+impl From<Point3> for [f32; 3] {
+    fn from(p: Point3) -> [f32; 3] {
+        p.to_array()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_matches_pythagoras() {
+        let a = Point3::new(0.0, 3.0, 0.0);
+        let b = Point3::new(4.0, 0.0, 0.0);
+        assert_eq!(a.distance_squared(b), 25.0);
+        assert_eq!(a.distance(b), 5.0);
+    }
+
+    #[test]
+    fn axis_indexing_reads_the_right_component() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p[Axis::X], 1.0);
+        assert_eq!(p[Axis::Y], 2.0);
+        assert_eq!(p[Axis::Z], 3.0);
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[2], 3.0);
+    }
+
+    #[test]
+    fn axis_index_mut_writes_the_right_component() {
+        let mut p = Point3::ZERO;
+        p[Axis::Y] = 7.0;
+        p[2] = -1.0;
+        assert_eq!(p, Point3::new(0.0, 7.0, -1.0));
+    }
+
+    #[test]
+    fn arithmetic_is_component_wise() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Point3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Point3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Point3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Point3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn cross_product_is_right_handed_and_orthogonal() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-2.0, 0.5, 4.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalized_returns_unit_vector() {
+        let v = Point3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert!(Point3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn min_max_are_component_wise() {
+        let a = Point3::new(1.0, 5.0, 3.0);
+        let b = Point3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Point3::new(2.0, 5.0, 3.0));
+    }
+
+    #[test]
+    fn is_finite_rejects_nan_and_infinity() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Point3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let p = Point3::new(1.5, -2.5, 3.5);
+        let a: [f32; 3] = p.into();
+        assert_eq!(Point3::from(a), p);
+    }
+
+    #[test]
+    fn axis_display_is_lowercase() {
+        assert_eq!(Axis::X.to_string(), "x");
+        assert_eq!(Axis::Z.to_string(), "z");
+    }
+}

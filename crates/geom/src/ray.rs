@@ -1,0 +1,218 @@
+use crate::{Aabb, Point3};
+
+/// A half-line: origin plus non-negative multiples of a direction.
+///
+/// The synthetic LiDAR sensor casts one `Ray` per beam per azimuth step
+/// and keeps the closest primitive hit (see `bonsai-lidar`).
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::{Aabb, Point3, Ray};
+///
+/// let ray = Ray::new(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).unwrap();
+/// let b = Aabb::new(Point3::new(2.0, -1.0, -1.0), Point3::new(4.0, 1.0, 1.0));
+/// assert_eq!(ray.intersect_aabb(&b), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    origin: Point3,
+    direction: Point3,
+}
+
+impl Ray {
+    /// Creates a ray; the direction is normalized. Returns `None` when the
+    /// direction is (near) zero.
+    pub fn new(origin: Point3, direction: Point3) -> Option<Ray> {
+        Some(Ray {
+            origin,
+            direction: direction.normalized()?,
+        })
+    }
+
+    /// The ray origin.
+    pub fn origin(&self) -> Point3 {
+        self.origin
+    }
+
+    /// The unit-length ray direction.
+    pub fn direction(&self) -> Point3 {
+        self.direction
+    }
+
+    /// The point at parameter `t` along the ray.
+    pub fn at(&self, t: f32) -> Point3 {
+        self.origin + self.direction * t
+    }
+
+    /// Slab-test intersection with an axis-aligned box.
+    ///
+    /// Returns the entry parameter `t >= 0` of the first intersection, or
+    /// `None` when the ray misses the box. A ray starting inside the box
+    /// hits at `t = 0`.
+    pub fn intersect_aabb(&self, aabb: &Aabb) -> Option<f32> {
+        let mut t_near = 0.0f32;
+        let mut t_far = f32::INFINITY;
+        for i in 0..3 {
+            let o = self.origin[i];
+            let d = self.direction[i];
+            let lo = aabb.min[i];
+            let hi = aabb.max[i];
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (t0, t1) = {
+                    let a = (lo - o) * inv;
+                    let b = (hi - o) * inv;
+                    if a < b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                };
+                t_near = t_near.max(t0);
+                t_far = t_far.min(t1);
+                if t_near > t_far {
+                    return None;
+                }
+            }
+        }
+        Some(t_near)
+    }
+
+    /// Intersection with the horizontal plane `z = height`.
+    ///
+    /// Returns the parameter of the hit, or `None` when the ray is parallel
+    /// to the plane or points away from it.
+    pub fn intersect_horizontal_plane(&self, height: f32) -> Option<f32> {
+        if self.direction.z.abs() < 1e-12 {
+            return None;
+        }
+        let t = (height - self.origin.z) / self.direction.z;
+        if t >= 0.0 {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// Intersection with a vertical cylinder (axis parallel to z) of the
+    /// given `center` (z ignored), `radius`, and z range `[z_min, z_max]`.
+    ///
+    /// Models poles and tree trunks in the synthetic scene.
+    pub fn intersect_vertical_cylinder(
+        &self,
+        center: Point3,
+        radius: f32,
+        z_min: f32,
+        z_max: f32,
+    ) -> Option<f32> {
+        // Project to the x-y plane and solve the quadratic |o + t d - c|² = r².
+        let ox = self.origin.x - center.x;
+        let oy = self.origin.y - center.y;
+        let dx = self.direction.x;
+        let dy = self.direction.y;
+        let a = dx * dx + dy * dy;
+        if a < 1e-12 {
+            return None; // Vertical ray: treat as a miss (cap hits are irrelevant here).
+        }
+        let b = 2.0 * (ox * dx + oy * dy);
+        let c = ox * ox + oy * oy - radius * radius;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        // Nearest non-negative root whose z lies in range.
+        for t in [(-b - sqrt_disc) / (2.0 * a), (-b + sqrt_disc) / (2.0 * a)] {
+            if t >= 0.0 {
+                let z = self.origin.z + t * self.direction.z;
+                if z >= z_min && z <= z_max {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(o: [f32; 3], d: [f32; 3]) -> Ray {
+        Ray::new(Point3::from_array(o), Point3::from_array(d)).unwrap()
+    }
+
+    #[test]
+    fn zero_direction_is_rejected() {
+        assert!(Ray::new(Point3::ZERO, Point3::ZERO).is_none());
+    }
+
+    #[test]
+    fn aabb_hit_from_outside() {
+        let r = ray([0.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        let b = Aabb::new(Point3::new(3.0, -1.0, -1.0), Point3::new(5.0, 1.0, 1.0));
+        assert_eq!(r.intersect_aabb(&b), Some(3.0));
+    }
+
+    #[test]
+    fn aabb_miss() {
+        let r = ray([0.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        let b = Aabb::new(Point3::new(3.0, 2.0, -1.0), Point3::new(5.0, 4.0, 1.0));
+        assert_eq!(r.intersect_aabb(&b), None);
+    }
+
+    #[test]
+    fn aabb_hit_from_inside_is_t_zero() {
+        let r = ray([0.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let b = Aabb::new(Point3::splat(-1.0), Point3::splat(1.0));
+        assert_eq!(r.intersect_aabb(&b), Some(0.0));
+    }
+
+    #[test]
+    fn aabb_behind_ray_is_missed() {
+        let r = ray([10.0, 0.0, 0.0], [1.0, 0.0, 0.0]);
+        let b = Aabb::new(Point3::splat(-1.0), Point3::splat(1.0));
+        assert_eq!(r.intersect_aabb(&b), None);
+    }
+
+    #[test]
+    fn ground_plane_hit() {
+        let r = ray([0.0, 0.0, 2.0], [1.0, 0.0, -1.0]);
+        let t = r.intersect_horizontal_plane(0.0).unwrap();
+        let p = r.at(t);
+        assert!((p.z).abs() < 1e-6);
+        assert!((p.x - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn plane_parallel_ray_misses() {
+        let r = ray([0.0, 0.0, 2.0], [1.0, 0.0, 0.0]);
+        assert!(r.intersect_horizontal_plane(0.0).is_none());
+    }
+
+    #[test]
+    fn cylinder_hit_and_z_clipping() {
+        let r = ray([0.0, 0.0, 0.5], [1.0, 0.0, 0.0]);
+        let hit = r
+            .intersect_vertical_cylinder(Point3::new(5.0, 0.0, 0.0), 1.0, 0.0, 3.0)
+            .unwrap();
+        assert!((hit - 4.0).abs() < 1e-5);
+        // Same cylinder but clipped below the ray's z: miss.
+        assert!(r
+            .intersect_vertical_cylinder(Point3::new(5.0, 0.0, 0.0), 1.0, 1.0, 3.0)
+            .is_none());
+    }
+
+    #[test]
+    fn cylinder_miss_off_axis() {
+        let r = ray([0.0, 0.0, 0.5], [1.0, 0.0, 0.0]);
+        assert!(r
+            .intersect_vertical_cylinder(Point3::new(5.0, 3.0, 0.0), 1.0, 0.0, 3.0)
+            .is_none());
+    }
+}

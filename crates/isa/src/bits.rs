@@ -1,0 +1,172 @@
+//! LSB-first bit packing for the Figure 6 compressed-leaf layout.
+
+/// Writes variable-width fields into a byte buffer, LSB-first within each
+/// byte (field bit 0 lands in the lowest unoccupied bit).
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    bytes: &'a mut [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Starts writing at bit 0 of `bytes` (which must be zeroed).
+    pub fn new(bytes: &'a mut [u8]) -> BitWriter<'a> {
+        debug_assert!(
+            bytes.iter().all(|&b| b == 0),
+            "BitWriter expects a zeroed buffer"
+        );
+        BitWriter { bytes, bit_pos: 0 }
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer overflows or `width > 32`.
+    pub fn write(&mut self, value: u32, width: u32) {
+        assert!(width <= 32);
+        assert!(
+            self.bit_pos + width as usize <= self.bytes.len() * 8,
+            "bit buffer overflow at bit {}",
+            self.bit_pos
+        );
+        let mut remaining = width;
+        let mut v = value & mask(width);
+        while remaining > 0 {
+            let byte = self.bit_pos / 8;
+            let off = (self.bit_pos % 8) as u32;
+            let room = 8 - off;
+            let take = remaining.min(room);
+            self.bytes[byte] |= ((v & mask(take)) as u8) << off;
+            v >>= take;
+            self.bit_pos += take as usize;
+            remaining -= take;
+        }
+    }
+
+    /// Bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+/// Reads variable-width fields written by [`BitWriter`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading at bit 0 of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> BitReader<'a> {
+        BitReader { bytes, bit_pos: 0 }
+    }
+
+    /// Reads the next `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when reading past the end of the buffer or `width > 32`.
+    pub fn read(&mut self, width: u32) -> u32 {
+        assert!(width <= 32);
+        assert!(
+            self.bit_pos + width as usize <= self.bytes.len() * 8,
+            "bit buffer underflow at bit {}",
+            self.bit_pos
+        );
+        let mut out: u32 = 0;
+        let mut got = 0;
+        while got < width {
+            let byte = self.bit_pos / 8;
+            let off = (self.bit_pos % 8) as u32;
+            let room = 8 - off;
+            let take = (width - got).min(room);
+            let chunk = ((self.bytes[byte] >> off) as u32) & mask(take);
+            out |= chunk << got;
+            got += take;
+            self.bit_pos += take as usize;
+        }
+        out
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_len(&self) -> usize {
+        self.bit_pos
+    }
+}
+
+fn mask(width: u32) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut buf = [0u8; 16];
+        let fields = [
+            (0b101u32, 3u32),
+            (0x3FF, 10),
+            (0, 1),
+            (0x2A, 6),
+            (1, 1),
+            (0xFFFF, 16),
+        ];
+        {
+            let mut w = BitWriter::new(&mut buf);
+            for &(v, width) in &fields {
+                w.write(v, width);
+            }
+            assert_eq!(w.bit_len(), 37);
+        }
+        let mut r = BitReader::new(&buf);
+        for &(v, width) in &fields {
+            assert_eq!(r.read(width), v, "width {width}");
+        }
+    }
+
+    #[test]
+    fn values_are_masked_to_width() {
+        let mut buf = [0u8; 4];
+        let mut w = BitWriter::new(&mut buf);
+        w.write(0xFFFF_FFFF, 5);
+        w.write(0, 3);
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(5), 0x1F);
+        assert_eq!(r.read(3), 0);
+    }
+
+    #[test]
+    fn crossing_byte_boundaries() {
+        let mut buf = [0u8; 4];
+        let mut w = BitWriter::new(&mut buf);
+        w.write(0b1, 7);
+        w.write(0b10_1010_1010, 10); // straddles bytes 0..3
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(7), 1);
+        assert_eq!(r.read(10), 0b10_1010_1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut buf = [0u8; 1];
+        let mut w = BitWriter::new(&mut buf);
+        w.write(0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let buf = [0u8; 1];
+        let mut r = BitReader::new(&buf);
+        r.read(9);
+    }
+}

@@ -1,0 +1,169 @@
+use crate::codec::{self, CompressedLeaf, CoordFlags};
+
+pub use crate::codec::{MAX_POINTS, SLICE_BYTES};
+
+/// The ZipPts buffer: the staging storage of the Bonsai
+/// compression/decompression unit (Figure 5).
+///
+/// The hardware buffer holds either up to 16 uncompressed f16 points or a
+/// compressed structure, and talks to the vector register file and the
+/// load/store unit through 128-bit ports. This model keeps both views —
+/// the point array and the compressed byte staging area — and the
+/// [`Machine`](crate::Machine) instructions move data between them
+/// exactly as the paper's micro-operations do.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_isa::ZipPtsBuffer;
+///
+/// let mut zip = ZipPtsBuffer::new();
+/// zip.write_point(0, [0x3C00, 0xC000, 0x4400]); // 1.0, -2.0, 4.0
+/// zip.write_point(1, [0x3E00, 0xC100, 0x4480]);
+/// let len = zip.compress(2).len();
+/// assert!(len <= 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipPtsBuffer {
+    points: [[u16; 3]; MAX_POINTS],
+    staged: [u8; codec::MAX_COMPRESSED_BYTES],
+    staged_len: usize,
+    compressed: Option<CompressedLeaf>,
+}
+
+impl ZipPtsBuffer {
+    /// An empty buffer.
+    pub fn new() -> ZipPtsBuffer {
+        ZipPtsBuffer {
+            points: [[0; 3]; MAX_POINTS],
+            staged: [0; codec::MAX_COMPRESSED_BYTES],
+            staged_len: 0,
+            compressed: None,
+        }
+    }
+
+    /// Writes an f16 point at buffer position `index` (the `LDSPZPB`
+    /// placement step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn write_point(&mut self, index: usize, h16: [u16; 3]) {
+        self.points[index] = h16;
+        self.compressed = None; // Point writes invalidate a stale structure.
+    }
+
+    /// Reads the f16 point at `index`.
+    pub fn point(&self, index: usize) -> [u16; 3] {
+        self.points[index]
+    }
+
+    /// Compresses the first `num_pts` points in place (the `CPRZPB`
+    /// semantics) and returns the resulting structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pts` is not in `1..=16`.
+    pub fn compress(&mut self, num_pts: usize) -> &CompressedLeaf {
+        let leaf = codec::compress(&self.points[..num_pts]);
+        self.compressed.insert(leaf)
+    }
+
+    /// The compressed structure produced by the last
+    /// [`compress`](Self::compress), if any.
+    pub fn compressed(&self) -> Option<&CompressedLeaf> {
+        self.compressed.as_ref()
+    }
+
+    /// Stages compressed bytes arriving from memory (the load
+    /// micro-operations of `LDDCP`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the buffer capacity.
+    pub fn stage_compressed(&mut self, bytes: &[u8]) {
+        assert!(
+            bytes.len() <= codec::MAX_COMPRESSED_BYTES,
+            "compressed structure of {} bytes exceeds the ZipPts buffer",
+            bytes.len()
+        );
+        self.staged[..bytes.len()].copy_from_slice(bytes);
+        self.staged_len = bytes.len();
+    }
+
+    /// Decompresses the staged bytes into the point array (the
+    /// decompression micro-operation of `LDDCP`) and returns the decoded
+    /// flags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was staged or `num_pts` is out of range.
+    pub fn decompress(&mut self, num_pts: usize) -> CoordFlags {
+        assert!(self.staged_len > 0, "no compressed structure staged");
+        codec::decompress(&self.staged[..self.staged_len], num_pts, &mut self.points)
+    }
+}
+
+impl Default for ZipPtsBuffer {
+    fn default() -> ZipPtsBuffer {
+        ZipPtsBuffer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_floatfmt::Half;
+
+    fn h(x: f32, y: f32, z: f32) -> [u16; 3] {
+        [
+            Half::from_f32(x).to_bits(),
+            Half::from_f32(y).to_bits(),
+            Half::from_f32(z).to_bits(),
+        ]
+    }
+
+    #[test]
+    fn compress_stage_decompress_round_trip() {
+        let mut zip = ZipPtsBuffer::new();
+        let pts = [
+            h(10.0, -3.0, 1.5),
+            h(11.0, -3.5, 1.25),
+            h(12.0, -3.25, 1.75),
+        ];
+        for (i, p) in pts.iter().enumerate() {
+            zip.write_point(i, *p);
+        }
+        let leaf = zip.compress(3).clone();
+
+        let mut other = ZipPtsBuffer::new();
+        other.stage_compressed(leaf.bytes());
+        let flags = other.decompress(3);
+        assert_eq!(flags, leaf.flags());
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(other.point(i), *p);
+        }
+    }
+
+    #[test]
+    fn point_writes_invalidate_compressed_view() {
+        let mut zip = ZipPtsBuffer::new();
+        zip.write_point(0, h(1.0, 2.0, 3.0));
+        zip.compress(1);
+        assert!(zip.compressed().is_some());
+        zip.write_point(0, h(4.0, 5.0, 6.0));
+        assert!(zip.compressed().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no compressed structure")]
+    fn decompress_without_stage_panics() {
+        ZipPtsBuffer::new().decompress(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn point_index_out_of_range_panics() {
+        ZipPtsBuffer::new().write_point(16, [0; 3]);
+    }
+}

@@ -1,0 +1,237 @@
+use std::fmt;
+
+/// A Bonsai-extension instruction with its operands — Table II of the
+/// paper, as data.
+///
+/// [`Machine`](crate::Machine) executes these semantics through dedicated
+/// methods (the hot path); this enum is the *descriptive* form used for
+/// disassembly in reports and for asserting that the machine's micro-op
+/// charges match the decoder expansion the paper specifies.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_isa::Instruction;
+///
+/// let i = Instruction::Lddcp { v_base: 0, num_pts: 15, slices: 4 };
+/// assert_eq!(i.micro_ops(), 8); // 4 loads + decompress + 3 write-backs
+/// assert_eq!(i.to_string(), "LDDCP v0, #15, [r_addr], #4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Load Single-float Point into ZipPts Buffer.
+    Ldspzpb {
+        /// Buffer position the point is placed at.
+        index: u8,
+    },
+    /// Compress ZipPts Buffer.
+    Cprzpb {
+        /// Number of valid points in the buffer.
+        num_pts: u8,
+    },
+    /// Store ZipPts Buffer.
+    Stzpb {
+        /// Number of 128-bit slices to store.
+        slices: u8,
+    },
+    /// Load-Decompressing Compressed Points.
+    Lddcp {
+        /// First of the six destination vector registers.
+        v_base: u8,
+        /// Number of points encoded in the structure.
+        num_pts: u8,
+        /// Number of 128-bit slices to load.
+        slices: u8,
+    },
+    /// Square Difference With Error, low half.
+    Sqdwel {
+        /// Destination for the four squared differences.
+        v_sq_diff: u8,
+        /// Destination for the four worst-case errors.
+        v_error: u8,
+        /// The f32 operand (query coordinate broadcast).
+        v_a: u8,
+        /// The f16 operand (leaf coordinates).
+        v_b: u8,
+    },
+    /// Square Difference With Error, high half.
+    Sqdweh {
+        /// Destination for the four squared differences.
+        v_sq_diff: u8,
+        /// Destination for the four worst-case errors.
+        v_error: u8,
+        /// The f32 operand.
+        v_a: u8,
+        /// The f16 operand.
+        v_b: u8,
+    },
+}
+
+impl Instruction {
+    /// The assembler mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Ldspzpb { .. } => "LDSPZPB",
+            Instruction::Cprzpb { .. } => "CPRZPB",
+            Instruction::Stzpb { .. } => "STZPB",
+            Instruction::Lddcp { .. } => "LDDCP",
+            Instruction::Sqdwel { .. } => "SQDWEL",
+            Instruction::Sqdweh { .. } => "SQDWEH",
+        }
+    }
+
+    /// The number of micro-ops the decoder expands this instruction into
+    /// (Section IV-C's descriptions).
+    pub fn micro_ops(&self) -> u32 {
+        match self {
+            Instruction::Ldspzpb { .. } => 2, // load + convert/place
+            Instruction::Cprzpb { .. } => 2,  // compare pass + reorder pass
+            Instruction::Stzpb { slices } => *slices as u32,
+            // One load per slice + decompress + 3 write-backs (six
+            // registers, two at a time).
+            Instruction::Lddcp { slices, .. } => *slices as u32 + 4,
+            Instruction::Sqdwel { .. } | Instruction::Sqdweh { .. } => 1,
+        }
+    }
+
+    /// Whether the instruction belongs to the compress, decompress or
+    /// computation category of Table II.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Instruction::Ldspzpb { .. }
+            | Instruction::Cprzpb { .. }
+            | Instruction::Stzpb { .. } => "compress",
+            Instruction::Lddcp { .. } => "decompress",
+            Instruction::Sqdwel { .. } | Instruction::Sqdweh { .. } => "computation",
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Ldspzpb { index } => write!(f, "LDSPZPB #{index}, [r_addr]"),
+            Instruction::Cprzpb { num_pts } => write!(f, "CPRZPB r_size, #{num_pts}"),
+            Instruction::Stzpb { slices } => write!(f, "STZPB [r_addr], #{slices}"),
+            Instruction::Lddcp {
+                v_base,
+                num_pts,
+                slices,
+            } => {
+                write!(f, "LDDCP v{v_base}, #{num_pts}, [r_addr], #{slices}")
+            }
+            Instruction::Sqdwel {
+                v_sq_diff,
+                v_error,
+                v_a,
+                v_b,
+            } => {
+                write!(f, "SQDWEL v{v_sq_diff}, v{v_error}, v{v_a}, v{v_b}")
+            }
+            Instruction::Sqdweh {
+                v_sq_diff,
+                v_error,
+                v_a,
+                v_b,
+            } => {
+                write!(f, "SQDWEH v{v_sq_diff}, v{v_error}, v{v_a}, v{v_b}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_distinct_mnemonics_plus_high_variant() {
+        // The paper counts "only five new instructions" treating
+        // SQDWEL/SQDWEH as the L/H forms of one operation; all six
+        // encodings are distinct here.
+        let all = [
+            Instruction::Ldspzpb { index: 0 },
+            Instruction::Cprzpb { num_pts: 15 },
+            Instruction::Stzpb { slices: 4 },
+            Instruction::Lddcp {
+                v_base: 0,
+                num_pts: 15,
+                slices: 4,
+            },
+            Instruction::Sqdwel {
+                v_sq_diff: 1,
+                v_error: 2,
+                v_a: 3,
+                v_b: 4,
+            },
+            Instruction::Sqdweh {
+                v_sq_diff: 1,
+                v_error: 2,
+                v_a: 3,
+                v_b: 4,
+            },
+        ];
+        let mut names: Vec<&str> = all.iter().map(|i| i.mnemonic()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn categories_match_table2() {
+        assert_eq!(Instruction::Ldspzpb { index: 0 }.category(), "compress");
+        assert_eq!(
+            Instruction::Lddcp {
+                v_base: 0,
+                num_pts: 1,
+                slices: 1
+            }
+            .category(),
+            "decompress"
+        );
+        assert_eq!(
+            Instruction::Sqdwel {
+                v_sq_diff: 0,
+                v_error: 1,
+                v_a: 2,
+                v_b: 3
+            }
+            .category(),
+            "computation"
+        );
+    }
+
+    #[test]
+    fn micro_op_counts() {
+        assert_eq!(Instruction::Stzpb { slices: 4 }.micro_ops(), 4);
+        assert_eq!(
+            Instruction::Lddcp {
+                v_base: 0,
+                num_pts: 15,
+                slices: 4
+            }
+            .micro_ops(),
+            8
+        );
+        assert_eq!(
+            Instruction::Sqdweh {
+                v_sq_diff: 0,
+                v_error: 1,
+                v_a: 2,
+                v_b: 3
+            }
+            .micro_ops(),
+            1
+        );
+    }
+
+    #[test]
+    fn disassembly_is_readable() {
+        let i = Instruction::Sqdwel {
+            v_sq_diff: 4,
+            v_error: 5,
+            v_a: 6,
+            v_b: 0,
+        };
+        assert_eq!(i.to_string(), "SQDWEL v4, v5, v6, v0");
+    }
+}

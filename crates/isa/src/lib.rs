@@ -1,0 +1,58 @@
+//! Architectural simulator for the Bonsai ISA extensions.
+//!
+//! The paper (Section IV) adds two hardware blocks to an out-of-order
+//! ARM core — a compression/decompression unit built around a 16-point
+//! *ZipPts buffer*, and a vector group of `(A−B′)²`-with-error functional
+//! units — and exposes them through six new instructions (Table II):
+//!
+//! | Instruction | Category | Effect |
+//! |---|---|---|
+//! | `LDSPZPB`  | compress | load one `f32` point, narrow to `f16`, place in the buffer |
+//! | `CPRZPB`   | compress | compress the buffer in place (value similarity, Fig. 6) |
+//! | `STZPB`    | compress | store the buffer to memory in 128-bit slices |
+//! | `LDDCP`    | decompress | load slices, decompress, write six vector registers |
+//! | `SQDWEL`   | compute  | vector `(A−B′)²` + worst-case error, low half |
+//! | `SQDWEH`   | compute  | vector `(A−B′)²` + worst-case error, high half |
+//!
+//! This crate implements those semantics bit-exactly at the architectural
+//! level: [`Machine`] holds the vector register file, the
+//! [`ZipPtsBuffer`] and the `part_error_mem` LUT, and each instruction
+//! mutates that state while charging its micro-op expansion and memory
+//! references to a [`SimEngine`](bonsai_sim::SimEngine) — the same
+//! expansion the paper's decoder performs (e.g. `LDDCP` = one load µop
+//! per slice + one decompress µop + three write-back µops).
+//!
+//! The [`codec`] module is the Compress/Decompress Logic: the exact
+//! Figure 6 bit layout. The [`software`] module is the paper's strawman —
+//! the same codec done with ordinary scalar instructions — used by the
+//! "software-only compression is ~7× slower" ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_isa::Machine;
+//! use bonsai_sim::SimEngine;
+//!
+//! let mut sim = SimEngine::disabled();
+//! let mut m = Machine::new();
+//! // Compress a 3-point leaf.
+//! let pts = [[1.0f32, -2.0, 3.0], [1.1, -2.1, 3.1], [0.9, -1.9, 2.9]];
+//! for (i, p) in pts.iter().enumerate() {
+//!     m.ldspzpb(&mut sim, i, 0x1000 + 12 * i as u64, *p);
+//! }
+//! let size = m.cprzpb(&mut sim, pts.len());
+//! assert!(size < 36); // smaller than the 3 × 12 B originals
+//! ```
+
+pub mod codec;
+pub mod software;
+
+mod bits;
+mod buffer;
+mod instr;
+mod machine;
+
+pub use buffer::{ZipPtsBuffer, MAX_POINTS, SLICE_BYTES};
+pub use codec::{CompressedLeaf, CoordFlags, MAX_COMPRESSED_BYTES};
+pub use instr::Instruction;
+pub use machine::{HalfSel, Machine, VregId};

@@ -1,0 +1,440 @@
+use bonsai_floatfmt::{Half, PartErrorMem};
+use bonsai_sim::{OpClass, SimEngine};
+
+use crate::buffer::{ZipPtsBuffer, MAX_POINTS, SLICE_BYTES};
+use crate::codec::{slices_for_bytes, CompressedLeaf, CoordFlags};
+
+/// Index of a 128-bit vector register (NEON `v0`–`v31`).
+pub type VregId = usize;
+
+/// Which half of the 8-lane f16 operand an `SQDWE` instruction computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HalfSel {
+    /// Lanes 0..4 (`SQDWEL`).
+    Low,
+    /// Lanes 4..8 (`SQDWEH`).
+    High,
+}
+
+/// Architectural state touched by the Bonsai extensions: the 32-entry
+/// 128-bit vector register file, the [`ZipPtsBuffer`], and the
+/// `part_error_mem` LUT inside the square-of-differences FUs.
+///
+/// Every instruction method takes a [`SimEngine`] and charges its micro-op
+/// expansion and memory references exactly as the paper's decoder emits
+/// them (Table II). Functionally, loads take the data as a parameter: the
+/// simulated address space carries layout, not contents, so the caller
+/// (who owns the real data) passes the value alongside the address — the
+/// standard co-simulation arrangement.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_isa::Machine;
+/// use bonsai_sim::SimEngine;
+///
+/// let mut sim = SimEngine::disabled();
+/// let mut m = Machine::new();
+/// m.broadcast_f32(&mut sim, 8, 2.5);
+/// assert_eq!(m.read_f32_lane(8, 3), 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    vregs: [[u32; 4]; 32],
+    zip: ZipPtsBuffer,
+    lut: PartErrorMem,
+}
+
+impl Machine {
+    /// A machine with zeroed registers and an empty buffer.
+    pub fn new() -> Machine {
+        Machine {
+            vregs: [[0; 4]; 32],
+            zip: ZipPtsBuffer::new(),
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// Direct access to the ZipPts buffer (tests, diagnostics).
+    pub fn zip_buffer(&self) -> &ZipPtsBuffer {
+        &self.zip
+    }
+
+    // ------------------------------------------------------------------
+    // Register-file lane accessors (architectural reads/writes; cost is
+    // charged by the instructions that use them).
+    // ------------------------------------------------------------------
+
+    /// Reads a 32-bit float lane (`lane` in 0..4).
+    pub fn read_f32_lane(&self, reg: VregId, lane: usize) -> f32 {
+        f32::from_bits(self.vregs[reg][lane])
+    }
+
+    /// Writes a 32-bit float lane.
+    pub fn write_f32_lane(&mut self, reg: VregId, lane: usize, value: f32) {
+        self.vregs[reg][lane] = value.to_bits();
+    }
+
+    /// Reads a 16-bit lane (`lane` in 0..8).
+    pub fn read_u16_lane(&self, reg: VregId, lane: usize) -> u16 {
+        let word = self.vregs[reg][lane / 2];
+        (word >> (16 * (lane % 2))) as u16
+    }
+
+    /// Writes a 16-bit lane.
+    pub fn write_u16_lane(&mut self, reg: VregId, lane: usize, value: u16) {
+        let word = &mut self.vregs[reg][lane / 2];
+        let shift = 16 * (lane % 2);
+        *word = (*word & !(0xFFFF << shift)) | ((value as u32) << shift);
+    }
+
+    // ------------------------------------------------------------------
+    // Pre-existing NEON operations used alongside the Bonsai extensions.
+    // ------------------------------------------------------------------
+
+    /// Broadcasts a scalar into all four f32 lanes of `dst` (NEON `DUP`);
+    /// one vector micro-op.
+    pub fn broadcast_f32(&mut self, sim: &mut SimEngine, dst: VregId, value: f32) {
+        sim.exec(OpClass::VecAlu, 1);
+        for lane in 0..4 {
+            self.write_f32_lane(dst, lane, value);
+        }
+    }
+
+    /// Lane-wise f32 addition `dst = a + b` (NEON `FADD`); one vector
+    /// micro-op.
+    pub fn vadd_f32(&mut self, sim: &mut SimEngine, dst: VregId, a: VregId, b: VregId) {
+        sim.exec(OpClass::VecAlu, 1);
+        for lane in 0..4 {
+            let v = self.read_f32_lane(a, lane) + self.read_f32_lane(b, lane);
+            self.write_f32_lane(dst, lane, v);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The Bonsai extensions (Table II).
+    // ------------------------------------------------------------------
+
+    /// `LDSPZPB r_index, [r_addr]` — loads one `f32` 3-D point from
+    /// `addr`, narrows each coordinate to f16, and places it in the
+    /// ZipPts buffer at `index`.
+    ///
+    /// Micro-ops: 1 load (12 useful bytes) + 1 convert/place.
+    pub fn ldspzpb(&mut self, sim: &mut SimEngine, index: usize, addr: u64, point: [f32; 3]) {
+        sim.load(addr, 12);
+        sim.exec(OpClass::BonsaiCodec, 1);
+        self.zip.write_point(
+            index,
+            [
+                Half::from_f32(point[0]).to_bits(),
+                Half::from_f32(point[1]).to_bits(),
+                Half::from_f32(point[2]).to_bits(),
+            ],
+        );
+    }
+
+    /// `CPRZPB r_size, r_num_pts` — compresses the buffer in place and
+    /// returns the structure size in bytes.
+    ///
+    /// Micro-ops: 2 (the `<sign,exp>` comparison pass and the
+    /// bit-reordering pass).
+    pub fn cprzpb(&mut self, sim: &mut SimEngine, num_pts: usize) -> usize {
+        sim.exec(OpClass::BonsaiCodec, 2);
+        self.zip.compress(num_pts).len()
+    }
+
+    /// `STZPB [r_addr], #ZipPtsSlices` — stores the compressed buffer to
+    /// memory in 128-bit slices and returns the structure for the caller
+    /// to place in its `cmprsd_strct_array` model.
+    ///
+    /// Micro-ops: one store per slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CPRZPB` has not produced a structure.
+    pub fn stzpb(&mut self, sim: &mut SimEngine, addr: u64) -> CompressedLeaf {
+        let leaf = self
+            .zip
+            .compressed()
+            .expect("STZPB requires a CPRZPB result")
+            .clone();
+        for s in 0..leaf.slices() {
+            sim.store(addr + (s * SLICE_BYTES) as u64, SLICE_BYTES as u32);
+        }
+        leaf
+    }
+
+    /// `LDDCP v_base, r_num_pts, [r_addr], #ZipPtsSlices` — loads the
+    /// compressed structure, decompresses it, and writes the f16 points
+    /// into six vector registers `v_base .. v_base+6`:
+    /// `v_base+2c` holds points 0..8 of coordinate `c`, `v_base+2c+1`
+    /// points 8..16.
+    ///
+    /// Micro-ops: one load per slice + 1 decompress + 3 write-backs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_base + 6 > 32` or the structure is malformed.
+    pub fn lddcp(
+        &mut self,
+        sim: &mut SimEngine,
+        v_base: VregId,
+        num_pts: usize,
+        addr: u64,
+        bytes: &[u8],
+    ) -> CoordFlags {
+        assert!(v_base + 6 <= 32, "LDDCP needs six registers from v{v_base}");
+        let slices = slices_for_bytes(bytes.len());
+        for s in 0..slices {
+            sim.load(addr + (s * SLICE_BYTES) as u64, SLICE_BYTES as u32);
+        }
+        self.zip.stage_compressed(bytes);
+        sim.exec(OpClass::BonsaiCodec, 1);
+        let flags = self.zip.decompress(num_pts);
+        sim.exec(OpClass::VecAlu, 3);
+        for coord in 0..3 {
+            for i in 0..MAX_POINTS {
+                let h = if i < num_pts {
+                    self.zip.point(i)[coord]
+                } else {
+                    0
+                };
+                self.write_u16_lane(v_base + 2 * coord + i / 8, i % 8, h);
+            }
+        }
+        flags
+    }
+
+    /// `SQDWEL` / `SQDWEH` — the vector square-of-differences with error
+    /// computation (Figures 7 and 8).
+    ///
+    /// For each of the four lanes: `B′` (an f16 lane of `vb`, low or high
+    /// half) is extended to f32 value-preservingly, the FU computes
+    /// `(A − B′)²` into `dst_sq` and the worst-case error
+    /// `2·|A−B′|·max(δB) + max(δB)²` into `dst_err`, fetching the two
+    /// exponent-derived factors from the `part_error_mem` LUT.
+    ///
+    /// Micro-ops: 1.
+    pub fn sqdwe(
+        &mut self,
+        sim: &mut SimEngine,
+        dst_sq: VregId,
+        dst_err: VregId,
+        va: VregId,
+        vb: VregId,
+        half: HalfSel,
+    ) {
+        sim.exec(OpClass::BonsaiSqdwe, 1);
+        let base = match half {
+            HalfSel::Low => 0,
+            HalfSel::High => 4,
+        };
+        for lane in 0..4 {
+            let a = self.read_f32_lane(va, lane);
+            let h = Half::from_bits(self.read_u16_lane(vb, base + lane));
+            let b = h.to_f32();
+            let diff = a - b;
+            let err = self
+                .lut
+                .max_squared_difference_error(diff.abs(), h.exponent_field());
+            self.write_f32_lane(dst_sq, lane, diff * diff);
+            self.write_f32_lane(dst_err, lane, err);
+        }
+    }
+
+    /// `SQDWEL` — low half of `vb`. See [`sqdwe`](Self::sqdwe).
+    pub fn sqdwel(
+        &mut self,
+        sim: &mut SimEngine,
+        dst_sq: VregId,
+        dst_err: VregId,
+        va: VregId,
+        vb: VregId,
+    ) {
+        self.sqdwe(sim, dst_sq, dst_err, va, vb, HalfSel::Low);
+    }
+
+    /// `SQDWEH` — high half of `vb`. See [`sqdwe`](Self::sqdwe).
+    pub fn sqdweh(
+        &mut self,
+        sim: &mut SimEngine,
+        dst_sq: VregId,
+        dst_err: VregId,
+        va: VregId,
+        vb: VregId,
+    ) {
+        self.sqdwe(sim, dst_sq, dst_err, va, vb, HalfSel::High);
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Machine {
+        Machine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_sim::{Counters, CpuConfig};
+
+    fn points() -> Vec<[f32; 3]> {
+        vec![
+            [8.2, -4.8, 1.0],
+            [9.7, -8.5, 1.1],
+            [12.4, -6.0, 0.9],
+            [12.9, -3.9, 1.05],
+            [14.7, -2.5, 0.95],
+        ]
+    }
+
+    fn compress_leaf(sim: &mut SimEngine, m: &mut Machine, pts: &[[f32; 3]]) -> CompressedLeaf {
+        for (i, p) in pts.iter().enumerate() {
+            m.ldspzpb(sim, i, 0x1000 + 12 * i as u64, *p);
+        }
+        m.cprzpb(sim, pts.len());
+        m.stzpb(sim, 0x9000)
+    }
+
+    #[test]
+    fn compress_decompress_through_instructions() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        let pts = points();
+        let leaf = compress_leaf(&mut sim, &mut m, &pts);
+
+        let mut m2 = Machine::new();
+        let flags = m2.lddcp(&mut sim, 0, pts.len(), 0x9000, leaf.bytes());
+        assert_eq!(flags, leaf.flags());
+        // Registers hold the same f16 values LDSPZPB produced.
+        for (i, p) in pts.iter().enumerate() {
+            for (c, &coord) in p.iter().enumerate() {
+                let got = Half::from_bits(m2.read_u16_lane(2 * c, i));
+                let expect = Half::from_f32(coord);
+                assert_eq!(got, expect, "point {i} coord {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn lddcp_fills_high_registers_past_eight_points() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        let pts: Vec<[f32; 3]> = (0..15)
+            .map(|i| [20.0 + i as f32 * 0.3, -5.0, 2.0 + i as f32 * 0.01])
+            .collect();
+        let leaf = compress_leaf(&mut sim, &mut m, &pts);
+        let mut m2 = Machine::new();
+        m2.lddcp(&mut sim, 6, 15, 0x9000, leaf.bytes());
+        // Point 12's x lives in v7 (= 6 + 0*2 + 12/8), lane 4.
+        let got = Half::from_bits(m2.read_u16_lane(7, 4));
+        assert_eq!(got, Half::from_f32(pts[12][0]));
+        // Unused lane 15 is zero.
+        assert_eq!(m2.read_u16_lane(7, 7), 0);
+    }
+
+    #[test]
+    fn micro_op_charges_match_table2_expansion() {
+        let mut sim = SimEngine::new(&CpuConfig::a72_like());
+        let mut m = Machine::new();
+        let pts = points();
+        let leaf = compress_leaf(&mut sim, &mut m, &pts);
+        let c: Counters = sim.totals();
+        // 5 × LDSPZPB = 5 loads + 5 codec; CPRZPB = 2 codec;
+        // STZPB = slices stores.
+        assert_eq!(c.loads, 5);
+        assert_eq!(c.stores, leaf.slices() as u64);
+        assert_eq!(c.ops_of(OpClass::BonsaiCodec), 7);
+
+        sim.reset_counters();
+        m.lddcp(&mut sim, 0, pts.len(), 0x9000, leaf.bytes());
+        let c = sim.totals();
+        assert_eq!(c.loads, leaf.slices() as u64);
+        assert_eq!(c.ops_of(OpClass::BonsaiCodec), 1);
+        assert_eq!(c.ops_of(OpClass::VecAlu), 3);
+
+        sim.reset_counters();
+        m.broadcast_f32(&mut sim, 10, 1.0);
+        m.sqdwel(&mut sim, 11, 12, 10, 0);
+        m.sqdweh(&mut sim, 13, 14, 10, 0);
+        let c = sim.totals();
+        assert_eq!(c.ops_of(OpClass::BonsaiSqdwe), 2);
+        assert_eq!(c.ops_of(OpClass::VecAlu), 1);
+    }
+
+    #[test]
+    fn sqdwe_computes_square_and_error_per_lane() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        // vb lanes: f16 of 1.0, 2.0, -3.0, 0.5 in the low half.
+        let vals = [1.0f32, 2.0, -3.0, 0.5];
+        for (lane, v) in vals.iter().enumerate() {
+            m.write_u16_lane(0, lane, Half::from_f32(*v).to_bits());
+        }
+        m.broadcast_f32(&mut sim, 1, 2.0); // A = 2.0 in all lanes
+        m.sqdwel(&mut sim, 2, 3, 1, 0);
+        let lut = PartErrorMem::new();
+        for (lane, v) in vals.iter().enumerate() {
+            let b = Half::from_f32(*v);
+            let diff = 2.0 - b.to_f32();
+            assert_eq!(m.read_f32_lane(2, lane), diff * diff, "sq lane {lane}");
+            let expect_err = lut.max_squared_difference_error(diff.abs(), b.exponent_field());
+            assert_eq!(m.read_f32_lane(3, lane), expect_err, "err lane {lane}");
+        }
+    }
+
+    #[test]
+    fn sqdwe_high_half_reads_lanes_4_to_8() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        m.write_u16_lane(0, 6, Half::from_f32(4.0).to_bits());
+        m.broadcast_f32(&mut sim, 1, 0.0);
+        m.sqdweh(&mut sim, 2, 3, 1, 0);
+        assert_eq!(m.read_f32_lane(2, 2), 16.0);
+    }
+
+    #[test]
+    fn u16_lane_packing() {
+        let mut m = Machine::new();
+        for lane in 0..8 {
+            m.write_u16_lane(5, lane, 0x1000 + lane as u16);
+        }
+        for lane in 0..8 {
+            assert_eq!(m.read_u16_lane(5, lane), 0x1000 + lane as u16);
+        }
+        // Overwriting one lane leaves neighbours intact.
+        m.write_u16_lane(5, 3, 0xDEAD);
+        assert_eq!(m.read_u16_lane(5, 2), 0x1002);
+        assert_eq!(m.read_u16_lane(5, 3), 0xDEAD);
+        assert_eq!(m.read_u16_lane(5, 4), 0x1004);
+    }
+
+    #[test]
+    #[should_panic(expected = "CPRZPB")]
+    fn stzpb_without_compress_panics() {
+        let mut sim = SimEngine::disabled();
+        Machine::new().stzpb(&mut sim, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "six registers")]
+    fn lddcp_register_overflow_panics() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        m.lddcp(&mut sim, 27, 1, 0, &[0u8; 7]);
+    }
+
+    #[test]
+    fn vadd_adds_lanewise() {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        for lane in 0..4 {
+            m.write_f32_lane(0, lane, lane as f32);
+            m.write_f32_lane(1, lane, 10.0);
+        }
+        m.vadd_f32(&mut sim, 2, 0, 1);
+        for lane in 0..4 {
+            assert_eq!(m.read_f32_lane(2, lane), 10.0 + lane as f32);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Software-only (de)compression — the strawman of Section IV-A.
+//!
+//! The paper justifies hardware support by noting that "iteratively
+//! inspecting and re-ordering bits in software slows down radius search in
+//! the order of 7×". This module implements that strawman: the same
+//! Figure 6 codec executed with ordinary scalar instructions, charging a
+//! documented per-field cost model to the [`SimEngine`]. The
+//! `ablation_software_codec` bench compares it against the
+//! hardware-assisted path.
+//!
+//! Cost model (scalar micro-ops, justified by what a compiled bit-stream
+//! reader/writer executes per field):
+//!
+//! * extracting or inserting one bit field that may straddle byte
+//!   boundaries: 2 shifts + 1 or/and + mask + position update ≈
+//!   [`FIELD_OPS`] integer ops;
+//! * a software f16 ↔ f32 conversion (classify, branch on
+//!   normal/subnormal, shift, bias-adjust):
+//!   [`CONVERT_OPS`] integer ops — AArch64 has `FCVT` for f16 *storage*,
+//!   but the decompressed fields here are raw mantissa/sign-exponent
+//!   fragments that must be reassembled before any conversion, so the
+//!   reassembly dominates either way;
+//! * per-point loop bookkeeping: [`POINT_OVERHEAD_OPS`] ops.
+//!
+//! Functionally the software codec is bit-identical to the hardware one
+//! (asserted by unit tests), so the ablation isolates pure overhead.
+
+use bonsai_sim::{OpClass, SimEngine};
+
+use crate::codec::{self, CompressedLeaf, CoordFlags, MAX_POINTS};
+
+/// Scalar ops to read/write one bit field of the packed stream.
+pub const FIELD_OPS: u64 = 6;
+
+/// Scalar ops for a software f16→f32 (or f32→f16) conversion.
+pub const CONVERT_OPS: u64 = 18;
+
+/// Scalar loop/bookkeeping ops per point.
+pub const POINT_OVERHEAD_OPS: u64 = 6;
+
+/// Bytes the software bit reader loads per access (one 64-bit word).
+const WORD_BYTES: u32 = 8;
+
+/// Software equivalent of `LDSPZPB` + `CPRZPB` + `STZPB`: compresses a
+/// leaf of `f32` points, charging scalar costs.
+///
+/// `points_addr` is the address of the first point (12-byte stride, as
+/// the baseline leaf layout); `dst_addr` is where the packed structure is
+/// written.
+pub fn compress_sw(
+    sim: &mut SimEngine,
+    points: &[[f32; 3]],
+    points_addr: u64,
+    dst_addr: u64,
+) -> CompressedLeaf {
+    let n = points.len();
+    // Load the f32 points and convert each coordinate to f16 in software.
+    let mut h16 = [[0u16; 3]; MAX_POINTS];
+    for (i, p) in points.iter().enumerate() {
+        sim.load(points_addr + 12 * i as u64, 12);
+        sim.exec(OpClass::IntAlu, 3 * CONVERT_OPS + POINT_OVERHEAD_OPS);
+        for c in 0..3 {
+            h16[i][c] = bonsai_floatfmt::Half::from_f32(p[c]).to_bits();
+        }
+    }
+    // Flag selection: one compare chain per point per coordinate.
+    sim.exec(OpClass::IntAlu, 3 * n as u64 * 2);
+    // Bit-stream writes: 3 mantissas per point, plus sign/exponent tuples.
+    let leaf = codec::compress(&h16[..n]);
+    let field_writes = 3 * n as u64
+        + leaf.flags().count_compressed() as u64
+        + (3 - leaf.flags().count_compressed()) as u64 * n as u64
+        + 1;
+    sim.exec(OpClass::IntAlu, field_writes * FIELD_OPS);
+    // Store the packed bytes in 64-bit words.
+    let words = (leaf.len() as u64).div_ceil(WORD_BYTES as u64);
+    for w in 0..words {
+        sim.store(dst_addr + w * WORD_BYTES as u64, WORD_BYTES);
+    }
+    leaf
+}
+
+/// Software equivalent of `LDDCP`: loads and decompresses a packed
+/// structure into `f32` coordinates, charging scalar costs.
+///
+/// Returns the decoded flags; `out[..num_pts]` receives the f32 values of
+/// the f16 points (what the distance code consumes).
+pub fn decompress_sw(
+    sim: &mut SimEngine,
+    bytes: &[u8],
+    num_pts: usize,
+    addr: u64,
+    out: &mut [[f32; 3]; MAX_POINTS],
+) -> CoordFlags {
+    // Load the packed bytes in 64-bit words.
+    let words = (bytes.len() as u64).div_ceil(WORD_BYTES as u64);
+    for w in 0..words {
+        sim.load(addr + w * WORD_BYTES as u64, WORD_BYTES);
+    }
+    // Header + field extraction + reassembly + conversion, all scalar.
+    let mut h16 = [[0u16; 3]; MAX_POINTS];
+    let flags = codec::decompress(bytes, num_pts, &mut h16);
+    let shared = flags.count_compressed() as u64;
+    let field_reads = 1 + 3 * num_pts as u64 + shared + (3 - shared) * num_pts as u64;
+    sim.exec(OpClass::IntAlu, field_reads * FIELD_OPS);
+    sim.exec(
+        OpClass::IntAlu,
+        num_pts as u64 * (3 * CONVERT_OPS + POINT_OVERHEAD_OPS + 3/* merges */),
+    );
+    for i in 0..num_pts {
+        for c in 0..3 {
+            out[i][c] = bonsai_floatfmt::Half::from_bits(h16[i][c]).to_f32();
+        }
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_floatfmt::Half;
+    use bonsai_sim::CpuConfig;
+
+    fn pts() -> Vec<[f32; 3]> {
+        (0..15)
+            .map(|i| [30.0 + 0.2 * i as f32, -7.0 + 0.1 * i as f32, 0.5])
+            .collect()
+    }
+
+    #[test]
+    fn software_codec_matches_hardware_codec_bits() {
+        let mut sim = SimEngine::disabled();
+        let sw = compress_sw(&mut sim, &pts(), 0x1000, 0x8000);
+        // The hardware path: convert + compress.
+        let h16: Vec<[u16; 3]> = pts()
+            .iter()
+            .map(|p| {
+                [
+                    Half::from_f32(p[0]).to_bits(),
+                    Half::from_f32(p[1]).to_bits(),
+                    Half::from_f32(p[2]).to_bits(),
+                ]
+            })
+            .collect();
+        let hw = codec::compress(&h16);
+        assert_eq!(sw, hw);
+    }
+
+    #[test]
+    fn software_decompress_round_trips() {
+        let mut sim = SimEngine::disabled();
+        let leaf = compress_sw(&mut sim, &pts(), 0x1000, 0x8000);
+        let mut out = [[0f32; 3]; MAX_POINTS];
+        let flags = decompress_sw(&mut sim, leaf.bytes(), 15, 0x8000, &mut out);
+        assert_eq!(flags, leaf.flags());
+        for (i, p) in pts().iter().enumerate() {
+            for c in 0..3 {
+                assert_eq!(out[i][c], Half::from_f32(p[c]).to_f32(), "pt {i} coord {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn software_decompress_costs_many_scalar_ops() {
+        let mut sim = SimEngine::new(&CpuConfig::a72_like());
+        let leaf = {
+            let mut warm = SimEngine::disabled();
+            compress_sw(&mut warm, &pts(), 0x1000, 0x8000)
+        };
+        let mut out = [[0f32; 3]; MAX_POINTS];
+        decompress_sw(&mut sim, leaf.bytes(), 15, 0x8000, &mut out);
+        let t = sim.totals();
+        // ~60 fields × 6 ops + 15 points × ~63 ops ≈ 1.3 k scalar ops —
+        // vastly more than LDDCP's ≈8 micro-ops.
+        assert!(
+            t.ops_of(OpClass::IntAlu) > 800,
+            "got {}",
+            t.ops_of(OpClass::IntAlu)
+        );
+        assert!(t.loads >= 8);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the Figure 6 codec and the instruction-level
+//! compress/decompress path: lossless round trips on arbitrary leaves.
+
+use bonsai_isa::{codec, Machine, MAX_POINTS};
+use bonsai_sim::SimEngine;
+use proptest::prelude::*;
+
+/// An arbitrary leaf: 1..=16 points of arbitrary f16 bit patterns.
+fn arb_leaf() -> impl Strategy<Value = Vec<[u16; 3]>> {
+    prop::collection::vec(prop::array::uniform3(any::<u16>()), 1..=MAX_POINTS)
+}
+
+/// A *similar* leaf: points sharing sign/exponent on all coordinates
+/// (exercises the all-compressed layout).
+fn similar_leaf() -> impl Strategy<Value = Vec<[u16; 3]>> {
+    (
+        any::<[u8; 3]>(),
+        prop::collection::vec(prop::array::uniform3(0u16..0x400), 1..=MAX_POINTS),
+    )
+        .prop_map(|(se, mantissas)| {
+            mantissas
+                .into_iter()
+                .map(|m| {
+                    [
+                        ((se[0] as u16 & 0x3F) << 10) | m[0],
+                        ((se[1] as u16 & 0x3F) << 10) | m[1],
+                        ((se[2] as u16 & 0x3F) << 10) | m[2],
+                    ]
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// compress → decompress is the identity on any leaf.
+    #[test]
+    fn codec_round_trips(points in arb_leaf()) {
+        let leaf = codec::compress(&points);
+        let mut out = [[0u16; 3]; MAX_POINTS];
+        let flags = codec::decompress(leaf.bytes(), points.len(), &mut out);
+        prop_assert_eq!(flags, leaf.flags());
+        prop_assert_eq!(&out[..points.len()], &points[..]);
+    }
+
+    /// The encoded size matches the analytic size formula, and never
+    /// exceeds the uncompressed 16-bit footprint plus the header.
+    #[test]
+    fn codec_size_is_exact_and_bounded(points in arb_leaf()) {
+        let leaf = codec::compress(&points);
+        let bits = codec::compressed_size_bits(points.len(), leaf.flags());
+        prop_assert_eq!(leaf.len(), bits.div_ceil(8));
+        let uncompressed_bits = points.len() * 48 + 3;
+        prop_assert!(bits <= uncompressed_bits);
+    }
+
+    /// Fully similar leaves always compress all three coordinates.
+    #[test]
+    fn similar_leaves_compress_fully(points in similar_leaf()) {
+        let leaf = codec::compress(&points);
+        prop_assert_eq!(leaf.flags(), bonsai_isa::CoordFlags::ALL);
+        // 3 header bits + n×30 mantissa bits + 18 shared bits.
+        prop_assert_eq!(
+            codec::compressed_size_bits(points.len(), leaf.flags()),
+            3 + points.len() * 30 + 18
+        );
+    }
+
+    /// The full instruction path (LDSPZPB → CPRZPB → STZPB → LDDCP)
+    /// reproduces the f16 conversion of every coordinate in the vector
+    /// registers.
+    #[test]
+    fn instruction_path_round_trips(
+        points in prop::collection::vec(
+            prop::array::uniform3(-120.0f32..120.0), 1..=MAX_POINTS)
+    ) {
+        let mut sim = SimEngine::disabled();
+        let mut m = Machine::new();
+        for (i, p) in points.iter().enumerate() {
+            m.ldspzpb(&mut sim, i, 0x1000 + 12 * i as u64, *p);
+        }
+        m.cprzpb(&mut sim, points.len());
+        let leaf = m.stzpb(&mut sim, 0x8000);
+
+        let mut m2 = Machine::new();
+        m2.lddcp(&mut sim, 0, points.len(), 0x8000, leaf.bytes());
+        for (i, p) in points.iter().enumerate() {
+            for (c, &coord) in p.iter().enumerate() {
+                let got = m2.read_u16_lane(2 * c + i / 8, i % 8);
+                let expect = bonsai_floatfmt::Half::from_f32(coord).to_bits();
+                prop_assert_eq!(got, expect, "point {} coord {}", i, c);
+            }
+        }
+    }
+}

@@ -1,0 +1,563 @@
+use bonsai_geom::{Aabb, Axis, Point3};
+use bonsai_sim::{Kernel, OpClass, SimEngine};
+
+use crate::costs::TraversalCosts;
+use crate::node::{Node, NodeId, NODE_BYTES};
+
+/// How an interior node chooses its split threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitRule {
+    /// Split at the median coordinate (the paper's description of the
+    /// PCL build: "the median value in coordinate c … is found").
+    #[default]
+    Median,
+    /// FLANN's sliding-midpoint rule: split at the bounding-box centre,
+    /// sliding to the nearest point when one side would be empty. Used
+    /// by the `ablation_split_rule` bench.
+    SlidingMidpoint,
+}
+
+/// Construction parameters.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_kdtree::KdTreeConfig;
+/// assert_eq!(KdTreeConfig::default().max_leaf_points, 15); // the PCL default
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KdTreeConfig {
+    /// Maximum points per leaf (`m`). PCL defaults to 15; the ZipPts
+    /// buffer supports up to 16.
+    pub max_leaf_points: usize,
+    /// Split-threshold rule.
+    pub split_rule: SplitRule,
+}
+
+impl Default for KdTreeConfig {
+    fn default() -> KdTreeConfig {
+        KdTreeConfig {
+            max_leaf_points: 15,
+            split_rule: SplitRule::Median,
+        }
+    }
+}
+
+/// Shape statistics recorded while building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BuildStats {
+    /// Number of leaves.
+    pub num_leaves: u32,
+    /// Number of interior nodes.
+    pub num_interior: u32,
+    /// Deepest leaf depth (root = 0).
+    pub max_depth: u32,
+}
+
+/// The bucketed k-d tree. See the [crate docs](crate) for an overview.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point3>,
+    vind: Vec<u32>,
+    nodes: Vec<Node>,
+    cfg: KdTreeConfig,
+    stats: BuildStats,
+    /// Simulated base of the 16-byte-stride point array (PCL `PointXYZ`
+    /// is 16 bytes: x, y, z + SSE padding).
+    points_addr: u64,
+    /// Simulated base of the reordered index array.
+    vind_addr: u64,
+    /// Simulated base of the node pool.
+    nodes_addr: u64,
+    /// Simulated base of the *reordered* point-data matrix: FLANN's
+    /// `reorder=true` (the PCL default) copies the points into `vind`
+    /// order after building, so leaf scans read consecutive 12-byte rows
+    /// instead of gathering through the index array.
+    reordered_addr: u64,
+}
+
+/// Simulated bytes per stored point (PCL `PointXYZ` stride).
+pub(crate) const POINT_STRIDE: u64 = 16;
+
+/// Simulated bytes per row of the reordered FLANN data matrix
+/// (3 × f32, densely packed).
+pub(crate) const REORDERED_STRIDE: u64 = 12;
+
+impl KdTree {
+    /// Builds a tree over `points`, charging construction work to the
+    /// `Build` kernel of `sim`.
+    ///
+    /// An empty cloud yields an empty tree (searches return nothing).
+    pub fn build(points: Vec<Point3>, cfg: KdTreeConfig, sim: &mut SimEngine) -> KdTree {
+        assert!(
+            (1..=bonsai_isa_max_leaf()).contains(&cfg.max_leaf_points),
+            "max_leaf_points must be in 1..=16, got {}",
+            cfg.max_leaf_points
+        );
+        let n = points.len();
+        let points_addr = sim.alloc(n as u64 * POINT_STRIDE, 64);
+        let vind_addr = sim.alloc(n as u64 * 4, 64);
+        // Node-pool bound: every interior split leaves both sides
+        // non-empty, so there are at most 2n − 1 nodes.
+        let nodes_addr = sim.alloc((2 * n as u64 + 1) * NODE_BYTES, 64);
+        let reordered_addr = sim.alloc(n as u64 * REORDERED_STRIDE, 64);
+
+        let mut tree = KdTree {
+            points,
+            vind: (0..n as u32).collect(),
+            nodes: Vec::new(),
+            cfg,
+            stats: BuildStats::default(),
+            points_addr,
+            vind_addr,
+            nodes_addr,
+            reordered_addr,
+        };
+        if n > 0 {
+            let prev = sim.set_kernel(Kernel::Build);
+            let costs = TraversalCosts::default_model();
+            tree.build_range(sim, &costs, 0, n, 0);
+            // FLANN's reorder pass: copy the points into vind order so
+            // leaf scans stream instead of gathering.
+            for i in 0..n {
+                let idx = tree.vind[i];
+                sim.load(tree.vind_entry_addr(i as u32), 4);
+                sim.load(tree.point_addr(idx), 12);
+                sim.store(tree.reordered_point_addr(i as u32), 12);
+                sim.exec(OpClass::IntAlu, 2);
+            }
+            sim.set_kernel(prev);
+        }
+        tree
+    }
+
+    /// Recursively builds `vind[lo..hi]`; returns the created node id.
+    fn build_range(
+        &mut self,
+        sim: &mut SimEngine,
+        costs: &TraversalCosts,
+        lo: usize,
+        hi: usize,
+        depth: u32,
+    ) -> NodeId {
+        let count = hi - lo;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        // Bounding-box pass over the subtree (FLANN recomputes per node).
+        let bbox = self.charged_bbox(sim, costs, lo, hi);
+
+        if count <= self.cfg.max_leaf_points {
+            sim.exec(OpClass::IntAlu, costs.build_per_leaf);
+            return self.push_node(
+                sim,
+                Node::Leaf {
+                    start: lo as u32,
+                    count: count as u32,
+                },
+            );
+        }
+
+        let axis = bbox.widest_axis();
+        let mid = match self.cfg.split_rule {
+            SplitRule::Median => self.partition_median(sim, costs, lo, hi, axis),
+            SplitRule::SlidingMidpoint => {
+                self.partition_midpoint(sim, costs, lo, hi, axis, bbox.center()[axis])
+            }
+        };
+
+        // Divider values: the gap between the children along `axis`.
+        let div_low = self.max_coord(lo, mid, axis);
+        let div_high = self.min_coord(mid, hi, axis);
+        let split_val = 0.5 * (div_low + div_high);
+        sim.exec(OpClass::IntAlu, costs.build_per_node);
+
+        // Reserve the slot so children are numbered after their parent.
+        let id = self.push_node(sim, Node::Leaf { start: 0, count: 0 });
+        let left = self.build_range(sim, costs, lo, mid, depth + 1);
+        let right = self.build_range(sim, costs, mid, hi, depth + 1);
+        self.stats.num_leaves -= 1; // The placeholder was counted as a leaf.
+        self.stats.num_interior += 1;
+        self.nodes[id as usize] = Node::Interior {
+            axis,
+            split_val,
+            div_low,
+            div_high,
+            left,
+            right,
+        };
+        id
+    }
+
+    /// Computes the bounding box of `vind[lo..hi]`, charging one index
+    /// load, one point load and the box-update FP ops per point.
+    fn charged_bbox(
+        &self,
+        sim: &mut SimEngine,
+        costs: &TraversalCosts,
+        lo: usize,
+        hi: usize,
+    ) -> Aabb {
+        let mut bbox: Option<Aabb> = None;
+        for i in lo..hi {
+            let idx = self.vind[i];
+            sim.load(self.vind_addr + 4 * i as u64, 4);
+            sim.load(self.point_addr(idx), 12);
+            sim.exec(OpClass::FpAlu, costs.build_bbox_per_point_fp);
+            let p = self.points[idx as usize];
+            match &mut bbox {
+                Some(b) => b.insert(p),
+                None => bbox = Some(Aabb::new(p, p)),
+            }
+        }
+        bbox.expect("non-empty range")
+    }
+
+    /// Median partition of `vind[lo..hi]` on `axis`; returns the split
+    /// index `mid` (both sides non-empty).
+    fn partition_median(
+        &mut self,
+        sim: &mut SimEngine,
+        costs: &TraversalCosts,
+        lo: usize,
+        hi: usize,
+        axis: Axis,
+    ) -> usize {
+        let mid = lo + (hi - lo) / 2;
+        let points = &self.points;
+        self.vind[lo..hi].select_nth_unstable_by(mid - lo, |&a, &b| {
+            points[a as usize][axis].total_cmp(&points[b as usize][axis])
+        });
+        self.charge_partition(sim, costs, lo, hi - lo);
+        mid
+    }
+
+    /// Sliding-midpoint partition: splits at `threshold`, sliding so both
+    /// sides are non-empty.
+    fn partition_midpoint(
+        &mut self,
+        sim: &mut SimEngine,
+        costs: &TraversalCosts,
+        lo: usize,
+        hi: usize,
+        axis: Axis,
+        threshold: f32,
+    ) -> usize {
+        let points = &self.points;
+        let slice = &mut self.vind[lo..hi];
+        let mid = itertools_partition(slice, |&idx| points[idx as usize][axis] < threshold);
+        self.charge_partition(sim, costs, lo, hi - lo);
+        let mid = lo + mid;
+        if mid == lo || mid == hi {
+            // All points on one side: slide to the median so both sides
+            // stay non-empty (FLANN's slide degenerates similarly when
+            // duplicates collapse the box).
+            self.partition_median(sim, costs, lo, hi, axis)
+        } else {
+            mid
+        }
+    }
+
+    /// Charges the per-point partitioning work: index load, coordinate
+    /// load, compare/swap arithmetic, the swap's write-back, and one
+    /// data-dependent branch per point.
+    fn charge_partition(
+        &self,
+        sim: &mut SimEngine,
+        costs: &TraversalCosts,
+        lo: usize,
+        count: usize,
+    ) {
+        for i in lo..lo + count {
+            sim.load(self.vind_addr + 4 * i as u64, 4);
+            let idx = self.vind[i];
+            sim.load(self.point_addr(idx), 4); // the splitting coordinate
+            sim.exec(OpClass::IntAlu, costs.build_partition_per_point);
+            // Partition outcomes look random to the predictor; roughly
+            // half the elements are swapped (stored back).
+            let swapped = i % 2 == 0;
+            sim.branch(sites::BUILD_PARTITION, swapped);
+            if swapped {
+                sim.store(self.vind_addr + 4 * i as u64, 4);
+            }
+        }
+    }
+
+    fn max_coord(&self, lo: usize, hi: usize, axis: Axis) -> f32 {
+        self.vind[lo..hi]
+            .iter()
+            .map(|&i| self.points[i as usize][axis])
+            .fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    fn min_coord(&self, lo: usize, hi: usize, axis: Axis) -> f32 {
+        self.vind[lo..hi]
+            .iter()
+            .map(|&i| self.points[i as usize][axis])
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    fn push_node(&mut self, sim: &mut SimEngine, node: Node) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        if node.is_leaf() {
+            self.stats.num_leaves += 1;
+        }
+        sim.store(self.node_addr(id), NODE_BYTES as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The point cloud the tree was built over (original order).
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// The reordered index array; leaves reference ranges of it.
+    pub fn vind(&self) -> &[u32] {
+        &self.vind
+    }
+
+    /// The node pool; index 0 is the root (when non-empty).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Construction parameters.
+    pub fn config(&self) -> KdTreeConfig {
+        self.cfg
+    }
+
+    /// Shape statistics.
+    pub fn build_stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Simulated address of point `idx` in the 16-byte-stride array.
+    pub fn point_addr(&self, idx: u32) -> u64 {
+        self.points_addr + idx as u64 * POINT_STRIDE
+    }
+
+    /// Simulated address of slot `i` of the reordered data matrix (the
+    /// point `vind[i]`, stored densely in leaf order).
+    pub fn reordered_point_addr(&self, i: u32) -> u64 {
+        self.reordered_addr + i as u64 * REORDERED_STRIDE
+    }
+
+    /// Simulated address of `vind[i]`.
+    pub fn vind_entry_addr(&self, i: u32) -> u64 {
+        self.vind_addr + i as u64 * 4
+    }
+
+    /// Simulated address of node `id`.
+    pub fn node_addr(&self, id: NodeId) -> u64 {
+        self.nodes_addr + id as u64 * NODE_BYTES
+    }
+}
+
+/// Branch-site ids of the tree code (used by the gshare predictor).
+pub(crate) mod sites {
+    /// Build-time partition compare.
+    pub const BUILD_PARTITION: u32 = 0x10;
+    /// Search descend direction.
+    pub const DESCEND: u32 = 0x11;
+    /// Visit-far-subtree decision.
+    pub const VISIT_FAR: u32 = 0x12;
+    /// Baseline in-radius classification.
+    pub const CLASSIFY: u32 = 0x13;
+    /// kNN worst-distance update.
+    pub const KNN_UPDATE: u32 = 0x14;
+}
+
+/// Stable in-place partition; returns the number of elements satisfying
+/// the predicate (moved to the front).
+fn itertools_partition<T, F: FnMut(&T) -> bool>(slice: &mut [T], mut pred: F) -> usize {
+    let mut next = 0;
+    for i in 0..slice.len() {
+        if pred(&slice[i]) {
+            slice.swap(i, next);
+            next += 1;
+        }
+    }
+    next
+}
+
+/// The ZipPts buffer capacity bound on leaf size (kept here so the tree
+/// crate does not depend on `bonsai-isa`; asserted equal in integration
+/// tests).
+fn bonsai_isa_max_leaf() -> usize {
+    16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_cloud(n_side: usize) -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for i in 0..n_side {
+            for j in 0..n_side {
+                pts.push(Point3::new(
+                    i as f32,
+                    j as f32,
+                    ((i * 7 + j) % 5) as f32 * 0.1,
+                ));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn all_points_appear_in_exactly_one_leaf() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(grid_cloud(20), KdTreeConfig::default(), &mut sim);
+        let mut seen = vec![false; tree.points().len()];
+        for node in tree.nodes() {
+            if let Node::Leaf { start, count } = node {
+                for i in *start..(start + count) {
+                    let idx = tree.vind()[i as usize] as usize;
+                    assert!(!seen[idx], "point {idx} in two leaves");
+                    seen[idx] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every point assigned");
+    }
+
+    #[test]
+    fn leaves_respect_max_size() {
+        let mut sim = SimEngine::disabled();
+        for m in [1, 4, 15, 16] {
+            let cfg = KdTreeConfig {
+                max_leaf_points: m,
+                ..KdTreeConfig::default()
+            };
+            let tree = KdTree::build(grid_cloud(12), cfg, &mut sim);
+            for node in tree.nodes() {
+                if let Node::Leaf { count, .. } = node {
+                    assert!(*count as usize <= m, "leaf of {count} > {m}");
+                    assert!(*count > 0, "empty leaf");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_invariants_hold() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(grid_cloud(15), KdTreeConfig::default(), &mut sim);
+        // Every interior node: all left-subtree points have axis coord
+        // <= div_low <= split_val <= div_high <= all right coords.
+        fn collect(tree: &KdTree, id: NodeId, out: &mut Vec<u32>) {
+            match tree.nodes()[id as usize] {
+                Node::Leaf { start, count } => {
+                    out.extend_from_slice(&tree.vind()[start as usize..(start + count) as usize])
+                }
+                Node::Interior { left, right, .. } => {
+                    collect(tree, left, out);
+                    collect(tree, right, out);
+                }
+            }
+        }
+        for node in tree.nodes() {
+            if let Node::Interior {
+                axis,
+                split_val,
+                div_low,
+                div_high,
+                left,
+                right,
+            } = *node
+            {
+                let mut l = Vec::new();
+                let mut r = Vec::new();
+                collect(&tree, left, &mut l);
+                collect(&tree, right, &mut r);
+                assert!(!l.is_empty() && !r.is_empty());
+                for i in l {
+                    assert!(tree.points()[i as usize][axis] <= div_low + 1e-6);
+                }
+                for i in r {
+                    assert!(tree.points()[i as usize][axis] >= div_high - 1e-6);
+                }
+                assert!(div_low <= split_val + 1e-6 && split_val <= div_high + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(grid_cloud(20), KdTreeConfig::default(), &mut sim);
+        let s = tree.build_stats();
+        assert_eq!(s.num_leaves + s.num_interior, tree.nodes().len() as u32);
+        // A binary tree with L leaves has L − 1 interior nodes.
+        assert_eq!(s.num_interior, s.num_leaves - 1);
+        // 400 points at ≤15/leaf → at least 27 leaves.
+        assert!(s.num_leaves >= 27);
+        assert!(s.max_depth >= 5);
+    }
+
+    #[test]
+    fn build_charges_the_build_kernel() {
+        let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+        KdTree::build(grid_cloud(10), KdTreeConfig::default(), &mut sim);
+        let build = *sim.kernel_counters(Kernel::Build);
+        assert!(build.loads > 100, "bbox/partition passes load points");
+        assert!(build.stores > 10, "node pool writes");
+        assert!(build.branches > 50, "partition branches");
+        assert_eq!(sim.kernel_counters(Kernel::Traverse).micro_ops(), 0);
+    }
+
+    #[test]
+    fn sliding_midpoint_also_builds_valid_trees() {
+        let mut sim = SimEngine::disabled();
+        let cfg = KdTreeConfig {
+            split_rule: SplitRule::SlidingMidpoint,
+            ..Default::default()
+        };
+        let tree = KdTree::build(grid_cloud(15), cfg, &mut sim);
+        let s = tree.build_stats();
+        assert_eq!(s.num_interior, s.num_leaves - 1);
+    }
+
+    #[test]
+    fn duplicate_points_build_without_infinite_recursion() {
+        let mut sim = SimEngine::disabled();
+        let pts = vec![Point3::new(1.0, 2.0, 3.0); 100];
+        let tree = KdTree::build(pts, KdTreeConfig::default(), &mut sim);
+        assert!(tree.build_stats().num_leaves >= 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_leaf_points")]
+    fn oversized_leaf_config_rejected() {
+        let mut sim = SimEngine::disabled();
+        let cfg = KdTreeConfig {
+            max_leaf_points: 17,
+            ..Default::default()
+        };
+        KdTree::build(vec![Point3::ZERO], cfg, &mut sim);
+    }
+
+    #[test]
+    fn empty_cloud_builds_empty_tree() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(Vec::new(), KdTreeConfig::default(), &mut sim);
+        assert!(tree.nodes().is_empty());
+    }
+
+    #[test]
+    fn single_point_tree_is_one_leaf() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(
+            vec![Point3::new(1.0, 2.0, 3.0)],
+            KdTreeConfig::default(),
+            &mut sim,
+        );
+        assert_eq!(tree.nodes().len(), 1);
+        assert!(tree.nodes()[0].is_leaf());
+    }
+}

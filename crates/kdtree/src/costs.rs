@@ -1,0 +1,78 @@
+//! Micro-op cost model of the un-accelerated tree code paths.
+//!
+//! The event-based simulator does not execute real machine code, so each
+//! algorithm step charges a documented number of micro-ops modelled on
+//! what the compiled PCL/FLANN code executes. The constants below cover
+//! the parts shared by baseline and Bonsai runs (construction and
+//! traversal); the leaf-inspection costs live with their processors
+//! (`baseline.rs` here, `search.rs` in `bonsai-core`).
+//!
+//! All constants are scalar micro-op counts *in addition to* the loads,
+//! stores and branches that the instrumented code emits explicitly
+//! (those are charged where the memory reference happens, with its real
+//! simulated address).
+
+/// Cost constants for tree construction and traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraversalCosts {
+    /// Integer/address arithmetic per interior node visited during a
+    /// search: fetch fields, compare with the query coordinate, pick the
+    /// near child, compute the far-side cut distance.
+    pub per_interior_node: u64,
+    /// Floating-point ops per interior node (compare + cut-distance
+    /// multiply-add).
+    pub per_interior_node_fp: u64,
+    /// Scalar ops per point per tree level during construction
+    /// (partitioning compares/swaps, amortized).
+    pub build_partition_per_point: u64,
+    /// Floating-point ops per point per level for the bounding-box pass.
+    pub build_bbox_per_point_fp: u64,
+    /// Scalar ops to emit one interior node (select axis, compute
+    /// dividers, write the node).
+    pub build_per_node: u64,
+    /// Scalar ops to finalize one leaf.
+    pub build_per_leaf: u64,
+    /// Scalar ops per query for search setup (stack init, r² compute).
+    pub per_query_setup: u64,
+}
+
+impl TraversalCosts {
+    /// Defaults calibrated against what `-O2` x86/AArch64 code for the
+    /// FLANN single-index executes per step. Construction costs include
+    /// FLANN's per-node allocator and recursion overhead and the two
+    /// passes (bounding box, then median selection) it makes over each
+    /// subtree's points.
+    pub fn default_model() -> TraversalCosts {
+        TraversalCosts {
+            per_interior_node: 6,
+            per_interior_node_fp: 3,
+            build_partition_per_point: 10,
+            build_bbox_per_point_fp: 8,
+            build_per_node: 40,
+            build_per_leaf: 16,
+            // radiusSearch call overhead: result-vector clears/reserves,
+            // result-set construction, parameter marshalling.
+            per_query_setup: 30,
+        }
+    }
+}
+
+impl Default for TraversalCosts {
+    fn default() -> TraversalCosts {
+        TraversalCosts::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_plausible() {
+        let c = TraversalCosts::default_model();
+        // A traversal step is much cheaper than a 15-point leaf scan
+        // (~14 ops/point in the baseline processor).
+        assert!(c.per_interior_node + c.per_interior_node_fp < 15);
+        assert!(c.build_per_node > c.build_per_leaf);
+    }
+}

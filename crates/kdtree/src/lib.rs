@@ -1,0 +1,50 @@
+//! A PCL/FLANN-style bucketed k-d tree with radius and nearest-neighbour
+//! search.
+//!
+//! This is the baseline data structure of the paper (Section II-B): a
+//! binary tree whose interior nodes split on the most spread-out
+//! coordinate and whose leaves hold up to `m` points (15 by default, the
+//! PCL value). During construction every subtree's bounding box is
+//! computed; interior nodes keep the per-axis gap to each child
+//! (`div_low`/`div_high`), which radius search uses to prune subtrees
+//! farther than `r` from the query.
+//!
+//! Two things make this crate more than a textbook k-d tree:
+//!
+//! * **Instrumentation** — build and search charge micro-ops, memory
+//!   references (with realistic simulated layouts: a 16-byte-stride point
+//!   array, a reordered index array, a node pool) and branch outcomes to
+//!   a [`SimEngine`](bonsai_sim::SimEngine), attributed to the `Build`,
+//!   `Traverse` and `LeafScan` kernels.
+//! * **A pluggable leaf stage** — [`LeafProcessor`] abstracts how leaf
+//!   points are inspected. [`BaselineLeafProcessor`] is the PCL `f32`
+//!   path; the `bonsai-core` crate plugs in the compressed path, which is
+//!   the paper's entire contribution.
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_geom::Point3;
+//! use bonsai_kdtree::{KdTree, KdTreeConfig};
+//! use bonsai_sim::SimEngine;
+//!
+//! let cloud: Vec<Point3> =
+//!     (0..100).map(|i| Point3::new(i as f32 * 0.1, 0.0, 0.0)).collect();
+//! let mut sim = SimEngine::disabled();
+//! let tree = KdTree::build(cloud, KdTreeConfig::default(), &mut sim);
+//! let hits = tree.radius_search_simple(Point3::new(5.0, 0.0, 0.0), 0.25);
+//! assert_eq!(hits.len(), 5); // 4.8, 4.9, 5.0, 5.1, 5.2
+//! ```
+
+mod baseline;
+mod build;
+mod costs;
+mod knn;
+mod node;
+mod search;
+
+pub use baseline::BaselineLeafProcessor;
+pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
+pub use costs::TraversalCosts;
+pub use node::{LeafId, Node, NodeId};
+pub use search::{LeafProcessor, Neighbor, SearchStats};

@@ -1,0 +1,388 @@
+use bonsai_geom::Point3;
+use bonsai_sim::{Kernel, OpClass, SimEngine};
+
+use crate::baseline::BaselineLeafProcessor;
+use crate::build::{sites, KdTree};
+use crate::costs::TraversalCosts;
+use crate::node::{LeafId, Node, NODE_BYTES};
+
+/// One radius-search result: a point index and its squared distance to
+/// the query (PCL returns both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the original point cloud.
+    pub index: u32,
+    /// Squared euclidean distance to the query.
+    pub dist_sq: f32,
+}
+
+/// Work counters of one or more searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Tree nodes visited (interior + leaf).
+    pub nodes_visited: u64,
+    /// Leaves inspected.
+    pub leaf_visits: u64,
+    /// Points whose distance was evaluated.
+    pub points_inspected: u64,
+    /// Inconclusive shell classifications that re-computed in `f32`
+    /// (Bonsai processors only).
+    pub fallbacks: u64,
+    /// Bytes loaded to bring *point data* into the core during leaf
+    /// inspection: 12 B per point in the baseline, 16 B per compressed
+    /// slice (+ 12 B per fallback) under Bonsai. This is the metric of
+    /// the paper's Figure 9b (4.85 MB → 1.77 MB on frame #1).
+    pub point_bytes_loaded: u64,
+}
+
+impl SearchStats {
+    /// Fraction of inspected points that needed full-precision
+    /// re-computation (the paper reports 0.37 %).
+    pub fn fallback_ratio(&self) -> f64 {
+        if self.points_inspected == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / self.points_inspected as f64
+        }
+    }
+}
+
+/// The pluggable leaf-inspection stage of radius search.
+///
+/// The traversal (shared by all configurations) hands each reached leaf
+/// to a processor, which classifies the leaf's points against `r²` and
+/// appends the hits to `out`. Implementations:
+///
+/// * [`BaselineLeafProcessor`](crate::BaselineLeafProcessor) — PCL's
+///   `f32` scan;
+/// * `BonsaiLeafProcessor` (in `bonsai-core`) — compressed points through
+///   the Bonsai-extensions with the exactness-preserving shell check;
+/// * reduced-format and software-codec processors used by the Table I
+///   and ablation experiments.
+pub trait LeafProcessor {
+    /// Classifies the points of leaf `leaf` (`tree.vind()[start..start+count]`)
+    /// against the query, pushing every point with `d² ≤ r²` into `out`.
+    ///
+    /// Must behave identically to the baseline classification (Eq. 3);
+    /// the Bonsai processor achieves this through re-computation of
+    /// inconclusive shell cases.
+    #[allow(clippy::too_many_arguments)] // mirrors the hardware interface
+    fn process_leaf(
+        &mut self,
+        sim: &mut SimEngine,
+        tree: &KdTree,
+        leaf: LeafId,
+        start: u32,
+        count: u32,
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    );
+}
+
+impl KdTree {
+    /// Radius search (paper Section II-C): finds every point within
+    /// `radius` of `query`, using `processor` for leaf inspection and
+    /// charging traversal work to the `Traverse` kernel.
+    ///
+    /// Results are appended to `out` in tree order (cleared first).
+    pub fn radius_search<P: LeafProcessor>(
+        &self,
+        sim: &mut SimEngine,
+        processor: &mut P,
+        query: Point3,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.clear();
+        if self.nodes().is_empty() {
+            return;
+        }
+        let costs = TraversalCosts::default_model();
+        let prev = sim.set_kernel(Kernel::Traverse);
+        sim.exec(OpClass::IntAlu, costs.per_query_setup);
+        let r_sq = radius * radius;
+        let mut side_dists = [0.0f32; 3];
+        self.search_rec(
+            sim,
+            processor,
+            &costs,
+            0,
+            query,
+            r_sq,
+            0.0,
+            &mut side_dists,
+            out,
+            stats,
+        );
+        sim.set_kernel(prev);
+    }
+
+    /// Convenience: uninstrumented baseline radius search.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::Point3;
+    /// use bonsai_kdtree::{KdTree, KdTreeConfig};
+    /// use bonsai_sim::SimEngine;
+    ///
+    /// let pts = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+    /// let mut sim = SimEngine::disabled();
+    /// let tree = KdTree::build(pts, KdTreeConfig::default(), &mut sim);
+    /// assert_eq!(tree.radius_search_simple(Point3::ZERO, 0.5).len(), 1);
+    /// ```
+    pub fn radius_search_simple(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        let mut sim = SimEngine::disabled();
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        self.radius_search(&mut sim, &mut proc, query, radius, &mut out, &mut stats);
+        out
+    }
+
+    /// Arya–Mount style recursion with incremental cell distances:
+    /// `min_dist_sq` is the exact squared distance from the query to the
+    /// current node's cell, maintained per axis in `side_dists`.
+    #[allow(clippy::too_many_arguments)]
+    fn search_rec<P: LeafProcessor>(
+        &self,
+        sim: &mut SimEngine,
+        processor: &mut P,
+        costs: &TraversalCosts,
+        node_id: u32,
+        query: Point3,
+        r_sq: f32,
+        min_dist_sq: f32,
+        side_dists: &mut [f32; 3],
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        stats.nodes_visited += 1;
+        // Interior-node fields span two dependent accesses in the
+        // compiled FLANN walk (discriminant + split value, then the
+        // child pointers).
+        sim.load(self.node_addr(node_id), 12);
+        sim.load(self.node_addr(node_id) + 12, (NODE_BYTES - 12) as u32);
+
+        match self.nodes()[node_id as usize] {
+            Node::Leaf { start, count } => {
+                stats.leaf_visits += 1;
+                let prev = sim.set_kernel(Kernel::LeafScan);
+                processor.process_leaf(sim, self, node_id, start, count, query, r_sq, out, stats);
+                sim.set_kernel(prev);
+            }
+            Node::Interior {
+                axis,
+                split_val,
+                div_low,
+                div_high,
+                left,
+                right,
+            } => {
+                sim.exec(OpClass::IntAlu, costs.per_interior_node);
+                sim.exec(OpClass::FpAlu, costs.per_interior_node_fp);
+
+                let val = query[axis];
+                let go_left = val <= split_val;
+                sim.branch(sites::DESCEND, go_left);
+                let (near, far, gap) = if go_left {
+                    (left, right, div_high - val)
+                } else {
+                    (right, left, val - div_low)
+                };
+
+                self.search_rec(
+                    sim,
+                    processor,
+                    costs,
+                    near,
+                    query,
+                    r_sq,
+                    min_dist_sq,
+                    side_dists,
+                    out,
+                    stats,
+                );
+
+                // Exact lower bound on the distance to the far cell: swap
+                // this axis' contribution for the gap to the far side.
+                let gap = gap.max(0.0);
+                let cut = gap * gap;
+                let far_dist_sq = min_dist_sq - side_dists[axis.index()] + cut;
+                let visit_far = far_dist_sq <= r_sq;
+                sim.branch(sites::VISIT_FAR, visit_far);
+                if visit_far {
+                    let saved = side_dists[axis.index()];
+                    side_dists[axis.index()] = cut;
+                    self.search_rec(
+                        sim,
+                        processor,
+                        costs,
+                        far,
+                        query,
+                        r_sq,
+                        far_dist_sq,
+                        side_dists,
+                        out,
+                        stats,
+                    );
+                    side_dists[axis.index()] = saved;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::KdTreeConfig;
+
+    /// Deterministic pseudo-random cloud.
+    fn random_cloud(n: usize, seed: u64, scale: f32) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    (next() - 0.5) * scale,
+                    (next() - 0.5) * scale,
+                    (next() - 0.5) * scale * 0.1,
+                )
+            })
+            .collect()
+    }
+
+    fn brute_force(cloud: &[Point3], q: Point3, r: f32) -> Vec<u32> {
+        let mut hits: Vec<u32> = cloud
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance_squared(q) <= r * r)
+            .map(|(i, _)| i as u32)
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_clouds() {
+        for seed in 0..5 {
+            let cloud = random_cloud(800, seed + 1, 60.0);
+            let mut sim = SimEngine::disabled();
+            let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+            for (qi, r) in [(3usize, 1.5f32), (100, 4.0), (400, 0.3), (700, 12.0)] {
+                let q = cloud[qi];
+                let mut got: Vec<u32> = tree
+                    .radius_search_simple(q, r)
+                    .iter()
+                    .map(|n| n.index)
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(
+                    got,
+                    brute_force(&cloud, q, r),
+                    "seed {seed} query {qi} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_correct() {
+        let cloud = random_cloud(300, 9, 20.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let q = cloud[42];
+        for n in tree.radius_search_simple(q, 5.0) {
+            let expect = cloud[n.index as usize].distance_squared(q);
+            assert_eq!(n.dist_sq, expect);
+        }
+    }
+
+    #[test]
+    fn zero_radius_finds_the_query_itself() {
+        let cloud = random_cloud(200, 3, 30.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let hits = tree.radius_search_simple(cloud[17], 0.0);
+        assert!(hits.iter().any(|n| n.index == 17));
+        for n in &hits {
+            assert_eq!(n.dist_sq, 0.0); // only exact duplicates qualify
+        }
+    }
+
+    #[test]
+    fn radius_covering_everything_returns_all() {
+        let cloud = random_cloud(150, 5, 10.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let hits = tree.radius_search_simple(Point3::ZERO, 1000.0);
+        assert_eq!(hits.len(), cloud.len());
+    }
+
+    #[test]
+    fn search_on_empty_tree_is_empty() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(Vec::new(), KdTreeConfig::default(), &mut sim);
+        assert!(tree.radius_search_simple(Point3::ZERO, 5.0).is_empty());
+    }
+
+    #[test]
+    fn stats_count_traversal_work() {
+        let cloud = random_cloud(1000, 8, 50.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        tree.radius_search(&mut sim, &mut proc, cloud[0], 2.0, &mut out, &mut stats);
+        assert!(stats.nodes_visited > 0);
+        assert!(stats.leaf_visits >= 1);
+        assert!(stats.points_inspected >= stats.leaf_visits);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn pruning_skips_most_of_a_large_tree() {
+        let cloud = random_cloud(5000, 2, 200.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        tree.radius_search(&mut sim, &mut proc, cloud[10], 1.0, &mut out, &mut stats);
+        let leaves = tree.build_stats().num_leaves as u64;
+        assert!(
+            stats.leaf_visits < leaves / 4,
+            "visited {} of {} leaves",
+            stats.leaf_visits,
+            leaves
+        );
+    }
+
+    #[test]
+    fn traversal_charges_traverse_kernel_and_leaf_scan_separately() {
+        let cloud = random_cloud(500, 4, 40.0);
+        let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        tree.radius_search(&mut sim, &mut proc, cloud[5], 3.0, &mut out, &mut stats);
+        assert!(sim.kernel_counters(Kernel::Traverse).micro_ops() > 0);
+        assert!(sim.kernel_counters(Kernel::LeafScan).loads > 0);
+    }
+
+    #[test]
+    fn search_stats_fallback_ratio_zero_denominator() {
+        assert_eq!(SearchStats::default().fallback_ratio(), 0.0);
+    }
+}

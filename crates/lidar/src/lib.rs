@@ -1,0 +1,43 @@
+//! Synthetic LiDAR sensing and procedural urban driving sequences.
+//!
+//! The paper stimulates Autoware's euclidean-cluster node with an
+//! eight-minute proprietary driving log [Tier IV data]. That data is not
+//! redistributable, so this crate synthesizes the equivalent: a
+//! procedurally generated urban corridor ([`UrbanWorld`]) sensed by a
+//! Velodyne HDL-64E-like beam model ([`Hdl64e`]) from a vehicle driving
+//! through it ([`DrivingSequence`]).
+//!
+//! What matters for K-D Bonsai is preserved by construction:
+//!
+//! * points come from *surfaces* (walls, cars, ground, poles), so k-d
+//!   tree leaves group spatially local points — the source of
+//!   `<sign, exponent>` value similarity;
+//! * the coordinate origin is the sensor, so coordinate magnitudes are
+//!   bounded by the 120 m range — the source of exponent compressibility
+//!   and the reason f16's range suffices (Section III-B);
+//! * frame-to-frame point counts vary with the passing scenery, which is
+//!   what makes tail latency (Figure 11) differ from the mean.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_lidar::{DrivingSequence, SequenceConfig};
+//!
+//! let seq = DrivingSequence::new(SequenceConfig::small_test());
+//! let frame = seq.frame(0);
+//! assert!(frame.len() > 1_000);
+//! // All points within sensor range.
+//! assert!(frame.iter().all(|p| p.norm() <= 121.0));
+//! ```
+
+mod scene;
+mod sensor;
+mod sequence;
+mod world;
+
+pub use scene::{ObjectKind, Primitive, Scene, SceneObject};
+pub use sensor::{Hdl64e, SensorConfig};
+pub use sequence::{DrivingSequence, SequenceConfig};
+pub use world::{UrbanWorld, WorldConfig};

@@ -1,0 +1,227 @@
+use bonsai_geom::{Aabb, Point3, Ray};
+
+/// Semantic class of a scene object.
+///
+/// Labels travel with ray hits so examples can compare extracted clusters
+/// against ground truth (cars vs. pedestrians vs. infrastructure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// Road / sidewalk surface.
+    Ground,
+    /// Building facade.
+    Building,
+    /// A car (parked or moving).
+    Car,
+    /// A pedestrian.
+    Pedestrian,
+    /// A pole (street light, sign).
+    Pole,
+    /// A tree trunk.
+    Tree,
+}
+
+/// Geometry of one scene object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// An axis-aligned box.
+    Box(Aabb),
+    /// The horizontal plane `z = height` (infinite extent).
+    HorizontalPlane {
+        /// Plane height in world coordinates.
+        height: f32,
+    },
+    /// A vertical cylinder.
+    VerticalCylinder {
+        /// Axis position (z ignored).
+        center: Point3,
+        /// Cylinder radius.
+        radius: f32,
+        /// Bottom of the cylinder.
+        z_min: f32,
+        /// Top of the cylinder.
+        z_max: f32,
+    },
+}
+
+impl Primitive {
+    /// Ray intersection; returns the hit parameter.
+    pub fn intersect(&self, ray: &Ray) -> Option<f32> {
+        match *self {
+            Primitive::Box(aabb) => ray.intersect_aabb(&aabb),
+            Primitive::HorizontalPlane { height } => ray.intersect_horizontal_plane(height),
+            Primitive::VerticalCylinder {
+                center,
+                radius,
+                z_min,
+                z_max,
+            } => ray.intersect_vertical_cylinder(center, radius, z_min, z_max),
+        }
+    }
+
+    /// A conservative bounding box (`None` for infinite primitives).
+    pub fn bounds(&self) -> Option<Aabb> {
+        match *self {
+            Primitive::Box(aabb) => Some(aabb),
+            Primitive::HorizontalPlane { .. } => None,
+            Primitive::VerticalCylinder {
+                center,
+                radius,
+                z_min,
+                z_max,
+            } => Some(Aabb::new(
+                Point3::new(center.x - radius, center.y - radius, z_min),
+                Point3::new(center.x + radius, center.y + radius, z_max),
+            )),
+        }
+    }
+}
+
+/// One object: geometry plus semantic label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneObject {
+    /// The shape.
+    pub primitive: Primitive,
+    /// The label.
+    pub kind: ObjectKind,
+}
+
+/// A collection of objects a LiDAR frame is ray-cast against.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::{Aabb, Point3, Ray};
+/// use bonsai_lidar::{ObjectKind, Primitive, Scene, SceneObject};
+///
+/// let mut scene = Scene::new();
+/// scene.push(SceneObject {
+///     primitive: Primitive::Box(Aabb::new(
+///         Point3::new(5.0, -1.0, 0.0),
+///         Point3::new(7.0, 1.0, 1.5),
+///     )),
+///     kind: ObjectKind::Car,
+/// });
+/// let ray = Ray::new(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0)).unwrap();
+/// let (t, kind) = scene.cast(&ray, 120.0).unwrap();
+/// assert_eq!(kind, ObjectKind::Car);
+/// assert!((t - 5.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scene {
+    objects: Vec<SceneObject>,
+    /// Cached bounds parallel to `objects` (`None` = infinite).
+    bounds: Vec<Option<Aabb>>,
+}
+
+impl Scene {
+    /// An empty scene.
+    pub fn new() -> Scene {
+        Scene::default()
+    }
+
+    /// Adds an object.
+    pub fn push(&mut self, object: SceneObject) {
+        self.bounds.push(object.primitive.bounds());
+        self.objects.push(object);
+    }
+
+    /// The objects in insertion order.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// Casts a ray and returns the nearest hit within `max_range`, with
+    /// its label.
+    pub fn cast(&self, ray: &Ray, max_range: f32) -> Option<(f32, ObjectKind)> {
+        let mut best: Option<(f32, ObjectKind)> = None;
+        for (object, bounds) in self.objects.iter().zip(&self.bounds) {
+            // Cheap reject: skip objects whose bounds are already farther
+            // than the current best hit.
+            if let Some(b) = bounds {
+                let limit = best.map_or(max_range, |(t, _)| t);
+                if b.distance_squared_to(ray.origin()) > limit * limit {
+                    continue;
+                }
+            }
+            if let Some(t) = object.primitive.intersect(ray) {
+                if t <= max_range && best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, object.kind));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(min: [f32; 3], max: [f32; 3], kind: ObjectKind) -> SceneObject {
+        SceneObject {
+            primitive: Primitive::Box(Aabb::new(Point3::from_array(min), Point3::from_array(max))),
+            kind,
+        }
+    }
+
+    #[test]
+    fn nearest_object_wins() {
+        let mut scene = Scene::new();
+        scene.push(boxed(
+            [10.0, -1.0, 0.0],
+            [12.0, 1.0, 2.0],
+            ObjectKind::Building,
+        ));
+        scene.push(boxed([5.0, -1.0, 0.0], [6.0, 1.0, 2.0], ObjectKind::Car));
+        let ray = Ray::new(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0)).unwrap();
+        let (t, kind) = scene.cast(&ray, 120.0).unwrap();
+        assert_eq!(kind, ObjectKind::Car);
+        assert!((t - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn range_limit_hides_far_objects() {
+        let mut scene = Scene::new();
+        scene.push(boxed(
+            [100.0, -1.0, 0.0],
+            [101.0, 1.0, 2.0],
+            ObjectKind::Building,
+        ));
+        let ray = Ray::new(Point3::new(0.0, 0.0, 1.0), Point3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(scene.cast(&ray, 50.0).is_none());
+        assert!(scene.cast(&ray, 120.0).is_some());
+    }
+
+    #[test]
+    fn ground_plane_is_hit_by_downward_rays() {
+        let mut scene = Scene::new();
+        scene.push(SceneObject {
+            primitive: Primitive::HorizontalPlane { height: 0.0 },
+            kind: ObjectKind::Ground,
+        });
+        let down = Ray::new(Point3::new(0.0, 0.0, 1.8), Point3::new(1.0, 0.0, -0.1)).unwrap();
+        let (_, kind) = scene.cast(&down, 120.0).unwrap();
+        assert_eq!(kind, ObjectKind::Ground);
+        let up = Ray::new(Point3::new(0.0, 0.0, 1.8), Point3::new(1.0, 0.0, 0.1)).unwrap();
+        assert!(scene.cast(&up, 120.0).is_none());
+    }
+
+    #[test]
+    fn cylinder_bounds_are_tight_enough() {
+        let p = Primitive::VerticalCylinder {
+            center: Point3::new(3.0, 4.0, 0.0),
+            radius: 0.5,
+            z_min: 0.0,
+            z_max: 5.0,
+        };
+        let b = p.bounds().unwrap();
+        assert_eq!(b.min, Point3::new(2.5, 3.5, 0.0));
+        assert_eq!(b.max, Point3::new(3.5, 4.5, 5.0));
+    }
+
+    #[test]
+    fn empty_scene_casts_nothing() {
+        let ray = Ray::new(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(Scene::new().cast(&ray, 120.0).is_none());
+    }
+}

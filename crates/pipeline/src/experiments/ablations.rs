@@ -1,0 +1,331 @@
+//! Ablations of the design choices DESIGN.md calls out: points per
+//! leaf, split rule, the safety shell, and hardware vs software codec.
+
+use bonsai_cluster::TreeMode;
+use bonsai_floatfmt::ReducedFormat;
+use bonsai_kdtree::SplitRule;
+use bonsai_sim::{Kernel, SimEngine, TimingModel};
+
+use crate::experiments::table1::Table1Result;
+use crate::metrics::percent_change;
+use crate::report::Table;
+use crate::runner::{ExperimentConfig, FrameRunner};
+
+/// One row of the leaf-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafSizeRow {
+    /// Points per leaf (`m`).
+    pub leaf_size: usize,
+    /// Compressed bytes / baseline point bytes.
+    pub compression_ratio: f64,
+    /// Mean search visits per leaf.
+    pub visits_per_leaf: f64,
+    /// Extract-kernel time change, Bonsai vs baseline at the same `m`.
+    pub extract_time_pct: f64,
+}
+
+/// The points-per-leaf ablation (paper default: 15, buffer cap: 16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeafSizeAblation {
+    /// One row per swept size.
+    pub rows: Vec<LeafSizeRow>,
+}
+
+impl LeafSizeAblation {
+    /// Sweeps `sizes` over `frame_count` sub-sampled frames each.
+    pub fn run(cfg: ExperimentConfig, sizes: &[usize], frame_count: usize) -> LeafSizeAblation {
+        let mut rows = Vec::new();
+        for &m in sizes {
+            let mut c = cfg.clone();
+            c.cluster.tree.max_leaf_points = m;
+            let runner = FrameRunner::new(c);
+            let frames = runner.sampled_frames();
+            let take = frame_count.clamp(1, frames.len());
+            let (base, bonsai) =
+                runner.run_frames_paired(&frames[..take], TreeMode::Baseline, TreeMode::Bonsai);
+            let t0: f64 = base.iter().map(|f| f.extract.cycles).sum();
+            let t1: f64 = bonsai.iter().map(|f| f.extract.cycles).sum();
+            let comp: u64 = bonsai.iter().map(|f| f.compressed_bytes).sum();
+            let pts: u64 = bonsai.iter().map(|f| f.clustered_points as u64).sum();
+            let visits: u64 = bonsai.iter().map(|f| f.search.leaf_visits).sum();
+            let leaves: u64 = bonsai.iter().map(|f| f.leaves as u64).sum();
+            rows.push(LeafSizeRow {
+                leaf_size: m,
+                compression_ratio: comp as f64 / (pts as f64 * 12.0),
+                visits_per_leaf: visits as f64 / leaves.max(1) as f64,
+                extract_time_pct: percent_change(t0, t1),
+            });
+        }
+        LeafSizeAblation { rows }
+    }
+
+    /// Renders the sweep.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Ablation — points per leaf",
+            &["m", "compression ratio", "visits/leaf", "extract time Δ"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                &r.leaf_size.to_string(),
+                &format!("{:.1}%", r.compression_ratio * 100.0),
+                &format!("{:.1}", r.visits_per_leaf),
+                &format!("{:+.2}%", r.extract_time_pct),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// One row of the split-rule ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitRuleRow {
+    /// The rule.
+    pub rule: SplitRule,
+    /// Tree depth.
+    pub max_depth: u32,
+    /// Leaf count.
+    pub leaves: u32,
+    /// Fraction of leaves with uniform x sign/exponent.
+    pub x_uniform: f64,
+    /// Extract-kernel Bonsai-vs-baseline time change.
+    pub extract_time_pct: f64,
+}
+
+/// The median vs sliding-midpoint split ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitRuleAblation {
+    /// One row per rule.
+    pub rows: Vec<SplitRuleRow>,
+}
+
+impl SplitRuleAblation {
+    /// Compares the two split rules over `frame_count` frames.
+    pub fn run(cfg: ExperimentConfig, frame_count: usize) -> SplitRuleAblation {
+        let mut rows = Vec::new();
+        for rule in [SplitRule::Median, SplitRule::SlidingMidpoint] {
+            let mut c = cfg.clone();
+            c.cluster.tree.split_rule = rule;
+            let runner = FrameRunner::new(c.clone());
+            let frames = runner.sampled_frames();
+            let take = frame_count.clamp(1, frames.len());
+            let (base, bonsai) =
+                runner.run_frames_paired(&frames[..take], TreeMode::Baseline, TreeMode::Bonsai);
+            let t0: f64 = base.iter().map(|f| f.extract.cycles).sum();
+            let t1: f64 = bonsai.iter().map(|f| f.extract.cycles).sum();
+            // Leaf census over the first frame's tree.
+            let mut census = crate::experiments::sec3a::Sec3aResult::default();
+            {
+                let pipeline = bonsai_cluster::FramePipeline::new(c.cluster.clone());
+                let mut sim = SimEngine::disabled();
+                let cloud = pipeline.preprocess(&mut sim, &runner.raw_frame(frames[0]));
+                let tree = bonsai_kdtree::KdTree::build(cloud, c.cluster.tree, &mut sim);
+                census.absorb(&tree);
+                rows.push(SplitRuleRow {
+                    rule,
+                    max_depth: tree.build_stats().max_depth,
+                    leaves: tree.build_stats().num_leaves,
+                    x_uniform: census.fraction(0),
+                    extract_time_pct: percent_change(t0, t1),
+                });
+            }
+        }
+        SplitRuleAblation { rows }
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Ablation — split rule",
+            &["rule", "depth", "leaves", "x uniform", "extract time Δ"],
+        );
+        for r in &self.rows {
+            t.row(&[
+                &format!("{:?}", r.rule),
+                &r.max_depth.to_string(),
+                &r.leaves.to_string(),
+                &format!("{:.0}%", r.x_uniform * 100.0),
+                &format!("{:+.2}%", r.extract_time_pct),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// The safety-shell ablation: what the shell costs and what skipping it
+/// would break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShellAblation {
+    /// Fallback (re-computation) ratio with the shell on.
+    pub fallback_ratio: f64,
+    /// Membership error rate if the shell were skipped (f16 unchecked —
+    /// Table I's first row).
+    pub unchecked_error_rate: f64,
+    /// Extract time change of checked Bonsai vs baseline.
+    pub extract_time_pct: f64,
+}
+
+impl ShellAblation {
+    /// Measures both sides of the trade over `frame_count` frames.
+    pub fn run(cfg: ExperimentConfig, frame_count: usize) -> ShellAblation {
+        let runner = FrameRunner::new(cfg.clone());
+        let frames = runner.sampled_frames();
+        let take = frame_count.clamp(1, frames.len());
+        let (base, bonsai) =
+            runner.run_frames_paired(&frames[..take], TreeMode::Baseline, TreeMode::Bonsai);
+        let fallbacks: u64 = bonsai.iter().map(|f| f.search.fallbacks).sum();
+        let inspected: u64 = bonsai.iter().map(|f| f.search.points_inspected).sum();
+        let t0: f64 = base.iter().map(|f| f.extract.cycles).sum();
+        let t1: f64 = bonsai.iter().map(|f| f.extract.cycles).sum();
+        let table1 = Table1Result::run(cfg, 1, 17);
+        ShellAblation {
+            fallback_ratio: fallbacks as f64 / inspected.max(1) as f64,
+            unchecked_error_rate: table1.row(ReducedFormat::Ieee16).rate(),
+            extract_time_pct: percent_change(t0, t1),
+        }
+    }
+
+    /// Renders the trade-off summary.
+    pub fn render(&self) -> String {
+        let mut t = Table::new("Ablation — safety shell", &["quantity", "value"]);
+        t.row(&[
+            "re-computation rate (shell on)",
+            &format!("{:.3}%", self.fallback_ratio * 100.0),
+        ]);
+        t.row(&[
+            "membership error rate (shell off)",
+            &format!("{:.4}%", self.unchecked_error_rate * 100.0),
+        ]);
+        t.row(&[
+            "extract time vs baseline (shell on)",
+            &format!("{:+.2}%", self.extract_time_pct),
+        ]);
+        let mut out = t.render();
+        out.push_str(
+            "the shell converts a small error rate into a small re-computation rate,\n\
+             keeping results bit-identical to the baseline (paper Section III-C)\n",
+        );
+        out
+    }
+}
+
+/// The hardware-vs-software codec ablation (paper Section IV-A: the
+/// software-only approach slows radius search ~7×).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftwareCodecAblation {
+    /// Radius-search cycles, baseline leaves.
+    pub baseline_cycles: f64,
+    /// Radius-search cycles, Bonsai instructions.
+    pub bonsai_cycles: f64,
+    /// Radius-search cycles, software codec.
+    pub software_cycles: f64,
+}
+
+impl SoftwareCodecAblation {
+    /// Runs the three configurations over `frame_count` frames.
+    pub fn run(cfg: ExperimentConfig, frame_count: usize) -> SoftwareCodecAblation {
+        let runner = FrameRunner::new(cfg);
+        let frames = runner.sampled_frames();
+        let take = frame_count.clamp(1, frames.len());
+        let timing = TimingModel::a72_like();
+        let mut cycles = [0.0f64; 3];
+        for (slot, mode) in [
+            TreeMode::Baseline,
+            TreeMode::Bonsai,
+            TreeMode::SoftwareCodec,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut sim = SimEngine::new(&runner.config().cpu);
+            for &i in &frames[..take] {
+                let cloud = runner.raw_frame(i);
+                runner.run_cloud(&mut sim, *mode, i, &cloud);
+                cycles[slot] += timing.cycles(&sim.sum_counters(&Kernel::RADIUS_SEARCH));
+                sim.reset_counters();
+            }
+        }
+        SoftwareCodecAblation {
+            baseline_cycles: cycles[0],
+            bonsai_cycles: cycles[1],
+            software_cycles: cycles[2],
+        }
+    }
+
+    /// Software slowdown over the baseline (paper: ~7×).
+    pub fn software_slowdown(&self) -> f64 {
+        self.software_cycles / self.baseline_cycles
+    }
+
+    /// Renders the comparison.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Ablation — software-only codec (Section IV-A)",
+            &["configuration", "radius-search cycles", "vs baseline"],
+        );
+        t.row(&[
+            "baseline",
+            &format!("{:.3e}", self.baseline_cycles),
+            "1.00×",
+        ]);
+        t.row(&[
+            "Bonsai-extensions",
+            &format!("{:.3e}", self.bonsai_cycles),
+            &format!("{:.2}×", self.bonsai_cycles / self.baseline_cycles),
+        ]);
+        t.row(&[
+            "software codec",
+            &format!("{:.3e}", self.software_cycles),
+            &format!("{:.2}× (paper ~7×)", self.software_slowdown()),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_size_sweep_shows_compression_improving_with_m() {
+        let ab = LeafSizeAblation::run(ExperimentConfig::quick(), &[4, 15], 1);
+        assert_eq!(ab.rows.len(), 2);
+        // Bigger leaves amortize the shared <sign,exp> and padding
+        // better.
+        assert!(
+            ab.rows[1].compression_ratio < ab.rows[0].compression_ratio,
+            "m=15 ratio {} vs m=4 ratio {}",
+            ab.rows[1].compression_ratio,
+            ab.rows[0].compression_ratio
+        );
+        assert!(ab.render().contains("visits/leaf"));
+    }
+
+    #[test]
+    fn software_codec_is_much_slower_than_bonsai() {
+        let ab = SoftwareCodecAblation::run(ExperimentConfig::quick(), 1);
+        assert!(ab.bonsai_cycles < ab.baseline_cycles, "bonsai should win");
+        assert!(
+            ab.software_slowdown() > 2.0,
+            "software only {:.2}× slower",
+            ab.software_slowdown()
+        );
+        assert!(ab.render().contains("7×"));
+    }
+
+    #[test]
+    fn shell_ablation_reports_both_sides() {
+        let ab = ShellAblation::run(ExperimentConfig::quick(), 1);
+        assert!(ab.fallback_ratio < 0.05);
+        assert!(ab.unchecked_error_rate < 0.01);
+        assert!(ab.render().contains("bit-identical"));
+    }
+
+    #[test]
+    fn split_rule_ablation_builds_both_trees() {
+        let ab = SplitRuleAblation::run(ExperimentConfig::quick(), 1);
+        assert_eq!(ab.rows.len(), 2);
+        assert!(ab.rows.iter().all(|r| r.leaves > 10));
+        assert!(ab.render().contains("Median"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 10: data-memory accesses per hierarchy level, baseline vs
+//! Bonsai (paper: L1 −14 %, L2 +11 %, main memory +8 %).
+
+use crate::experiments::paired::PairedRun;
+use crate::metrics::percent_change;
+use crate::report::Table;
+
+/// The Figure 10 measurements (extract-kernel accesses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Result {
+    /// Baseline L1 / L2 / DRAM access totals.
+    pub baseline: [u64; 3],
+    /// Bonsai L1 / L2 / DRAM access totals.
+    pub bonsai: [u64; 3],
+}
+
+impl Fig10Result {
+    /// Analyzes a paired run.
+    pub fn from_paired(run: &PairedRun) -> Fig10Result {
+        let sum = |ms: &[crate::metrics::FrameMetrics]| -> [u64; 3] {
+            let mut out = [0u64; 3];
+            for m in ms {
+                out[0] += m.extract.counters.l1_accesses;
+                out[1] += m.extract.counters.l2_accesses;
+                out[2] += m.extract.counters.dram_accesses;
+            }
+            out
+        };
+        Fig10Result {
+            baseline: sum(&run.baseline),
+            bonsai: sum(&run.bonsai),
+        }
+    }
+
+    /// Relative change per level `(L1, L2, DRAM)`.
+    pub fn changes_pct(&self) -> [f64; 3] {
+        [
+            percent_change(self.baseline[0] as f64, self.bonsai[0] as f64),
+            percent_change(self.baseline[1] as f64, self.bonsai[1] as f64),
+            percent_change(self.baseline[2] as f64, self.bonsai[2] as f64),
+        ]
+    }
+
+    /// Renders the comparison table.
+    pub fn render(&self) -> String {
+        let ch = self.changes_pct();
+        let mut t = Table::new(
+            "Figure 10 — data memory accesses per level (extract kernel)",
+            &["level", "baseline", "bonsai", "change", "paper"],
+        );
+        let papers = ["-14%", "+11%", "+8%"];
+        for (i, name) in ["L1 cache", "L2 cache", "main memory"].iter().enumerate() {
+            t.row(&[
+                name,
+                &self.baseline[i].to_string(),
+                &self.bonsai[i].to_string(),
+                &format!("{:+.2}%", ch[i]),
+                papers[i],
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentConfig;
+
+    #[test]
+    fn l1_shrinks_and_levels_are_ordered() {
+        let run = PairedRun::run(ExperimentConfig::quick());
+        let r = Fig10Result::from_paired(&run);
+        let ch = r.changes_pct();
+        assert!(ch[0] < 0.0, "L1 accesses must fall, got {:+.2}%", ch[0]);
+        // L1 sees orders of magnitude more traffic than DRAM (the paper
+        // notes 300×; exact factors depend on cloud size).
+        assert!(r.baseline[0] > 20 * r.baseline[2]);
+        assert!(r.render().contains("main memory"));
+    }
+}

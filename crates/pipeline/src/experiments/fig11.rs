@@ -1,0 +1,105 @@
+//! Figure 11: end-to-end euclidean-cluster latency distribution
+//! (paper: mean −9.26 %, 99th-percentile tail −12.19 %).
+
+use bonsai_sim::Distribution;
+
+use crate::experiments::paired::PairedRun;
+use crate::metrics::percent_change;
+use crate::report::{boxplot, Table};
+
+/// The Figure 11 measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Result {
+    /// Baseline end-to-end latencies (ms), one per frame.
+    pub baseline: Distribution,
+    /// Bonsai end-to-end latencies (ms).
+    pub bonsai: Distribution,
+}
+
+impl Fig11Result {
+    /// Analyzes a paired run.
+    pub fn from_paired(run: &PairedRun) -> Fig11Result {
+        Fig11Result {
+            baseline: Distribution::from_samples(
+                run.baseline.iter().map(|m| m.end_to_end.latency_ms()),
+            ),
+            bonsai: Distribution::from_samples(
+                run.bonsai.iter().map(|m| m.end_to_end.latency_ms()),
+            ),
+        }
+    }
+
+    /// Mean latency change (paper: −9.26 %).
+    pub fn mean_change_pct(&self) -> f64 {
+        percent_change(self.baseline.mean(), self.bonsai.mean())
+    }
+
+    /// 99th-percentile tail change (paper: −12.19 %).
+    pub fn p99_change_pct(&self) -> f64 {
+        percent_change(self.baseline.percentile(99.0), self.bonsai.percentile(99.0))
+    }
+
+    /// Renders the distribution summary and ASCII box plots.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 11 — end-to-end latency distribution [ms]",
+            &["config", "min", "q1", "median", "q3", "max", "mean", "p99"],
+        );
+        for (name, d) in [("baseline", &self.baseline), ("bonsai", &self.bonsai)] {
+            let (min, q1, med, q3, max) = d.five_number_summary();
+            t.row(&[
+                name,
+                &format!("{min:.2}"),
+                &format!("{q1:.2}"),
+                &format!("{med:.2}"),
+                &format!("{q3:.2}"),
+                &format!("{max:.2}"),
+                &format!("{:.2}", d.mean()),
+                &format!("{:.2}", d.percentile(99.0)),
+            ]);
+        }
+        let mut out = t.render();
+        let lo = self
+            .baseline
+            .percentile(0.0)
+            .min(self.bonsai.percentile(0.0));
+        let hi = self
+            .baseline
+            .percentile(100.0)
+            .max(self.bonsai.percentile(100.0));
+        if hi > lo {
+            out.push_str(&format!(
+                "baseline  {}\n",
+                boxplot(&self.baseline, lo, hi, 64)
+            ));
+            out.push_str(&format!(
+                "bonsai    {}\n",
+                boxplot(&self.bonsai, lo, hi, 64)
+            ));
+        }
+        out.push_str(&format!(
+            "mean change: {:+.2}% (paper -9.26%)   p99 change: {:+.2}% (paper -12.19%)\n",
+            self.mean_change_pct(),
+            self.p99_change_pct()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentConfig;
+
+    #[test]
+    fn bonsai_improves_mean_latency() {
+        let run = PairedRun::run(ExperimentConfig::quick());
+        let r = Fig11Result::from_paired(&run);
+        assert!(
+            r.mean_change_pct() < 0.0,
+            "mean {:+.2}%",
+            r.mean_change_pct()
+        );
+        assert!(r.render().contains("Figure 11"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Figure 12: extract-kernel energy distribution (paper: mean −10.84 %).
+
+use bonsai_sim::Distribution;
+
+use crate::experiments::paired::PairedRun;
+use crate::metrics::percent_change;
+use crate::report::{boxplot, Table};
+
+/// The Figure 12 measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Result {
+    /// Baseline per-frame extract energies (joules).
+    pub baseline: Distribution,
+    /// Bonsai per-frame extract energies (joules).
+    pub bonsai: Distribution,
+}
+
+impl Fig12Result {
+    /// Analyzes a paired run.
+    pub fn from_paired(run: &PairedRun) -> Fig12Result {
+        Fig12Result {
+            baseline: Distribution::from_samples(run.baseline.iter().map(|m| m.extract.energy_j)),
+            bonsai: Distribution::from_samples(run.bonsai.iter().map(|m| m.extract.energy_j)),
+        }
+    }
+
+    /// Mean energy change (paper: −10.84 %).
+    pub fn mean_change_pct(&self) -> f64 {
+        percent_change(self.baseline.mean(), self.bonsai.mean())
+    }
+
+    /// Renders the summary and box plots.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 12 — extract-kernel energy distribution [mJ]",
+            &["config", "min", "q1", "median", "q3", "max", "mean"],
+        );
+        for (name, d) in [("baseline", &self.baseline), ("bonsai", &self.bonsai)] {
+            let (min, q1, med, q3, max) = d.five_number_summary();
+            t.row(&[
+                name,
+                &format!("{:.2}", min * 1e3),
+                &format!("{:.2}", q1 * 1e3),
+                &format!("{:.2}", med * 1e3),
+                &format!("{:.2}", q3 * 1e3),
+                &format!("{:.2}", max * 1e3),
+                &format!("{:.2}", d.mean() * 1e3),
+            ]);
+        }
+        let mut out = t.render();
+        let lo = self
+            .baseline
+            .percentile(0.0)
+            .min(self.bonsai.percentile(0.0));
+        let hi = self
+            .baseline
+            .percentile(100.0)
+            .max(self.bonsai.percentile(100.0));
+        if hi > lo {
+            out.push_str(&format!(
+                "baseline  {}\n",
+                boxplot(&self.baseline, lo, hi, 64)
+            ));
+            out.push_str(&format!(
+                "bonsai    {}\n",
+                boxplot(&self.bonsai, lo, hi, 64)
+            ));
+        }
+        out.push_str(&format!(
+            "mean energy change: {:+.2}% (paper -10.84%)\n",
+            self.mean_change_pct()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentConfig;
+
+    #[test]
+    fn bonsai_reduces_extract_energy() {
+        let run = PairedRun::run(ExperimentConfig::quick());
+        let r = Fig12Result::from_paired(&run);
+        assert!(
+            r.mean_change_pct() < 0.0,
+            "energy {:+.2}%",
+            r.mean_change_pct()
+        );
+        assert!(r.render().contains("Figure 12"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 2: the share of task execution spent in radius search, for
+//! euclidean cluster (paper: 61 %) and NDT matching (paper: 51 %).
+
+use bonsai_cluster::{filters, FramePipeline, TreeMode};
+use bonsai_geom::Point3;
+use bonsai_ndt::{NdtConfig, NdtMap, NdtMatcher, NdtSearchMode};
+use bonsai_sim::{Kernel, SimEngine, TimingModel};
+
+use crate::report::Table;
+use crate::runner::{ExperimentConfig, FrameRunner};
+
+/// The Figure 2 measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Result {
+    /// Radius-search cycle share of the euclidean-cluster task.
+    pub cluster_share: f64,
+    /// Radius-search cycle share of NDT matching (alignment phase).
+    pub ndt_share: f64,
+}
+
+impl Fig2Result {
+    /// Runs both workloads on the baseline configuration.
+    ///
+    /// `cluster_frames` euclidean-cluster frames and `ndt_scans` NDT
+    /// alignments are simulated (both against the shared driving
+    /// sequence).
+    pub fn run(cfg: ExperimentConfig, cluster_frames: usize, ndt_scans: usize) -> Fig2Result {
+        let runner = FrameRunner::new(cfg.clone());
+        let timing = TimingModel::a72_like();
+
+        // --- Euclidean cluster share -------------------------------
+        let frames = runner.sampled_frames();
+        let take = cluster_frames.clamp(1, frames.len());
+        let metrics = runner.run_frames(TreeMode::Baseline, &frames[..take]);
+        let rs: f64 = metrics.iter().map(|m| m.radius_search.cycles).sum();
+        let total: f64 = metrics.iter().map(|m| m.end_to_end.cycles).sum();
+        let cluster_share = rs / total;
+
+        // --- NDT matching share ------------------------------------
+        // Map: a few world-frame frames accumulated and downsampled
+        // (the HD-map stand-in).
+        let seq = runner.sequence();
+        let mut warm = SimEngine::disabled();
+        let mut map_cloud: Vec<Point3> = Vec::new();
+        for k in 0..4 {
+            let idx = frames[k % take];
+            let pose = seq.pose(idx);
+            for p in seq.frame(idx) {
+                map_cloud.push(pose.apply(p));
+            }
+        }
+        let map_cloud = filters::voxel_downsample(&mut warm, &map_cloud, 0.4);
+        let mut sim = SimEngine::new(&cfg.cpu);
+        let map = NdtMap::build(&mut sim, &map_cloud, 2.0);
+        let ndt_cfg = NdtConfig {
+            max_iterations: 8,
+            scan_stride: 2,
+            ..NdtConfig::default()
+        };
+        let mut matcher = NdtMatcher::new(&mut sim, map, ndt_cfg, NdtSearchMode::Baseline);
+
+        // Alignment phase only (map/tree building is offline in
+        // Autoware's ndt_matching).
+        sim.reset_counters();
+        let pipeline = FramePipeline::new(cfg.cluster.clone());
+        for s in 0..ndt_scans.max(1) {
+            let idx = frames[s % take];
+            let mut prep = SimEngine::disabled();
+            let scan = pipeline.preprocess(&mut prep, &seq.frame(idx));
+            let truth = seq.pose(idx);
+            // Odometry-quality initial guess.
+            let guess = bonsai_geom::Pose::from_translation_euler(
+                truth.translation + Point3::new(0.15, -0.1, 0.02),
+                0.0,
+                0.0,
+                truth.euler()[2] + 0.01,
+            );
+            matcher.align(&mut sim, &scan, &guess);
+        }
+        let rs_cycles = timing.cycles(&sim.sum_counters(&Kernel::RADIUS_SEARCH));
+        let math_cycles = timing.cycles(sim.kernel_counters(Kernel::NdtMath));
+        let ndt_share = rs_cycles / (rs_cycles + math_cycles);
+
+        Fig2Result {
+            cluster_share,
+            ndt_share,
+        }
+    }
+
+    /// Renders the share table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 2 — radius-search share of execution",
+            &["task", "measured", "paper"],
+        );
+        t.row(&[
+            "Euclidean Cluster (segmentation)",
+            &format!("{:.0}%", self.cluster_share * 100.0),
+            "61%",
+        ]);
+        t.row(&[
+            "NDT Matching (localization)",
+            &format!("{:.0}%", self.ndt_share * 100.0),
+            "51%",
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_search_dominates_both_tasks() {
+        let r = Fig2Result::run(ExperimentConfig::quick(), 2, 1);
+        assert!(
+            r.cluster_share > 0.3 && r.cluster_share < 0.9,
+            "cluster share {:.2}",
+            r.cluster_share
+        );
+        assert!(
+            r.ndt_share > 0.2 && r.ndt_share < 0.9,
+            "ndt share {:.2}",
+            r.ndt_share
+        );
+        assert!(r.render().contains("NDT"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Figure 9a/9b + the Section V-B prose numbers: extract-kernel metric
+//! deltas, bytes to load points on the first frame, fallback ratio,
+//! visits per leaf and the compression ratio.
+
+use crate::experiments::paired::PairedRun;
+use crate::metrics::percent_change;
+use crate::report::{bytes, Table};
+
+/// The Figure 9 measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Result {
+    /// Relative change of extract-kernel execution time (paper: −12 %).
+    pub execution_time_pct: f64,
+    /// Relative change of committed micro-ops (paper: −16 %).
+    pub committed_instructions_pct: f64,
+    /// Relative change of committed loads (paper: −23 %).
+    pub committed_loads_pct: f64,
+    /// Relative change of committed stores (paper: −18 %).
+    pub committed_stores_pct: f64,
+    /// Relative change of L1-D accesses (paper: −14 %).
+    pub l1d_accesses_pct: f64,
+    /// Relative change of L1-D misses (paper: +8 %).
+    pub l1d_misses_pct: f64,
+    /// Fig. 9b: bytes to load points during the first frame's searches,
+    /// baseline (paper: 4.85 MB).
+    pub first_frame_baseline_bytes: u64,
+    /// Fig. 9b: same under Bonsai (paper: 1.77 MB).
+    pub first_frame_bonsai_bytes: u64,
+    /// §V-B: fraction of classifications that fell in the shell
+    /// (paper: 0.37 %).
+    pub fallback_ratio: f64,
+    /// §V-B: average search visits per created leaf (paper: ~52 on one
+    /// frame).
+    pub visits_per_leaf: f64,
+    /// Compressed bytes / baseline point bytes across the run
+    /// (paper: ~37 % on frame #1).
+    pub compression_ratio: f64,
+}
+
+impl Fig9Result {
+    /// Analyzes a paired run.
+    pub fn from_paired(run: &PairedRun) -> Fig9Result {
+        let (t0, t1) = run.extract_totals(|m| m.extract.cycles);
+        let (i0, i1) = run.extract_totals(|m| m.extract.counters.micro_ops() as f64);
+        let (l0, l1) = run.extract_totals(|m| m.extract.counters.loads as f64);
+        let (s0, s1) = run.extract_totals(|m| m.extract.counters.stores as f64);
+        let (a0, a1) = run.extract_totals(|m| m.extract.counters.l1_accesses as f64);
+        let (m0, m1) = run.extract_totals(|m| m.extract.counters.l1_misses as f64);
+
+        let fallbacks: u64 = run.bonsai.iter().map(|m| m.search.fallbacks).sum();
+        let inspected: u64 = run.bonsai.iter().map(|m| m.search.points_inspected).sum();
+        let visits: u64 = run.bonsai.iter().map(|m| m.search.leaf_visits).sum();
+        let leaves: u64 = run.bonsai.iter().map(|m| m.leaves as u64).sum();
+        let comp_bytes: u64 = run.bonsai.iter().map(|m| m.compressed_bytes).sum();
+        let base_bytes: u64 = run
+            .bonsai
+            .iter()
+            .map(|m| m.clustered_points as u64 * 12)
+            .sum();
+
+        Fig9Result {
+            execution_time_pct: percent_change(t0, t1),
+            committed_instructions_pct: percent_change(i0, i1),
+            committed_loads_pct: percent_change(l0, l1),
+            committed_stores_pct: percent_change(s0, s1),
+            l1d_accesses_pct: percent_change(a0, a1),
+            l1d_misses_pct: percent_change(m0, m1),
+            first_frame_baseline_bytes: run.baseline[0].search.point_bytes_loaded,
+            first_frame_bonsai_bytes: run.bonsai[0].search.point_bytes_loaded,
+            fallback_ratio: if inspected == 0 {
+                0.0
+            } else {
+                fallbacks as f64 / inspected as f64
+            },
+            visits_per_leaf: if leaves == 0 {
+                0.0
+            } else {
+                visits as f64 / leaves as f64
+            },
+            compression_ratio: if base_bytes == 0 {
+                0.0
+            } else {
+                comp_bytes as f64 / base_bytes as f64
+            },
+        }
+    }
+
+    /// Renders the Figure 9a/9b comparison table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 9a — extract kernel, Bonsai vs baseline (relative change)",
+            &["metric", "measured", "paper"],
+        );
+        let rows: [(&str, f64, &str); 6] = [
+            ("execution time", self.execution_time_pct, "-12%"),
+            (
+                "committed instructions",
+                self.committed_instructions_pct,
+                "-16%",
+            ),
+            ("committed loads", self.committed_loads_pct, "-23%"),
+            ("committed stores", self.committed_stores_pct, "-18%"),
+            ("L1 D-cache accesses", self.l1d_accesses_pct, "-14%"),
+            ("L1 D-cache misses", self.l1d_misses_pct, "+8%"),
+        ];
+        for (name, v, paper) in rows {
+            t.row(&[name, &format!("{v:+.2}%"), paper]);
+        }
+        let mut out = t.render();
+        out.push('\n');
+        let mut t2 = Table::new(
+            "Figure 9b — bytes to load points, first sampled frame",
+            &["configuration", "measured", "paper"],
+        );
+        t2.row(&[
+            "baseline",
+            &bytes(self.first_frame_baseline_bytes),
+            "4.85 MB",
+        ]);
+        t2.row(&[
+            "Bonsai-extensions",
+            &bytes(self.first_frame_bonsai_bytes),
+            "1.77 MB",
+        ]);
+        let ratio =
+            self.first_frame_bonsai_bytes as f64 / self.first_frame_baseline_bytes.max(1) as f64;
+        t2.row(&["ratio", &format!("{:.1}%", ratio * 100.0), "36.5%"]);
+        out.push_str(&t2.render());
+        out.push('\n');
+        let mut t3 = Table::new(
+            "Section V-B prose numbers",
+            &["quantity", "measured", "paper"],
+        );
+        t3.row(&[
+            "inconclusive classifications",
+            &format!("{:.3}%", self.fallback_ratio * 100.0),
+            "0.37%",
+        ]);
+        t3.row(&[
+            "search visits per leaf",
+            &format!("{:.1}", self.visits_per_leaf),
+            "~52",
+        ]);
+        t3.row(&[
+            "compressed size vs baseline",
+            &format!("{:.1}%", self.compression_ratio * 100.0),
+            "~37%",
+        ]);
+        out.push_str(&t3.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentConfig;
+
+    #[test]
+    fn deltas_have_the_paper_signs() {
+        let run = PairedRun::run(ExperimentConfig::quick());
+        let r = Fig9Result::from_paired(&run);
+        assert!(
+            r.committed_loads_pct < 0.0,
+            "loads {}",
+            r.committed_loads_pct
+        );
+        assert!(
+            r.committed_instructions_pct < 0.0,
+            "instrs {}",
+            r.committed_instructions_pct
+        );
+        assert!(r.execution_time_pct < 0.0, "time {}", r.execution_time_pct);
+        assert!(
+            r.l1d_accesses_pct < 0.0,
+            "l1 accesses {}",
+            r.l1d_accesses_pct
+        );
+        assert!(
+            r.first_frame_bonsai_bytes < r.first_frame_baseline_bytes,
+            "fig9b direction"
+        );
+        assert!(r.fallback_ratio < 0.05);
+        assert!(r.compression_ratio > 0.2 && r.compression_ratio < 0.7);
+        assert!(r.render().contains("Figure 9a"));
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! design-choice ablations. Every experiment returns a plain result
+//! struct with a `render()` method; the `bonsai-bench` binaries print
+//! those.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig2;
+pub mod fig9;
+pub mod paired;
+pub mod sec3a;
+pub mod table1;
+pub mod table3;
+pub mod table5;

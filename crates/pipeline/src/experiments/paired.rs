@@ -1,0 +1,54 @@
+//! The shared baseline-vs-Bonsai paired run over the sub-sampled frames
+//! that Figures 9a, 9b, 10, 11 and 12 all analyse.
+
+use bonsai_cluster::TreeMode;
+
+use crate::metrics::FrameMetrics;
+use crate::runner::{ExperimentConfig, FrameRunner};
+
+/// Per-frame metrics of both configurations over identical frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairedRun {
+    /// Baseline (uncompressed) records, one per frame.
+    pub baseline: Vec<FrameMetrics>,
+    /// Bonsai records, frame-aligned with `baseline`.
+    pub bonsai: Vec<FrameMetrics>,
+}
+
+impl PairedRun {
+    /// Runs the paper's sub-sampled frame set under both modes.
+    pub fn run(cfg: ExperimentConfig) -> PairedRun {
+        let runner = FrameRunner::new(cfg);
+        let frames = runner.sampled_frames();
+        let (baseline, bonsai) =
+            runner.run_frames_paired(&frames, TreeMode::Baseline, TreeMode::Bonsai);
+        PairedRun { baseline, bonsai }
+    }
+
+    /// Sums a per-frame extract-kernel quantity over the whole run for
+    /// both modes: `(baseline_total, bonsai_total)`.
+    pub fn extract_totals<F: Fn(&FrameMetrics) -> f64>(&self, f: F) -> (f64, f64) {
+        (
+            self.baseline.iter().map(&f).sum::<f64>(),
+            self.bonsai.iter().map(&f).sum::<f64>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_run_is_frame_aligned_and_nonempty() {
+        let run = PairedRun::run(ExperimentConfig::quick());
+        assert_eq!(run.baseline.len(), run.bonsai.len());
+        assert!(!run.baseline.is_empty());
+        for (a, b) in run.baseline.iter().zip(&run.bonsai) {
+            assert_eq!(a.frame_index, b.frame_index);
+            assert_eq!(a.clusters, b.clusters);
+        }
+        let (base_loads, bonsai_loads) = run.extract_totals(|m| m.extract.counters.loads as f64);
+        assert!(bonsai_loads < base_loads, "bonsai must issue fewer loads");
+    }
+}

@@ -1,0 +1,74 @@
+//! Table V: area and power of the baseline CPU and the added K-D Bonsai
+//! hardware.
+//!
+//! The per-block numbers are synthesis results from the paper (we cannot
+//! run Synopsys DC offline — see DESIGN.md); this experiment reproduces
+//! the table's derived totals and relative changes from those constants.
+
+use bonsai_sim::HwCostModel;
+
+use crate::report::Table;
+
+/// The Table V reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Result {
+    /// The hardware-cost model (paper constants).
+    pub model: HwCostModel,
+}
+
+impl Table5Result {
+    /// Builds the table from the paper's constants.
+    pub fn run() -> Table5Result {
+        Table5Result {
+            model: HwCostModel::table5(),
+        }
+    }
+
+    /// Renders the area/power table.
+    pub fn render(&self) -> String {
+        let m = &self.model;
+        let total = m.bonsai_total();
+        let mut t = Table::new(
+            "Table V — area and power (14 nm)",
+            &["block", "area [mm²]", "dynamic [W]", "static [W]"],
+        );
+        let fmt = |c: bonsai_sim::UnitCost| {
+            (
+                format!("{:.4}", c.area_mm2),
+                format!("{:.4}", c.dynamic_w),
+                format!("{:.2e}", c.static_w),
+            )
+        };
+        let (a, d, s) = fmt(m.processor);
+        t.row(&["processor (L2 included)", &a, &d, &s]);
+        let (a, d, s) = fmt(m.codec_unit);
+        t.row(&["compression/decompression FU", &a, &d, &s]);
+        let (a, d, s) = fmt(m.sqdwe_units);
+        t.row(&["4× (A−B′)² FU", &a, &d, &s]);
+        let (a, d, s) = fmt(total);
+        t.row(&["K-D Bonsai total", &a, &d, &s]);
+        t.row(&[
+            "relative change",
+            &format!("{:.2}%", m.relative_area_increase() * 100.0),
+            &format!("{:.2}%", m.relative_dynamic_increase() * 100.0),
+            &format!("{:.3}%", m.relative_static_increase() * 100.0),
+        ]);
+        let mut out = t.render();
+        out.push_str("paper: +0.36% area, +1.29% dynamic power, +0.001% static power\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_paper_relative_changes() {
+        let r = Table5Result::run();
+        let s = r.render();
+        assert!(s.contains("0.36%"));
+        assert!(s.contains("1.29%"));
+        assert!(s.contains("K-D Bonsai total"));
+    }
+}

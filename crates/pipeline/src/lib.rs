@@ -1,0 +1,48 @@
+//! End-to-end experiment harness for the K-D Bonsai reproduction.
+//!
+//! This crate turns the substrate crates into the paper's evaluation
+//! (Section V): it drives the synthetic driving sequence through the
+//! euclidean-cluster and NDT pipelines on the instrumented simulator,
+//! collects per-frame metrics ([`FrameMetrics`]), applies the paper's
+//! systematic sub-sampling ([`sampling`]), and implements one experiment
+//! per table/figure ([`experiments`]):
+//!
+//! | experiment | paper result |
+//! |---|---|
+//! | [`experiments::fig2`] | radius-search share of execution (61 % / 51 %) |
+//! | [`experiments::sec3a`] | leaf `<sign,exp>` uniformity (78 % x, 83 % y) |
+//! | [`experiments::table1`] | reduced-format misclassification rates |
+//! | [`experiments::table3`] | sub-sampling error metrics |
+//! | [`experiments::fig9`] | extract-kernel deltas + bytes-to-load-points |
+//! | [`experiments::fig10`] | accesses per memory-hierarchy level |
+//! | [`experiments::fig11`] | end-to-end latency distribution (−9.26 % mean, −12.19 % p99) |
+//! | [`experiments::fig12`] | extract-kernel energy distribution (−10.84 %) |
+//! | [`experiments::table5`] | area/power of the added hardware |
+//! | [`experiments::ablations`] | leaf size, float format, shell, split rule, software codec |
+//!
+//! Each experiment returns a plain struct of numbers and renders itself
+//! as a text table via [`report`] — the `bonsai-bench` binaries are thin
+//! wrappers around these.
+//!
+//! # Examples
+//!
+//! ```
+//! use bonsai_cluster::TreeMode;
+//! use bonsai_pipeline::{ExperimentConfig, FrameRunner};
+//!
+//! let cfg = ExperimentConfig::quick();
+//! let runner = FrameRunner::new(cfg);
+//! let frames = runner.sampled_frames();
+//! let metrics = runner.run_frames(TreeMode::Baseline, &frames[..1]);
+//! assert!(metrics[0].end_to_end.cycles > 0.0);
+//! ```
+
+pub mod experiments;
+pub mod report;
+pub mod sampling;
+
+mod metrics;
+mod runner;
+
+pub use metrics::{FrameMetrics, GroupMetrics};
+pub use runner::{ExperimentConfig, FrameRunner};

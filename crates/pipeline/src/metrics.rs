@@ -1,0 +1,188 @@
+use bonsai_kdtree::SearchStats;
+use bonsai_sim::{Counters, EnergyModel, Kernel, SimEngine, TimingModel};
+
+/// Derived metrics of one kernel group (a set of [`Kernel`]s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupMetrics {
+    /// Raw event counters.
+    pub counters: Counters,
+    /// Modelled cycles.
+    pub cycles: f64,
+    /// Modelled wall-clock seconds.
+    pub seconds: f64,
+    /// Micro-ops per cycle.
+    pub ipc: f64,
+    /// Modelled energy in joules (dynamic + static over `seconds`).
+    pub energy_j: f64,
+}
+
+impl GroupMetrics {
+    /// Computes the derived metrics for a counter set.
+    pub fn from_counters(
+        counters: Counters,
+        timing: &TimingModel,
+        energy: &EnergyModel,
+    ) -> GroupMetrics {
+        let cycles = timing.cycles(&counters);
+        let seconds = timing.seconds(&counters);
+        GroupMetrics {
+            counters,
+            cycles,
+            seconds,
+            ipc: timing.ipc(&counters),
+            energy_j: energy.joules(&counters, seconds),
+        }
+    }
+
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.seconds * 1e3
+    }
+}
+
+/// Everything measured on one simulated frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameMetrics {
+    /// Index of the frame in the driving sequence.
+    pub frame_index: usize,
+    /// All kernels (the paper's end-to-end task latency, Figure 11).
+    pub end_to_end: GroupMetrics,
+    /// The extract kernel (build + compress + search + cluster
+    /// bookkeeping; Figures 9a, 9b, 10, 12).
+    pub extract: GroupMetrics,
+    /// Radius search only (traverse + leaf scan + fallback; Figure 2).
+    pub radius_search: GroupMetrics,
+    /// Search work counters (visits, inspections, fallbacks, point
+    /// bytes).
+    pub search: SearchStats,
+    /// Number of clusters the frame produced.
+    pub clusters: usize,
+    /// Points entering the extract kernel.
+    pub clustered_points: usize,
+    /// Compressed-array footprint (0 for the baseline).
+    pub compressed_bytes: u64,
+    /// Leaves in the frame's tree.
+    pub leaves: u32,
+}
+
+impl FrameMetrics {
+    /// Collects metrics from an engine that just ran one frame
+    /// (counters must cover exactly that frame).
+    #[allow(clippy::too_many_arguments)] // one argument per record field
+    pub fn collect(
+        frame_index: usize,
+        sim: &SimEngine,
+        timing: &TimingModel,
+        energy: &EnergyModel,
+        search: SearchStats,
+        clusters: usize,
+        clustered_points: usize,
+        compressed_bytes: u64,
+        leaves: u32,
+    ) -> FrameMetrics {
+        let end_to_end = GroupMetrics::from_counters(sim.totals(), timing, energy);
+        let extract =
+            GroupMetrics::from_counters(sim.sum_counters(&Kernel::EXTRACT), timing, energy);
+        let radius_search =
+            GroupMetrics::from_counters(sim.sum_counters(&Kernel::RADIUS_SEARCH), timing, energy);
+        FrameMetrics {
+            frame_index,
+            end_to_end,
+            extract,
+            radius_search,
+            search,
+            clusters,
+            clustered_points,
+            compressed_bytes,
+            leaves,
+        }
+    }
+
+    /// Average leaf visits per created leaf (the paper's "52 visits per
+    /// leaf" observation).
+    pub fn visits_per_leaf(&self) -> f64 {
+        if self.leaves == 0 {
+            0.0
+        } else {
+            self.search.leaf_visits as f64 / self.leaves as f64
+        }
+    }
+}
+
+/// The relative change `(new − old) / old`, in percent. Positive means
+/// `new` is larger.
+pub fn percent_change(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        0.0
+    } else {
+        (new - old) / old * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_sim::{CpuConfig, OpClass};
+
+    #[test]
+    fn group_metrics_are_internally_consistent() {
+        let mut c = Counters::default();
+        c.bump(OpClass::IntAlu, 3000);
+        let timing = TimingModel::a72_like();
+        let energy = EnergyModel::a72_like();
+        let g = GroupMetrics::from_counters(c, &timing, &energy);
+        assert_eq!(g.cycles, 1000.0);
+        assert!((g.seconds - 1000.0 / 3e9).abs() < 1e-15);
+        assert!((g.latency_ms() - g.seconds * 1e3).abs() < 1e-12);
+        assert!(g.energy_j > 0.0);
+    }
+
+    #[test]
+    fn collect_separates_groups() {
+        let mut sim = SimEngine::new(&CpuConfig::a72_like());
+        sim.set_kernel(Kernel::Preprocess);
+        sim.exec(OpClass::IntAlu, 600);
+        sim.set_kernel(Kernel::LeafScan);
+        sim.exec(OpClass::FpAlu, 300);
+        let m = FrameMetrics::collect(
+            7,
+            &sim,
+            &TimingModel::a72_like(),
+            &EnergyModel::a72_like(),
+            SearchStats::default(),
+            3,
+            100,
+            0,
+            10,
+        );
+        assert_eq!(m.frame_index, 7);
+        assert_eq!(m.end_to_end.counters.micro_ops(), 900);
+        assert_eq!(m.extract.counters.micro_ops(), 300);
+        assert_eq!(m.radius_search.counters.micro_ops(), 300);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert_eq!(percent_change(100.0, 88.0), -12.0);
+        assert_eq!(percent_change(100.0, 108.0), 8.0);
+        assert_eq!(percent_change(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn visits_per_leaf_guards_zero() {
+        let mut sim = SimEngine::disabled();
+        sim.exec(OpClass::IntAlu, 1);
+        let m = FrameMetrics::collect(
+            0,
+            &sim,
+            &TimingModel::a72_like(),
+            &EnergyModel::a72_like(),
+            SearchStats::default(),
+            0,
+            0,
+            0,
+            0,
+        );
+        assert_eq!(m.visits_per_leaf(), 0.0);
+    }
+}

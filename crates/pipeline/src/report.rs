@@ -1,0 +1,188 @@
+//! Plain-text rendering of experiment results (aligned tables and the
+//! ASCII box plots used for Figures 11 and 12).
+
+use bonsai_sim::Distribution;
+
+/// A simple aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_pipeline::report::Table;
+///
+/// let mut t = Table::new("Demo", &["metric", "value"]);
+/// t.row(&["latency", "12.3 ms"]);
+/// let s = t.render();
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..ncols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a signed percentage with two decimals
+/// (`-0.0926 → "-9.26%"`).
+pub fn pct(fraction: f64) -> String {
+    format!("{:+.2}%", fraction * 100.0)
+}
+
+/// Formats a ratio change in percent given old and new values.
+pub fn pct_change(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        "n/a".to_string()
+    } else {
+        pct((new - old) / old)
+    }
+}
+
+/// Formats bytes human-readably (MB with two decimals above 1 MB).
+pub fn bytes(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.2} MB", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.1} KB", n as f64 / 1e3)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Renders a horizontal ASCII box plot of a distribution over a shared
+/// `[lo, hi]` scale, `width` characters wide:
+///
+/// ```text
+/// |----[=====|=====]------|
+/// min  q1  median  q3   max
+/// ```
+pub fn boxplot(d: &Distribution, lo: f64, hi: f64, width: usize) -> String {
+    assert!(width >= 10, "box plot needs at least 10 columns");
+    assert!(hi > lo, "degenerate scale");
+    let (min, q1, med, q3, max) = d.five_number_summary();
+    let pos = |v: f64| -> usize {
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((width - 1) as f64 * t).round() as usize
+    };
+    let mut chars: Vec<char> = vec![' '; width];
+    for c in &mut chars[pos(min)..=pos(max)] {
+        *c = '-';
+    }
+    for c in &mut chars[pos(q1)..=pos(q3)] {
+        *c = '=';
+    }
+    chars[pos(min)] = '|';
+    chars[pos(max)] = '|';
+    chars[pos(q1)] = '[';
+    chars[pos(q3)] = ']';
+    chars[pos(med)] = '#';
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long-header", "c"]);
+        t.row(&["xxxxxx", "1", "2"]);
+        t.row(&["y", "22", "333"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // Column 2 starts at the same offset in every row.
+        let off = lines[1].find("long-header").unwrap();
+        assert_eq!(&lines[3][off..off + 1], "1");
+        assert_eq!(&lines[4][off..off + 2], "22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new("T", &["a", "b"]).row(&["only-one"]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(-0.0926), "-9.26%");
+        assert_eq!(pct(0.08), "+8.00%");
+        assert_eq!(pct_change(100.0, 88.0), "-12.00%");
+        assert_eq!(pct_change(0.0, 1.0), "n/a");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(bytes(4_850_000), "4.85 MB");
+        assert_eq!(bytes(1_770), "1.8 KB");
+        assert_eq!(bytes(59), "59 B");
+    }
+
+    #[test]
+    fn boxplot_marks_are_ordered() {
+        let d = Distribution::from_samples((0..100).map(|v| v as f64));
+        let plot = boxplot(&d, 0.0, 100.0, 60);
+        assert_eq!(plot.len(), 60);
+        let min = plot.find('|').unwrap();
+        let q1 = plot.find('[').unwrap();
+        let med = plot.find('#').unwrap();
+        let q3 = plot.find(']').unwrap();
+        let max = plot.rfind('|').unwrap();
+        assert!(min < q1 && q1 < med && med < q3 && q3 < max);
+    }
+}

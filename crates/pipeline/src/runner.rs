@@ -1,0 +1,216 @@
+use bonsai_cluster::{ClusterParams, FramePipeline, TreeMode};
+use bonsai_geom::Point3;
+use bonsai_lidar::{DrivingSequence, SensorConfig, SequenceConfig, WorldConfig};
+use bonsai_sim::{CpuConfig, EnergyModel, SimEngine, TimingModel};
+
+use crate::metrics::FrameMetrics;
+use crate::sampling::systematic_sample;
+
+/// Shared configuration of all experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// The driving sequence (dataset substitute).
+    pub sequence: SequenceConfig,
+    /// The euclidean-cluster pipeline parameters.
+    pub cluster: ClusterParams,
+    /// The modelled CPU.
+    pub cpu: CpuConfig,
+    /// Number of sub-sample windows (paper: 20).
+    pub samples: usize,
+    /// Frames per window (paper: 3 = 300 ms at 10 Hz).
+    pub frames_per_sample: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale setup: the eight-minute drive, 20 × 300 ms
+    /// sub-samples (60 simulated frames).
+    pub fn paper() -> ExperimentConfig {
+        ExperimentConfig {
+            sequence: SequenceConfig::paper_drive(),
+            cluster: ClusterParams::default(),
+            cpu: CpuConfig::a72_like(),
+            samples: 20,
+            frames_per_sample: 3,
+        }
+    }
+
+    /// A small configuration for tests and smoke runs: a short drive,
+    /// coarse sensor, 4 × 1 sub-samples.
+    pub fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            sequence: SequenceConfig {
+                duration_s: 8.0,
+                frame_hz: 10.0,
+                speed_mps: 13.9,
+                world: WorldConfig {
+                    length: 400.0,
+                    ..WorldConfig::default()
+                },
+                sensor: SensorConfig {
+                    azimuth_steps: 300,
+                    ..SensorConfig::hdl64e()
+                },
+            },
+            cluster: ClusterParams::default(),
+            cpu: CpuConfig::a72_like(),
+            samples: 4,
+            frames_per_sample: 1,
+        }
+    }
+}
+
+/// Drives frames of the sequence through the cluster pipeline on a
+/// fresh, per-mode simulation engine, producing [`FrameMetrics`].
+#[derive(Debug)]
+pub struct FrameRunner {
+    cfg: ExperimentConfig,
+    sequence: DrivingSequence,
+    pipeline: FramePipeline,
+    timing: TimingModel,
+    energy: EnergyModel,
+}
+
+impl FrameRunner {
+    /// Builds the runner (generates the world lazily through the
+    /// sequence).
+    pub fn new(cfg: ExperimentConfig) -> FrameRunner {
+        let sequence = DrivingSequence::new(cfg.sequence.clone());
+        let pipeline = FramePipeline::new(cfg.cluster.clone());
+        FrameRunner {
+            cfg,
+            sequence,
+            pipeline,
+            timing: TimingModel::a72_like(),
+            energy: EnergyModel::a72_like(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The underlying driving sequence.
+    pub fn sequence(&self) -> &DrivingSequence {
+        &self.sequence
+    }
+
+    /// The timing model used for metric derivation.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// The energy model used for metric derivation.
+    pub fn energy(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// The systematic sub-sample frame indices (paper Section V-A).
+    pub fn sampled_frames(&self) -> Vec<usize> {
+        systematic_sample(
+            self.sequence.num_frames(),
+            self.cfg.samples,
+            self.cfg.frames_per_sample,
+        )
+    }
+
+    /// Generates the raw cloud of frame `i` (delegates to the sequence).
+    pub fn raw_frame(&self, i: usize) -> Vec<Point3> {
+        self.sequence.frame(i)
+    }
+
+    /// Runs one already-generated cloud through the pipeline on `sim`,
+    /// collecting per-frame metrics. Counters are reset before the frame
+    /// (cache and predictor state stay warm across frames, like a
+    /// continuously running node).
+    pub fn run_cloud(
+        &self,
+        sim: &mut SimEngine,
+        mode: TreeMode,
+        frame_index: usize,
+        cloud: &[Point3],
+    ) -> FrameMetrics {
+        sim.reset_counters();
+        let result = self.pipeline.run(sim, cloud, mode);
+        FrameMetrics::collect(
+            frame_index,
+            sim,
+            &self.timing,
+            &self.energy,
+            result.output.search_stats,
+            result.output.clusters.len(),
+            result.clustered_points,
+            result.output.compressed_bytes,
+            result.output.build_stats.num_leaves,
+        )
+    }
+
+    /// Runs a set of frames in `mode` on a fresh engine; returns one
+    /// metric record per frame.
+    pub fn run_frames(&self, mode: TreeMode, frames: &[usize]) -> Vec<FrameMetrics> {
+        let mut sim = SimEngine::new(&self.cfg.cpu);
+        frames
+            .iter()
+            .map(|&i| {
+                let cloud = self.raw_frame(i);
+                self.run_cloud(&mut sim, mode, i, &cloud)
+            })
+            .collect()
+    }
+
+    /// Runs the same frames under two modes with frame clouds generated
+    /// once, returning `(baseline, bonsai)` metric records.
+    pub fn run_frames_paired(
+        &self,
+        frames: &[usize],
+        a: TreeMode,
+        b: TreeMode,
+    ) -> (Vec<FrameMetrics>, Vec<FrameMetrics>) {
+        let mut sim_a = SimEngine::new(&self.cfg.cpu);
+        let mut sim_b = SimEngine::new(&self.cfg.cpu);
+        let mut out_a = Vec::with_capacity(frames.len());
+        let mut out_b = Vec::with_capacity(frames.len());
+        for &i in frames {
+            let cloud = self.raw_frame(i);
+            out_a.push(self.run_cloud(&mut sim_a, a, i, &cloud));
+            out_b.push(self.run_cloud(&mut sim_b, b, i, &cloud));
+        }
+        (out_a, out_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_runs_a_frame() {
+        let runner = FrameRunner::new(ExperimentConfig::quick());
+        let frames = runner.sampled_frames();
+        assert_eq!(frames.len(), 4);
+        let m = runner.run_frames(TreeMode::Baseline, &frames[..1]);
+        assert_eq!(m.len(), 1);
+        assert!(m[0].end_to_end.cycles > 0.0);
+        assert!(m[0].clusters > 0, "no clusters in frame");
+        assert!(m[0].search.leaf_visits > 0);
+    }
+
+    #[test]
+    fn paired_runs_share_frames_and_differ_in_work() {
+        let runner = FrameRunner::new(ExperimentConfig::quick());
+        let frames = runner.sampled_frames();
+        let (base, bonsai) =
+            runner.run_frames_paired(&frames[..2], TreeMode::Baseline, TreeMode::Bonsai);
+        assert_eq!(base.len(), 2);
+        for (a, b) in base.iter().zip(&bonsai) {
+            assert_eq!(a.frame_index, b.frame_index);
+            assert_eq!(a.clusters, b.clusters, "cluster outputs must agree");
+            assert!(
+                b.search.point_bytes_loaded < a.search.point_bytes_loaded,
+                "bonsai moves fewer point bytes"
+            );
+            assert_eq!(a.compressed_bytes, 0);
+            assert!(b.compressed_bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Systematic sub-sampling of the frame sequence (paper Section V-A).
+//!
+//! The paper cannot run all 4800 frames of its eight-minute drive
+//! through gem5, so it simulates 20 samples of 300 ms each (3 frames at
+//! 10 Hz), equally spaced in time — 60 frames total — and validates the
+//! proxy with Table III's error metrics. The same procedure applies
+//! here (the event-based model is faster than gem5 but frames are still
+//! the cost unit).
+
+/// Frame indices of a systematic sub-sample: `samples` windows of
+/// `frames_per_sample` consecutive frames, equally spaced across
+/// `total_frames`.
+///
+/// # Panics
+///
+/// Panics when the request does not fit the sequence.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_pipeline::sampling::systematic_sample;
+///
+/// let idx = systematic_sample(4800, 20, 3);
+/// assert_eq!(idx.len(), 60);
+/// assert_eq!(&idx[..3], &[0, 1, 2]);
+/// assert!(idx.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn systematic_sample(
+    total_frames: usize,
+    samples: usize,
+    frames_per_sample: usize,
+) -> Vec<usize> {
+    assert!(
+        samples > 0 && frames_per_sample > 0,
+        "degenerate sampling plan"
+    );
+    assert!(
+        samples * frames_per_sample <= total_frames,
+        "sample plan ({samples}×{frames_per_sample}) exceeds {total_frames} frames"
+    );
+    let stride = total_frames as f64 / samples as f64;
+    let mut out = Vec::with_capacity(samples * frames_per_sample);
+    for s in 0..samples {
+        let start = (s as f64 * stride) as usize;
+        let start = start.min(total_frames - frames_per_sample);
+        for f in 0..frames_per_sample {
+            out.push(start + f);
+        }
+    }
+    out
+}
+
+/// Summary error metrics comparing a sub-sampled measurement against the
+/// full run — the rows of Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsamplingError {
+    /// Standard error of the sub-sample latency mean, as a fraction of
+    /// that mean ("Mean Standard Error for Latency").
+    pub latency_mean_std_error: f64,
+    /// `|IPC_sub − IPC_full| / IPC_full` ("IPC Relative Error").
+    pub ipc_relative_error: f64,
+    /// `|missratio_sub − missratio_full|`, absolute difference
+    /// ("L1-D Cache Miss Ratio Difference").
+    pub l1_miss_ratio_diff: f64,
+    /// `|mispred_sub − mispred_full|`, absolute difference
+    /// ("Branch Mispred. Difference").
+    pub branch_mispredict_diff: f64,
+}
+
+/// Computes the Table III error metrics from per-frame observations of
+/// the full run and the sub-sample (each row: latency seconds, IPC, L1
+/// miss ratio, mispredict ratio).
+///
+/// # Panics
+///
+/// Panics when either set is empty.
+pub fn subsampling_error(
+    full: &[(f64, f64, f64, f64)],
+    sub: &[(f64, f64, f64, f64)],
+) -> SubsamplingError {
+    assert!(!full.is_empty() && !sub.is_empty(), "empty observation set");
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+
+    let sub_lat: Vec<f64> = sub.iter().map(|r| r.0).collect();
+    let sub_lat_mean = mean(&sub_lat);
+    let sub_lat_var = sub_lat
+        .iter()
+        .map(|v| (v - sub_lat_mean).powi(2))
+        .sum::<f64>()
+        / (sub_lat.len().max(2) - 1) as f64;
+    let std_error = (sub_lat_var / sub_lat.len() as f64).sqrt();
+
+    let full_ipc = mean(&full.iter().map(|r| r.1).collect::<Vec<_>>());
+    let sub_ipc = mean(&sub.iter().map(|r| r.1).collect::<Vec<_>>());
+    let full_miss = mean(&full.iter().map(|r| r.2).collect::<Vec<_>>());
+    let sub_miss = mean(&sub.iter().map(|r| r.2).collect::<Vec<_>>());
+    let full_bp = mean(&full.iter().map(|r| r.3).collect::<Vec<_>>());
+    let sub_bp = mean(&sub.iter().map(|r| r.3).collect::<Vec<_>>());
+
+    SubsamplingError {
+        latency_mean_std_error: if sub_lat_mean == 0.0 {
+            0.0
+        } else {
+            std_error / sub_lat_mean
+        },
+        ipc_relative_error: if full_ipc == 0.0 {
+            0.0
+        } else {
+            (sub_ipc - full_ipc).abs() / full_ipc
+        },
+        l1_miss_ratio_diff: (sub_miss - full_miss).abs(),
+        branch_mispredict_diff: (sub_bp - full_bp).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_windows_are_consecutive_and_spread() {
+        let idx = systematic_sample(100, 4, 3);
+        assert_eq!(idx, vec![0, 1, 2, 25, 26, 27, 50, 51, 52, 75, 76, 77]);
+    }
+
+    #[test]
+    fn last_window_stays_in_range() {
+        let idx = systematic_sample(10, 3, 3);
+        assert!(idx.iter().all(|&i| i < 10));
+        assert_eq!(idx.len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_plan_rejected() {
+        systematic_sample(5, 3, 3);
+    }
+
+    #[test]
+    fn perfect_subsample_has_zero_bias_errors() {
+        let rows: Vec<(f64, f64, f64, f64)> = (0..100).map(|_| (2.0, 1.5, 0.03, 0.01)).collect();
+        let err = subsampling_error(&rows, &rows[..10]);
+        assert!(err.ipc_relative_error < 1e-12);
+        assert!(err.l1_miss_ratio_diff < 1e-12);
+        assert!(err.branch_mispredict_diff < 1e-12);
+        assert!(err.latency_mean_std_error < 1e-12); // constant latency
+    }
+
+    #[test]
+    fn biased_subsample_shows_errors() {
+        let full: Vec<(f64, f64, f64, f64)> = (0..100)
+            .map(|i| {
+                let v = 1.0 + (i as f64 / 100.0);
+                (v, v, 0.02 + i as f64 * 1e-4, 0.01)
+            })
+            .collect();
+        // Take only the tail: biased high.
+        let err = subsampling_error(&full, &full[90..]);
+        assert!(err.ipc_relative_error > 0.2);
+        assert!(err.l1_miss_ratio_diff > 0.003);
+        assert!(err.latency_mean_std_error < 0.01, "tail is homogeneous");
+    }
+}

@@ -1,0 +1,128 @@
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::CacheConfig;
+///
+/// let l1 = CacheConfig::new(32 * 1024, 2, 64);
+/// assert_eq!(l1.num_sets(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub associativity: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is inconsistent (capacity not divisible
+    /// into `associativity` ways of power-of-two lines).
+    pub fn new(size_bytes: u64, associativity: u32, line_bytes: u32) -> CacheConfig {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(associativity > 0, "associativity must be positive");
+        let cfg = CacheConfig {
+            size_bytes,
+            associativity,
+            line_bytes,
+        };
+        let sets = cfg.num_sets();
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two, got {sets}"
+        );
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.associativity as u64 * self.line_bytes as u64)
+    }
+}
+
+/// The simulated CPU configuration — the paper's Table IV.
+///
+/// `a72_like()` reproduces the table: an out-of-order ARMv8 at 3 GHz,
+/// fetch width 3, issue width 8, NEON 128-bit SIMD, 32 KB 2-way L1D,
+/// 1 MB 16-way L2, DDR3-1600 main memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Core clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Front-end fetch width (instructions per cycle).
+    pub fetch_width: u32,
+    /// Issue width (micro-ops per cycle).
+    pub issue_width: u32,
+    /// Number of load/store ports.
+    pub mem_ports: u32,
+    /// SIMD width in bits (128 for NEON).
+    pub simd_bits: u32,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+}
+
+impl CpuConfig {
+    /// The Table IV baseline: OoO ARM v8 64-bit @ 3 GHz, 32 KB 2-way L1D,
+    /// 1 MB 16-way L2, 64 B lines, DDR3-1600.
+    pub fn a72_like() -> CpuConfig {
+        CpuConfig {
+            freq_hz: 3.0e9,
+            fetch_width: 3,
+            issue_width: 8,
+            mem_ports: 2,
+            simd_bits: 128,
+            l1d: CacheConfig::new(32 * 1024, 2, 64),
+            l2: CacheConfig::new(1024 * 1024, 16, 64),
+        }
+    }
+
+    /// Number of 32-bit SIMD lanes (4 for NEON) — the lane count of the
+    /// Bonsai square-of-differences vector FU group (Figure 8).
+    pub fn simd_lanes_f32(&self) -> u32 {
+        self.simd_bits / 32
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig::a72_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_geometry() {
+        let cfg = CpuConfig::a72_like();
+        assert_eq!(cfg.l1d.num_sets(), 256);
+        assert_eq!(cfg.l2.num_sets(), 1024);
+        assert_eq!(cfg.simd_lanes_f32(), 4);
+        assert_eq!(cfg.freq_hz, 3.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        CacheConfig::new(32 * 1024, 2, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "sets must be a power of two")]
+    fn inconsistent_geometry_rejected() {
+        CacheConfig::new(48 * 1024, 5, 64);
+    }
+}

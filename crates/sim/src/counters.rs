@@ -1,0 +1,320 @@
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Classes of committed micro-ops tracked by the model.
+///
+/// The split mirrors what the paper reports: loads and stores explicitly
+/// (Figure 9a), the rest folded into "committed instructions", plus the
+/// Bonsai-specific operation classes whose energy the new FUs pay
+/// (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer ALU / address arithmetic / control bookkeeping.
+    IntAlu = 0,
+    /// Scalar floating-point arithmetic.
+    FpAlu = 1,
+    /// 128-bit NEON vector arithmetic.
+    VecAlu = 2,
+    /// Load micro-op.
+    Load = 3,
+    /// Store micro-op.
+    Store = 4,
+    /// Conditional branch.
+    Branch = 5,
+    /// ZipPts buffer compress / decompress micro-op (CPRZPB, the
+    /// decompress step of LDDCP).
+    BonsaiCodec = 6,
+    /// Square-of-differences-with-error vector op (SQDWEL/SQDWEH).
+    BonsaiSqdwe = 7,
+}
+
+impl OpClass {
+    /// Number of op classes.
+    pub const COUNT: usize = 8;
+
+    /// All classes, in discriminant order.
+    pub const ALL: [OpClass; OpClass::COUNT] = [
+        OpClass::IntAlu,
+        OpClass::FpAlu,
+        OpClass::VecAlu,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::BonsaiCodec,
+        OpClass::BonsaiSqdwe,
+    ];
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpClass::IntAlu => "int",
+            OpClass::FpAlu => "fp",
+            OpClass::VecAlu => "vec",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+            OpClass::BonsaiCodec => "bonsai-codec",
+            OpClass::BonsaiSqdwe => "bonsai-sqdwe",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The pipeline phase ("kernel") that counters are attributed to.
+///
+/// Groupings used by the experiments:
+///
+/// * **radius search** (Figure 2 share) = `Traverse` + `LeafScan` +
+///   `Fallback`;
+/// * **extract kernel** (Figures 9a/9b/10/12) = `Build` + `Compress` +
+///   radius search + `ClusterLogic`;
+/// * **end to end** (Figure 11) additionally includes `Preprocess`,
+///   `PostProcess` and `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Point-cloud preprocessing (crop, voxel filter, ground removal).
+    Preprocess = 0,
+    /// K-d tree construction.
+    Build = 1,
+    /// Leaf compression during tree construction (Bonsai only).
+    Compress = 2,
+    /// Interior-node traversal of radius search.
+    Traverse = 3,
+    /// Leaf inspection: distance computation and classification.
+    LeafScan = 4,
+    /// Full-precision re-computation of inconclusive classifications
+    /// (Bonsai only).
+    Fallback = 5,
+    /// Cluster bookkeeping around the searches (queues, labels).
+    ClusterLogic = 6,
+    /// NDT derivative/Hessian math (localization workload).
+    NdtMath = 7,
+    /// Post-processing (cluster labelling, bounding boxes).
+    PostProcess = 8,
+    /// Anything else.
+    Other = 9,
+}
+
+impl Kernel {
+    /// Number of kernels.
+    pub const COUNT: usize = 10;
+
+    /// All kernels, in discriminant order.
+    pub const ALL: [Kernel; Kernel::COUNT] = [
+        Kernel::Preprocess,
+        Kernel::Build,
+        Kernel::Compress,
+        Kernel::Traverse,
+        Kernel::LeafScan,
+        Kernel::Fallback,
+        Kernel::ClusterLogic,
+        Kernel::NdtMath,
+        Kernel::PostProcess,
+        Kernel::Other,
+    ];
+
+    /// The kernels whose union is the paper's *radius search* operation.
+    pub const RADIUS_SEARCH: [Kernel; 3] = [Kernel::Traverse, Kernel::LeafScan, Kernel::Fallback];
+
+    /// The kernels whose union is the euclidean-cluster *extract kernel*
+    /// (90 % of the task in the paper's Valgrind profile).
+    pub const EXTRACT: [Kernel; 6] = [
+        Kernel::Build,
+        Kernel::Compress,
+        Kernel::Traverse,
+        Kernel::LeafScan,
+        Kernel::Fallback,
+        Kernel::ClusterLogic,
+    ];
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Kernel::Preprocess => "preprocess",
+            Kernel::Build => "build",
+            Kernel::Compress => "compress",
+            Kernel::Traverse => "traverse",
+            Kernel::LeafScan => "leaf-scan",
+            Kernel::Fallback => "fallback",
+            Kernel::ClusterLogic => "cluster-logic",
+            Kernel::NdtMath => "ndt-math",
+            Kernel::PostProcess => "post-process",
+            Kernel::Other => "other",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Committed-event counters for one kernel (or a sum over kernels).
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::{Counters, OpClass};
+///
+/// let mut c = Counters::default();
+/// c.bump(OpClass::Load, 3);
+/// assert_eq!(c.loads, 3);
+/// assert_eq!(c.micro_ops(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counters {
+    /// Committed micro-ops per [`OpClass`].
+    pub ops: [u64; OpClass::COUNT],
+    /// Committed load micro-ops (redundant with `ops[Load]`, kept for
+    /// readability at use sites).
+    pub loads: u64,
+    /// Committed store micro-ops.
+    pub stores: u64,
+    /// Useful bytes moved by loads.
+    pub loaded_bytes: u64,
+    /// Useful bytes moved by stores.
+    pub stored_bytes: u64,
+    /// L1D accesses (line-granular).
+    pub l1_accesses: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Main-memory accesses.
+    pub dram_accesses: u64,
+    /// L2 hits whose latency was hidden by the stream prefetcher.
+    pub l2_hits_covered: u64,
+    /// DRAM accesses whose latency was hidden by the stream prefetcher.
+    pub dram_covered: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+}
+
+impl Counters {
+    /// Adds `n` committed micro-ops of the given class.
+    pub fn bump(&mut self, class: OpClass, n: u64) {
+        self.ops[class as usize] += n;
+        match class {
+            OpClass::Load => self.loads += n,
+            OpClass::Store => self.stores += n,
+            OpClass::Branch => self.branches += n,
+            _ => {}
+        }
+    }
+
+    /// Total committed micro-ops across all classes.
+    pub fn micro_ops(&self) -> u64 {
+        self.ops.iter().sum()
+    }
+
+    /// Committed micro-ops of one class.
+    pub fn ops_of(&self, class: OpClass) -> u64 {
+        self.ops[class as usize]
+    }
+
+    /// Memory micro-ops (loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// L1D miss ratio (0 when there were no accesses).
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// Branch misprediction ratio (0 when there were no branches).
+    pub fn mispredict_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+impl Add for Counters {
+    type Output = Counters;
+
+    fn add(self, rhs: Counters) -> Counters {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        for i in 0..OpClass::COUNT {
+            self.ops[i] += rhs.ops[i];
+        }
+        self.loads += rhs.loads;
+        self.stores += rhs.stores;
+        self.loaded_bytes += rhs.loaded_bytes;
+        self.stored_bytes += rhs.stored_bytes;
+        self.l1_accesses += rhs.l1_accesses;
+        self.l1_misses += rhs.l1_misses;
+        self.l2_accesses += rhs.l2_accesses;
+        self.l2_misses += rhs.l2_misses;
+        self.dram_accesses += rhs.dram_accesses;
+        self.l2_hits_covered += rhs.l2_hits_covered;
+        self.dram_covered += rhs.dram_covered;
+        self.branches += rhs.branches;
+        self.mispredicts += rhs.mispredicts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_mirrors_into_named_fields() {
+        let mut c = Counters::default();
+        c.bump(OpClass::Load, 2);
+        c.bump(OpClass::Store, 3);
+        c.bump(OpClass::Branch, 5);
+        c.bump(OpClass::IntAlu, 7);
+        assert_eq!(c.loads, 2);
+        assert_eq!(c.stores, 3);
+        assert_eq!(c.branches, 5);
+        assert_eq!(c.micro_ops(), 17);
+        assert_eq!(c.mem_ops(), 5);
+    }
+
+    #[test]
+    fn addition_is_field_wise() {
+        let mut a = Counters::default();
+        a.bump(OpClass::FpAlu, 10);
+        a.l1_accesses = 4;
+        a.l1_misses = 1;
+        let mut b = Counters::default();
+        b.bump(OpClass::FpAlu, 5);
+        b.l1_accesses = 6;
+        let c = a + b;
+        assert_eq!(c.ops_of(OpClass::FpAlu), 15);
+        assert_eq!(c.l1_accesses, 10);
+        assert_eq!(c.l1_miss_ratio(), 0.1);
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let c = Counters::default();
+        assert_eq!(c.l1_miss_ratio(), 0.0);
+        assert_eq!(c.mispredict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn kernel_groupings_are_consistent() {
+        for k in Kernel::RADIUS_SEARCH {
+            assert!(Kernel::EXTRACT.contains(&k), "{k} in extract");
+        }
+        assert!(!Kernel::EXTRACT.contains(&Kernel::Preprocess));
+        assert_eq!(Kernel::ALL.len(), Kernel::COUNT);
+    }
+}

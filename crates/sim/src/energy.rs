@@ -1,0 +1,135 @@
+use crate::{Counters, OpClass};
+
+/// McPAT-substitute energy model.
+///
+/// Energy is dynamic (per committed event, with per-class coefficients)
+/// plus static (leakage power times runtime):
+///
+/// ```text
+/// E = Σ_class ops(class) × e(class)
+///   + accesses(L1) × e_L1 + accesses(L2) × e_L2 + accesses(DRAM) × e_DRAM
+///   + P_static × t
+/// ```
+///
+/// Coefficients are order-of-magnitude values for a 14 nm mobile-class
+/// core (the paper scales its 32 nm McPAT output to 14 nm with the
+/// Stillmaker equations); the static power matches Table V's 1.15 W.
+/// The Bonsai FU coefficients are derived from Table V's synthesized
+/// dynamic power (24 mW total for the new units — tiny per-op costs).
+/// As with timing, the experiments report relative changes, which are
+/// insensitive to the absolute scale.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::{Counters, EnergyModel, OpClass};
+///
+/// let mut c = Counters::default();
+/// c.bump(OpClass::IntAlu, 1_000_000);
+/// let e = EnergyModel::a72_like();
+/// let joules = e.joules(&c, 0.001);
+/// assert!(joules > 0.001 * 1.15); // at least the static share
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per scalar micro-op (decode + rename + ALU + commit), J.
+    pub per_scalar_op: f64,
+    /// Energy per 128-bit vector micro-op, J.
+    pub per_vector_op: f64,
+    /// Energy per Bonsai codec micro-op (compress/decompress pass), J.
+    pub per_codec_op: f64,
+    /// Energy per SQDWE vector micro-op (4 lanes + LUT lookup), J.
+    pub per_sqdwe_op: f64,
+    /// Energy per L1D access, J.
+    pub per_l1_access: f64,
+    /// Energy per L2 access, J.
+    pub per_l2_access: f64,
+    /// Energy per DRAM access, J.
+    pub per_dram_access: f64,
+    /// Leakage (static) power, W — Table V's 1.15 W.
+    pub static_power: f64,
+}
+
+impl EnergyModel {
+    /// Coefficients for the Table IV / Table V platform.
+    pub fn a72_like() -> EnergyModel {
+        EnergyModel {
+            per_scalar_op: 20e-12,
+            per_vector_op: 45e-12,
+            per_codec_op: 18e-12,
+            per_sqdwe_op: 30e-12,
+            per_l1_access: 15e-12,
+            per_l2_access: 90e-12,
+            per_dram_access: 3_000e-12,
+            static_power: 1.15,
+        }
+    }
+
+    /// Dynamic energy of the events in `c`, in joules.
+    pub fn dynamic_joules(&self, c: &Counters) -> f64 {
+        let scalar = c.ops_of(OpClass::IntAlu)
+            + c.ops_of(OpClass::FpAlu)
+            + c.ops_of(OpClass::Load)
+            + c.ops_of(OpClass::Store)
+            + c.ops_of(OpClass::Branch);
+        scalar as f64 * self.per_scalar_op
+            + c.ops_of(OpClass::VecAlu) as f64 * self.per_vector_op
+            + c.ops_of(OpClass::BonsaiCodec) as f64 * self.per_codec_op
+            + c.ops_of(OpClass::BonsaiSqdwe) as f64 * self.per_sqdwe_op
+            + c.l1_accesses as f64 * self.per_l1_access
+            + c.l2_accesses as f64 * self.per_l2_access
+            + c.dram_accesses as f64 * self.per_dram_access
+    }
+
+    /// Total energy for the events in `c` over a runtime of `seconds`.
+    pub fn joules(&self, c: &Counters, seconds: f64) -> f64 {
+        self.dynamic_joules(c) + self.static_power * seconds
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::a72_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_share_scales_with_time() {
+        let e = EnergyModel::a72_like();
+        let c = Counters::default();
+        assert!((e.joules(&c, 2.0) - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_dominates_cache_per_access() {
+        let e = EnergyModel::a72_like();
+        assert!(e.per_dram_access > 10.0 * e.per_l2_access);
+        assert!(e.per_l2_access > 2.0 * e.per_l1_access);
+    }
+
+    #[test]
+    fn fewer_events_cost_less() {
+        let e = EnergyModel::a72_like();
+        let mut big = Counters::default();
+        big.bump(OpClass::IntAlu, 1000);
+        big.l1_accesses = 500;
+        let mut small = Counters::default();
+        small.bump(OpClass::IntAlu, 800);
+        small.l1_accesses = 400;
+        assert!(e.dynamic_joules(&small) < e.dynamic_joules(&big));
+    }
+
+    #[test]
+    fn bonsai_op_classes_are_billed() {
+        let e = EnergyModel::a72_like();
+        let mut c = Counters::default();
+        c.bump(OpClass::BonsaiCodec, 10);
+        c.bump(OpClass::BonsaiSqdwe, 20);
+        let expect = 10.0 * e.per_codec_op + 20.0 * e.per_sqdwe_op;
+        assert!((e.dynamic_joules(&c) - expect).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,123 @@
+//! The Table V hardware-cost model.
+//!
+//! The paper synthesizes Verilog for the two new hardware blocks
+//! (compression/decompression unit, 4× square-of-differences FUs) with
+//! Synopsys Design Compiler at 14 nm and scales the McPAT baseline CPU
+//! from 32 nm to 14 nm. Synthesis cannot run offline, so the block-level
+//! results are **constants taken from the paper's Table V**; this module
+//! reproduces the table's derived quantities (totals and relative
+//! changes), which is what the area/power experiment regenerates.
+
+/// Area and power of one hardware block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitCost {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Dynamic power in W.
+    pub dynamic_w: f64,
+    /// Static (leakage) power in W.
+    pub static_w: f64,
+}
+
+impl UnitCost {
+    /// Sum of two block costs.
+    pub fn plus(self, other: UnitCost) -> UnitCost {
+        UnitCost {
+            area_mm2: self.area_mm2 + other.area_mm2,
+            dynamic_w: self.dynamic_w + other.dynamic_w,
+            static_w: self.static_w + other.static_w,
+        }
+    }
+}
+
+/// The Table V cost model: baseline processor vs. the added Bonsai units.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::HwCostModel;
+///
+/// let hw = HwCostModel::table5();
+/// let rel = hw.relative_area_increase();
+/// assert!((rel - 0.0036).abs() < 0.0002); // the paper's +0.36 %
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwCostModel {
+    /// The baseline processor including L2 (McPAT, scaled to 14 nm).
+    pub processor: UnitCost,
+    /// The compression/decompression unit (ZipPts buffer + logic).
+    pub codec_unit: UnitCost,
+    /// The four `(A−B′)²`-with-error FUs.
+    pub sqdwe_units: UnitCost,
+}
+
+impl HwCostModel {
+    /// The constants of the paper's Table V.
+    pub fn table5() -> HwCostModel {
+        HwCostModel {
+            processor: UnitCost {
+                area_mm2: 14.26,
+                dynamic_w: 1.86,
+                static_w: 1.15,
+            },
+            codec_unit: UnitCost {
+                area_mm2: 0.0191,
+                dynamic_w: 0.0095,
+                static_w: 6.29e-6,
+            },
+            sqdwe_units: UnitCost {
+                area_mm2: 0.0320,
+                dynamic_w: 0.0144,
+                static_w: 4.55e-6,
+            },
+        }
+    }
+
+    /// Total cost of the added K-D Bonsai hardware.
+    pub fn bonsai_total(&self) -> UnitCost {
+        self.codec_unit.plus(self.sqdwe_units)
+    }
+
+    /// Relative area increase over the baseline processor.
+    pub fn relative_area_increase(&self) -> f64 {
+        self.bonsai_total().area_mm2 / self.processor.area_mm2
+    }
+
+    /// Relative dynamic-power increase over the baseline processor.
+    pub fn relative_dynamic_increase(&self) -> f64 {
+        self.bonsai_total().dynamic_w / self.processor.dynamic_w
+    }
+
+    /// Relative static-power increase over the baseline processor.
+    pub fn relative_static_increase(&self) -> f64 {
+        self.bonsai_total().static_w / self.processor.static_w
+    }
+}
+
+impl Default for HwCostModel {
+    fn default() -> HwCostModel {
+        HwCostModel::table5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table5() {
+        let hw = HwCostModel::table5();
+        let total = hw.bonsai_total();
+        assert!((total.area_mm2 - 0.0511).abs() < 1e-9);
+        assert!((total.dynamic_w - 0.0239).abs() < 2e-4); // paper rounds to 0.0240
+        assert!((total.static_w - 1.084e-5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn relative_changes_match_table5() {
+        let hw = HwCostModel::table5();
+        assert!((hw.relative_area_increase() - 0.0036).abs() < 1e-4);
+        assert!((hw.relative_dynamic_increase() - 0.0129).abs() < 1e-3);
+        assert!(hw.relative_static_increase() < 1e-4); // "0.001 %"
+    }
+}

@@ -1,0 +1,169 @@
+/// A sample distribution with the summary statistics the paper's box
+/// plots report (Figures 11 and 12): quartiles, mean, and tail
+/// percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::Distribution;
+///
+/// let d = Distribution::from_samples((1..=100).map(|v| v as f64));
+/// assert_eq!(d.mean(), 50.5);
+/// assert_eq!(d.percentile(100.0), 100.0);
+/// assert_eq!(d.median(), 50.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    sorted: Vec<f64>,
+}
+
+impl Distribution {
+    /// Builds a distribution from samples. NaN samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Distribution {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|v| !v.is_nan()), "NaN sample");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Distribution { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the distribution has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The samples in ascending order.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Arithmetic mean (0 for an empty distribution).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Sample standard deviation (0 with fewer than two samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .sorted
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (self.sorted.len() - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Standard error of the mean (0 with fewer than two samples).
+    pub fn std_error(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            0.0
+        } else {
+            self.std_dev() / (self.sorted.len() as f64).sqrt()
+        }
+    }
+
+    /// The `p`-th percentile (linear interpolation between order
+    /// statistics; `p` in `[0, 100]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty distribution or `p` outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "empty distribution");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.sorted.len() == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// `(min, q1, median, q3, max)` — the box-plot five-number summary.
+    pub fn five_number_summary(&self) -> (f64, f64, f64, f64, f64) {
+        (
+            self.percentile(0.0),
+            self.percentile(25.0),
+            self.median(),
+            self.percentile(75.0),
+            self.percentile(100.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sequence() {
+        let d = Distribution::from_samples([4.0, 1.0, 3.0, 2.0, 5.0]);
+        let (min, q1, med, q3, max) = d.five_number_summary();
+        assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let d = Distribution::from_samples([0.0, 10.0]);
+        assert_eq!(d.percentile(25.0), 2.5);
+        assert_eq!(d.percentile(99.0), 9.9);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let d = Distribution::from_samples([7.0; 10]);
+        assert_eq!(d.std_dev(), 0.0);
+        assert_eq!(d.std_error(), 0.0);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_samples() {
+        let small = Distribution::from_samples((0..10).map(|v| v as f64));
+        let large = Distribution::from_samples((0..1000).map(|v| (v % 10) as f64));
+        assert!(large.std_error() < small.std_error());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_samples_rejected() {
+        Distribution::from_samples([1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        Distribution::from_samples(std::iter::empty()).percentile(50.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let d = Distribution::from_samples([42.0]);
+        assert_eq!(d.percentile(0.0), 42.0);
+        assert_eq!(d.percentile(100.0), 42.0);
+        assert_eq!(d.median(), 42.0);
+    }
+}

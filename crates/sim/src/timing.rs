@@ -1,0 +1,165 @@
+use crate::Counters;
+
+/// Analytic out-of-order timing model.
+///
+/// The gem5 simulation of the paper is replaced by a first-order model of
+/// an OoO core: execution time is the larger of the front-end/issue bound
+/// and the memory-port bound, plus stall terms for cache misses (damped
+/// by a memory-level-parallelism factor — an OoO window overlaps several
+/// outstanding misses) and branch mispredictions (pipeline refill).
+///
+/// ```text
+/// cycles = max(µops / issue_eff, mem_ops / ports)
+///        + (L2 hits × L2_lat + DRAM accesses × DRAM_lat) / MLP
+///        + mispredicts × refill
+/// ```
+///
+/// The constants are documented, physically plausible values for the
+/// Table IV core; every experiment reports *relative* changes between two
+/// runs of the same model, which is robust to the exact constants.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_sim::{Counters, OpClass, TimingModel};
+///
+/// let mut c = Counters::default();
+/// c.bump(OpClass::IntAlu, 300);
+/// let t = TimingModel::a72_like();
+/// assert_eq!(t.cycles(&c), 100.0); // pure ALU work: issue-bound at 3/cycle
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    /// Sustained micro-ops per cycle. Bounded by the 3-wide fetch of the
+    /// A72-like core (Table IV: fetch width 3) rather than the 8-wide
+    /// issue, which is a burst capability.
+    pub issue_eff: f64,
+    /// Load/store micro-ops per cycle (2 AGU ports).
+    pub mem_ports: f64,
+    /// L1 miss, L2 hit penalty in cycles.
+    pub l2_hit_latency: f64,
+    /// L2 miss (DRAM) penalty in cycles (~57 ns at 3 GHz, DDR3-1600).
+    pub dram_latency: f64,
+    /// Memory-level parallelism: average outstanding misses the OoO
+    /// window overlaps.
+    pub mlp: f64,
+    /// Branch misprediction pipeline-refill penalty in cycles.
+    pub mispredict_penalty: f64,
+    /// Core clock in Hz (for converting cycles to seconds).
+    pub freq_hz: f64,
+}
+
+impl TimingModel {
+    /// Constants for the Table IV core.
+    pub fn a72_like() -> TimingModel {
+        TimingModel {
+            issue_eff: 3.0,
+            mem_ports: 2.0,
+            l2_hit_latency: 13.0,
+            dram_latency: 170.0,
+            mlp: 4.0,
+            mispredict_penalty: 14.0,
+            freq_hz: 3.0e9,
+        }
+    }
+
+    /// Estimated cycles to commit the events in `c`.
+    ///
+    /// Prefetch-covered misses (`l2_hits_covered`, `dram_covered`)
+    /// contribute traffic but no stall — the stream prefetcher issued
+    /// them ahead of use.
+    pub fn cycles(&self, c: &Counters) -> f64 {
+        let issue_bound = c.micro_ops() as f64 / self.issue_eff;
+        let mem_bound = c.mem_ops() as f64 / self.mem_ports;
+        let l2_hits = c
+            .l2_accesses
+            .saturating_sub(c.l2_misses)
+            .saturating_sub(c.l2_hits_covered) as f64;
+        let dram = c.dram_accesses.saturating_sub(c.dram_covered) as f64;
+        let miss_stall = (l2_hits * self.l2_hit_latency + dram * self.dram_latency) / self.mlp;
+        let branch_stall = c.mispredicts as f64 * self.mispredict_penalty;
+        issue_bound.max(mem_bound) + miss_stall + branch_stall
+    }
+
+    /// Estimated wall-clock seconds for the events in `c`.
+    pub fn seconds(&self, c: &Counters) -> f64 {
+        self.cycles(c) / self.freq_hz
+    }
+
+    /// Instructions per cycle of the run described by `c`.
+    pub fn ipc(&self, c: &Counters) -> f64 {
+        let cycles = self.cycles(c);
+        if cycles == 0.0 {
+            0.0
+        } else {
+            c.micro_ops() as f64 / cycles
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> TimingModel {
+        TimingModel::a72_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpClass;
+
+    fn with(ops: u64, loads: u64, l2_acc: u64, l2_miss: u64, dram: u64, mispred: u64) -> Counters {
+        let mut c = Counters::default();
+        c.bump(OpClass::IntAlu, ops);
+        c.bump(OpClass::Load, loads);
+        c.l2_accesses = l2_acc;
+        c.l2_misses = l2_miss;
+        c.dram_accesses = dram;
+        c.mispredicts = mispred;
+        c
+    }
+
+    #[test]
+    fn compute_bound_scales_with_issue_width() {
+        let t = TimingModel::a72_like();
+        let c = with(3000, 0, 0, 0, 0, 0);
+        assert_eq!(t.cycles(&c), 1000.0);
+    }
+
+    #[test]
+    fn memory_port_bound_dominates_load_heavy_code() {
+        let t = TimingModel::a72_like();
+        // 100 ALU ops but 400 loads: 400/2 = 200 > 500/3.
+        let c = with(100, 400, 0, 0, 0, 0);
+        assert_eq!(t.cycles(&c), 200.0);
+    }
+
+    #[test]
+    fn misses_add_damped_stalls() {
+        let t = TimingModel::a72_like();
+        let no_miss = with(300, 0, 0, 0, 0, 0);
+        let mut missy = no_miss;
+        missy.l2_accesses = 8;
+        missy.l2_misses = 8;
+        missy.dram_accesses = 8;
+        let delta = t.cycles(&missy) - t.cycles(&no_miss);
+        assert_eq!(delta, 8.0 * 170.0 / 4.0);
+    }
+
+    #[test]
+    fn mispredicts_cost_refills() {
+        let t = TimingModel::a72_like();
+        let clean = with(300, 0, 0, 0, 0, 0);
+        let dirty = with(300, 0, 0, 0, 0, 10);
+        assert_eq!(t.cycles(&dirty) - t.cycles(&clean), 140.0);
+    }
+
+    #[test]
+    fn ipc_and_seconds_are_consistent() {
+        let t = TimingModel::a72_like();
+        let c = with(3000, 0, 0, 0, 0, 0);
+        assert!((t.ipc(&c) - 3.0).abs() < 1e-12);
+        assert!((t.seconds(&c) - 1000.0 / 3.0e9).abs() < 1e-18);
+        assert_eq!(t.ipc(&Counters::default()), 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Reproduction of **"K-D Bonsai: ISA-Extensions to Compress K-D Trees
+//! for Autonomous Driving Tasks"** (Becker, Arnau, González — ISCA 2023).
+//!
+//! This facade crate re-exports the workspace so applications can depend
+//! on one crate. The layering, bottom-up:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geom`] | `bonsai-geom` | points, boxes, rays, poses, small matrices |
+//! | [`floatfmt`] | `bonsai-floatfmt` | f16/bfloat16/float24, the Eq. 6 error bound |
+//! | [`lidar`] | `bonsai-lidar` | synthetic HDL-64E + urban driving sequences |
+//! | [`sim`] | `bonsai-sim` | caches, branch predictor, timing, energy models |
+//! | [`isa`] | `bonsai-isa` | the six Bonsai instructions + ZipPts buffer |
+//! | [`kdtree`] | `bonsai-kdtree` | PCL/FLANN-style k-d tree, radius/kNN search |
+//! | [`core`] | `bonsai-core` | **the paper's contribution**: compressed leaves, exact search |
+//! | [`cluster`] | `bonsai-cluster` | Autoware-style euclidean clustering |
+//! | [`ndt`] | `bonsai-ndt` | NDT scan matching (localization workload) |
+//! | [`pipeline`] | `bonsai-pipeline` | every table/figure as a runnable experiment |
+//!
+//! # Quick start
+//!
+//! ```
+//! use kd_bonsai::core::BonsaiTree;
+//! use kd_bonsai::geom::Point3;
+//! use kd_bonsai::kdtree::KdTreeConfig;
+//! use kd_bonsai::sim::SimEngine;
+//!
+//! let cloud: Vec<Point3> =
+//!     (0..300).map(|i| Point3::new((i % 20) as f32 * 0.2, (i / 20) as f32 * 0.2, 1.0)).collect();
+//! let mut sim = SimEngine::disabled();
+//! let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+//!
+//! // Compressed search returns exactly the baseline membership.
+//! let hits = tree.radius_search_simple(cloud[25], 0.5);
+//! assert!(!hits.is_empty());
+//! ```
+
+pub use bonsai_cluster as cluster;
+pub use bonsai_core as core;
+pub use bonsai_floatfmt as floatfmt;
+pub use bonsai_geom as geom;
+pub use bonsai_isa as isa;
+pub use bonsai_kdtree as kdtree;
+pub use bonsai_lidar as lidar;
+pub use bonsai_ndt as ndt;
+pub use bonsai_pipeline as pipeline;
+pub use bonsai_sim as sim;

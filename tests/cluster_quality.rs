@@ -1,0 +1,76 @@
+//! Does the pipeline actually segment *objects*? Clusters extracted
+//! from a synthetic frame are checked against the LiDAR ground-truth
+//! labels: each cluster should be label-pure (one dominant object
+//! class), and the obstacle classes present in the scene should be
+//! recovered.
+
+use std::collections::HashMap;
+
+use kd_bonsai::cluster::{ClusterParams, FramePipeline, TreeMode};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::lidar::{DrivingSequence, ObjectKind, SequenceConfig};
+use kd_bonsai::sim::SimEngine;
+
+/// Majority ground-truth label of a cluster, voted by the raw labelled
+/// points nearest to each clustered point.
+fn majority_label(cluster_pts: &[Point3], labeled: &[(Point3, ObjectKind)]) -> (ObjectKind, f64) {
+    let mut votes: HashMap<ObjectKind, usize> = HashMap::new();
+    for cp in cluster_pts {
+        // Nearest raw point (linear scan is fine at test scale).
+        let (_, kind) = labeled
+            .iter()
+            .min_by(|(a, _), (b, _)| a.distance_squared(*cp).total_cmp(&b.distance_squared(*cp)))
+            .expect("non-empty frame");
+        *votes.entry(*kind).or_default() += 1;
+    }
+    let total: usize = votes.values().sum();
+    let (kind, n) = votes
+        .into_iter()
+        .max_by_key(|(_, n)| *n)
+        .expect("non-empty cluster");
+    (kind, n as f64 / total as f64)
+}
+
+#[test]
+fn clusters_are_label_pure_objects() {
+    let seq = DrivingSequence::new(SequenceConfig::small_test());
+    let pipeline = FramePipeline::new(ClusterParams::default());
+    let labeled = seq.frame_labeled(4);
+    let cloud: Vec<Point3> = labeled.iter().map(|(p, _)| *p).collect();
+
+    let mut sim = SimEngine::disabled();
+    let result = pipeline.run(&mut sim, &cloud, TreeMode::Bonsai);
+    assert!(
+        result.output.clusters.len() >= 3,
+        "found {} clusters",
+        result.output.clusters.len()
+    );
+
+    // Reconstruct the clustered (preprocessed) cloud to map indices back
+    // to coordinates.
+    let mut sim2 = SimEngine::disabled();
+    let prepared = pipeline.preprocess(&mut sim2, &cloud);
+
+    let mut pure = 0usize;
+    let mut kinds_seen: HashMap<ObjectKind, usize> = HashMap::new();
+    for cluster in &result.output.clusters {
+        let pts: Vec<Point3> = cluster.iter().map(|&i| prepared[i as usize]).collect();
+        let (kind, purity) = majority_label(&pts, &labeled);
+        assert_ne!(kind, ObjectKind::Ground, "ground should have been removed");
+        if purity >= 0.8 {
+            pure += 1;
+        }
+        *kinds_seen.entry(kind).or_default() += 1;
+    }
+    // The overwhelming majority of clusters correspond to one object.
+    let purity_rate = pure as f64 / result.output.clusters.len() as f64;
+    assert!(
+        purity_rate > 0.8,
+        "only {purity_rate:.2} of clusters are label-pure"
+    );
+    // The scene's obstacle classes are recovered.
+    assert!(
+        kinds_seen.len() >= 2,
+        "expected multiple obstacle classes, got {kinds_seen:?}"
+    );
+}

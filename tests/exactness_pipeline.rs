@@ -1,0 +1,54 @@
+//! Property-based integration test: the whole stack (LiDAR frame →
+//! preprocessing → compressed tree → clustering) yields identical output
+//! for baseline and Bonsai on randomized scenes — the paper's safety
+//! guarantee, checked at system level rather than per search.
+
+use kd_bonsai::cluster::{extract_euclidean_clusters, TreeMode};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::kdtree::KdTreeConfig;
+use kd_bonsai::sim::SimEngine;
+use proptest::prelude::*;
+
+/// Random multi-blob scenes: cluster-friendly structure plus noise.
+fn arb_scene() -> impl Strategy<Value = Vec<Point3>> {
+    let blob = (
+        (-40.0f32..40.0, -40.0f32..40.0),
+        prop::collection::vec((-1.0f32..1.0, -1.0f32..1.0, 0.0f32..2.0), 8..60),
+    )
+        .prop_map(|((cx, cy), offsets)| {
+            offsets
+                .into_iter()
+                .map(move |(dx, dy, z)| Point3::new(cx + dx, cy + dy, z))
+                .collect::<Vec<_>>()
+        });
+    prop::collection::vec(blob, 1..6).prop_map(|blobs| blobs.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clustering_is_mode_invariant(
+        scene in arb_scene(),
+        tolerance in 0.2f32..1.5,
+        leaf in 4usize..=16,
+        min_size in 1usize..20,
+    ) {
+        let cfg = KdTreeConfig { max_leaf_points: leaf, ..KdTreeConfig::default() };
+        let mut outputs = Vec::new();
+        for mode in [TreeMode::Baseline, TreeMode::Bonsai] {
+            let mut sim = SimEngine::disabled();
+            let out = extract_euclidean_clusters(
+                &mut sim,
+                scene.clone(),
+                tolerance,
+                min_size,
+                100_000,
+                cfg,
+                mode,
+            );
+            outputs.push(out.clusters);
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1]);
+    }
+}
