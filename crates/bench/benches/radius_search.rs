@@ -2,35 +2,15 @@
 //! performance of the library itself; the *simulated* performance
 //! comparison is the `fig9_extract_kernel` binary).
 
+use bonsai_bench::workload::{urban_cloud, BATCH_CLOUD};
 use bonsai_core::{BonsaiTree, SoftwareCodecProcessor};
-use bonsai_geom::Point3;
 use bonsai_isa::Machine;
 use bonsai_kdtree::{BaselineLeafProcessor, KdTreeConfig, SearchStats};
 use bonsai_sim::SimEngine;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn urban_cloud(n: usize) -> Vec<Point3> {
-    let mut state = 0xC0FFEEu64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f32 / (1u64 << 53) as f32
-    };
-    (0..n)
-        .map(|_| {
-            let cluster = (next() * 40.0).floor();
-            Point3::new(
-                (cluster - 20.0) * 4.0 + next() * 2.0,
-                (next() - 0.5) * 100.0,
-                next() * 2.5,
-            )
-        })
-        .collect()
-}
-
 fn bench_radius_search(c: &mut Criterion) {
-    let cloud = urban_cloud(20_000);
+    let cloud = urban_cloud(BATCH_CLOUD);
     let mut sim = SimEngine::disabled();
     let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
     let mut group = c.benchmark_group("radius_search_per_query");

@@ -1,0 +1,140 @@
+//! Measures per-query vs. batched vs. batched+parallel radius-search
+//! throughput on the 20k-point urban cloud and writes
+//! `BENCH_radius_batch.json` — the perf-trajectory artifact the batch
+//! engine is judged by (acceptance: batched ≥ 2× the seed per-query
+//! path).
+//!
+//! ```sh
+//! cargo run --release --bin bench_radius_batch [-- --quick]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bonsai_bench::workload::{
+    batch_queries, urban_cloud, BATCH_CLOUD, BATCH_QUERIES, BATCH_RADIUS,
+};
+use bonsai_core::{BonsaiTree, RadiusSearchEngine};
+use bonsai_isa::Machine;
+use bonsai_kdtree::{KdTreeConfig, QueryBatch, SearchStats};
+use bonsai_sim::SimEngine;
+
+const RADIUS: f32 = BATCH_RADIUS;
+
+/// Runs `work` repeatedly for ~`budget_ms`, returning queries/second.
+fn measure_qps(queries: usize, budget_ms: u64, mut work: impl FnMut() -> usize) -> f64 {
+    // One untimed warm-up round.
+    let mut checksum = work();
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    while start.elapsed().as_millis() < budget_ms as u128 {
+        checksum = checksum.wrapping_add(work());
+        rounds += 1;
+    }
+    std::hint::black_box(checksum);
+    (rounds as f64 * queries as f64) / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (cloud_n, query_n, budget_ms) = if quick {
+        (BATCH_CLOUD / 4, BATCH_QUERIES / 4, 120)
+    } else {
+        (BATCH_CLOUD, BATCH_QUERIES, 900)
+    };
+
+    let cloud = urban_cloud(cloud_n);
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let queries = batch_queries(&cloud, query_n);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"radius_batch\",");
+    let _ = writeln!(json, "  \"cloud_points\": {cloud_n},");
+    let _ = writeln!(json, "  \"queries\": {query_n},");
+    let _ = writeln!(json, "  \"radius\": {RADIUS},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"modes\": {{");
+
+    for (mi, (mode, baseline)) in [("baseline", true), ("bonsai", false)]
+        .into_iter()
+        .enumerate()
+    {
+        // Seed-shaped per-query path: independent instrumented-API
+        // searches (fresh vectors; fresh processor per search under
+        // Bonsai), simulator disabled.
+        let mut machine = Machine::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        let per_query_qps = measure_qps(query_n, budget_ms, || {
+            let mut total = 0;
+            for &q in &queries {
+                if baseline {
+                    total += tree.kd_tree().radius_search_simple(q, RADIUS).len();
+                } else {
+                    tree.radius_search(&mut sim, &mut machine, q, RADIUS, &mut out, &mut stats);
+                    total += out.len();
+                }
+            }
+            total
+        });
+
+        let engine = if baseline {
+            RadiusSearchEngine::baseline(tree.kd_tree())
+        } else {
+            RadiusSearchEngine::bonsai(&tree)
+        };
+        let mut batch = QueryBatch::new();
+        let batched_qps = measure_qps(query_n, budget_ms, || {
+            engine.search_batch(&queries, RADIUS, &mut batch);
+            batch.total_matches()
+        });
+
+        #[cfg(feature = "parallel")]
+        let parallel_qps = {
+            let mut batch = QueryBatch::new();
+            measure_qps(query_n, budget_ms, || {
+                engine.search_batch_parallel(&queries, RADIUS, &mut batch, 0);
+                batch.total_matches()
+            })
+        };
+        #[cfg(not(feature = "parallel"))]
+        let parallel_qps = batched_qps;
+
+        // Exactness spot check: the batched engine must reproduce the
+        // per-query instrumented results.
+        engine.search_batch(&queries, RADIUS, &mut batch);
+        for (i, &q) in queries.iter().enumerate().step_by(37) {
+            let expect = if baseline {
+                tree.kd_tree().radius_search_simple(q, RADIUS)
+            } else {
+                tree.radius_search_simple(q, RADIUS)
+            };
+            assert_eq!(batch.results(i), &expect[..], "{mode} query {i} diverged");
+        }
+
+        let speedup = batched_qps / per_query_qps;
+        let parallel_speedup = parallel_qps / per_query_qps;
+        println!(
+            "{mode:>8}: per-query {per_query_qps:>12.0} q/s | batched {batched_qps:>12.0} q/s \
+             ({speedup:.2}x) | parallel {parallel_qps:>12.0} q/s ({parallel_speedup:.2}x)"
+        );
+        let _ = writeln!(json, "    \"{mode}\": {{");
+        let _ = writeln!(json, "      \"per_query_qps\": {per_query_qps:.0},");
+        let _ = writeln!(json, "      \"batched_qps\": {batched_qps:.0},");
+        let _ = writeln!(json, "      \"batched_parallel_qps\": {parallel_qps:.0},");
+        let _ = writeln!(json, "      \"batched_speedup\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"batched_parallel_speedup\": {parallel_speedup:.3}"
+        );
+        let _ = writeln!(json, "    }}{}", if mi == 0 { "," } else { "" });
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_radius_batch.json", &json).expect("write BENCH_radius_batch.json");
+    println!("wrote BENCH_radius_batch.json");
+}

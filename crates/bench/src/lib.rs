@@ -76,6 +76,46 @@ impl Cli {
     }
 }
 
+/// Shared synthetic workloads, so the criterion benches and the
+/// `BENCH_*.json` trajectory binaries measure the identical clouds.
+pub mod workload {
+    use bonsai_geom::Point3;
+
+    /// Cloud size of the batch radius-search workload.
+    pub const BATCH_CLOUD: usize = 20_000;
+    /// Queries per batch of the batch radius-search workload.
+    pub const BATCH_QUERIES: usize = 2_048;
+    /// Search radius of the batch radius-search workload, meters.
+    pub const BATCH_RADIUS: f32 = 0.8;
+
+    /// The clustered "urban" cloud the radius-search benches share:
+    /// 40 lanes of structure along x, LiDAR-plausible spreads in y/z.
+    pub fn urban_cloud(n: usize) -> Vec<Point3> {
+        let mut state = 0xC0FFEEu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let cluster = (next() * 40.0).floor();
+                Point3::new(
+                    (cluster - 20.0) * 4.0 + next() * 2.0,
+                    (next() - 0.5) * 100.0,
+                    next() * 2.5,
+                )
+            })
+            .collect()
+    }
+
+    /// The query set of the batch workload: every 97th point, wrapped.
+    pub fn batch_queries(cloud: &[Point3], n: usize) -> Vec<Point3> {
+        (0..n).map(|i| cloud[(i * 97) % cloud.len()]).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

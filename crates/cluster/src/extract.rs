@@ -1,8 +1,9 @@
-use bonsai_core::{BonsaiTree, SoftwareCodecProcessor};
+use bonsai_core::{BonsaiTree, RadiusSearchEngine, SoftwareCodecProcessor};
 use bonsai_geom::Point3;
 use bonsai_isa::Machine;
 use bonsai_kdtree::{
-    BaselineLeafProcessor, BuildStats, KdTree, KdTreeConfig, Neighbor, SearchStats,
+    BaselineLeafProcessor, BuildStats, KdTree, KdTreeConfig, Neighbor, QueryBatch, SearchScratch,
+    SearchStats,
 };
 use bonsai_sim::{Kernel, OpClass, SimEngine};
 
@@ -77,9 +78,27 @@ pub fn extract_euclidean_clusters(
     mode: TreeMode,
 ) -> ClusterOutput {
     assert!(tolerance > 0.0, "cluster tolerance must be positive");
+    if !sim.is_enabled() {
+        // Production path: no events to record, so drain the BFS
+        // through the batch engine (and, with the `parallel` feature,
+        // across worker threads). Output is identical to the
+        // instrumented path below — euclidean clusters are the
+        // connected components of the tolerance graph, independent of
+        // traversal order, and the engine's per-query results are
+        // bit-identical to the leaf processors'.
+        return extract_euclidean_clusters_batched(
+            points,
+            tolerance,
+            min_cluster_size,
+            max_cluster_size,
+            tree_cfg,
+            mode,
+        );
+    }
     let n = points.len();
 
     // Build the tree (Build kernel; + Compress kernel under Bonsai).
+    #[allow(clippy::large_enum_variant)] // one stack instance per extraction
     enum Built {
         Baseline(KdTree),
         Bonsai(BonsaiTree),
@@ -107,13 +126,14 @@ pub fn extract_euclidean_clusters(
     };
     let mut bonsai_proc = match mode {
         TreeMode::Bonsai => {
-            bonsai.map(|b| bonsai_core::BonsaiLeafProcessor::new(sim, b.directory(), &mut machine))
+            bonsai.map(|b| bonsai_core::BonsaiLeafProcessor::new(b.directory(), &mut machine))
         }
         _ => None,
     };
 
     let mut search_stats = SearchStats::default();
     let mut neighbors: Vec<Neighbor> = Vec::new();
+    let mut scratch = SearchScratch::new();
 
     // BFS state (PCL's `processed` array + seed queue), plus the result
     // vectors the BFS reads back after every search (the searches wrote
@@ -149,29 +169,32 @@ pub fn extract_euclidean_clusters(
 
             let query = tree.points()[q_idx as usize];
             match (mode, &mut bonsai_proc, &mut software_proc) {
-                (TreeMode::Baseline, _, _) => tree.radius_search(
+                (TreeMode::Baseline, _, _) => tree.radius_search_scratch(
                     sim,
                     &mut baseline_proc,
                     query,
                     tolerance,
                     &mut neighbors,
                     &mut search_stats,
+                    &mut scratch,
                 ),
-                (TreeMode::Bonsai, Some(proc), _) => tree.radius_search(
+                (TreeMode::Bonsai, Some(proc), _) => tree.radius_search_scratch(
                     sim,
                     proc,
                     query,
                     tolerance,
                     &mut neighbors,
                     &mut search_stats,
+                    &mut scratch,
                 ),
-                (TreeMode::SoftwareCodec, _, Some(proc)) => tree.radius_search(
+                (TreeMode::SoftwareCodec, _, Some(proc)) => tree.radius_search_scratch(
                     sim,
                     proc,
                     query,
                     tolerance,
                     &mut neighbors,
                     &mut search_stats,
+                    &mut scratch,
                 ),
                 _ => unreachable!("mode/tree mismatch"),
             }
@@ -207,6 +230,135 @@ pub fn extract_euclidean_clusters(
         search_stats,
         build_stats: tree.build_stats(),
         compressed_bytes: bonsai.map_or(0, |b| b.compression_stats().compressed_bytes),
+    }
+}
+
+/// Frontier size past which a BFS round fans out across threads. Below
+/// this the scoped-thread setup costs more than the searches.
+#[cfg(feature = "parallel")]
+const PARALLEL_FRONTIER_MIN: usize = 512;
+
+/// Searches one BFS frontier through the batch engine, in parallel when
+/// the frontier is large enough to amortize thread startup.
+fn search_frontier(
+    engine: &RadiusSearchEngine<'_>,
+    queries: &[Point3],
+    tolerance: f32,
+    batch: &mut QueryBatch,
+) {
+    #[cfg(feature = "parallel")]
+    if queries.len() >= PARALLEL_FRONTIER_MIN {
+        return engine.search_batch_parallel(queries, tolerance, batch, 0);
+    }
+    engine.search_batch(queries, tolerance, batch);
+}
+
+/// The uninstrumented production form of [`extract_euclidean_clusters`]:
+/// identical clusters, but the BFS drains its frontier through the
+/// batch radius-search engine — each round answers every frontier
+/// point's neighborhood query in one allocation-free batch (fanned out
+/// across threads with the `parallel` feature) instead of issuing one
+/// fully-independent search per point.
+///
+/// [`extract_euclidean_clusters`] dispatches here by itself whenever
+/// its [`SimEngine`] is disabled; call this directly when no simulator
+/// is in scope.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_cluster::{extract_euclidean_clusters_batched, TreeMode};
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::KdTreeConfig;
+///
+/// let mut pts = Vec::new();
+/// for i in 0..30 {
+///     pts.push(Point3::new(i as f32 * 0.05, 0.0, 0.0));
+///     pts.push(Point3::new(10.0 + i as f32 * 0.05, 0.0, 0.0));
+/// }
+/// let out = extract_euclidean_clusters_batched(
+///     pts, 0.3, 5, 1000, KdTreeConfig::default(), TreeMode::Bonsai);
+/// assert_eq!(out.clusters.len(), 2);
+/// ```
+pub fn extract_euclidean_clusters_batched(
+    points: Vec<Point3>,
+    tolerance: f32,
+    min_cluster_size: usize,
+    max_cluster_size: usize,
+    tree_cfg: KdTreeConfig,
+    mode: TreeMode,
+) -> ClusterOutput {
+    assert!(tolerance > 0.0, "cluster tolerance must be positive");
+    let n = points.len();
+    let mut sim = SimEngine::disabled();
+
+    #[allow(clippy::large_enum_variant)] // one stack instance per extraction
+    enum Built {
+        Baseline(KdTree),
+        Bonsai(BonsaiTree),
+    }
+    let built = match mode {
+        TreeMode::Baseline => Built::Baseline(KdTree::build(points, tree_cfg, &mut sim)),
+        TreeMode::Bonsai | TreeMode::SoftwareCodec => {
+            Built::Bonsai(BonsaiTree::build(points, tree_cfg, &mut sim))
+        }
+    };
+    let (tree, engine, compressed_bytes) = match &built {
+        Built::Baseline(t) => (t, RadiusSearchEngine::baseline(t), 0),
+        Built::Bonsai(b) => (
+            b.kd_tree(),
+            RadiusSearchEngine::bonsai(b),
+            b.compression_stats().compressed_bytes,
+        ),
+    };
+
+    let mut processed = vec![false; n];
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    let mut search_stats = SearchStats::default();
+    // Round-trip buffers, reused across every round of every cluster.
+    let mut batch = QueryBatch::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next_frontier: Vec<u32> = Vec::new();
+    let mut queries: Vec<Point3> = Vec::new();
+
+    for seed in 0..n as u32 {
+        if processed[seed as usize] {
+            continue;
+        }
+        processed[seed as usize] = true;
+        let mut members: Vec<u32> = vec![seed];
+        frontier.clear();
+        frontier.push(seed);
+        // Level-synchronous BFS: one batched search per frontier.
+        while !frontier.is_empty() {
+            queries.clear();
+            queries.extend(frontier.iter().map(|&i| tree.points()[i as usize]));
+            search_frontier(&engine, &queries, tolerance, &mut batch);
+            search_stats += *batch.stats();
+            next_frontier.clear();
+            for qi in 0..frontier.len() {
+                for nb in batch.results(qi) {
+                    if !processed[nb.index as usize] {
+                        processed[nb.index as usize] = true;
+                        members.push(nb.index);
+                        next_frontier.push(nb.index);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next_frontier);
+        }
+
+        if (min_cluster_size..=max_cluster_size).contains(&members.len()) {
+            members.sort_unstable();
+            clusters.push(members);
+        }
+    }
+
+    ClusterOutput {
+        clusters,
+        search_stats,
+        build_stats: tree.build_stats(),
+        compressed_bytes,
     }
 }
 
@@ -322,6 +474,46 @@ mod tests {
         );
         assert_eq!(out.clusters.len(), 1);
         assert_eq!(out.clusters[0].len(), 80);
+    }
+
+    /// The batched BFS must reproduce the instrumented per-query BFS
+    /// exactly: same clusters and the same aggregate search counters,
+    /// for every tree mode.
+    #[test]
+    fn batched_extraction_matches_instrumented_per_query_bfs() {
+        let cloud = three_blob_cloud();
+        for mode in [
+            TreeMode::Baseline,
+            TreeMode::Bonsai,
+            TreeMode::SoftwareCodec,
+        ] {
+            // Enabled sim → the instrumented, one-search-per-point BFS.
+            let mut sim = SimEngine::new(&bonsai_sim::CpuConfig::a72_like());
+            let instrumented = extract_euclidean_clusters(
+                &mut sim,
+                cloud.clone(),
+                0.5,
+                10,
+                10_000,
+                KdTreeConfig::default(),
+                mode,
+            );
+            let batched = extract_euclidean_clusters_batched(
+                cloud.clone(),
+                0.5,
+                10,
+                10_000,
+                KdTreeConfig::default(),
+                mode,
+            );
+            assert_eq!(batched.clusters, instrumented.clusters, "{mode:?}");
+            assert_eq!(
+                batched.search_stats, instrumented.search_stats,
+                "{mode:?} stats"
+            );
+            assert_eq!(batched.build_stats, instrumented.build_stats);
+            assert_eq!(batched.compressed_bytes, instrumented.compressed_bytes);
+        }
     }
 
     #[test]

@@ -47,5 +47,7 @@ pub mod filters;
 mod extract;
 mod pipeline;
 
-pub use extract::{extract_euclidean_clusters, ClusterOutput, TreeMode};
+pub use extract::{
+    extract_euclidean_clusters, extract_euclidean_clusters_batched, ClusterOutput, TreeMode,
+};
 pub use pipeline::{ClusterParams, FramePipeline, FrameResult};

@@ -54,18 +54,31 @@ pub struct CompressedDirectory {
     data: Vec<u8>,
     refs: Vec<Option<LeafRef>>,
     base_addr: u64,
+    result_addr: u64,
 }
 
 impl CompressedDirectory {
     /// Creates an empty directory able to describe `num_nodes` tree
-    /// nodes, reserving simulated address space for the worst case.
+    /// nodes, reserving simulated address space for the worst case —
+    /// including the shared result-set region every search over this
+    /// tree writes its packed `(index, dist²)` pairs to. Allocating
+    /// that region once per tree (instead of once per search) keeps
+    /// the simulated address space bounded when one engine serves many
+    /// searches.
     pub fn new(sim: &mut SimEngine, num_nodes: usize) -> CompressedDirectory {
         let capacity = num_nodes as u64 * bonsai_isa::MAX_COMPRESSED_BYTES as u64;
         CompressedDirectory {
             data: Vec::new(),
             refs: vec![None; num_nodes],
             base_addr: sim.alloc(capacity.max(SLICE_BYTES as u64), 64),
+            result_addr: sim.alloc(64 * 1024, 64),
         }
+    }
+
+    /// Simulated base of the per-tree result-set region searches store
+    /// hits to.
+    pub fn result_addr(&self) -> u64 {
+        self.result_addr
     }
 
     /// The simulated address the *next* inserted structure will occupy —

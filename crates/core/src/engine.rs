@@ -1,0 +1,399 @@
+//! The batched, allocation-free radius-search front-end.
+//!
+//! [`RadiusSearchEngine`] answers radius queries over either an
+//! uncompressed [`KdTree`] or a compressed [`BonsaiTree`] without
+//! touching the event-based simulator: the traversal is the iterative
+//! explicit-stack walk, leaf scans are linear sweeps over SoA rows
+//! baked at build time, and the per-tree state (error-bound LUT,
+//! scratch, result buffers) is created once and reused. With the
+//! `parallel` feature, batches fan out over scoped `std::thread`
+//! workers.
+//!
+//! Results are **identical** (values and order) to driving the
+//! corresponding instrumented [`LeafProcessor`](bonsai_kdtree::
+//! LeafProcessor) through [`KdTree::radius_search`] — property-tested
+//! at the workspace root — and the [`SearchStats`] the engine produces
+//! aggregate to the same totals.
+
+use bonsai_floatfmt::PartErrorMem;
+use bonsai_geom::Point3;
+use bonsai_kdtree::{KdTree, Neighbor, QueryBatch, SearchScratch, SearchStats};
+
+use crate::shell::{classify, ShellClass};
+use crate::tree::BonsaiTree;
+
+/// Which leaf representation the engine scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineMode {
+    /// Full-precision `f32` leaves (the paper's baseline).
+    Baseline,
+    /// Bonsai-compressed leaves: f16-approximate distances guarded by
+    /// the uncertainty shell, with exact re-computation of
+    /// inconclusive points — membership identical to baseline.
+    Compressed,
+}
+
+/// A reusable, batch-oriented radius-search engine over one tree.
+///
+/// Create it once per tree and keep it for the tree's lifetime; every
+/// search borrows the caller's scratch/batch buffers, so steady-state
+/// queries allocate nothing.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_core::{BonsaiTree, RadiusSearchEngine};
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::{KdTreeConfig, QueryBatch};
+/// use bonsai_sim::SimEngine;
+///
+/// let cloud: Vec<Point3> =
+///     (0..300).map(|i| Point3::new((i % 20) as f32 * 0.2, (i / 20) as f32 * 0.2, 1.0)).collect();
+/// let mut sim = SimEngine::disabled();
+/// let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+///
+/// let engine = RadiusSearchEngine::bonsai(&tree);
+/// let mut batch = QueryBatch::new();
+/// engine.search_batch(&cloud[..32], 0.5, &mut batch);
+/// assert_eq!(batch.num_queries(), 32);
+/// assert!(batch.results(0).iter().any(|n| n.index == 0));
+/// ```
+#[derive(Debug)]
+pub struct RadiusSearchEngine<'t> {
+    tree: &'t KdTree,
+    bonsai: Option<&'t BonsaiTree>,
+    lut: PartErrorMem,
+}
+
+impl<'t> RadiusSearchEngine<'t> {
+    /// An engine scanning uncompressed `f32` leaves.
+    pub fn baseline(tree: &'t KdTree) -> RadiusSearchEngine<'t> {
+        RadiusSearchEngine {
+            tree,
+            bonsai: None,
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// An engine scanning Bonsai-compressed leaves (exact membership).
+    pub fn bonsai(tree: &'t BonsaiTree) -> RadiusSearchEngine<'t> {
+        RadiusSearchEngine {
+            tree: tree.kd_tree(),
+            bonsai: Some(tree),
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// An engine matching the software-codec strawman's results.
+    ///
+    /// The software codec computes the same approximate distances,
+    /// error bounds and fallbacks as the hardware path — only its
+    /// simulated cost differs — so the fast scan is shared with
+    /// [`bonsai`](RadiusSearchEngine::bonsai).
+    pub fn software_codec(tree: &'t BonsaiTree) -> RadiusSearchEngine<'t> {
+        RadiusSearchEngine::bonsai(tree)
+    }
+
+    /// The leaf representation this engine scans.
+    pub fn mode(&self) -> EngineMode {
+        if self.bonsai.is_some() {
+            EngineMode::Compressed
+        } else {
+            EngineMode::Baseline
+        }
+    }
+
+    /// The underlying k-d tree.
+    pub fn tree(&self) -> &'t KdTree {
+        self.tree
+    }
+
+    /// Answers one query, clearing `out` first. Allocation-free once
+    /// `scratch` and `out` are warm.
+    pub fn search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.clear();
+        self.search_append(query, radius, scratch, out, stats);
+    }
+
+    /// Answers every query in one call, filling `batch` (reset first).
+    /// Per-query results are reachable through [`QueryBatch::results`];
+    /// [`QueryBatch::stats`] aggregates the whole batch.
+    pub fn search_batch(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        batch.reset();
+        for &query in queries {
+            batch.push_query(|scratch, out, stats| {
+                self.search_append(query, radius, scratch, out, stats);
+            });
+        }
+    }
+
+    /// [`search_batch`](RadiusSearchEngine::search_batch) fanned out
+    /// over scoped worker threads (`threads == 0` uses the machine's
+    /// available parallelism). Results are merged in query order, so
+    /// output and aggregate stats are identical to the sequential call.
+    #[cfg(feature = "parallel")]
+    pub fn search_batch_parallel(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        batch: &mut QueryBatch,
+        threads: usize,
+    ) {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let threads = threads.min(queries.len()).max(1);
+        if threads == 1 {
+            return self.search_batch(queries, radius, batch);
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut parts: Vec<QueryBatch> = (0..threads).map(|_| QueryBatch::new()).collect();
+        std::thread::scope(|scope| {
+            for (part, chunk_queries) in parts.iter_mut().zip(queries.chunks(chunk)) {
+                scope.spawn(move || self.search_batch(chunk_queries, radius, part));
+            }
+        });
+        batch.reset();
+        for part in &parts {
+            batch.absorb(part);
+        }
+    }
+
+    /// The shared per-query kernel: iterative traversal plus the
+    /// mode's leaf scan, appending hits to `out`.
+    fn search_append(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let r_sq = radius * radius;
+        match self.bonsai {
+            None => {
+                self.tree.for_each_leaf_in_radius(
+                    query,
+                    radius,
+                    scratch,
+                    stats,
+                    |_, start, count, stats| {
+                        self.tree
+                            .scan_leaf_baseline(start, count, query, r_sq, out, stats);
+                    },
+                );
+            }
+            Some(bonsai) => {
+                let approx = bonsai.approx_soa();
+                let directory = bonsai.directory();
+                let vind = self.tree.vind();
+                let points = self.tree.points();
+                let lut = &self.lut;
+                self.tree.for_each_leaf_in_radius(
+                    query,
+                    radius,
+                    scratch,
+                    stats,
+                    |leaf, start, count, stats| {
+                        let leaf_ref = directory
+                            .leaf_ref(leaf)
+                            .expect("compressed engine requires a compressed leaf");
+                        debug_assert_eq!(leaf_ref.num_pts as u32, count);
+                        stats.points_inspected += count as u64;
+                        stats.point_bytes_loaded += leaf_ref.padded_len() as u64;
+                        for i in start as usize..(start + count) as usize {
+                            // Same arithmetic, in the same order, as the
+                            // SQDWE lanes: diff from the f16-approximate
+                            // coordinate, squared distance and Eq. 11
+                            // error accumulated x → y → z in f32.
+                            let dx = query.x - approx.x[i];
+                            let dy = query.y - approx.y[i];
+                            let dz = query.z - approx.z[i];
+                            let d_sq = dx * dx + dy * dy + dz * dz;
+                            let t_err = lut.max_squared_difference_error(dx.abs(), approx.ex[i])
+                                + lut.max_squared_difference_error(dy.abs(), approx.ey[i])
+                                + lut.max_squared_difference_error(dz.abs(), approx.ez[i]);
+                            match classify(d_sq, t_err, r_sq) {
+                                ShellClass::In => out.push(Neighbor {
+                                    index: vind[i],
+                                    dist_sq: d_sq,
+                                }),
+                                ShellClass::Out => {}
+                                ShellClass::Recompute => {
+                                    stats.fallbacks += 1;
+                                    stats.point_bytes_loaded += 12;
+                                    let idx = vind[i];
+                                    let exact = points[idx as usize].distance_squared(query);
+                                    if exact <= r_sq {
+                                        out.push(Neighbor {
+                                            index: idx,
+                                            dist_sq: exact,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_isa::Machine;
+    use bonsai_kdtree::KdTreeConfig;
+    use bonsai_sim::SimEngine;
+
+    fn urban_cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let cluster = (next() * 12.0).floor();
+                Point3::new(
+                    (cluster - 6.0) * 15.0 + next() * 3.0,
+                    (next() - 0.5) * 60.0,
+                    next() * 2.5,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compressed_engine_matches_instrumented_processor_exactly() {
+        let cloud = urban_cloud(3000, 1);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::bonsai(&tree);
+        let mut scratch = SearchScratch::new();
+        let mut fast_out = Vec::new();
+        let mut machine = Machine::new();
+        let mut slow_out = Vec::new();
+        for (qi, r) in [(0usize, 0.8f32), (500, 2.0), (1700, 0.3), (2999, 5.0)] {
+            let mut fast_stats = SearchStats::default();
+            let mut slow_stats = SearchStats::default();
+            engine.search_one(cloud[qi], r, &mut scratch, &mut fast_out, &mut fast_stats);
+            tree.radius_search(
+                &mut sim,
+                &mut machine,
+                cloud[qi],
+                r,
+                &mut slow_out,
+                &mut slow_stats,
+            );
+            assert_eq!(fast_out, slow_out, "query {qi} r {r}");
+            assert_eq!(fast_stats, slow_stats, "stats for query {qi} r {r}");
+        }
+    }
+
+    #[test]
+    fn baseline_engine_matches_simple_search() {
+        let cloud = urban_cloud(1200, 7);
+        let mut sim = SimEngine::disabled();
+        let tree = bonsai_kdtree::KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::baseline(&tree);
+        assert_eq!(engine.mode(), EngineMode::Baseline);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        for qi in [3usize, 400, 1199] {
+            engine.search_one(cloud[qi], 1.2, &mut scratch, &mut out, &mut stats);
+            assert_eq!(out, tree.radius_search_simple(cloud[qi], 1.2), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query_with_aggregated_stats() {
+        let cloud = urban_cloud(2000, 3);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::bonsai(&tree);
+        let queries: Vec<Point3> = cloud.iter().step_by(11).copied().collect();
+
+        let mut batch = QueryBatch::new();
+        engine.search_batch(&queries, 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), queries.len());
+
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut total = SearchStats::default();
+        for (i, &q) in queries.iter().enumerate() {
+            let mut stats = SearchStats::default();
+            engine.search_one(q, 1.0, &mut scratch, &mut out, &mut stats);
+            assert_eq!(batch.results(i), &out[..], "query {i}");
+            total += stats;
+        }
+        assert_eq!(*batch.stats(), total);
+        assert!(batch.stats().fallbacks < batch.stats().points_inspected / 10);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_batch_is_identical_to_sequential() {
+        let cloud = urban_cloud(4000, 9);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::bonsai(&tree);
+
+        let mut sequential = QueryBatch::new();
+        engine.search_batch(&cloud, 0.9, &mut sequential);
+        for threads in [0, 1, 2, 3, 7] {
+            let mut parallel = QueryBatch::new();
+            engine.search_batch_parallel(&cloud, 0.9, &mut parallel, threads);
+            assert_eq!(parallel.num_queries(), sequential.num_queries());
+            for i in 0..sequential.num_queries() {
+                assert_eq!(
+                    parallel.results(i),
+                    sequential.results(i),
+                    "threads {threads} query {i}"
+                );
+            }
+            assert_eq!(parallel.stats(), sequential.stats(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn software_codec_engine_shares_the_compressed_scan() {
+        let cloud = urban_cloud(500, 5);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::software_codec(&tree);
+        assert_eq!(engine.mode(), EngineMode::Compressed);
+        let mut proc = crate::SoftwareCodecProcessor::new(&mut sim, tree.directory());
+        let mut scratch = SearchScratch::new();
+        let mut fast_out = Vec::new();
+        let mut slow_out = Vec::new();
+        for qi in [0usize, 250, 499] {
+            let mut fast_stats = SearchStats::default();
+            let mut slow_stats = SearchStats::default();
+            engine.search_one(cloud[qi], 1.5, &mut scratch, &mut fast_out, &mut fast_stats);
+            tree.kd_tree().radius_search(
+                &mut sim,
+                &mut proc,
+                cloud[qi],
+                1.5,
+                &mut slow_out,
+                &mut slow_stats,
+            );
+            assert_eq!(fast_out, slow_out, "query {qi}");
+            assert_eq!(fast_stats, slow_stats, "stats for query {qi}");
+        }
+    }
+}

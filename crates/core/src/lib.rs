@@ -41,12 +41,14 @@
 pub mod shell;
 
 mod directory;
+mod engine;
 mod processor;
 mod reduced;
 mod software;
 mod tree;
 
 pub use directory::{CompressedDirectory, LeafRef};
+pub use engine::{EngineMode, RadiusSearchEngine};
 pub use processor::BonsaiLeafProcessor;
 pub use reduced::ReducedUncheckedProcessor;
 pub use software::SoftwareCodecProcessor;

@@ -67,15 +67,21 @@ pub struct BonsaiLeafProcessor<'a> {
 impl<'a> BonsaiLeafProcessor<'a> {
     /// Creates a processor over a tree's compressed directory, using
     /// `machine` as the CPU's architectural state.
+    ///
+    /// The result-set region lives in the directory (allocated once per
+    /// tree), so constructing a processor per search no longer grows
+    /// the simulated address space — the seed allocated a fresh 64 KiB
+    /// region on every search, unboundedly inflating one long-lived
+    /// [`SimEngine`]'s address space and poisoning its cache model with
+    /// artificial cold misses.
     pub fn new(
-        sim: &mut SimEngine,
         directory: &'a CompressedDirectory,
         machine: &'a mut Machine,
     ) -> BonsaiLeafProcessor<'a> {
         BonsaiLeafProcessor {
+            out_addr: directory.result_addr(),
             directory,
             machine,
-            out_addr: sim.alloc(64 * 1024, 64),
         }
     }
 }

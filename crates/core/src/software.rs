@@ -34,10 +34,10 @@ impl<'a> SoftwareCodecProcessor<'a> {
         directory: &'a CompressedDirectory,
     ) -> SoftwareCodecProcessor<'a> {
         SoftwareCodecProcessor {
-            directory,
             lut: PartErrorMem::new(),
             lut_addr: sim.alloc(32 * 8, 64),
-            out_addr: sim.alloc(64 * 1024, 64),
+            out_addr: directory.result_addr(),
+            directory,
         }
     }
 }

@@ -1,10 +1,55 @@
+use bonsai_floatfmt::Half;
 use bonsai_geom::Point3;
 use bonsai_isa::Machine;
-use bonsai_kdtree::{KdTree, KdTreeConfig, Neighbor, Node, SearchStats};
+use bonsai_kdtree::{KdTree, KdTreeConfig, Neighbor, Node, SearchScratch, SearchStats};
 use bonsai_sim::{Kernel, OpClass, SimEngine};
 
 use crate::directory::CompressedDirectory;
 use crate::processor::BonsaiLeafProcessor;
+
+/// Leaf-contiguous SoA of the *f16-approximate* coordinates plus their
+/// f16 exponent fields, baked at build time: slot `i` mirrors the
+/// tree's `vind()[i]` slot, with each coordinate already decoded to the
+/// `f32` value `LDDCP` would materialize in a vector register. The fast
+/// (uninstrumented) compressed scan sweeps these rows linearly instead
+/// of running the instruction-level decode per leaf visit.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ApproxSoa {
+    pub x: Vec<f32>,
+    pub y: Vec<f32>,
+    pub z: Vec<f32>,
+    /// f16 exponent fields, the `part_error_mem` LUT keys (Eq. 9).
+    pub ex: Vec<u8>,
+    pub ey: Vec<u8>,
+    pub ez: Vec<u8>,
+}
+
+impl ApproxSoa {
+    fn bake(tree: &KdTree) -> ApproxSoa {
+        let n = tree.vind().len();
+        let mut soa = ApproxSoa {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            ex: Vec::with_capacity(n),
+            ey: Vec::with_capacity(n),
+            ez: Vec::with_capacity(n),
+        };
+        for &idx in tree.vind() {
+            let p = tree.points()[idx as usize];
+            let hx = Half::from_f32(p.x);
+            let hy = Half::from_f32(p.y);
+            let hz = Half::from_f32(p.z);
+            soa.x.push(hx.to_f32());
+            soa.y.push(hy.to_f32());
+            soa.z.push(hz.to_f32());
+            soa.ex.push(hx.exponent_field());
+            soa.ey.push(hy.exponent_field());
+            soa.ez.push(hz.exponent_field());
+        }
+        soa
+    }
+}
 
 /// A k-d tree whose leaves carry Bonsai-compressed copies of their
 /// points.
@@ -20,6 +65,7 @@ use crate::processor::BonsaiLeafProcessor;
 pub struct BonsaiTree {
     tree: KdTree,
     directory: CompressedDirectory,
+    approx: ApproxSoa,
 }
 
 /// Aggregate compression statistics of a built tree (Sections III-A and
@@ -107,7 +153,12 @@ impl BonsaiTree {
             sim.exec(OpClass::IntAlu, 4);
         }
         sim.set_kernel(prev);
-        BonsaiTree { tree, directory }
+        let approx = ApproxSoa::bake(&tree);
+        BonsaiTree {
+            tree,
+            directory,
+            approx,
+        }
     }
 
     /// The underlying k-d tree (baseline searches, structure access).
@@ -118,6 +169,11 @@ impl BonsaiTree {
     /// The compressed-structure directory.
     pub fn directory(&self) -> &CompressedDirectory {
         &self.directory
+    }
+
+    /// The baked f16-approximate SoA rows (fast-scan substrate).
+    pub(crate) fn approx_soa(&self) -> &ApproxSoa {
+        &self.approx
     }
 
     /// Radius search over compressed leaves (exact membership; see
@@ -131,9 +187,27 @@ impl BonsaiTree {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let mut proc = BonsaiLeafProcessor::new(sim, &self.directory, machine);
+        let mut proc = BonsaiLeafProcessor::new(&self.directory, machine);
         self.tree
             .radius_search(sim, &mut proc, query, radius, out, stats);
+    }
+
+    /// [`radius_search`](BonsaiTree::radius_search) with a caller-owned
+    /// [`SearchScratch`] — allocation-free once warm.
+    #[allow(clippy::too_many_arguments)] // mirrors radius_search + scratch
+    pub fn radius_search_scratch(
+        &self,
+        sim: &mut SimEngine,
+        machine: &mut Machine,
+        query: Point3,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+    ) {
+        let mut proc = BonsaiLeafProcessor::new(&self.directory, machine);
+        self.tree
+            .radius_search_scratch(sim, &mut proc, query, radius, out, stats, scratch);
     }
 
     /// Convenience: uninstrumented compressed radius search.

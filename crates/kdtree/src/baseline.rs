@@ -75,14 +75,19 @@ impl LeafProcessor for BaselineLeafProcessor {
     ) {
         stats.points_inspected += count as u64;
         stats.point_bytes_loaded += count as u64 * 12;
+        let (xs, ys, zs) = tree.leaf_soa();
         for i in start..start + count {
             let idx = tree.vind()[i as usize];
             sim.load(tree.reordered_point_addr(i), 12);
             sim.exec(OpClass::IntAlu, PER_POINT_INT_OPS);
             sim.exec(OpClass::FpAlu, PER_POINT_FP_OPS);
 
-            let p = tree.points()[idx as usize];
-            let d_sq = p.distance_squared(query);
+            // Linear sweep over the leaf-contiguous SoA rows (the data
+            // the modelled reordered-matrix load fetches).
+            let dx = xs[i as usize] - query.x;
+            let dy = ys[i as usize] - query.y;
+            let dz = zs[i as usize] - query.z;
+            let d_sq = dx * dx + dy * dy + dz * dz;
             let inside = d_sq <= r_sq;
             sim.branch(sites::CLASSIFY, inside);
             if inside {

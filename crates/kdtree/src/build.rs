@@ -60,6 +60,14 @@ pub struct KdTree {
     points: Vec<Point3>,
     vind: Vec<u32>,
     nodes: Vec<Node>,
+    /// Leaf-contiguous SoA copy of the cloud, baked by the reorder pass:
+    /// slot `i` holds `points[vind[i]]`, so a leaf scan is one linear
+    /// sweep over three dense `f32` rows instead of an indexed gather.
+    /// This is the host-side realization of FLANN's `reorder=true`
+    /// matrix the simulated layout already modelled.
+    leaf_x: Vec<f32>,
+    leaf_y: Vec<f32>,
+    leaf_z: Vec<f32>,
     cfg: KdTreeConfig,
     stats: BuildStats,
     /// Simulated base of the 16-byte-stride point array (PCL `PointXYZ`
@@ -106,6 +114,9 @@ impl KdTree {
             points,
             vind: (0..n as u32).collect(),
             nodes: Vec::new(),
+            leaf_x: Vec::new(),
+            leaf_y: Vec::new(),
+            leaf_z: Vec::new(),
             cfg,
             stats: BuildStats::default(),
             points_addr,
@@ -118,13 +129,21 @@ impl KdTree {
             let costs = TraversalCosts::default_model();
             tree.build_range(sim, &costs, 0, n, 0);
             // FLANN's reorder pass: copy the points into vind order so
-            // leaf scans stream instead of gathering.
+            // leaf scans stream instead of gathering. Host-side this
+            // bakes the leaf-contiguous SoA rows the fast scans sweep.
+            tree.leaf_x.reserve_exact(n);
+            tree.leaf_y.reserve_exact(n);
+            tree.leaf_z.reserve_exact(n);
             for i in 0..n {
                 let idx = tree.vind[i];
                 sim.load(tree.vind_entry_addr(i as u32), 4);
                 sim.load(tree.point_addr(idx), 12);
                 sim.store(tree.reordered_point_addr(i as u32), 12);
                 sim.exec(OpClass::IntAlu, 2);
+                let p = tree.points[idx as usize];
+                tree.leaf_x.push(p.x);
+                tree.leaf_y.push(p.y);
+                tree.leaf_z.push(p.z);
             }
             sim.set_kernel(prev);
         }
@@ -318,6 +337,14 @@ impl KdTree {
     /// The reordered index array; leaves reference ranges of it.
     pub fn vind(&self) -> &[u32] {
         &self.vind
+    }
+
+    /// The leaf-contiguous SoA point rows `(x, y, z)`: slot `i` holds
+    /// the coordinates of `points()[vind()[i]]`, so each leaf's points
+    /// occupy a dense range per coordinate. Baked by the build's
+    /// reorder pass; empty for an empty tree.
+    pub fn leaf_soa(&self) -> (&[f32], &[f32], &[f32]) {
+        (&self.leaf_x, &self.leaf_y, &self.leaf_z)
     }
 
     /// The node pool; index 0 is the root (when non-empty).

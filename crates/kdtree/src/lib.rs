@@ -41,10 +41,12 @@ mod build;
 mod costs;
 mod knn;
 mod node;
+mod scratch;
 mod search;
 
 pub use baseline::BaselineLeafProcessor;
 pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
 pub use costs::TraversalCosts;
 pub use node::{LeafId, Node, NodeId};
+pub use scratch::{QueryBatch, SearchScratch};
 pub use search::{LeafProcessor, Neighbor, SearchStats};

@@ -1,0 +1,460 @@
+//! Reusable search state and the batch-query containers.
+//!
+//! The seed implementation recursed per query and allocated fresh
+//! result vectors per call. Production radius search instead reuses a
+//! [`SearchScratch`] (the explicit traversal stack) and a
+//! [`QueryBatch`] (flat results of many queries), so a warmed-up query
+//! performs **zero heap allocations**: the stack, the neighbor buffer
+//! and the per-query offset table all retain their capacity across
+//! calls.
+
+use bonsai_geom::Point3;
+
+use crate::build::KdTree;
+use crate::node::{LeafId, Node, NodeId};
+use crate::search::{Neighbor, SearchStats};
+
+/// One explicit-stack traversal frame.
+///
+/// `FarCheck` defers the far-subtree radius test until the near subtree
+/// has been fully processed — exactly the event order of the recursive
+/// FLANN walk, which the instrumented path must reproduce so simulated
+/// branch-history and cache sequences stay comparable across PRs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Frame {
+    /// Visit a node whose cell is known to intersect the query ball.
+    Visit {
+        /// Node to visit.
+        node: NodeId,
+        /// Exact squared distance from the query to the node's cell.
+        min_dist_sq: f32,
+        /// Per-axis contributions to `min_dist_sq`.
+        side: [f32; 3],
+    },
+    /// Test the far child after its sibling's subtree completed.
+    FarCheck {
+        /// The far child.
+        node: NodeId,
+        /// Squared distance from the query to the far cell.
+        far_dist_sq: f32,
+        /// Per-axis contributions for the far cell.
+        side: [f32; 3],
+    },
+}
+
+/// Reusable per-thread radius-search state.
+///
+/// Create one per worker (or borrow one from a [`QueryBatch`]) and pass
+/// it to every search; after the first few queries the internal stack
+/// stops growing and searches allocate nothing.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::{KdTree, KdTreeConfig, SearchScratch, SearchStats};
+/// use bonsai_sim::SimEngine;
+///
+/// let pts: Vec<Point3> = (0..100).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let mut sim = SimEngine::disabled();
+/// let tree = KdTree::build(pts, KdTreeConfig::default(), &mut sim);
+///
+/// let mut scratch = SearchScratch::new();
+/// let mut out = Vec::new();
+/// let mut stats = SearchStats::default();
+/// tree.radius_search_fast(Point3::new(50.0, 0.0, 0.0), 1.5, &mut scratch, &mut out, &mut stats);
+/// assert_eq!(out.len(), 3); // 49, 50, 51
+/// ```
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    pub(crate) frames: Vec<Frame>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; grows to the tree depth on first use.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// A scratch pre-sized for trees of the given depth.
+    pub fn with_depth(depth: usize) -> SearchScratch {
+        SearchScratch {
+            frames: Vec::with_capacity(2 * depth + 2),
+        }
+    }
+}
+
+/// Results of a batch of radius queries, stored flat.
+///
+/// `neighbors` holds every query's hits back to back;
+/// `offsets[i]..offsets[i + 1]` delimits query `i`. The buffers (and
+/// the embedded [`SearchScratch`]) are retained across batches, so a
+/// steady-state batch allocates nothing.
+///
+/// Populated by `RadiusSearchEngine::search_batch` (in `bonsai-core`)
+/// or [`KdTree::radius_search_batch`].
+#[derive(Debug, Default)]
+pub struct QueryBatch {
+    neighbors: Vec<Neighbor>,
+    offsets: Vec<usize>,
+    stats: SearchStats,
+    scratch: SearchScratch,
+}
+
+impl QueryBatch {
+    /// An empty batch.
+    pub fn new() -> QueryBatch {
+        QueryBatch::default()
+    }
+
+    /// Discards results (keeps capacity) to start a new batch.
+    pub fn reset(&mut self) {
+        self.neighbors.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.stats = SearchStats::default();
+    }
+
+    /// Number of queries answered in the current batch.
+    pub fn num_queries(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The neighbors of query `i`, in tree (leaf) order.
+    pub fn results(&self, i: usize) -> &[Neighbor] {
+        &self.neighbors[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Per-query result slices, in query order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Neighbor]> + '_ {
+        (0..self.num_queries()).map(|i| self.results(i))
+    }
+
+    /// Total neighbors found across the batch.
+    pub fn total_matches(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Work counters aggregated over the whole batch.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Runs one query body against the batch's buffers and closes the
+    /// query's result range. The body appends hits to the neighbor
+    /// buffer (it must not drain or reorder earlier queries' results).
+    pub fn push_query<F>(&mut self, body: F)
+    where
+        F: FnOnce(&mut SearchScratch, &mut Vec<Neighbor>, &mut SearchStats),
+    {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        body(&mut self.scratch, &mut self.neighbors, &mut self.stats);
+        self.offsets.push(self.neighbors.len());
+    }
+
+    /// Appends another batch's queries after this batch's (used to
+    /// merge per-thread partial batches in query order).
+    pub fn absorb(&mut self, other: &QueryBatch) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let base = self.neighbors.len();
+        self.neighbors.extend_from_slice(&other.neighbors);
+        self.offsets
+            .extend(other.offsets.iter().skip(1).map(|&o| base + o));
+        self.stats += other.stats;
+    }
+}
+
+impl KdTree {
+    /// Iterative, uninstrumented radius traversal: calls
+    /// `visit(leaf, start, count, stats)` for every leaf whose cell
+    /// intersects the query ball, in the same depth-first near-to-far
+    /// order as the instrumented search. Traversal counters
+    /// (`nodes_visited`, `leaf_visits`) are updated identically.
+    ///
+    /// This is the substrate of the fast (`SimEngine::disabled`) path:
+    /// leaf-scan loops plug in here without paying for the event model.
+    #[inline]
+    pub fn for_each_leaf_in_radius<F>(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+        mut visit: F,
+    ) where
+        F: FnMut(LeafId, u32, u32, &mut SearchStats),
+    {
+        if self.nodes().is_empty() {
+            return;
+        }
+        let r_sq = radius * radius;
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::Visit {
+            node: 0,
+            min_dist_sq: 0.0,
+            side: [0.0; 3],
+        });
+        while let Some(frame) = frames.pop() {
+            let Frame::Visit {
+                node,
+                min_dist_sq,
+                side,
+            } = frame
+            else {
+                unreachable!("fast traversal pushes no FarCheck frames");
+            };
+            stats.nodes_visited += 1;
+            match self.nodes()[node as usize] {
+                Node::Leaf { start, count } => {
+                    stats.leaf_visits += 1;
+                    visit(node, start, count, stats);
+                }
+                Node::Interior {
+                    axis,
+                    split_val,
+                    div_low,
+                    div_high,
+                    left,
+                    right,
+                } => {
+                    let val = query[axis];
+                    let (near, far, gap) = if val <= split_val {
+                        (left, right, div_high - val)
+                    } else {
+                        (right, left, val - div_low)
+                    };
+                    let gap = gap.max(0.0);
+                    let cut = gap * gap;
+                    let far_dist_sq = min_dist_sq - side[axis.index()] + cut;
+                    if far_dist_sq <= r_sq {
+                        let mut far_side = side;
+                        far_side[axis.index()] = cut;
+                        frames.push(Frame::Visit {
+                            node: far,
+                            min_dist_sq: far_dist_sq,
+                            side: far_side,
+                        });
+                    }
+                    frames.push(Frame::Visit {
+                        node: near,
+                        min_dist_sq,
+                        side,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Scans one leaf in baseline `f32` precision over the
+    /// leaf-contiguous SoA layout, appending hits to `out`.
+    ///
+    /// Produces bit-identical `Neighbor`s to
+    /// [`BaselineLeafProcessor`](crate::BaselineLeafProcessor) (same
+    /// values, same order) without touching the event model.
+    #[inline]
+    pub fn scan_leaf_baseline(
+        &self,
+        start: u32,
+        count: u32,
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        stats.points_inspected += count as u64;
+        stats.point_bytes_loaded += count as u64 * 12;
+        let (xs, ys, zs) = self.leaf_soa();
+        let vind = self.vind();
+        for i in start as usize..(start + count) as usize {
+            let dx = xs[i] - query.x;
+            let dy = ys[i] - query.y;
+            let dz = zs[i] - query.z;
+            let d_sq = dx * dx + dy * dy + dz * dz;
+            if d_sq <= r_sq {
+                out.push(Neighbor {
+                    index: vind[i],
+                    dist_sq: d_sq,
+                });
+            }
+        }
+    }
+
+    /// Fast uninstrumented baseline radius search: iterative traversal
+    /// plus a linear SoA leaf sweep; allocation-free once `scratch` and
+    /// `out` are warm. Results (cleared into `out`) are identical to
+    /// [`radius_search`](KdTree::radius_search) with a
+    /// [`BaselineLeafProcessor`](crate::BaselineLeafProcessor).
+    pub fn radius_search_fast(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.clear();
+        let r_sq = radius * radius;
+        self.for_each_leaf_in_radius(query, radius, scratch, stats, |_, start, count, stats| {
+            self.scan_leaf_baseline(start, count, query, r_sq, out, stats);
+        });
+    }
+
+    /// Answers many baseline queries in one call, filling `batch`.
+    ///
+    /// Equivalent to looping [`radius_search_fast`]
+    /// (KdTree::radius_search_fast) but amortizes all buffers; the
+    /// mode-aware front-end (compressed leaves, parallelism) is
+    /// `RadiusSearchEngine` in `bonsai-core`.
+    pub fn radius_search_batch(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        batch.reset();
+        let r_sq = radius * radius;
+        for &query in queries {
+            batch.push_query(|scratch, out, stats| {
+                self.for_each_leaf_in_radius(
+                    query,
+                    radius,
+                    scratch,
+                    stats,
+                    |_, start, count, stats| {
+                        self.scan_leaf_baseline(start, count, query, r_sq, out, stats);
+                    },
+                );
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineLeafProcessor;
+    use crate::build::KdTreeConfig;
+    use bonsai_sim::SimEngine;
+
+    fn random_cloud(n: usize, seed: u64, scale: f32) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| Point3::new((next() - 0.5) * scale, (next() - 0.5) * scale, next() * 3.0))
+            .collect()
+    }
+
+    #[test]
+    fn fast_search_matches_instrumented_baseline_exactly() {
+        let cloud = random_cloud(2000, 11, 70.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut scratch = SearchScratch::new();
+        let mut fast_out = Vec::new();
+        let mut proc = BaselineLeafProcessor::new(&mut sim);
+        let mut slow_out = Vec::new();
+        for (qi, r) in [(0usize, 0.9f32), (77, 2.5), (1500, 0.2), (1999, 8.0)] {
+            let mut fast_stats = SearchStats::default();
+            let mut slow_stats = SearchStats::default();
+            tree.radius_search_fast(cloud[qi], r, &mut scratch, &mut fast_out, &mut fast_stats);
+            tree.radius_search(
+                &mut sim,
+                &mut proc,
+                cloud[qi],
+                r,
+                &mut slow_out,
+                &mut slow_stats,
+            );
+            assert_eq!(fast_out, slow_out, "query {qi} r {r}");
+            assert_eq!(fast_stats, slow_stats, "stats for query {qi} r {r}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_query_and_aggregates_stats() {
+        let cloud = random_cloud(1500, 5, 60.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let queries: Vec<Point3> = (0..cloud.len()).step_by(13).map(|i| cloud[i]).collect();
+
+        let mut batch = QueryBatch::new();
+        tree.radius_search_batch(&queries, 1.4, &mut batch);
+        assert_eq!(batch.num_queries(), queries.len());
+
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut total = SearchStats::default();
+        for (i, &q) in queries.iter().enumerate() {
+            let mut stats = SearchStats::default();
+            tree.radius_search_fast(q, 1.4, &mut scratch, &mut out, &mut stats);
+            assert_eq!(batch.results(i), &out[..], "query {i}");
+            total += stats;
+        }
+        assert_eq!(*batch.stats(), total);
+        assert_eq!(
+            batch.total_matches(),
+            batch.iter().map(|r| r.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn batch_reuse_does_not_leak_previous_results() {
+        let cloud = random_cloud(400, 9, 30.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut batch = QueryBatch::new();
+        tree.radius_search_batch(&cloud[..64], 2.0, &mut batch);
+        let first = batch.total_matches();
+        assert!(first > 0);
+        tree.radius_search_batch(&cloud[..8], 2.0, &mut batch);
+        assert_eq!(batch.num_queries(), 8);
+        assert!(batch.total_matches() < first);
+    }
+
+    #[test]
+    fn absorb_concatenates_in_query_order() {
+        let cloud = random_cloud(600, 3, 40.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let queries = &cloud[..30];
+
+        let mut whole = QueryBatch::new();
+        tree.radius_search_batch(queries, 1.8, &mut whole);
+
+        let mut merged = QueryBatch::new();
+        merged.reset();
+        for half in queries.chunks(17) {
+            let mut part = QueryBatch::new();
+            tree.radius_search_batch(half, 1.8, &mut part);
+            merged.absorb(&part);
+        }
+        assert_eq!(merged.num_queries(), whole.num_queries());
+        for i in 0..whole.num_queries() {
+            assert_eq!(merged.results(i), whole.results(i), "query {i}");
+        }
+        assert_eq!(merged.stats(), whole.stats());
+    }
+
+    #[test]
+    fn empty_tree_and_empty_batch_are_fine() {
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(Vec::new(), KdTreeConfig::default(), &mut sim);
+        let mut scratch = SearchScratch::new();
+        let mut out = vec![Neighbor {
+            index: 0,
+            dist_sq: 0.0,
+        }];
+        let mut stats = SearchStats::default();
+        tree.radius_search_fast(Point3::ZERO, 5.0, &mut scratch, &mut out, &mut stats);
+        assert!(out.is_empty());
+        let mut batch = QueryBatch::new();
+        tree.radius_search_batch(&[], 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), 0);
+        assert_eq!(batch.total_matches(), 0);
+    }
+}

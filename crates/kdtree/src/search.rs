@@ -5,6 +5,7 @@ use crate::baseline::BaselineLeafProcessor;
 use crate::build::{sites, KdTree};
 use crate::costs::TraversalCosts;
 use crate::node::{LeafId, Node, NODE_BYTES};
+use crate::scratch::{Frame, SearchScratch};
 
 /// One radius-search result: a point index and its squared distance to
 /// the query (PCL returns both).
@@ -44,6 +45,24 @@ impl SearchStats {
         } else {
             self.fallbacks as f64 / self.points_inspected as f64
         }
+    }
+}
+
+impl std::ops::AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: SearchStats) {
+        self.nodes_visited += rhs.nodes_visited;
+        self.leaf_visits += rhs.leaf_visits;
+        self.points_inspected += rhs.points_inspected;
+        self.fallbacks += rhs.fallbacks;
+        self.point_bytes_loaded += rhs.point_bytes_loaded;
+    }
+}
+
+impl std::ops::Add for SearchStats {
+    type Output = SearchStats;
+    fn add(mut self, rhs: SearchStats) -> SearchStats {
+        self += rhs;
+        self
     }
 }
 
@@ -96,6 +115,26 @@ impl KdTree {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
+        let mut scratch = SearchScratch::with_depth(self.build_stats().max_depth as usize);
+        self.radius_search_scratch(sim, processor, query, radius, out, stats, &mut scratch);
+    }
+
+    /// [`radius_search`](KdTree::radius_search) with a caller-owned
+    /// [`SearchScratch`]: the traversal stack is reused across queries,
+    /// so a warmed-up query performs no heap allocation. This is the
+    /// form every hot loop (cluster BFS, batch engine, benches) should
+    /// use.
+    #[allow(clippy::too_many_arguments)] // mirrors radius_search + scratch
+    pub fn radius_search_scratch<P: LeafProcessor>(
+        &self,
+        sim: &mut SimEngine,
+        processor: &mut P,
+        query: Point3,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+        scratch: &mut SearchScratch,
+    ) {
         out.clear();
         if self.nodes().is_empty() {
             return;
@@ -104,19 +143,95 @@ impl KdTree {
         let prev = sim.set_kernel(Kernel::Traverse);
         sim.exec(OpClass::IntAlu, costs.per_query_setup);
         let r_sq = radius * radius;
-        let mut side_dists = [0.0f32; 3];
-        self.search_rec(
-            sim,
-            processor,
-            &costs,
-            0,
-            query,
-            r_sq,
-            0.0,
-            &mut side_dists,
-            out,
-            stats,
-        );
+
+        // Explicit-stack depth-first walk. `FarCheck` frames fire after
+        // the near subtree completes, reproducing the recursive walk's
+        // exact event order (loads, branch outcomes, kernel switches),
+        // so simulation results are unchanged while the host-side stack
+        // depth becomes O(1) allocations amortized.
+        let frames = &mut scratch.frames;
+        frames.clear();
+        frames.push(Frame::Visit {
+            node: 0,
+            min_dist_sq: 0.0,
+            side: [0.0; 3],
+        });
+        while let Some(frame) = frames.pop() {
+            let (node, min_dist_sq, side) = match frame {
+                Frame::FarCheck {
+                    node,
+                    far_dist_sq,
+                    side,
+                } => {
+                    // Exact lower bound on the distance to the far cell.
+                    let visit_far = far_dist_sq <= r_sq;
+                    sim.branch(sites::VISIT_FAR, visit_far);
+                    if !visit_far {
+                        continue;
+                    }
+                    (node, far_dist_sq, side)
+                }
+                Frame::Visit {
+                    node,
+                    min_dist_sq,
+                    side,
+                } => (node, min_dist_sq, side),
+            };
+
+            stats.nodes_visited += 1;
+            // Interior-node fields span two dependent accesses in the
+            // compiled FLANN walk (discriminant + split value, then the
+            // child pointers).
+            sim.load(self.node_addr(node), 12);
+            sim.load(self.node_addr(node) + 12, (NODE_BYTES - 12) as u32);
+
+            match self.nodes()[node as usize] {
+                Node::Leaf { start, count } => {
+                    stats.leaf_visits += 1;
+                    let prev = sim.set_kernel(Kernel::LeafScan);
+                    processor.process_leaf(sim, self, node, start, count, query, r_sq, out, stats);
+                    sim.set_kernel(prev);
+                }
+                Node::Interior {
+                    axis,
+                    split_val,
+                    div_low,
+                    div_high,
+                    left,
+                    right,
+                } => {
+                    sim.exec(OpClass::IntAlu, costs.per_interior_node);
+                    sim.exec(OpClass::FpAlu, costs.per_interior_node_fp);
+
+                    let val = query[axis];
+                    let go_left = val <= split_val;
+                    sim.branch(sites::DESCEND, go_left);
+                    let (near, far, gap) = if go_left {
+                        (left, right, div_high - val)
+                    } else {
+                        (right, left, val - div_low)
+                    };
+
+                    // Swap this axis' contribution for the gap to the
+                    // far side (Arya–Mount incremental cell distance).
+                    let gap = gap.max(0.0);
+                    let cut = gap * gap;
+                    let far_dist_sq = min_dist_sq - side[axis.index()] + cut;
+                    let mut far_side = side;
+                    far_side[axis.index()] = cut;
+                    frames.push(Frame::FarCheck {
+                        node: far,
+                        far_dist_sq,
+                        side: far_side,
+                    });
+                    frames.push(Frame::Visit {
+                        node: near,
+                        min_dist_sq,
+                        side,
+                    });
+                }
+            }
+        }
         sim.set_kernel(prev);
     }
 
@@ -141,98 +256,6 @@ impl KdTree {
         let mut stats = SearchStats::default();
         self.radius_search(&mut sim, &mut proc, query, radius, &mut out, &mut stats);
         out
-    }
-
-    /// Arya–Mount style recursion with incremental cell distances:
-    /// `min_dist_sq` is the exact squared distance from the query to the
-    /// current node's cell, maintained per axis in `side_dists`.
-    #[allow(clippy::too_many_arguments)]
-    fn search_rec<P: LeafProcessor>(
-        &self,
-        sim: &mut SimEngine,
-        processor: &mut P,
-        costs: &TraversalCosts,
-        node_id: u32,
-        query: Point3,
-        r_sq: f32,
-        min_dist_sq: f32,
-        side_dists: &mut [f32; 3],
-        out: &mut Vec<Neighbor>,
-        stats: &mut SearchStats,
-    ) {
-        stats.nodes_visited += 1;
-        // Interior-node fields span two dependent accesses in the
-        // compiled FLANN walk (discriminant + split value, then the
-        // child pointers).
-        sim.load(self.node_addr(node_id), 12);
-        sim.load(self.node_addr(node_id) + 12, (NODE_BYTES - 12) as u32);
-
-        match self.nodes()[node_id as usize] {
-            Node::Leaf { start, count } => {
-                stats.leaf_visits += 1;
-                let prev = sim.set_kernel(Kernel::LeafScan);
-                processor.process_leaf(sim, self, node_id, start, count, query, r_sq, out, stats);
-                sim.set_kernel(prev);
-            }
-            Node::Interior {
-                axis,
-                split_val,
-                div_low,
-                div_high,
-                left,
-                right,
-            } => {
-                sim.exec(OpClass::IntAlu, costs.per_interior_node);
-                sim.exec(OpClass::FpAlu, costs.per_interior_node_fp);
-
-                let val = query[axis];
-                let go_left = val <= split_val;
-                sim.branch(sites::DESCEND, go_left);
-                let (near, far, gap) = if go_left {
-                    (left, right, div_high - val)
-                } else {
-                    (right, left, val - div_low)
-                };
-
-                self.search_rec(
-                    sim,
-                    processor,
-                    costs,
-                    near,
-                    query,
-                    r_sq,
-                    min_dist_sq,
-                    side_dists,
-                    out,
-                    stats,
-                );
-
-                // Exact lower bound on the distance to the far cell: swap
-                // this axis' contribution for the gap to the far side.
-                let gap = gap.max(0.0);
-                let cut = gap * gap;
-                let far_dist_sq = min_dist_sq - side_dists[axis.index()] + cut;
-                let visit_far = far_dist_sq <= r_sq;
-                sim.branch(sites::VISIT_FAR, visit_far);
-                if visit_far {
-                    let saved = side_dists[axis.index()];
-                    side_dists[axis.index()] = cut;
-                    self.search_rec(
-                        sim,
-                        processor,
-                        costs,
-                        far,
-                        query,
-                        r_sq,
-                        far_dist_sq,
-                        side_dists,
-                        out,
-                        stats,
-                    );
-                    side_dists[axis.index()] = saved;
-                }
-            }
-        }
     }
 }
 

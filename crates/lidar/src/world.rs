@@ -139,7 +139,7 @@ impl UrbanWorld {
                         kind: ObjectKind::Car,
                     });
                 }
-                x += cfg.parked_car_spacing * rng.gen_range(0.7..1.3);
+                x += cfg.parked_car_spacing * rng.gen_range(0.7..1.3f32);
             }
         }
 
@@ -170,7 +170,7 @@ impl UrbanWorld {
                         ObjectKind::Pole
                     },
                 });
-                x += cfg.pole_spacing * rng.gen_range(0.8..1.2);
+                x += cfg.pole_spacing * rng.gen_range(0.8..1.2f32);
             }
         }
 
@@ -179,7 +179,7 @@ impl UrbanWorld {
             let mut x = rng.gen_range(0.0..cfg.pedestrian_spacing);
             while x < cfg.length {
                 if rng.gen_bool(0.5) {
-                    let y = side * (cfg.road_half_width + rng.gen_range(1.5..3.0));
+                    let y = side * (cfg.road_half_width + rng.gen_range(1.5..3.0f32));
                     statics.push(SceneObject {
                         primitive: Primitive::VerticalCylinder {
                             center: Point3::new(x, y, 0.0),
@@ -190,7 +190,7 @@ impl UrbanWorld {
                         kind: ObjectKind::Pedestrian,
                     });
                 }
-                x += cfg.pedestrian_spacing * rng.gen_range(0.6..1.4);
+                x += cfg.pedestrian_spacing * rng.gen_range(0.6..1.4f32);
             }
         }
 

@@ -1,7 +1,9 @@
 use bonsai_core::BonsaiTree;
 use bonsai_geom::{Mat3, Mat6, Point3, Pose, Vec6};
 use bonsai_isa::Machine;
-use bonsai_kdtree::{BaselineLeafProcessor, KdTree, KdTreeConfig, Neighbor, SearchStats};
+use bonsai_kdtree::{
+    BaselineLeafProcessor, KdTree, KdTreeConfig, Neighbor, SearchScratch, SearchStats,
+};
 use bonsai_sim::{Kernel, OpClass, SimEngine};
 
 use crate::map::{NdtMap, CELL_STRIDE};
@@ -139,6 +141,7 @@ impl NdtMatcher {
         let mut pose = *guess;
         let mut stats = SearchStats::default();
         let mut neighbors: Vec<Neighbor> = Vec::new();
+        let mut scratch = SearchScratch::new();
         let mut iterations = 0;
         let mut converged = false;
         let mut score = 0.0;
@@ -153,7 +156,7 @@ impl NdtMatcher {
         let mut bonsai_proc = self
             .bonsai_tree
             .as_ref()
-            .map(|b| bonsai_core::BonsaiLeafProcessor::new(sim, b.directory(), &mut self.machine));
+            .map(|b| bonsai_core::BonsaiLeafProcessor::new(b.directory(), &mut self.machine));
 
         for _ in 0..self.cfg.max_iterations {
             iterations += 1;
@@ -174,12 +177,28 @@ impl NdtMatcher {
                     NdtSearchMode::Baseline => {
                         let tree = self.baseline_tree.as_ref().expect("baseline tree");
                         let proc = baseline_proc.as_mut().expect("baseline processor");
-                        tree.radius_search(sim, proc, x, radius, &mut neighbors, &mut stats);
+                        tree.radius_search_scratch(
+                            sim,
+                            proc,
+                            x,
+                            radius,
+                            &mut neighbors,
+                            &mut stats,
+                            &mut scratch,
+                        );
                     }
                     NdtSearchMode::Bonsai => {
                         let tree = self.bonsai_tree.as_ref().expect("bonsai tree").kd_tree();
                         let proc = bonsai_proc.as_mut().expect("bonsai processor");
-                        tree.radius_search(sim, proc, x, radius, &mut neighbors, &mut stats);
+                        tree.radius_search_scratch(
+                            sim,
+                            proc,
+                            x,
+                            radius,
+                            &mut neighbors,
+                            &mut stats,
+                            &mut scratch,
+                        );
                     }
                 }
 

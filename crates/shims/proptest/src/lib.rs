@@ -1,0 +1,571 @@
+//! Offline stand-in for the subset of [`proptest`] this workspace uses.
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace vendors this API-compatible shim: the [`proptest!`] macro,
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range/tuple/array
+//! strategies, `prop::collection::vec`, `prop::sample::Index`,
+//! [`any`](arbitrary::any) and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via `Debug`)
+//!   and the deterministic case seed, but is not minimized.
+//! * **Deterministic generation** — cases derive from a fixed per-test
+//!   seed, so failures always reproduce.
+//! * `any::<f32>()` generates every value class except NaN (whose
+//!   payload bits are implementation-defined and would make bit-exact
+//!   comparisons in tests depend on the host's NaN conventions).
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+/// Deterministic xoshiro256** generation state for one test case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> TestRng {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xCBF29CE484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+        let mut sm = h ^ case.wrapping_mul(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform index in `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Run-time configuration of a `proptest!` block.
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type (subset of
+    /// `proptest::strategy::Strategy`; sampling only, no shrink trees).
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// A constant strategy (always yields a clone of its value).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A uniform choice between same-typed strategies (the shape
+    /// `prop_oneof!` builds).
+    #[derive(Debug, Clone)]
+    pub struct Union<S> {
+        arms: Vec<S>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// A union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<S>) -> Union<S> {
+            assert!(!arms.is_empty(), "empty prop_oneof!");
+            Union { arms }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (self.end - self.start) * rng.unit() as f32;
+            // f32 rounding of start + span*u can land exactly on the
+            // excluded end; keep the strategy half-open.
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + (self.end - self.start) * rng.unit();
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Default strategies per type (`any::<T>()`).
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f32 {
+        /// Every `f32` class except NaN: zeros, infinities, subnormals
+        /// and arbitrary finite bit patterns.
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            match rng.next_u64() % 16 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f32::INFINITY,
+                3 => f32::NEG_INFINITY,
+                4 => f32::from_bits((rng.next_u64() as u32) & 0x807F_FFFF), // subnormal/zero
+                _ => {
+                    let mut bits = rng.next_u64() as u32;
+                    if bits & 0x7F80_0000 == 0x7F80_0000 {
+                        bits &= 0xFF80_0000; // squash NaN payloads to ±inf
+                    }
+                    f32::from_bits(bits)
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f32::arbitrary(rng) as f64
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> [T; N] {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + rng.below(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array`).
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A strategy for `[S::Value; N]` from one element strategy.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample(rng))
+        }
+    }
+
+    macro_rules! uniform_fn {
+        ($($name:ident => $n:literal),*) => {$(
+            /// An array of independent draws from `element`.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+    uniform_fn!(uniform2 => 2, uniform3 => 3, uniform4 => 4);
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use super::arbitrary::Arbitrary;
+    use super::TestRng;
+
+    /// An index into a collection whose length is only known inside the
+    /// test body (subset of `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects onto `0..len` (`len > 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+/// Everything a `proptest!`-using test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module namespace the real crate exposes.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality, reporting the generated inputs on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// A uniform choice among same-typed strategies.
+///
+/// The real crate supports weighted, heterogeneous arms; this shim
+/// supports the unweighted, same-typed form the workspace uses.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($arm),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated cases.
+///
+/// Supports the optional leading `#![proptest_config(...)]` attribute.
+/// On failure the macro prints the case number and every generated
+/// input, then re-panics; cases are deterministic per test name, so the
+/// failure reproduces on rerun.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let cases = ($cfg).cases as u64;
+            for case in 0..cases {
+                let mut rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = ($strat).sample(&mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: {} failed at case {case}/{cases} with inputs:",
+                        stringify!($name),
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_in_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::TestRng::for_case("self_test", 0);
+        for _ in 0..1000 {
+            let x = (-5.0f32..5.0).sample(&mut rng);
+            assert!((-5.0..5.0).contains(&x));
+            let n = (3usize..=7).sample(&mut rng);
+            assert!((3..=7).contains(&n));
+            let v = prop::collection::vec(0u16..100, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 100));
+            let a = prop::array::uniform3(0i32..4).sample(&mut rng);
+            assert!(a.iter().all(|&e| (0..4).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn any_f32_never_generates_nan() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::TestRng::for_case("nan_test", 1);
+        for _ in 0..100_000 {
+            assert!(!any::<f32>().sample(&mut rng).is_nan());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = prop::collection::vec((0.0f32..1.0, 0u8..9).prop_map(|(f, i)| (f, i)), 1..20);
+        let a = s.sample(&mut crate::TestRng::for_case("det", 3));
+        let b = s.sample(&mut crate::TestRng::for_case("det", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_runs(x in 0.0f32..1.0, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+    }
+}

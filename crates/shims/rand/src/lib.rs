@@ -1,0 +1,205 @@
+//! Offline stand-in for the parts of the [`rand`] crate this workspace
+//! uses (`StdRng::seed_from_u64`, `gen_range`, `gen_bool`).
+//!
+//! The build environment cannot reach a crates.io registry, so the
+//! workspace vendors this API-compatible subset instead of the real
+//! crate. The generator is xoshiro256**, seeded SplitMix64-style — a
+//! high-quality deterministic stream, which is all the synthetic-LiDAR
+//! code needs (it never asks for cryptographic randomness).
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods (subset of `rand::Rng`), blanket-implemented for
+/// every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// The raw 64-bit source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Scalars `gen_range` can produce. Mirrors `rand::distributions::
+/// uniform::SampleUniform`; its job here is pruning reference types
+/// during inference so float literals resolve like they do with the
+/// real crate.
+pub trait SampleUniform {}
+macro_rules! sample_uniform {
+    ($($t:ty),*) => {$(impl SampleUniform for $t {})*};
+}
+sample_uniform!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can produce a uniform sample from 64 random bits.
+pub trait SampleRange<T> {
+    /// Maps the random word into the range.
+    fn sample(self, word: u64) -> T;
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, word: u64) -> f32 {
+        assert!(self.start < self.end, "empty gen_range");
+        let v = self.start + (self.end - self.start) * unit_f64(word) as f32;
+        // The f32 rounding of start + span*u can land exactly on the
+        // excluded end bound; keep the range half-open like real rand.
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, word: u64) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        let v = self.start + (self.end - self.start) * unit_f64(word);
+        if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, word: u64) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u128;
+                self.start + (word as u128 % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, word: u64) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (word as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_sample_range!(i8, i16, i32, i64, isize);
+
+/// Maps 53 of the 64 bits into `[0, 1)`.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Stand-in for `rand::rngs::StdRng`: xoshiro256** seeded through
+    /// SplitMix64 (the reference seeding procedure).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f32..1.0), b.gen_range(0.0f32..1.0));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let f = rng.gen_range(-3.0f32..3.0);
+            assert!((-3.0..3.0).contains(&f));
+            let i = rng.gen_range(5i32..9);
+            assert!((5..9).contains(&i));
+            let u = rng.gen_range(0usize..7);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == b.gen_range(0u64..u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+}

@@ -72,4 +72,18 @@ fn main() {
         stats.uniform_fraction(1) * 100.0,
         stats.uniform_fraction(2) * 100.0
     );
+
+    // Production querying: the batch engine answers many queries in one
+    // allocation-free call (add `search_batch_parallel` for threads).
+    let engine = kd_bonsai::core::RadiusSearchEngine::bonsai(&tree);
+    let mut batch = kd_bonsai::kdtree::QueryBatch::new();
+    engine.search_batch(&cloud, radius, &mut batch);
+    assert_eq!(batch.results(42).len(), bonsai.len());
+    println!(
+        "batched: {} queries -> {} neighbours, {} points inspected, {:.2}% fallbacks",
+        batch.num_queries(),
+        batch.total_matches(),
+        batch.stats().points_inspected,
+        batch.stats().fallback_ratio() * 100.0
+    );
 }

@@ -34,6 +34,31 @@
 //! let hits = tree.radius_search_simple(cloud[25], 0.5);
 //! assert!(!hits.is_empty());
 //! ```
+//!
+//! # Batched production querying
+//!
+//! Uninstrumented serving goes through
+//! [`core::RadiusSearchEngine`]: iterative allocation-free traversal,
+//! leaf-contiguous SoA scans, many queries per call, and (with the
+//! default `parallel` feature) scoped-thread fan-out — with results
+//! bit-identical to the per-query instrumented paths.
+//!
+//! ```
+//! use kd_bonsai::core::{BonsaiTree, RadiusSearchEngine};
+//! use kd_bonsai::geom::Point3;
+//! use kd_bonsai::kdtree::{KdTreeConfig, QueryBatch};
+//! use kd_bonsai::sim::SimEngine;
+//!
+//! let cloud: Vec<Point3> =
+//!     (0..300).map(|i| Point3::new((i % 20) as f32 * 0.2, (i / 20) as f32 * 0.2, 1.0)).collect();
+//! let mut sim = SimEngine::disabled();
+//! let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+//!
+//! let engine = RadiusSearchEngine::bonsai(&tree);
+//! let mut batch = QueryBatch::new();
+//! engine.search_batch(&cloud, 0.5, &mut batch);
+//! assert_eq!(batch.num_queries(), cloud.len());
+//! ```
 
 pub use bonsai_cluster as cluster;
 pub use bonsai_core as core;
