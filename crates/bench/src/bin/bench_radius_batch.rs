@@ -1,8 +1,9 @@
 //! Measures per-query vs. batched vs. batched+parallel radius-search
-//! throughput on the 20k-point urban cloud and writes
-//! `BENCH_radius_batch.json` — the perf-trajectory artifact the batch
-//! engine is judged by (acceptance: batched ≥ 2× the seed per-query
-//! path).
+//! throughput on the 20k-point urban cloud — plus the sharded
+//! `ShardRouter` serving path (per-frame build latency and batch
+//! throughput) — and writes `BENCH_radius_batch.json`, the
+//! perf-trajectory artifact the batch engine is judged by (acceptance:
+//! batched ≥ 2× the seed per-query path).
 //!
 //! ```sh
 //! cargo run --release --bin bench_radius_batch [-- --quick]
@@ -14,16 +15,19 @@ use std::time::Instant;
 use bonsai_bench::workload::{
     batch_queries, urban_cloud, BATCH_CLOUD, BATCH_QUERIES, BATCH_RADIUS,
 };
-use bonsai_core::{BonsaiTree, RadiusSearchEngine};
+use bonsai_core::{BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter};
 use bonsai_isa::Machine;
-use bonsai_kdtree::{KdTreeConfig, QueryBatch, SearchStats};
+use bonsai_kdtree::{KdTree, KdTreeConfig, QueryBatch, SearchStats};
 use bonsai_sim::SimEngine;
 
 const RADIUS: f32 = BATCH_RADIUS;
 
-/// Runs `work` repeatedly for ~`budget_ms`, returning queries/second.
-fn measure_qps(queries: usize, budget_ms: u64, mut work: impl FnMut() -> usize) -> f64 {
-    // One untimed warm-up round.
+/// Shards of the sharded serving rows.
+const SHARDS: usize = 8;
+
+/// Runs `work` repeatedly for ~`budget_ms` after one untimed warm-up
+/// round, returning `(rounds, elapsed_seconds)`.
+fn measure_rounds(budget_ms: u64, mut work: impl FnMut() -> usize) -> (u64, f64) {
     let mut checksum = work();
     let start = Instant::now();
     let mut rounds = 0u64;
@@ -32,7 +36,20 @@ fn measure_qps(queries: usize, budget_ms: u64, mut work: impl FnMut() -> usize) 
         rounds += 1;
     }
     std::hint::black_box(checksum);
-    (rounds as f64 * queries as f64) / start.elapsed().as_secs_f64()
+    (rounds, start.elapsed().as_secs_f64())
+}
+
+/// Runs `work` repeatedly for ~`budget_ms`, returning queries/second.
+fn measure_qps(queries: usize, budget_ms: u64, work: impl FnMut() -> usize) -> f64 {
+    let (rounds, elapsed) = measure_rounds(budget_ms, work);
+    (rounds as f64 * queries as f64) / elapsed
+}
+
+/// Runs `work` repeatedly for ~`budget_ms`, returning milliseconds per
+/// round.
+fn measure_ms(budget_ms: u64, work: impl FnMut() -> usize) -> f64 {
+    let (rounds, elapsed) = measure_rounds(budget_ms, work);
+    elapsed * 1e3 / rounds as f64
 }
 
 fn main() {
@@ -132,6 +149,125 @@ fn main() {
         );
         let _ = writeln!(json, "    }}{}", if mi == 0 { "," } else { "" });
     }
+    let _ = writeln!(json, "  }},");
+
+    // ------------------------------------------------------------------
+    // Sharded serving: per-frame build latency (single tree vs. K-shard
+    // router, sequential and parallel) and router batch throughput.
+    // Each arm pays one copy of the cloud: the single tree consumes a
+    // clone, the router copies the points into its shards.
+    // ------------------------------------------------------------------
+    let _ = writeln!(json, "  \"sharded\": {{");
+    let _ = writeln!(json, "    \"shards\": {SHARDS},");
+
+    let seq_cfg = ShardConfig {
+        shards: SHARDS,
+        build_threads: 1,
+    };
+    let par_cfg = ShardConfig {
+        shards: SHARDS,
+        build_threads: 0,
+    };
+    let build_budget = budget_ms / 2;
+    let _ = writeln!(json, "    \"build\": {{");
+    for (mi, mode) in ["baseline", "bonsai"].into_iter().enumerate() {
+        let baseline = mode == "baseline";
+        let single_ms = measure_ms(build_budget, || {
+            let mut sim = SimEngine::disabled();
+            if baseline {
+                KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim)
+                    .build_stats()
+                    .num_leaves as usize
+            } else {
+                BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim)
+                    .kd_tree()
+                    .build_stats()
+                    .num_leaves as usize
+            }
+        });
+        let cloud_ref = &cloud;
+        let sharded_build = |cfg: ShardConfig| {
+            move || {
+                let router = if baseline {
+                    ShardRouter::baseline(cloud_ref, KdTreeConfig::default(), cfg)
+                } else {
+                    ShardRouter::bonsai(cloud_ref, KdTreeConfig::default(), cfg)
+                };
+                router.build_stats().num_leaves as usize
+            }
+        };
+        let seq_ms = measure_ms(build_budget, sharded_build(seq_cfg));
+        let par_ms = measure_ms(build_budget, sharded_build(par_cfg));
+        println!(
+            "{mode:>8} build: single {single_ms:>7.2} ms | sharded seq {seq_ms:>7.2} ms \
+             ({:.2}x) | sharded par {par_ms:>7.2} ms ({:.2}x)",
+            single_ms / seq_ms,
+            single_ms / par_ms,
+        );
+        let _ = writeln!(json, "      \"{mode}\": {{");
+        let _ = writeln!(json, "        \"single_tree_ms\": {single_ms:.3},");
+        let _ = writeln!(json, "        \"sharded_seq_ms\": {seq_ms:.3},");
+        let _ = writeln!(json, "        \"sharded_parallel_ms\": {par_ms:.3},");
+        let _ = writeln!(
+            json,
+            "        \"parallel_build_speedup\": {:.3}",
+            single_ms / par_ms
+        );
+        let _ = writeln!(json, "      }}{}", if mi == 0 { "," } else { "" });
+    }
+    let _ = writeln!(json, "    }},");
+
+    let _ = writeln!(json, "    \"modes\": {{");
+    for (mi, mode) in ["baseline", "bonsai"].into_iter().enumerate() {
+        let baseline = mode == "baseline";
+        let router = if baseline {
+            ShardRouter::baseline(&cloud, KdTreeConfig::default(), par_cfg)
+        } else {
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), par_cfg)
+        };
+        let mut batch = QueryBatch::new();
+        let router_qps = measure_qps(query_n, budget_ms, || {
+            router.search_batch(&queries, RADIUS, &mut batch);
+            batch.total_matches()
+        });
+        #[cfg(feature = "parallel")]
+        let router_parallel_qps = {
+            let mut batch = QueryBatch::new();
+            measure_qps(query_n, budget_ms, || {
+                router.search_batch_parallel(&queries, RADIUS, &mut batch, 0);
+                batch.total_matches()
+            })
+        };
+        #[cfg(not(feature = "parallel"))]
+        let router_parallel_qps = router_qps;
+
+        // Exactness spot check: the router must reproduce the
+        // single-tree engine's neighbor sets bit-for-bit (the router
+        // emits canonical ascending-index order).
+        router.search_batch(&queries, RADIUS, &mut batch);
+        for (i, &q) in queries.iter().enumerate().step_by(37) {
+            let mut expect = if baseline {
+                tree.kd_tree().radius_search_simple(q, RADIUS)
+            } else {
+                tree.radius_search_simple(q, RADIUS)
+            };
+            expect.sort_unstable_by_key(|n| n.index);
+            assert_eq!(batch.results(i), &expect[..], "{mode} query {i} diverged");
+        }
+
+        println!(
+            "{mode:>8} router: batched {router_qps:>12.0} q/s | parallel \
+             {router_parallel_qps:>12.0} q/s"
+        );
+        let _ = writeln!(json, "      \"{mode}\": {{");
+        let _ = writeln!(json, "        \"router_qps\": {router_qps:.0},");
+        let _ = writeln!(
+            json,
+            "        \"router_parallel_qps\": {router_parallel_qps:.0}"
+        );
+        let _ = writeln!(json, "      }}{}", if mi == 0 { "," } else { "" });
+    }
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

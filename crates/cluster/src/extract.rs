@@ -1,4 +1,6 @@
-use bonsai_core::{BonsaiTree, RadiusSearchEngine, SoftwareCodecProcessor};
+use bonsai_core::{
+    BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter, SoftwareCodecProcessor,
+};
 use bonsai_geom::Point3;
 use bonsai_isa::Machine;
 use bonsai_kdtree::{
@@ -238,19 +240,108 @@ pub fn extract_euclidean_clusters(
 #[cfg(feature = "parallel")]
 const PARALLEL_FRONTIER_MIN: usize = 512;
 
-/// Searches one BFS frontier through the batch engine, in parallel when
-/// the frontier is large enough to amortize thread startup.
-fn search_frontier(
-    engine: &RadiusSearchEngine<'_>,
+/// A whole-batch radius searcher the BFS can drain frontiers through:
+/// the single-tree engine or the shard router, with the same
+/// sequential/parallel split.
+trait FrontierSearcher {
+    fn batch_seq(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch);
+    #[cfg(feature = "parallel")]
+    fn batch_par(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch);
+}
+
+impl FrontierSearcher for RadiusSearchEngine<'_> {
+    fn batch_seq(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        self.search_batch(queries, radius, batch);
+    }
+    #[cfg(feature = "parallel")]
+    fn batch_par(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        self.search_batch_parallel(queries, radius, batch, 0);
+    }
+}
+
+impl FrontierSearcher for ShardRouter {
+    fn batch_seq(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        self.search_batch(queries, radius, batch);
+    }
+    #[cfg(feature = "parallel")]
+    fn batch_par(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        self.search_batch_parallel(queries, radius, batch, 0);
+    }
+}
+
+/// Searches one BFS frontier, in parallel when the frontier is large
+/// enough to amortize thread startup.
+fn search_frontier<S: FrontierSearcher>(
+    searcher: &S,
     queries: &[Point3],
     tolerance: f32,
     batch: &mut QueryBatch,
 ) {
     #[cfg(feature = "parallel")]
     if queries.len() >= PARALLEL_FRONTIER_MIN {
-        return engine.search_batch_parallel(queries, tolerance, batch, 0);
+        return searcher.batch_par(queries, tolerance, batch);
     }
-    engine.search_batch(queries, tolerance, batch);
+    searcher.batch_seq(queries, tolerance, batch);
+}
+
+/// The level-synchronous BFS shared by the batched and sharded
+/// extractions: grows each cluster by answering one whole frontier of
+/// radius queries per round through `search` (any batch searcher with
+/// exact per-query neighbor sets), then size-filters. Clusters are the
+/// connected components of the tolerance graph, so the result is
+/// independent of the searcher's per-query neighbor *order*.
+fn bfs_connected_clusters<F>(
+    points: &[Point3],
+    min_cluster_size: usize,
+    max_cluster_size: usize,
+    search_stats: &mut SearchStats,
+    mut search: F,
+) -> Vec<Vec<u32>>
+where
+    F: FnMut(&[Point3], &mut QueryBatch),
+{
+    let n = points.len();
+    let mut processed = vec![false; n];
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    // Round-trip buffers, reused across every round of every cluster.
+    let mut batch = QueryBatch::new();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut next_frontier: Vec<u32> = Vec::new();
+    let mut queries: Vec<Point3> = Vec::new();
+
+    for seed in 0..n as u32 {
+        if processed[seed as usize] {
+            continue;
+        }
+        processed[seed as usize] = true;
+        let mut members: Vec<u32> = vec![seed];
+        frontier.clear();
+        frontier.push(seed);
+        // Level-synchronous BFS: one batched search per frontier.
+        while !frontier.is_empty() {
+            queries.clear();
+            queries.extend(frontier.iter().map(|&i| points[i as usize]));
+            search(&queries, &mut batch);
+            *search_stats += *batch.stats();
+            next_frontier.clear();
+            for qi in 0..frontier.len() {
+                for nb in batch.results(qi) {
+                    if !processed[nb.index as usize] {
+                        processed[nb.index as usize] = true;
+                        members.push(nb.index);
+                        next_frontier.push(nb.index);
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next_frontier);
+        }
+
+        if (min_cluster_size..=max_cluster_size).contains(&members.len()) {
+            members.sort_unstable();
+            clusters.push(members);
+        }
+    }
+    clusters
 }
 
 /// The uninstrumented production form of [`extract_euclidean_clusters`]:
@@ -289,7 +380,6 @@ pub fn extract_euclidean_clusters_batched(
     mode: TreeMode,
 ) -> ClusterOutput {
     assert!(tolerance > 0.0, "cluster tolerance must be positive");
-    let n = points.len();
     let mut sim = SimEngine::disabled();
 
     #[allow(clippy::large_enum_variant)] // one stack instance per extraction
@@ -312,53 +402,88 @@ pub fn extract_euclidean_clusters_batched(
         ),
     };
 
-    let mut processed = vec![false; n];
-    let mut clusters: Vec<Vec<u32>> = Vec::new();
     let mut search_stats = SearchStats::default();
-    // Round-trip buffers, reused across every round of every cluster.
-    let mut batch = QueryBatch::new();
-    let mut frontier: Vec<u32> = Vec::new();
-    let mut next_frontier: Vec<u32> = Vec::new();
-    let mut queries: Vec<Point3> = Vec::new();
-
-    for seed in 0..n as u32 {
-        if processed[seed as usize] {
-            continue;
-        }
-        processed[seed as usize] = true;
-        let mut members: Vec<u32> = vec![seed];
-        frontier.clear();
-        frontier.push(seed);
-        // Level-synchronous BFS: one batched search per frontier.
-        while !frontier.is_empty() {
-            queries.clear();
-            queries.extend(frontier.iter().map(|&i| tree.points()[i as usize]));
-            search_frontier(&engine, &queries, tolerance, &mut batch);
-            search_stats += *batch.stats();
-            next_frontier.clear();
-            for qi in 0..frontier.len() {
-                for nb in batch.results(qi) {
-                    if !processed[nb.index as usize] {
-                        processed[nb.index as usize] = true;
-                        members.push(nb.index);
-                        next_frontier.push(nb.index);
-                    }
-                }
-            }
-            std::mem::swap(&mut frontier, &mut next_frontier);
-        }
-
-        if (min_cluster_size..=max_cluster_size).contains(&members.len()) {
-            members.sort_unstable();
-            clusters.push(members);
-        }
-    }
+    let clusters = bfs_connected_clusters(
+        tree.points(),
+        min_cluster_size,
+        max_cluster_size,
+        &mut search_stats,
+        |queries, batch| search_frontier(&engine, queries, tolerance, batch),
+    );
 
     ClusterOutput {
         clusters,
         search_stats,
         build_stats: tree.build_stats(),
         compressed_bytes,
+    }
+}
+
+/// [`extract_euclidean_clusters_batched`] served by a sharded
+/// multi-tree [`ShardRouter`] instead of one tree: the cloud is
+/// median-cut into `shard_cfg.shards` spatial shards (built in parallel
+/// with the `parallel` feature), and every BFS frontier drains through
+/// the router, which searches only the shards each query ball touches.
+///
+/// Clusters are **identical** to the single-tree extraction for every
+/// mode — euclidean clusters are the connected components of the
+/// tolerance graph, and the router's per-query neighbor sets are
+/// bit-identical to the single-tree engine's. `build_stats` aggregates
+/// the shard trees (leaf/interior sums, deepest shard), and
+/// `search_stats` counts the per-shard traversal work the router
+/// actually performed.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_cluster::{extract_euclidean_clusters_sharded, TreeMode};
+/// use bonsai_core::ShardConfig;
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::KdTreeConfig;
+///
+/// let mut pts = Vec::new();
+/// for i in 0..30 {
+///     pts.push(Point3::new(i as f32 * 0.05, 0.0, 0.0));
+///     pts.push(Point3::new(10.0 + i as f32 * 0.05, 0.0, 0.0));
+/// }
+/// let out = extract_euclidean_clusters_sharded(
+///     pts, 0.3, 5, 1000, KdTreeConfig::default(), TreeMode::Bonsai,
+///     ShardConfig::with_shards(4));
+/// assert_eq!(out.clusters.len(), 2);
+/// ```
+pub fn extract_euclidean_clusters_sharded(
+    points: Vec<Point3>,
+    tolerance: f32,
+    min_cluster_size: usize,
+    max_cluster_size: usize,
+    tree_cfg: KdTreeConfig,
+    mode: TreeMode,
+    shard_cfg: ShardConfig,
+) -> ClusterOutput {
+    assert!(tolerance > 0.0, "cluster tolerance must be positive");
+    // The router borrows the cloud (each shard copies only its own
+    // points), so the original stays available for the BFS's
+    // global-index coordinate lookups without a second full copy.
+    let router = match mode {
+        TreeMode::Baseline => ShardRouter::baseline(&points, tree_cfg, shard_cfg),
+        TreeMode::Bonsai => ShardRouter::bonsai(&points, tree_cfg, shard_cfg),
+        TreeMode::SoftwareCodec => ShardRouter::software_codec(&points, tree_cfg, shard_cfg),
+    };
+
+    let mut search_stats = SearchStats::default();
+    let clusters = bfs_connected_clusters(
+        &points,
+        min_cluster_size,
+        max_cluster_size,
+        &mut search_stats,
+        |queries, batch| search_frontier(&router, queries, tolerance, batch),
+    );
+
+    ClusterOutput {
+        clusters,
+        search_stats,
+        build_stats: router.build_stats(),
+        compressed_bytes: router.compressed_bytes(),
     }
 }
 
@@ -513,6 +638,45 @@ mod tests {
             );
             assert_eq!(batched.build_stats, instrumented.build_stats);
             assert_eq!(batched.compressed_bytes, instrumented.compressed_bytes);
+        }
+    }
+
+    /// Sharded extraction must produce the identical clusters for every
+    /// mode and shard count, including K=1 and K larger than any
+    /// sensible shard size.
+    #[test]
+    fn sharded_extraction_matches_single_tree_clusters() {
+        let cloud = three_blob_cloud();
+        for mode in [
+            TreeMode::Baseline,
+            TreeMode::Bonsai,
+            TreeMode::SoftwareCodec,
+        ] {
+            let single = extract_euclidean_clusters_batched(
+                cloud.clone(),
+                0.5,
+                10,
+                10_000,
+                KdTreeConfig::default(),
+                mode,
+            );
+            for shards in [1, 2, 5, 64] {
+                let sharded = extract_euclidean_clusters_sharded(
+                    cloud.clone(),
+                    0.5,
+                    10,
+                    10_000,
+                    KdTreeConfig::default(),
+                    mode,
+                    ShardConfig::with_shards(shards),
+                );
+                assert_eq!(sharded.clusters, single.clusters, "{mode:?} K={shards}");
+                assert_eq!(
+                    sharded.compressed_bytes > 0,
+                    mode != TreeMode::Baseline,
+                    "{mode:?} K={shards}"
+                );
+            }
         }
     }
 

@@ -48,6 +48,7 @@ mod extract;
 mod pipeline;
 
 pub use extract::{
-    extract_euclidean_clusters, extract_euclidean_clusters_batched, ClusterOutput, TreeMode,
+    extract_euclidean_clusters, extract_euclidean_clusters_batched,
+    extract_euclidean_clusters_sharded, ClusterOutput, TreeMode,
 };
 pub use pipeline::{ClusterParams, FramePipeline, FrameResult};

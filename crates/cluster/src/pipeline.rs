@@ -29,6 +29,12 @@ pub struct ClusterParams {
     pub max_cluster_size: usize,
     /// K-d tree construction parameters.
     pub tree: KdTreeConfig,
+    /// Spatial shards for the extraction stage: `0` or `1` serves every
+    /// frame from one tree; `K ≥ 2` routes the BFS through a K-shard
+    /// [`ShardRouter`](bonsai_core::ShardRouter) (production path only
+    /// — an *instrumented* run always uses the single-tree extraction,
+    /// whose event stream is what the paper models).
+    pub shards: usize,
 }
 
 impl Default for ClusterParams {
@@ -44,6 +50,7 @@ impl Default for ClusterParams {
             min_cluster_size: 10,
             max_cluster_size: 50_000,
             tree: KdTreeConfig::default(),
+            shards: 0,
         }
     }
 }
@@ -124,15 +131,27 @@ impl FramePipeline {
         let clustered_points = points.len();
         let points_addr = sim.alloc(points.len() as u64 * 16, 64);
         let cloud_for_post = points.clone();
-        let output = extract_euclidean_clusters(
-            sim,
-            points,
-            p.tolerance,
-            p.min_cluster_size,
-            p.max_cluster_size,
-            p.tree,
-            mode,
-        );
+        let output = if p.shards > 1 && !sim.is_enabled() {
+            crate::extract_euclidean_clusters_sharded(
+                points,
+                p.tolerance,
+                p.min_cluster_size,
+                p.max_cluster_size,
+                p.tree,
+                mode,
+                bonsai_core::ShardConfig::with_shards(p.shards),
+            )
+        } else {
+            extract_euclidean_clusters(
+                sim,
+                points,
+                p.tolerance,
+                p.min_cluster_size,
+                p.max_cluster_size,
+                p.tree,
+                mode,
+            )
+        };
 
         // Post-processing: label points and compute cluster boxes
         // (Autoware publishes bounding boxes + centroids per cluster).
@@ -202,6 +221,28 @@ mod tests {
         let b = pipeline.run(&mut sim_b, &frame, TreeMode::Bonsai);
         assert_eq!(a.output.clusters, b.output.clusters);
         assert_eq!(a.boxes, b.boxes);
+    }
+
+    /// A sharded pipeline run is output-identical to the single-tree
+    /// run: same clusters, same boxes.
+    #[test]
+    fn sharded_pipeline_matches_single_tree_end_to_end() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        let frame = seq.frame(2);
+        let single = FramePipeline::new(ClusterParams::default());
+        let sharded = FramePipeline::new(ClusterParams {
+            shards: 4,
+            ..ClusterParams::default()
+        });
+        for mode in [TreeMode::Baseline, TreeMode::Bonsai] {
+            let mut sim_a = SimEngine::disabled();
+            let a = single.run(&mut sim_a, &frame, mode);
+            let mut sim_b = SimEngine::disabled();
+            let b = sharded.run(&mut sim_b, &frame, mode);
+            assert_eq!(a.output.clusters, b.output.clusters, "{mode:?}");
+            assert_eq!(a.boxes, b.boxes, "{mode:?}");
+            assert_eq!(a.clustered_points, b.clustered_points, "{mode:?}");
+        }
     }
 
     #[test]

@@ -110,6 +110,9 @@ impl<'t> RadiusSearchEngine<'t> {
 
     /// Answers one query, clearing `out` first. Allocation-free once
     /// `scratch` and `out` are warm.
+    ///
+    /// A non-positive or non-finite `radius` yields an empty result
+    /// without visiting any node, in every mode.
     pub fn search_one(
         &self,
         query: Point3,
@@ -146,26 +149,9 @@ impl<'t> RadiusSearchEngine<'t> {
         batch: &mut QueryBatch,
         threads: usize,
     ) {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            threads
-        };
-        let threads = threads.min(queries.len()).max(1);
-        if threads == 1 {
-            return self.search_batch(queries, radius, batch);
-        }
-        let chunk = queries.len().div_ceil(threads);
-        let mut parts: Vec<QueryBatch> = (0..threads).map(|_| QueryBatch::new()).collect();
-        std::thread::scope(|scope| {
-            for (part, chunk_queries) in parts.iter_mut().zip(queries.chunks(chunk)) {
-                scope.spawn(move || self.search_batch(chunk_queries, radius, part));
-            }
+        crate::fanout::search_batch_across_threads(queries, radius, batch, threads, |q, r, b| {
+            self.search_batch(q, r, b)
         });
-        batch.reset();
-        for part in &parts {
-            batch.absorb(part);
-        }
     }
 
     /// The shared per-query kernel: iterative traversal plus the
@@ -178,73 +164,99 @@ impl<'t> RadiusSearchEngine<'t> {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let r_sq = radius * radius;
-        match self.bonsai {
-            None => {
-                self.tree.for_each_leaf_in_radius(
-                    query,
-                    radius,
-                    scratch,
-                    stats,
-                    |_, start, count, stats| {
-                        self.tree
-                            .scan_leaf_baseline(start, count, query, r_sq, out, stats);
-                    },
-                );
-            }
-            Some(bonsai) => {
-                let approx = bonsai.approx_soa();
-                let directory = bonsai.directory();
-                let vind = self.tree.vind();
-                let points = self.tree.points();
-                let lut = &self.lut;
-                self.tree.for_each_leaf_in_radius(
-                    query,
-                    radius,
-                    scratch,
-                    stats,
-                    |leaf, start, count, stats| {
-                        let leaf_ref = directory
-                            .leaf_ref(leaf)
-                            .expect("compressed engine requires a compressed leaf");
-                        debug_assert_eq!(leaf_ref.num_pts as u32, count);
-                        stats.points_inspected += count as u64;
-                        stats.point_bytes_loaded += leaf_ref.padded_len() as u64;
-                        for i in start as usize..(start + count) as usize {
-                            // Same arithmetic, in the same order, as the
-                            // SQDWE lanes: diff from the f16-approximate
-                            // coordinate, squared distance and Eq. 11
-                            // error accumulated x → y → z in f32.
-                            let dx = query.x - approx.x[i];
-                            let dy = query.y - approx.y[i];
-                            let dz = query.z - approx.z[i];
-                            let d_sq = dx * dx + dy * dy + dz * dz;
-                            let t_err = lut.max_squared_difference_error(dx.abs(), approx.ex[i])
-                                + lut.max_squared_difference_error(dy.abs(), approx.ey[i])
-                                + lut.max_squared_difference_error(dz.abs(), approx.ez[i]);
-                            match classify(d_sq, t_err, r_sq) {
-                                ShellClass::In => out.push(Neighbor {
-                                    index: vind[i],
-                                    dist_sq: d_sq,
-                                }),
-                                ShellClass::Out => {}
-                                ShellClass::Recompute => {
-                                    stats.fallbacks += 1;
-                                    stats.point_bytes_loaded += 12;
-                                    let idx = vind[i];
-                                    let exact = points[idx as usize].distance_squared(query);
-                                    if exact <= r_sq {
-                                        out.push(Neighbor {
-                                            index: idx,
-                                            dist_sq: exact,
-                                        });
-                                    }
+        append_hits(
+            self.tree,
+            self.bonsai,
+            &self.lut,
+            query,
+            radius,
+            scratch,
+            out,
+            stats,
+        );
+    }
+}
+
+/// The mode-dispatched per-query kernel, shared by
+/// [`RadiusSearchEngine`] and the [`ShardRouter`](crate::ShardRouter):
+/// iterative traversal of `tree` plus the baseline or compressed leaf
+/// scan, appending hits to `out` (not cleared). Degenerate radii are
+/// rejected inside the traversal and append nothing.
+#[allow(clippy::too_many_arguments)] // the flattened engine state
+pub(crate) fn append_hits(
+    tree: &KdTree,
+    bonsai: Option<&BonsaiTree>,
+    lut: &PartErrorMem,
+    query: Point3,
+    radius: f32,
+    scratch: &mut SearchScratch,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    let r_sq = radius * radius;
+    match bonsai {
+        None => {
+            tree.for_each_leaf_in_radius(
+                query,
+                radius,
+                scratch,
+                stats,
+                |_, start, count, stats| {
+                    tree.scan_leaf_baseline(start, count, query, r_sq, out, stats);
+                },
+            );
+        }
+        Some(bonsai) => {
+            let approx = bonsai.approx_soa();
+            let directory = bonsai.directory();
+            let vind = tree.vind();
+            let points = tree.points();
+            tree.for_each_leaf_in_radius(
+                query,
+                radius,
+                scratch,
+                stats,
+                |leaf, start, count, stats| {
+                    let leaf_ref = directory
+                        .leaf_ref(leaf)
+                        .expect("compressed engine requires a compressed leaf");
+                    debug_assert_eq!(leaf_ref.num_pts as u32, count);
+                    stats.points_inspected += count as u64;
+                    stats.point_bytes_loaded += leaf_ref.padded_len() as u64;
+                    for i in start as usize..(start + count) as usize {
+                        // Same arithmetic, in the same order, as the
+                        // SQDWE lanes: diff from the f16-approximate
+                        // coordinate, squared distance and Eq. 11
+                        // error accumulated x → y → z in f32.
+                        let dx = query.x - approx.x[i];
+                        let dy = query.y - approx.y[i];
+                        let dz = query.z - approx.z[i];
+                        let d_sq = dx * dx + dy * dy + dz * dz;
+                        let t_err = lut.max_squared_difference_error(dx.abs(), approx.ex[i])
+                            + lut.max_squared_difference_error(dy.abs(), approx.ey[i])
+                            + lut.max_squared_difference_error(dz.abs(), approx.ez[i]);
+                        match classify(d_sq, t_err, r_sq) {
+                            ShellClass::In => out.push(Neighbor {
+                                index: vind[i],
+                                dist_sq: d_sq,
+                            }),
+                            ShellClass::Out => {}
+                            ShellClass::Recompute => {
+                                stats.fallbacks += 1;
+                                stats.point_bytes_loaded += 12;
+                                let idx = vind[i];
+                                let exact = points[idx as usize].distance_squared(query);
+                                if exact <= r_sq {
+                                    out.push(Neighbor {
+                                        index: idx,
+                                        dist_sq: exact,
+                                    });
                                 }
                             }
                         }
-                    },
-                );
-            }
+                    }
+                },
+            );
         }
     }
 }
@@ -366,6 +378,58 @@ mod tests {
                 );
             }
             assert_eq!(parallel.stats(), sequential.stats(), "threads {threads}");
+        }
+    }
+
+    /// Regression for the degenerate-radius bug: before the guard,
+    /// `radius = -r` returned the same neighbors as `+r` in every
+    /// engine mode because only `r² = radius·radius` was compared.
+    #[test]
+    fn degenerate_radii_are_empty_in_every_engine_mode() {
+        let cloud = urban_cloud(1500, 11);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        for engine in [
+            RadiusSearchEngine::baseline(tree.kd_tree()),
+            RadiusSearchEngine::bonsai(&tree),
+            RadiusSearchEngine::software_codec(&tree),
+        ] {
+            let mut scratch = SearchScratch::new();
+            let mut out = Vec::new();
+            let mut stats = SearchStats::default();
+            // Sanity: the positive radius finds neighbors.
+            engine.search_one(cloud[7], 1.0, &mut scratch, &mut out, &mut stats);
+            assert!(!out.is_empty(), "{:?}", engine.mode());
+            for r in [0.0f32, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+                let mut stats = SearchStats::default();
+                engine.search_one(cloud[7], r, &mut scratch, &mut out, &mut stats);
+                assert!(out.is_empty(), "{:?} radius {r}", engine.mode());
+                assert_eq!(
+                    stats,
+                    SearchStats::default(),
+                    "{:?} radius {r}",
+                    engine.mode()
+                );
+
+                let mut batch = QueryBatch::new();
+                engine.search_batch(&cloud[..32], r, &mut batch);
+                assert_eq!(batch.num_queries(), 32);
+                assert_eq!(batch.total_matches(), 0, "{:?} radius {r}", engine.mode());
+                assert_eq!(*batch.stats(), SearchStats::default());
+
+                #[cfg(feature = "parallel")]
+                {
+                    let mut parallel = QueryBatch::new();
+                    engine.search_batch_parallel(&cloud[..32], r, &mut parallel, 3);
+                    assert_eq!(parallel.num_queries(), 32);
+                    assert_eq!(
+                        parallel.total_matches(),
+                        0,
+                        "{:?} radius {r}",
+                        engine.mode()
+                    );
+                }
+            }
         }
     }
 

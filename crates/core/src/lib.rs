@@ -42,8 +42,11 @@ pub mod shell;
 
 mod directory;
 mod engine;
+#[cfg(feature = "parallel")]
+mod fanout;
 mod processor;
 mod reduced;
+mod shard;
 mod software;
 mod tree;
 
@@ -51,5 +54,6 @@ pub use directory::{CompressedDirectory, LeafRef};
 pub use engine::{EngineMode, RadiusSearchEngine};
 pub use processor::BonsaiLeafProcessor;
 pub use reduced::ReducedUncheckedProcessor;
+pub use shard::{ShardConfig, ShardRouter};
 pub use software::SoftwareCodecProcessor;
 pub use tree::{BonsaiTree, CompressionStats};

@@ -1,0 +1,600 @@
+//! Sharded multi-tree radius-search serving.
+//!
+//! One tree per frame caps both the memory footprint a single
+//! `CompressedDirectory` must hold and the rebuild latency a frame pays
+//! before its first query. A [`ShardRouter`] instead median-cuts the
+//! cloud into `K` spatial shards, builds an independent
+//! [`KdTree`]/[`BonsaiTree`] per shard (fanned out over threads with the
+//! `parallel` feature), and serves a [`QueryBatch`] by routing every
+//! query to exactly the shards whose bounding box intersects the query
+//! ball — the ikd-Tree idiom of many independently updated and queried
+//! spatial regions.
+//!
+//! **Exactness.** Per-point membership and the reported `dist_sq` bits
+//! are independent of tree shape in every mode: the baseline scan
+//! computes the same `f32` distance from the same coordinates, and the
+//! compressed scan classifies each point from its *own* f16
+//! approximation and per-point error bound, falling back to the exact
+//! `f32` point inside the shell. Routing never loses a neighbor either,
+//! because [`Aabb::intersects_ball`] under-estimates the distance to
+//! every contained point. The router therefore returns, for every
+//! query, the same neighbor set with bit-identical `(index, dist_sq)`
+//! values as a single-tree [`RadiusSearchEngine`] over the whole cloud
+//! — property-tested at the workspace root for all three modes
+//! (Baseline / Bonsai / SoftwareCodec). Hits are emitted in ascending
+//! global point index, a canonical order that is independent of the
+//! shard layout (a single tree emits leaf order instead, so compare
+//! after sorting). Traversal *counters* are aggregated per shard: they
+//! equal the sum over shards of searching that shard's own engine with
+//! the queries routed to it.
+
+use bonsai_floatfmt::PartErrorMem;
+use bonsai_geom::{Aabb, Point3};
+use bonsai_kdtree::{
+    BuildStats, KdTree, KdTreeConfig, Neighbor, QueryBatch, SearchScratch, SearchStats,
+};
+use bonsai_sim::SimEngine;
+
+use crate::engine::{append_hits, EngineMode};
+use crate::tree::BonsaiTree;
+
+/// Sharding parameters of a [`ShardRouter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Desired shard count `K` (clamped to at least 1; a cloud with
+    /// fewer points than shards gets one single-point shard per point).
+    pub shards: usize,
+    /// Threads used to build the shard trees: `0` uses the machine's
+    /// available parallelism, `1` builds sequentially. Ignored (always
+    /// sequential) without the `parallel` feature.
+    pub build_threads: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            build_threads: 0,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A configuration with `shards` shards and automatic build threads.
+    pub fn with_shards(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// One spatial shard: a contiguous region's points, their global
+/// indices, and the per-shard tree.
+#[derive(Debug)]
+struct Shard {
+    /// Tight bounding box of the shard's points (the routing test).
+    aabb: Aabb,
+    /// Shard-local point index → global cloud index (ascending).
+    global: Vec<u32>,
+    tree: ShardTree,
+}
+
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // a handful of shards per router
+enum ShardTree {
+    Baseline(KdTree),
+    Bonsai(BonsaiTree),
+}
+
+impl ShardTree {
+    fn kd(&self) -> &KdTree {
+        match self {
+            ShardTree::Baseline(t) => t,
+            ShardTree::Bonsai(b) => b.kd_tree(),
+        }
+    }
+
+    fn bonsai(&self) -> Option<&BonsaiTree> {
+        match self {
+            ShardTree::Baseline(_) => None,
+            ShardTree::Bonsai(b) => Some(b),
+        }
+    }
+}
+
+/// A sharded multi-tree radius-search front-end: `K` spatial shards,
+/// each with its own tree and engine state, behind the same batch API
+/// as the single-tree [`RadiusSearchEngine`].
+///
+/// See the [module docs](self) for the exactness contract.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_core::{ShardConfig, ShardRouter};
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::{KdTreeConfig, QueryBatch};
+///
+/// let cloud: Vec<Point3> =
+///     (0..400).map(|i| Point3::new((i % 20) as f32 * 0.3, (i / 20) as f32 * 0.3, 1.0)).collect();
+/// let router = ShardRouter::bonsai(
+///     &cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+/// assert_eq!(router.num_shards(), 4);
+///
+/// let mut batch = QueryBatch::new();
+/// router.search_batch(&cloud[..32], 0.5, &mut batch);
+/// assert_eq!(batch.num_queries(), 32);
+/// assert!(batch.results(0).iter().any(|n| n.index == 0));
+/// ```
+///
+/// [`RadiusSearchEngine`]: crate::RadiusSearchEngine
+#[derive(Debug)]
+pub struct ShardRouter {
+    shards: Vec<Shard>,
+    mode: EngineMode,
+    num_points: usize,
+    lut: PartErrorMem,
+}
+
+impl ShardRouter {
+    /// A router over uncompressed `f32` shard trees.
+    ///
+    /// `points` is borrowed: each shard copies exactly the points it
+    /// serves, so the caller keeps (and can reuse) the original cloud
+    /// without a second full copy.
+    pub fn baseline(points: &[Point3], tree_cfg: KdTreeConfig, cfg: ShardConfig) -> ShardRouter {
+        ShardRouter::build(points, tree_cfg, cfg, EngineMode::Baseline)
+    }
+
+    /// A router over Bonsai-compressed shard trees (exact membership).
+    pub fn bonsai(points: &[Point3], tree_cfg: KdTreeConfig, cfg: ShardConfig) -> ShardRouter {
+        ShardRouter::build(points, tree_cfg, cfg, EngineMode::Compressed)
+    }
+
+    /// A router matching the software-codec strawman's results — the
+    /// fast scan is shared with [`bonsai`](ShardRouter::bonsai), exactly
+    /// as in the single-tree engine.
+    pub fn software_codec(
+        points: &[Point3],
+        tree_cfg: KdTreeConfig,
+        cfg: ShardConfig,
+    ) -> ShardRouter {
+        ShardRouter::bonsai(points, tree_cfg, cfg)
+    }
+
+    fn build(
+        points: &[Point3],
+        tree_cfg: KdTreeConfig,
+        cfg: ShardConfig,
+        mode: EngineMode,
+    ) -> ShardRouter {
+        let num_points = points.len();
+        let parts = median_cut(points, cfg.shards.max(1));
+        let inputs: Vec<(Vec<u32>, Vec<Point3>)> = parts
+            .into_iter()
+            .map(|global| {
+                let pts = global.iter().map(|&i| points[i as usize]).collect();
+                (global, pts)
+            })
+            .collect();
+        let shards = build_shards(inputs, tree_cfg, mode, cfg.build_threads);
+        ShardRouter {
+            shards,
+            mode,
+            num_points,
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// The leaf representation every shard scans.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Number of shards actually built (≤ the configured count when the
+    /// cloud has fewer points than shards; 0 for an empty cloud).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total points across all shards.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// Per-shard point counts, in shard order.
+    pub fn shard_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.shards.iter().map(|s| s.global.len())
+    }
+
+    /// Per-shard tight bounding boxes, in shard order.
+    pub fn shard_bounds(&self) -> impl Iterator<Item = Aabb> + '_ {
+        self.shards.iter().map(|s| s.aabb)
+    }
+
+    /// The global cloud indices shard `shard` serves, ascending. A
+    /// shard's tree is built over exactly these points in exactly this
+    /// order, so rebuilding a single-tree engine from them reproduces
+    /// the shard's results and counters — the observability hook the
+    /// router's property tests rest on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn shard_points(&self, shard: usize) -> &[u32] {
+        &self.shards[shard].global
+    }
+
+    /// Aggregated shape statistics: leaf/interior counts summed over
+    /// shards, `max_depth` the deepest shard's depth.
+    pub fn build_stats(&self) -> BuildStats {
+        let mut agg = BuildStats::default();
+        for s in &self.shards {
+            let b = s.tree.kd().build_stats();
+            agg.num_leaves += b.num_leaves;
+            agg.num_interior += b.num_interior;
+            agg.max_depth = agg.max_depth.max(b.max_depth);
+        }
+        agg
+    }
+
+    /// Total compressed-directory bytes across shards (0 in baseline
+    /// mode).
+    pub fn compressed_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.tree.bonsai())
+            .map(|b| b.compression_stats().compressed_bytes)
+            .sum()
+    }
+
+    /// Answers one query, clearing `out` first: hits from every shard
+    /// whose box intersects the query ball, re-indexed to global cloud
+    /// indices and sorted ascending. Allocation-free once `scratch` and
+    /// `out` are warm.
+    ///
+    /// A non-positive or non-finite `radius` yields an empty result
+    /// without touching any shard.
+    pub fn search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.clear();
+        self.append_query(query, radius, scratch, out, stats);
+    }
+
+    /// Answers every query in one call, filling `batch` (reset first):
+    /// the sharded equivalent of `RadiusSearchEngine::search_batch`,
+    /// with [`QueryBatch::stats`] aggregating the whole batch across
+    /// shards.
+    pub fn search_batch(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        batch.reset();
+        for &query in queries {
+            batch.push_query(|scratch, out, stats| {
+                self.append_query(query, radius, scratch, out, stats);
+            });
+        }
+    }
+
+    /// [`search_batch`](ShardRouter::search_batch) fanned out over
+    /// scoped worker threads (`threads == 0` uses the machine's
+    /// available parallelism). Results are merged in query order, so
+    /// output and aggregate stats are identical to the sequential call.
+    #[cfg(feature = "parallel")]
+    pub fn search_batch_parallel(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        batch: &mut QueryBatch,
+        threads: usize,
+    ) {
+        crate::fanout::search_batch_across_threads(queries, radius, batch, threads, |q, r, b| {
+            self.search_batch(q, r, b)
+        });
+    }
+
+    /// The routed per-query kernel: searches every intersecting shard,
+    /// re-indexes its hits to global indices, and sorts the query's
+    /// merged hits into canonical ascending-index order.
+    fn append_query(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        // Same up-front rejection as the traversal layer, so a
+        // degenerate radius skips even the AABB walk.
+        if !bonsai_kdtree::radius_is_searchable(radius) {
+            return;
+        }
+        let r_sq = radius * radius;
+        let start = out.len();
+        for shard in &self.shards {
+            if !shard.aabb.intersects_ball(query, r_sq) {
+                continue;
+            }
+            let before = out.len();
+            append_hits(
+                shard.tree.kd(),
+                shard.tree.bonsai(),
+                &self.lut,
+                query,
+                radius,
+                scratch,
+                out,
+                stats,
+            );
+            for n in &mut out[before..] {
+                n.index = shard.global[n.index as usize];
+            }
+        }
+        // Global indices are unique, so the sort key is total and the
+        // canonical order is independent of the shard layout.
+        out[start..].sort_unstable_by_key(|n| n.index);
+    }
+}
+
+/// Median-cut spatial partition: repeatedly splits the most populous
+/// part at the median of its bounding box's widest axis until `k`
+/// non-empty parts exist (or every part is a single point). Each part's
+/// global indices are returned sorted ascending, and the parts
+/// themselves ordered by their smallest index, so the layout is
+/// deterministic.
+fn median_cut(points: &[Point3], k: usize) -> Vec<Vec<u32>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut parts: Vec<Vec<u32>> = vec![(0..points.len() as u32).collect()];
+    while parts.len() < k {
+        let (widest, _) = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .expect("parts is non-empty");
+        if parts[widest].len() < 2 {
+            break; // Only single-point parts remain.
+        }
+        let mut part = parts.swap_remove(widest);
+        let bbox =
+            Aabb::from_points(part.iter().map(|&i| points[i as usize])).expect("non-empty part");
+        let axis = bbox.widest_axis();
+        let mid = part.len() / 2;
+        part.select_nth_unstable_by(mid, |&a, &b| {
+            points[a as usize][axis].total_cmp(&points[b as usize][axis])
+        });
+        let right = part.split_off(mid);
+        parts.push(part);
+        parts.push(right);
+    }
+    for p in &mut parts {
+        p.sort_unstable();
+    }
+    parts.sort_unstable_by_key(|p| p[0]);
+    parts
+}
+
+/// Builds one shard's tree (and, under Bonsai, its compressed
+/// directory) from its owned point set.
+fn build_shard(global: Vec<u32>, pts: Vec<Point3>, cfg: KdTreeConfig, mode: EngineMode) -> Shard {
+    let aabb = Aabb::from_points(pts.iter().copied()).expect("shards are non-empty");
+    let mut sim = SimEngine::disabled();
+    let tree = match mode {
+        EngineMode::Baseline => ShardTree::Baseline(KdTree::build(pts, cfg, &mut sim)),
+        EngineMode::Compressed => ShardTree::Bonsai(BonsaiTree::build(pts, cfg, &mut sim)),
+    };
+    Shard { aabb, global, tree }
+}
+
+/// Builds every shard, fanning out over scoped threads when the
+/// `parallel` feature is enabled and more than one thread is requested.
+#[cfg(feature = "parallel")]
+fn build_shards(
+    inputs: Vec<(Vec<u32>, Vec<Point3>)>,
+    cfg: KdTreeConfig,
+    mode: EngineMode,
+    threads: usize,
+) -> Vec<Shard> {
+    let threads = crate::fanout::resolve_threads(threads, inputs.len());
+    if threads == 1 {
+        return build_shards_sequential(inputs, cfg, mode);
+    }
+    let chunk = inputs.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<(Vec<u32>, Vec<Point3>)>> = Vec::with_capacity(threads);
+    let mut iter = inputs.into_iter();
+    loop {
+        let c: Vec<_> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| scope.spawn(move || build_shards_sequential(c, cfg, mode)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard build worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn build_shards(
+    inputs: Vec<(Vec<u32>, Vec<Point3>)>,
+    cfg: KdTreeConfig,
+    mode: EngineMode,
+    _threads: usize,
+) -> Vec<Shard> {
+    build_shards_sequential(inputs, cfg, mode)
+}
+
+fn build_shards_sequential(
+    inputs: Vec<(Vec<u32>, Vec<Point3>)>,
+    cfg: KdTreeConfig,
+    mode: EngineMode,
+) -> Vec<Shard> {
+    inputs
+        .into_iter()
+        .map(|(global, pts)| build_shard(global, pts, cfg, mode))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RadiusSearchEngine;
+
+    fn urban_cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let cluster = (next() * 12.0).floor();
+                Point3::new(
+                    (cluster - 6.0) * 15.0 + next() * 3.0,
+                    (next() - 0.5) * 60.0,
+                    next() * 2.5,
+                )
+            })
+            .collect()
+    }
+
+    fn sorted(mut hits: Vec<Neighbor>) -> Vec<Neighbor> {
+        hits.sort_unstable_by_key(|n| n.index);
+        hits
+    }
+
+    #[test]
+    fn median_cut_partitions_every_point_once() {
+        let cloud = urban_cloud(1000, 1);
+        for k in [1, 2, 3, 7, 16] {
+            let parts = median_cut(&cloud, k);
+            assert_eq!(parts.len(), k);
+            let mut seen = vec![false; cloud.len()];
+            for p in &parts {
+                assert!(!p.is_empty());
+                for &i in p {
+                    assert!(!seen[i as usize], "point {i} in two shards");
+                    seen[i as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+            // Median splits keep shards balanced within 2×.
+            let min = parts.iter().map(Vec::len).min().unwrap();
+            let max = parts.iter().map(Vec::len).max().unwrap();
+            assert!(max <= 2 * min, "k {k}: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_points_caps_at_one_point_each() {
+        let cloud = urban_cloud(5, 2);
+        let parts = median_cut(&cloud, 64);
+        assert_eq!(parts.len(), 5);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn empty_cloud_builds_an_empty_router() {
+        let router = ShardRouter::bonsai(&[], KdTreeConfig::default(), ShardConfig::with_shards(4));
+        assert_eq!(router.num_shards(), 0);
+        let mut batch = QueryBatch::new();
+        router.search_batch(&[Point3::ZERO], 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), 1);
+        assert_eq!(batch.total_matches(), 0);
+    }
+
+    #[test]
+    fn router_matches_single_tree_engine_values() {
+        let cloud = urban_cloud(3000, 3);
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::bonsai(&tree);
+        let router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(6));
+        let queries: Vec<Point3> = cloud.iter().step_by(17).copied().collect();
+
+        let mut single = QueryBatch::new();
+        engine.search_batch(&queries, 1.2, &mut single);
+        let mut sharded = QueryBatch::new();
+        router.search_batch(&queries, 1.2, &mut sharded);
+
+        assert_eq!(sharded.num_queries(), single.num_queries());
+        for i in 0..single.num_queries() {
+            assert_eq!(
+                sharded.results(i),
+                &sorted(single.results(i).to_vec())[..],
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_radii_are_empty_through_the_router() {
+        let cloud = urban_cloud(500, 4);
+        let router = ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::default());
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        router.search_one(cloud[0], 1.0, &mut scratch, &mut out, &mut stats);
+        assert!(!out.is_empty());
+        for r in [0.0f32, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut stats = SearchStats::default();
+            router.search_one(cloud[0], r, &mut scratch, &mut out, &mut stats);
+            assert!(out.is_empty(), "radius {r}");
+            assert_eq!(stats, SearchStats::default(), "radius {r}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_router_batch_is_identical_to_sequential() {
+        let cloud = urban_cloud(2000, 9);
+        let router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(5));
+        let mut sequential = QueryBatch::new();
+        router.search_batch(&cloud, 0.9, &mut sequential);
+        for threads in [0, 1, 2, 3, 7] {
+            let mut parallel = QueryBatch::new();
+            router.search_batch_parallel(&cloud, 0.9, &mut parallel, threads);
+            assert_eq!(parallel.num_queries(), sequential.num_queries());
+            for i in 0..sequential.num_queries() {
+                assert_eq!(
+                    parallel.results(i),
+                    sequential.results(i),
+                    "threads {threads} query {i}"
+                );
+            }
+            assert_eq!(parallel.stats(), sequential.stats(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn query_outside_every_shard_box_touches_nothing() {
+        let cloud = urban_cloud(800, 5);
+        let router =
+            ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let far = Point3::new(1.0e6, 1.0e6, 1.0e6);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        router.search_one(far, 1.0, &mut scratch, &mut out, &mut stats);
+        assert!(out.is_empty());
+        // No shard box intersects, so not even a root node is visited.
+        assert_eq!(stats, SearchStats::default());
+    }
+}

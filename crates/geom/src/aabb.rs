@@ -142,6 +142,29 @@ impl Aabb {
         d2
     }
 
+    /// Whether the closed ball of squared radius `radius_sq` around
+    /// `center` intersects the box.
+    ///
+    /// This is the shard-routing test: a query ball only needs to visit
+    /// a shard when it intersects the shard's bounding box. The
+    /// comparison is inclusive, matching radius search's `d² ≤ r²`
+    /// membership rule, and [`distance_squared_to`]
+    /// (Aabb::distance_squared_to) is a monotone under-estimate of the
+    /// distance to any contained point in `f32`, so a shard that holds
+    /// a true neighbor is never skipped.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bonsai_geom::{Aabb, Point3};
+    /// let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+    /// assert!(b.intersects_ball(Point3::new(2.0, 0.5, 0.5), 1.0));
+    /// assert!(!b.intersects_ball(Point3::new(2.0, 0.5, 0.5), 0.99));
+    /// ```
+    pub fn intersects_ball(&self, center: Point3, radius_sq: f32) -> bool {
+        self.distance_squared_to(center) <= radius_sq
+    }
+
     /// The union of two boxes.
     pub fn union(&self, other: &Aabb) -> Aabb {
         Aabb {

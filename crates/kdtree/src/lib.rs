@@ -49,4 +49,4 @@ pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
 pub use costs::TraversalCosts;
 pub use node::{LeafId, Node, NodeId};
 pub use scratch::{QueryBatch, SearchScratch};
-pub use search::{LeafProcessor, Neighbor, SearchStats};
+pub use search::{radius_is_searchable, LeafProcessor, Neighbor, SearchStats};

@@ -177,6 +177,10 @@ impl KdTree {
     ///
     /// This is the substrate of the fast (`SimEngine::disabled`) path:
     /// leaf-scan loops plug in here without paying for the event model.
+    ///
+    /// A non-positive or non-finite `radius` visits nothing, matching
+    /// the instrumented search's up-front rejection of degenerate
+    /// radii.
     #[inline]
     pub fn for_each_leaf_in_radius<F>(
         &self,
@@ -188,7 +192,7 @@ impl KdTree {
     ) where
         F: FnMut(LeafId, u32, u32, &mut SearchStats),
     {
-        if self.nodes().is_empty() {
+        if self.nodes().is_empty() || !crate::search::radius_is_searchable(radius) {
             return;
         }
         let r_sq = radius * radius;
@@ -438,6 +442,30 @@ mod tests {
             assert_eq!(merged.results(i), whole.results(i), "query {i}");
         }
         assert_eq!(merged.stats(), whole.stats());
+    }
+
+    /// The fast traversal honors the same degenerate-radius contract as
+    /// the instrumented path: empty results, zero counters, but the
+    /// batch still records one (empty) result range per query.
+    #[test]
+    fn degenerate_radii_are_empty_in_fast_and_batched_paths() {
+        let cloud = random_cloud(500, 21, 40.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        for r in [0.0f32, -1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut stats = SearchStats::default();
+            tree.radius_search_fast(cloud[3], r, &mut scratch, &mut out, &mut stats);
+            assert!(out.is_empty(), "radius {r}");
+            assert_eq!(stats, SearchStats::default(), "radius {r}");
+
+            let mut batch = QueryBatch::new();
+            tree.radius_search_batch(&cloud[..16], r, &mut batch);
+            assert_eq!(batch.num_queries(), 16, "radius {r}");
+            assert_eq!(batch.total_matches(), 0, "radius {r}");
+            assert_eq!(*batch.stats(), SearchStats::default(), "radius {r}");
+        }
     }
 
     #[test]

@@ -100,6 +100,34 @@ pub trait LeafProcessor {
     );
 }
 
+/// Whether `radius` denotes a searchable ball.
+///
+/// Every radius-search entry point rejects non-positive and non-finite
+/// radii up front and returns an empty result without visiting any
+/// node. The guard exists because the traversal and the leaf scans
+/// compare only against `r² = radius·radius`, which erases the sign
+/// (`-r` would silently behave like `+r`) and turns NaN/∞ radii into
+/// inconsistent pruning decisions. Public so layered front-ends (the
+/// shard router) can apply the identical rejection before any routing
+/// work of their own.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_kdtree::radius_is_searchable;
+/// assert!(radius_is_searchable(0.5));
+/// assert!(!radius_is_searchable(0.0));
+/// assert!(!radius_is_searchable(-1.0));
+/// assert!(!radius_is_searchable(f32::NAN));
+/// assert!(!radius_is_searchable(f32::INFINITY));
+/// ```
+#[inline]
+pub fn radius_is_searchable(radius: f32) -> bool {
+    // `radius > 0.0` is false for NaN, so finiteness is the only extra
+    // check needed to exclude +∞.
+    radius > 0.0 && radius != f32::INFINITY
+}
+
 impl KdTree {
     /// Radius search (paper Section II-C): finds every point within
     /// `radius` of `query`, using `processor` for leaf inspection and
@@ -124,6 +152,9 @@ impl KdTree {
     /// so a warmed-up query performs no heap allocation. This is the
     /// form every hot loop (cluster BFS, batch engine, benches) should
     /// use.
+    ///
+    /// A non-positive or non-finite `radius` yields an empty result
+    /// without visiting any node (no stats, no simulated events).
     #[allow(clippy::too_many_arguments)] // mirrors radius_search + scratch
     pub fn radius_search_scratch<P: LeafProcessor>(
         &self,
@@ -136,7 +167,7 @@ impl KdTree {
         scratch: &mut SearchScratch,
     ) {
         out.clear();
-        if self.nodes().is_empty() {
+        if self.nodes().is_empty() || !radius_is_searchable(radius) {
             return;
         }
         let costs = TraversalCosts::default_model();
@@ -331,15 +362,54 @@ mod tests {
     }
 
     #[test]
-    fn zero_radius_finds_the_query_itself() {
+    fn tiny_radius_finds_the_query_itself() {
         let cloud = random_cloud(200, 3, 30.0);
         let mut sim = SimEngine::disabled();
         let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
-        let hits = tree.radius_search_simple(cloud[17], 0.0);
+        let hits = tree.radius_search_simple(cloud[17], f32::MIN_POSITIVE);
         assert!(hits.iter().any(|n| n.index == 17));
         for n in &hits {
             assert_eq!(n.dist_sq, 0.0); // only exact duplicates qualify
         }
+    }
+
+    /// The degenerate-radius contract: `radius <= 0` and non-finite
+    /// radii return empty results and do no traversal work. Before the
+    /// guard, `-r` silently behaved like `+r` because only
+    /// `r² = radius·radius` was ever compared.
+    #[test]
+    fn degenerate_radii_return_empty_without_visits() {
+        let cloud = random_cloud(300, 6, 20.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let q = cloud[50];
+        // Sanity: the positive radius actually finds neighbors.
+        assert!(!tree.radius_search_simple(q, 2.0).is_empty());
+        for r in [0.0, -0.0, -2.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            assert!(
+                tree.radius_search_simple(q, r).is_empty(),
+                "radius {r} must find nothing"
+            );
+            let mut proc = BaselineLeafProcessor::new(&mut sim);
+            let mut out = vec![Neighbor {
+                index: 0,
+                dist_sq: 0.0,
+            }];
+            let mut stats = SearchStats::default();
+            tree.radius_search(&mut sim, &mut proc, q, r, &mut out, &mut stats);
+            assert!(out.is_empty(), "radius {r} left stale results");
+            assert_eq!(stats, SearchStats::default(), "radius {r} did work");
+        }
+    }
+
+    #[test]
+    fn negative_radius_differs_from_its_absolute_value() {
+        let cloud = random_cloud(400, 12, 25.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let q = cloud[123];
+        assert!(!tree.radius_search_simple(q, 1.5).is_empty());
+        assert!(tree.radius_search_simple(q, -1.5).is_empty());
     }
 
     #[test]

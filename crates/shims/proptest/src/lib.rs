@@ -8,8 +8,13 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking** — a failing case reports its inputs (via `Debug`)
-//!   and the deterministic case seed, but is not minimized.
+//! * **Basic shrinking only** — the real crate walks a shrink tree; this
+//!   shim re-samples a failing case at increasing *shrink levels*, each
+//!   level halving numeric ranges (toward their start) and truncating
+//!   collection lengths (toward their minimum) via
+//!   [`Strategy::sample_shrunk`](strategy::Strategy::sample_shrunk). The
+//!   most-shrunk inputs that still fail are reported alongside the
+//!   original failure.
 //! * **Deterministic generation** — cases derive from a fixed per-test
 //!   seed, so failures always reproduce.
 //! * `any::<f32>()` generates every value class except NaN (whose
@@ -17,6 +22,11 @@
 //!   comparisons in tests depend on the host's NaN conventions).
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
+
+/// Shrink levels the [`proptest!`] runner tries after a failure. Each
+/// level halves numeric spans and collection-length spans once more, so
+/// level 16 has collapsed every range by 2¹⁶.
+pub const MAX_SHRINK_LEVELS: u32 = 16;
 
 /// Deterministic xoshiro256** generation state for one test case.
 #[derive(Debug, Clone)]
@@ -100,13 +110,25 @@ pub mod strategy {
     use std::ops::{Range, RangeInclusive};
 
     /// A source of random values of one type (subset of
-    /// `proptest::strategy::Strategy`; sampling only, no shrink trees).
+    /// `proptest::strategy::Strategy`; sampling plus level-based
+    /// shrinking instead of shrink trees).
     pub trait Strategy {
         /// The generated type.
         type Value;
 
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Draws one *simplified* value: each shrink `level` halves
+        /// numeric spans (toward the range start) and collection-length
+        /// spans (toward the minimum length) once more. Level 0 is
+        /// [`sample`](Strategy::sample). Strategies without a natural
+        /// simpler form (e.g. `any::<T>()`) fall back to plain
+        /// sampling.
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> Self::Value {
+            let _ = level;
+            self.sample(rng)
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -115,6 +137,11 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+    }
+
+    /// `span >> level` without shift overflow.
+    fn shrink_span_u128(span: u128, level: u32) -> u128 {
+        span.checked_shr(level).unwrap_or(0)
     }
 
     /// A constant strategy (always yields a clone of its value).
@@ -140,6 +167,9 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> O {
             (self.f)(self.inner.sample(rng))
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> O {
+            (self.f)(self.inner.sample_shrunk(rng, level))
+        }
     }
 
     /// A uniform choice between same-typed strategies (the shape
@@ -163,6 +193,12 @@ pub mod strategy {
             let i = rng.below(self.arms.len());
             self.arms[i].sample(rng)
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> S::Value {
+            // Same arm choice as `sample` (same rng stream), shrunk
+            // within the arm.
+            let i = rng.below(self.arms.len());
+            self.arms[i].sample_shrunk(rng, level)
+        }
     }
 
     impl Strategy for Range<f32> {
@@ -172,6 +208,16 @@ pub mod strategy {
             let v = self.start + (self.end - self.start) * rng.unit() as f32;
             // f32 rounding of start + span*u can land exactly on the
             // excluded end; keep the strategy half-open.
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let scale = 0.5f32.powi(level.min(127) as i32);
+            let v = self.start + (self.end - self.start) * scale * rng.unit() as f32;
             if v >= self.end {
                 self.end.next_down().max(self.start)
             } else {
@@ -191,6 +237,16 @@ pub mod strategy {
                 v
             }
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let scale = 0.5f64.powi(level.min(1023) as i32);
+            let v = self.start + (self.end - self.start) * scale * rng.unit();
+            if v >= self.end {
+                self.end.next_down().max(self.start)
+            } else {
+                v
+            }
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -202,12 +258,24 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u128;
                     (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
+                fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let span = shrink_span_u128(span, level).max(1);
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
                 fn sample(&self, rng: &mut TestRng) -> $t {
                     assert!(self.start() <= self.end(), "empty range strategy");
                     let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+                fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    let span = shrink_span_u128(span, level).max(1);
                     (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
                 }
             }
@@ -221,6 +289,9 @@ pub mod strategy {
                 type Value = ($($s::Value,)+);
                 fn sample(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.sample(rng),)+)
+                }
+                fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> Self::Value {
+                    ($(self.$idx.sample_shrunk(rng, level),)+)
                 }
             }
         )*};
@@ -375,6 +446,16 @@ pub mod collection {
             let len = self.size.min + rng.below(span);
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> Vec<S::Value> {
+            // Truncate toward the minimum length, halving the length
+            // span per level; elements shrink along.
+            let span = self.size.max - self.size.min + 1;
+            let span = span.checked_shr(level).unwrap_or(0).max(1);
+            let len = self.size.min + rng.below(span);
+            (0..len)
+                .map(|_| self.element.sample_shrunk(rng, level))
+                .collect()
+        }
     }
 }
 
@@ -393,6 +474,9 @@ pub mod array {
         type Value = [S::Value; N];
         fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
             std::array::from_fn(|_| self.element.sample(rng))
+        }
+        fn sample_shrunk(&self, rng: &mut TestRng, level: u32) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.sample_shrunk(rng, level))
         }
     }
 
@@ -482,8 +566,13 @@ macro_rules! prop_oneof {
 ///
 /// Supports the optional leading `#![proptest_config(...)]` attribute.
 /// On failure the macro prints the case number and every generated
-/// input, then re-panics; cases are deterministic per test name, so the
-/// failure reproduces on rerun.
+/// input, then *shrinks*: the same case is re-sampled at increasing
+/// shrink levels (each halving numeric ranges and truncating
+/// collections — see
+/// [`Strategy::sample_shrunk`](strategy::Strategy::sample_shrunk)), the
+/// most-shrunk inputs that still fail are reported, and the original
+/// panic is re-raised. Cases are deterministic per test name, so both
+/// the failure and its shrink reproduce on rerun.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -510,6 +599,33 @@ macro_rules! proptest {
                         stringify!($name),
                     );
                     $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    // Shrink: re-sample the failing case with
+                    // progressively halved ranges / truncated
+                    // collections and keep the simplest reproduction.
+                    let mut simplest: Option<(u32, ::std::string::String)> = None;
+                    for level in 1..=$crate::MAX_SHRINK_LEVELS {
+                        let mut rng = $crate::TestRng::for_case(
+                            concat!(module_path!(), "::", stringify!($name)),
+                            case,
+                        );
+                        $(let $arg = ($strat).sample_shrunk(&mut rng, level);)+
+                        let shrunk = ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| $body));
+                        if shrunk.is_err() {
+                            let mut report = ::std::string::String::new();
+                            $(report.push_str(
+                                &::std::format!("  {} = {:?}\n", stringify!($arg), $arg));)+
+                            simplest = Some((level, report));
+                        }
+                    }
+                    if let Some((level, report)) = simplest {
+                        eprintln!(
+                            "proptest shim: simplest failing inputs (shrink level {level}):",
+                        );
+                        eprint!("{report}");
+                    } else {
+                        eprintln!("proptest shim: no shrunk re-sample still failed");
+                    }
                     ::std::panic::resume_unwind(panic);
                 }
             }
@@ -551,6 +667,53 @@ mod tests {
     }
 
     #[test]
+    fn shrinking_collapses_ranges_toward_their_start() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::TestRng::for_case("shrink_ranges", 0);
+        for _ in 0..1000 {
+            // Deep shrink levels collapse numeric ranges onto the start
+            // and vectors onto their minimum length.
+            let x = (0.05f32..10.0).sample_shrunk(&mut rng, crate::MAX_SHRINK_LEVELS);
+            assert!((0.05..0.06).contains(&x), "f32 not collapsed: {x}");
+            let n = (3usize..=200).sample_shrunk(&mut rng, crate::MAX_SHRINK_LEVELS);
+            assert_eq!(n, 3, "usize not collapsed");
+            let v = prop::collection::vec(0u16..100, 1..=64)
+                .sample_shrunk(&mut rng, crate::MAX_SHRINK_LEVELS);
+            assert_eq!(v.len(), 1, "vec not truncated");
+            assert_eq!(v[0], 0, "element not shrunk");
+            // Level 0 must behave exactly like `sample`.
+            let mut a = crate::TestRng::for_case("shrink_l0", 7);
+            let mut b = crate::TestRng::for_case("shrink_l0", 7);
+            assert_eq!(
+                (0.0f32..5.0).sample(&mut a).to_bits(),
+                (0.0f32..5.0).sample_shrunk(&mut b, 0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn shrinking_stays_in_bounds_at_every_level() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::TestRng::for_case("shrink_bounds", 3);
+        for level in 0..=2 * crate::MAX_SHRINK_LEVELS {
+            for _ in 0..200 {
+                let x = (-5.0f32..5.0).sample_shrunk(&mut rng, level);
+                assert!((-5.0..5.0).contains(&x), "level {level}: {x}");
+                let n = (10i32..20).sample_shrunk(&mut rng, level);
+                assert!((10..20).contains(&n), "level {level}: {n}");
+                let v = prop::collection::vec(0u8..10, 2..6).sample_shrunk(&mut rng, level);
+                assert!((2..6).contains(&v.len()), "level {level}: {}", v.len());
+                let (a, b) = (0u32..7, 1.0f64..2.0).sample_shrunk(&mut rng, level);
+                assert!(a < 7 && (1.0..2.0).contains(&b), "level {level}");
+                let m = (0u32..1000)
+                    .prop_map(|x| x * 2)
+                    .sample_shrunk(&mut rng, level);
+                assert_eq!(m % 2, 0);
+            }
+        }
+    }
+
+    #[test]
     fn generation_is_deterministic() {
         use crate::strategy::Strategy;
         let s = prop::collection::vec((0.0f32..1.0, 0u8..9).prop_map(|(f, i)| (f, i)), 1..20);
@@ -566,6 +729,20 @@ mod tests {
         fn the_macro_itself_runs(x in 0.0f32..1.0, n in 1usize..10) {
             prop_assert!((0.0..1.0).contains(&x));
             prop_assert!((1..10).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2))]
+
+        /// Drives the runner's whole failure path — original report,
+        /// the 16-level shrink loop, re-panic — end to end.
+        #[test]
+        #[should_panic(expected = "assertion failed")]
+        fn failing_property_exercises_the_shrink_loop(
+            v in prop::collection::vec(0u32..100, 1..=32),
+        ) {
+            prop_assert!(v.is_empty()); // Always fails: v has ≥ 1 element.
         }
     }
 }

@@ -1,0 +1,359 @@
+//! Degenerate-input pinning across all three tree modes (Baseline /
+//! Bonsai / SoftwareCodec), for every radius-search front-end: the
+//! instrumented `LeafProcessor` paths, the fast `RadiusSearchEngine`,
+//! and the sharded `ShardRouter`.
+//!
+//! Covers the two bug classes this repo's PR 2 fixed and guards:
+//!
+//! * **Degenerate radii** — `radius <= 0` and non-finite radii must
+//!   return empty results with zero traversal work. Before the guard,
+//!   `-r` returned the same neighbors as `+r` (only `r² = radius·radius`
+//!   was ever compared) and NaN/∞ radii mis-pruned silently.
+//! * **Degenerate clouds** — all-identical points, coincident
+//!   duplicates, a single point, and coordinates that saturate the
+//!   f16-approximate rows (|x| > 65504 rounds to ±∞ in binary16) must
+//!   keep all three modes bit-identical in membership.
+
+use kd_bonsai::cluster::TreeMode;
+use kd_bonsai::core::{
+    BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter, SoftwareCodecProcessor,
+};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::isa::Machine;
+use kd_bonsai::kdtree::{
+    BaselineLeafProcessor, KdTreeConfig, Neighbor, QueryBatch, SearchScratch, SearchStats,
+};
+use kd_bonsai::sim::SimEngine;
+
+const MODES: [TreeMode; 3] = [
+    TreeMode::Baseline,
+    TreeMode::Bonsai,
+    TreeMode::SoftwareCodec,
+];
+
+/// One query through the instrumented (seed-style) search path of a
+/// mode, returning the hits and the stats it recorded.
+fn instrumented_search(
+    tree: &BonsaiTree,
+    mode: TreeMode,
+    query: Point3,
+    radius: f32,
+) -> (Vec<Neighbor>, SearchStats) {
+    let mut sim = SimEngine::disabled();
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    match mode {
+        TreeMode::Baseline => {
+            let mut proc = BaselineLeafProcessor::new(&mut sim);
+            tree.kd_tree()
+                .radius_search(&mut sim, &mut proc, query, radius, &mut out, &mut stats);
+        }
+        TreeMode::Bonsai => {
+            let mut machine = Machine::new();
+            tree.radius_search(&mut sim, &mut machine, query, radius, &mut out, &mut stats);
+        }
+        TreeMode::SoftwareCodec => {
+            let mut proc = SoftwareCodecProcessor::new(&mut sim, tree.directory());
+            tree.kd_tree()
+                .radius_search(&mut sim, &mut proc, query, radius, &mut out, &mut stats);
+        }
+    }
+    (out, stats)
+}
+
+fn engine_for<'t>(tree: &'t BonsaiTree, mode: TreeMode) -> RadiusSearchEngine<'t> {
+    match mode {
+        TreeMode::Baseline => RadiusSearchEngine::baseline(tree.kd_tree()),
+        TreeMode::Bonsai => RadiusSearchEngine::bonsai(tree),
+        TreeMode::SoftwareCodec => RadiusSearchEngine::software_codec(tree),
+    }
+}
+
+fn sorted_indices(hits: &[Neighbor]) -> Vec<u32> {
+    let mut v: Vec<u32> = hits.iter().map(|n| n.index).collect();
+    v.sort_unstable();
+    v
+}
+
+fn brute_force(cloud: &[Point3], q: Point3, r: f32) -> Vec<u32> {
+    let r_sq = r * r;
+    let mut hits: Vec<u32> = cloud
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.distance_squared(q) <= r_sq)
+        .map(|(i, _)| i as u32)
+        .collect();
+    hits.sort_unstable();
+    hits
+}
+
+/// Every mode, every front-end: membership equals brute force for the
+/// given cloud/query/radius, and all three modes agree.
+fn pin_all_modes(cloud: &[Point3], query: Point3, radius: f32, label: &str) {
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.to_vec(), KdTreeConfig::default(), &mut sim);
+    let expect = brute_force(cloud, query, radius);
+    let mut scratch = SearchScratch::new();
+    let mut out = Vec::new();
+    for mode in MODES {
+        let (slow, _) = instrumented_search(&tree, mode, query, radius);
+        assert_eq!(
+            sorted_indices(&slow),
+            expect,
+            "{label}: {mode:?} instrumented"
+        );
+
+        let engine = engine_for(&tree, mode);
+        let mut stats = SearchStats::default();
+        engine.search_one(query, radius, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out, slow, "{label}: {mode:?} engine vs instrumented");
+
+        let shard_cfg = ShardConfig::with_shards(4);
+        let router = match mode {
+            TreeMode::Baseline => ShardRouter::baseline(cloud, KdTreeConfig::default(), shard_cfg),
+            TreeMode::Bonsai => ShardRouter::bonsai(cloud, KdTreeConfig::default(), shard_cfg),
+            TreeMode::SoftwareCodec => {
+                ShardRouter::software_codec(cloud, KdTreeConfig::default(), shard_cfg)
+            }
+        };
+        let mut stats = SearchStats::default();
+        router.search_one(query, radius, &mut scratch, &mut out, &mut stats);
+        assert_eq!(sorted_indices(&out), expect, "{label}: {mode:?} router");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate radii.
+// ---------------------------------------------------------------------
+
+fn lane_cloud(n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|i| {
+            Point3::new(
+                (i % 25) as f32 * 0.4,
+                (i / 25) as f32 * 0.4,
+                (i % 7) as f32 * 0.1,
+            )
+        })
+        .collect()
+}
+
+/// The headline regression: a negative radius must not behave like its
+/// absolute value. This test fails on the pre-guard code (where `-0.7`
+/// returned every neighbor `+0.7` finds) in all three modes and all
+/// front-ends.
+#[test]
+fn negative_radius_regression_all_modes() {
+    let cloud = lane_cloud(600);
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let query = cloud[111];
+    let radius = 0.7f32;
+
+    for mode in MODES {
+        // Sanity: the positive radius finds several neighbors.
+        let (positive, _) = instrumented_search(&tree, mode, query, radius);
+        assert!(positive.len() > 1, "{mode:?}: +r found {}", positive.len());
+
+        // Instrumented path.
+        let (negative, stats) = instrumented_search(&tree, mode, query, -radius);
+        assert!(
+            negative.is_empty(),
+            "{mode:?}: radius -{radius} returned {} neighbors (the +r set?)",
+            negative.len()
+        );
+        assert_eq!(stats, SearchStats::default(), "{mode:?}: -r did work");
+
+        // Engine: search_one, search_batch, search_batch_parallel.
+        let engine = engine_for(&tree, mode);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        engine.search_one(query, -radius, &mut scratch, &mut out, &mut stats);
+        assert!(out.is_empty(), "{mode:?}: engine search_one");
+        assert_eq!(stats, SearchStats::default());
+
+        let mut batch = QueryBatch::new();
+        engine.search_batch(&cloud[..64], -radius, &mut batch);
+        assert_eq!(batch.num_queries(), 64);
+        assert_eq!(batch.total_matches(), 0, "{mode:?}: engine search_batch");
+        assert_eq!(*batch.stats(), SearchStats::default());
+
+        #[cfg(feature = "parallel")]
+        {
+            engine.search_batch_parallel(&cloud[..64], -radius, &mut batch, 3);
+            assert_eq!(batch.num_queries(), 64);
+            assert_eq!(batch.total_matches(), 0, "{mode:?}: engine parallel");
+        }
+    }
+}
+
+#[test]
+fn non_finite_and_zero_radii_are_empty_all_modes() {
+    let cloud = lane_cloud(300);
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    for mode in MODES {
+        for r in [0.0f32, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let (hits, stats) = instrumented_search(&tree, mode, cloud[5], r);
+            assert!(hits.is_empty(), "{mode:?} radius {r}");
+            assert_eq!(stats, SearchStats::default(), "{mode:?} radius {r}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_radii_are_empty_through_the_router() {
+    let cloud = lane_cloud(400);
+    for shards in [1, 4] {
+        let router = ShardRouter::bonsai(
+            &cloud,
+            KdTreeConfig::default(),
+            ShardConfig::with_shards(shards),
+        );
+        for r in [0.0f32, -0.7, f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut batch = QueryBatch::new();
+            router.search_batch(&cloud[..32], r, &mut batch);
+            assert_eq!(batch.num_queries(), 32);
+            assert_eq!(batch.total_matches(), 0, "K={shards} radius {r}");
+            assert_eq!(
+                *batch.stats(),
+                SearchStats::default(),
+                "K={shards} radius {r}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Degenerate clouds.
+// ---------------------------------------------------------------------
+
+#[test]
+fn all_identical_points_pin_every_mode() {
+    let p = Point3::new(12.345, -6.789, 1.5);
+    let cloud = vec![p; 100];
+    // Within radius: everything; the f16 approximation of a point is
+    // the same for all copies, so every mode must return all 100.
+    pin_all_modes(&cloud, p, 0.5, "identical in-radius");
+    // Query offset past the radius: nothing.
+    pin_all_modes(&cloud, p + Point3::new(2.0, 0.0, 0.0), 0.5, "identical out");
+    // Query exactly at distance ~r: membership still pinned to brute
+    // force in every mode (the shell recomputes boundary cases).
+    pin_all_modes(
+        &cloud,
+        p + Point3::new(0.5, 0.0, 0.0),
+        0.5,
+        "identical boundary",
+    );
+}
+
+#[test]
+fn coincident_duplicates_pin_every_mode() {
+    // Three duplicate sites embedded in a regular lattice.
+    let mut cloud = lane_cloud(200);
+    let dup_a = Point3::new(3.0, 3.0, 0.3);
+    let dup_b = Point3::new(7.0, 1.0, 0.0);
+    for _ in 0..17 {
+        cloud.push(dup_a);
+    }
+    for _ in 0..23 {
+        cloud.push(dup_b);
+    }
+    for (q, r, label) in [
+        (dup_a, 0.01, "tight around dup A"),
+        (dup_a, 1.0, "wide around dup A"),
+        (dup_b, 0.01, "tight around dup B"),
+        (Point3::new(5.0, 2.0, 0.1), 3.0, "covering both sites"),
+    ] {
+        pin_all_modes(&cloud, q, r, label);
+    }
+}
+
+#[test]
+fn single_point_cloud_pins_every_mode() {
+    let p = Point3::new(-4.2, 8.8, 0.9);
+    let cloud = vec![p];
+    pin_all_modes(&cloud, p, 0.1, "single hit");
+    pin_all_modes(&cloud, p + Point3::new(1.0, 1.0, 0.0), 0.5, "single miss");
+    pin_all_modes(
+        &cloud,
+        p + Point3::new(0.3, 0.4, 0.0),
+        0.5,
+        "single boundary",
+    );
+}
+
+/// Coordinates beyond binary16's finite range (±65504) saturate the
+/// f16-approximate SoA rows to ±∞. The error-bound LUT returns ∞ for
+/// exponent field 31, so every such point must take the exact-recompute
+/// fallback — membership stays pinned to the `f32` brute force.
+#[test]
+fn f16_saturating_coordinates_pin_every_mode() {
+    let mut cloud = vec![
+        Point3::new(66_000.0, 0.0, 0.0),
+        Point3::new(66_010.0, 0.0, 0.0),
+        Point3::new(66_000.0, 12.0, 0.0),
+        Point3::new(-66_000.0, 0.0, 0.0),
+        Point3::new(-66_000.0, -12.0, 0.0),
+        Point3::new(65_504.0, 0.0, 0.0),  // largest finite f16
+        Point3::new(65_520.0, 0.0, 0.0),  // rounds to ∞
+        Point3::new(1.0e20, 1.0e20, 0.0), // deep overflow
+    ];
+    // Plus some well-behaved points so the tree has mixed leaves.
+    cloud.extend(lane_cloud(50));
+
+    for (q, r, label) in [
+        (Point3::new(66_000.0, 0.0, 0.0), 15.0, "hits both saturated"),
+        (Point3::new(66_000.0, 0.0, 0.0), 5.0, "hits one saturated"),
+        (
+            Point3::new(-66_000.0, 0.0, 0.0),
+            20.0,
+            "negative saturation",
+        ),
+        (Point3::new(65_504.0, 0.0, 0.0), 20.0, "finite-f16 boundary"),
+        (Point3::new(0.0, 0.0, 0.0), 10.0, "normal region untouched"),
+        (Point3::new(1.0e20, 1.0e20, 0.0), 1.0, "deep-overflow site"),
+    ] {
+        pin_all_modes(&cloud, q, r, label);
+    }
+
+    // The saturated points really do exercise the fallback: a Bonsai
+    // search around them must recompute at least one point.
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let (_, stats) = instrumented_search(
+        &tree,
+        TreeMode::Bonsai,
+        Point3::new(66_000.0, 0.0, 0.0),
+        15.0,
+    );
+    assert!(
+        stats.fallbacks > 0,
+        "saturation did not hit the shell fallback"
+    );
+}
+
+/// Degenerate clouds through the router with more shards than distinct
+/// coordinates: median-cut over identical points must still terminate
+/// and partition cleanly.
+#[test]
+fn identical_points_shard_cleanly() {
+    let p = Point3::new(1.0, 2.0, 3.0);
+    let cloud = vec![p; 64];
+    for shards in [1, 4, 64, 200] {
+        let router = ShardRouter::bonsai(
+            &cloud,
+            KdTreeConfig::default(),
+            ShardConfig::with_shards(shards),
+        );
+        assert_eq!(router.num_points(), 64);
+        assert_eq!(router.shard_sizes().sum::<usize>(), 64);
+        let mut batch = QueryBatch::new();
+        router.search_batch(&[p], 0.25, &mut batch);
+        assert_eq!(batch.results(0).len(), 64, "K={shards}");
+        // Canonical order: ascending global index.
+        let idx: Vec<u32> = batch.results(0).iter().map(|n| n.index).collect();
+        assert_eq!(idx, (0..64).collect::<Vec<u32>>(), "K={shards}");
+    }
+}

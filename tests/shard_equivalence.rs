@@ -1,0 +1,217 @@
+//! Property tests for the sharded multi-tree `ShardRouter`: for every
+//! tree mode (Baseline / Bonsai / SoftwareCodec), random clouds, radii
+//! and shard counts (including K=1 and K larger than the point count),
+//! the router's per-query neighbor sets are bit-identical to the
+//! single-tree `RadiusSearchEngine`'s, its aggregated `SearchStats`
+//! equal the sum of independently rebuilt per-shard engines over the
+//! routed queries, and queries outside every shard's box do no work.
+
+use kd_bonsai::cluster::TreeMode;
+use kd_bonsai::core::{BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::kdtree::{KdTreeConfig, Neighbor, QueryBatch, SearchStats};
+use kd_bonsai::sim::SimEngine;
+use proptest::prelude::*;
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec(
+        (-60.0f32..60.0, -60.0f32..60.0, -3.0f32..3.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        2..max,
+    )
+}
+
+fn sorted(mut hits: Vec<Neighbor>) -> Vec<Neighbor> {
+    hits.sort_unstable_by_key(|n| n.index);
+    hits
+}
+
+const MODES: [TreeMode; 3] = [
+    TreeMode::Baseline,
+    TreeMode::Bonsai,
+    TreeMode::SoftwareCodec,
+];
+
+fn engine_for<'t>(tree: &'t BonsaiTree, mode: TreeMode) -> RadiusSearchEngine<'t> {
+    match mode {
+        TreeMode::Baseline => RadiusSearchEngine::baseline(tree.kd_tree()),
+        TreeMode::Bonsai => RadiusSearchEngine::bonsai(tree),
+        TreeMode::SoftwareCodec => RadiusSearchEngine::software_codec(tree),
+    }
+}
+
+fn router_for(cloud: &[Point3], cfg: KdTreeConfig, mode: TreeMode, shards: usize) -> ShardRouter {
+    let shard_cfg = ShardConfig::with_shards(shards);
+    match mode {
+        TreeMode::Baseline => ShardRouter::baseline(cloud, cfg, shard_cfg),
+        TreeMode::Bonsai => ShardRouter::bonsai(cloud, cfg, shard_cfg),
+        TreeMode::SoftwareCodec => ShardRouter::software_codec(cloud, cfg, shard_cfg),
+    }
+}
+
+/// In-cloud queries plus probes the cloud cannot reach: points far
+/// outside every shard's box must route to zero shards.
+fn query_set(cloud: &[Point3], stride: usize) -> Vec<Point3> {
+    let mut queries: Vec<Point3> = cloud.iter().step_by(stride).copied().collect();
+    queries.push(Point3::new(1.0e4, -1.0e4, 1.0e4));
+    queries.push(Point3::new(-1.0e4, 1.0e4, -1.0e4));
+    queries
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// The router's merged, canonically ordered results carry the same
+    /// neighbor sets with bit-identical `(index, dist_sq)` values as
+    /// the single-tree engine, and its aggregate stats equal the sum of
+    /// per-shard engines over the queries routed to each shard.
+    #[test]
+    fn router_equals_single_tree_engine_all_modes(
+        cloud in arb_cloud(220),
+        radius in 0.05f32..10.0,
+        shards in 1usize..=9,
+        leaf in 2usize..=16,
+        stride in 1usize..4,
+    ) {
+        let cfg = KdTreeConfig { max_leaf_points: leaf, ..KdTreeConfig::default() };
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        let queries = query_set(&cloud, stride);
+        let r_sq = radius * radius;
+
+        for mode in MODES {
+            let engine = engine_for(&tree, mode);
+            let router = router_for(&cloud, cfg, mode, shards);
+            prop_assert!(router.num_shards() <= shards);
+            prop_assert_eq!(router.num_points(), cloud.len());
+
+            let mut single = QueryBatch::new();
+            engine.search_batch(&queries, radius, &mut single);
+            let mut sharded = QueryBatch::new();
+            router.search_batch(&queries, radius, &mut sharded);
+
+            prop_assert_eq!(sharded.num_queries(), single.num_queries());
+            for i in 0..single.num_queries() {
+                prop_assert_eq!(
+                    sharded.results(i),
+                    &sorted(single.results(i).to_vec())[..],
+                    "{:?} K={} query {}", mode, shards, i
+                );
+            }
+
+            // Aggregation: rebuild each shard's engine independently
+            // from the advertised shard points and re-route by box
+            // intersection; the summed stats must match exactly.
+            let mut expect_stats = SearchStats::default();
+            for (s, bounds) in router.shard_bounds().enumerate() {
+                let shard_cloud: Vec<Point3> =
+                    router.shard_points(s).iter().map(|&i| cloud[i as usize]).collect();
+                let mut sim = SimEngine::disabled();
+                let shard_tree = BonsaiTree::build(shard_cloud, cfg, &mut sim);
+                let shard_engine = engine_for(&shard_tree, mode);
+                let routed: Vec<Point3> = queries
+                    .iter()
+                    .copied()
+                    .filter(|&q| bounds.intersects_ball(q, r_sq))
+                    .collect();
+                let mut batch = QueryBatch::new();
+                shard_engine.search_batch(&routed, radius, &mut batch);
+                expect_stats += *batch.stats();
+            }
+            prop_assert_eq!(*sharded.stats(), expect_stats, "{:?} K={} stats", mode, shards);
+        }
+    }
+
+    /// K=1 over in-cloud queries degenerates to the single-tree engine
+    /// exactly: one shard holds the whole cloud in original order, so
+    /// even the traversal counters coincide.
+    #[test]
+    fn single_shard_router_degenerates_to_the_engine(
+        cloud in arb_cloud(200),
+        radius in 0.05f32..8.0,
+    ) {
+        let cfg = KdTreeConfig::default();
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        for mode in MODES {
+            let engine = engine_for(&tree, mode);
+            let router = router_for(&cloud, cfg, mode, 1);
+            prop_assert_eq!(router.num_shards(), 1);
+
+            let mut single = QueryBatch::new();
+            engine.search_batch(&cloud, radius, &mut single);
+            let mut sharded = QueryBatch::new();
+            router.search_batch(&cloud, radius, &mut sharded);
+
+            for i in 0..single.num_queries() {
+                prop_assert_eq!(
+                    sharded.results(i),
+                    &sorted(single.results(i).to_vec())[..],
+                    "{:?} query {}", mode, i
+                );
+            }
+            // In-cloud query balls always intersect the lone shard's
+            // box (they contain the query point itself), so the router
+            // performs exactly the single tree's traversal work.
+            prop_assert_eq!(sharded.stats(), single.stats(), "{:?} stats", mode);
+        }
+    }
+
+    /// More shards than points: every shard holds one point, and the
+    /// router still reproduces the single-tree engine.
+    #[test]
+    fn more_shards_than_points_still_exact(
+        cloud in arb_cloud(24),
+        radius in 0.5f32..60.0,
+    ) {
+        let cfg = KdTreeConfig::default();
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        for mode in MODES {
+            let engine = engine_for(&tree, mode);
+            let router = router_for(&cloud, cfg, mode, 64);
+            prop_assert_eq!(router.num_shards(), cloud.len());
+            prop_assert!(router.shard_sizes().all(|s| s == 1));
+
+            let mut single = QueryBatch::new();
+            engine.search_batch(&cloud, radius, &mut single);
+            let mut sharded = QueryBatch::new();
+            router.search_batch(&cloud, radius, &mut sharded);
+            for i in 0..single.num_queries() {
+                prop_assert_eq!(
+                    sharded.results(i),
+                    &sorted(single.results(i).to_vec())[..],
+                    "{:?} query {}", mode, i
+                );
+            }
+        }
+    }
+
+    /// The parallel router fan-out changes nothing: same per-query
+    /// results, same aggregate stats, for every mode and thread count.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_router_equals_sequential_all_modes(
+        cloud in arb_cloud(180),
+        radius in 0.05f32..8.0,
+        shards in 1usize..=6,
+        threads in 2usize..=5,
+    ) {
+        let cfg = KdTreeConfig::default();
+        for mode in MODES {
+            let router = router_for(&cloud, cfg, mode, shards);
+            let mut sequential = QueryBatch::new();
+            router.search_batch(&cloud, radius, &mut sequential);
+            let mut parallel = QueryBatch::new();
+            router.search_batch_parallel(&cloud, radius, &mut parallel, threads);
+            prop_assert_eq!(parallel.num_queries(), sequential.num_queries());
+            for i in 0..sequential.num_queries() {
+                prop_assert_eq!(
+                    parallel.results(i),
+                    sequential.results(i),
+                    "{:?} K={} threads={} query {}", mode, shards, threads, i
+                );
+            }
+            prop_assert_eq!(parallel.stats(), sequential.stats(), "{:?} stats", mode);
+        }
+    }
+}
