@@ -268,6 +268,88 @@ fn main() {
         let _ = writeln!(json, "      }}{}", if mi == 0 { "," } else { "" });
     }
     let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+
+    // ------------------------------------------------------------------
+    // Streaming churn: per-frame incremental update (delete + insert +
+    // lazy per-leaf re-bake) vs. full rebuild of the Bonsai tree, at
+    // 1 % / 5 % / 20 % per-frame churn. The incremental arm keeps one
+    // mutable tree alive across frames — the ikd-style streaming path.
+    // ------------------------------------------------------------------
+    let _ = writeln!(json, "  \"streaming\": {{");
+    let churn_budget = budget_ms / 2;
+    let insert_source = urban_cloud(cloud_n * 2);
+    for (ci, pct) in [1usize, 5, 20].into_iter().enumerate() {
+        let churn_n = (cloud_n * pct / 100).max(1);
+
+        let rebuild_ms = measure_ms(churn_budget, || {
+            let mut sim = SimEngine::disabled();
+            BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim)
+                .kd_tree()
+                .build_stats()
+                .num_leaves as usize
+        });
+
+        let mut sim = SimEngine::disabled();
+        let mut tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let mut live: Vec<u32> = (0..cloud_n as u32).collect();
+        let mut round = 0usize;
+        let incremental_ms = measure_ms(churn_budget, || {
+            let mut sim = SimEngine::disabled();
+            for j in 0..churn_n {
+                let pos = (round.wrapping_mul(31) + j * 7919) % live.len();
+                tree.delete(&mut sim, live[pos]);
+                let p = insert_source[(round * churn_n + j) % insert_source.len()];
+                live[pos] = tree.insert(&mut sim, p).expect("finite insert");
+            }
+            round += 1;
+            tree.commit(&mut sim)
+        });
+
+        // Exactness spot check: the churned tree must match a fresh
+        // rebuild over its live points (sorted; indices remapped).
+        {
+            let live_ids: Vec<u32> = tree.kd_tree().live_indices().collect();
+            let live_pts: Vec<_> = live_ids
+                .iter()
+                .map(|&i| tree.kd_tree().points()[i as usize])
+                .collect();
+            let fresh = BonsaiTree::build(live_pts, KdTreeConfig::default(), &mut sim);
+            for (qi, &q) in queries.iter().enumerate().step_by(257) {
+                let mut got = tree.radius_search_simple(q, RADIUS);
+                got.sort_unstable_by_key(|n| n.index);
+                let mut expect = fresh.radius_search_simple(q, RADIUS);
+                for n in &mut expect {
+                    n.index = live_ids[n.index as usize];
+                }
+                expect.sort_unstable_by_key(|n| n.index);
+                assert_eq!(got, expect, "churn {pct}% query {qi} diverged");
+            }
+        }
+
+        let speedup = rebuild_ms / incremental_ms;
+        let mstats = tree.kd_tree().mutation_stats();
+        let frag =
+            tree.kd_tree().garbage_slots() as f64 / tree.kd_tree().vind().len().max(1) as f64;
+        println!(
+            "churn {pct:>2}%: incremental {incremental_ms:>7.2} ms/frame | rebuild \
+             {rebuild_ms:>7.2} ms/frame ({speedup:.2}x) | {} subtree rebuilds, {:.0}% frag",
+            mstats.subtree_rebuilds,
+            frag * 100.0
+        );
+        let _ = writeln!(json, "    \"{pct}pct\": {{");
+        let _ = writeln!(json, "      \"churn_points\": {churn_n},");
+        let _ = writeln!(json, "      \"incremental_ms\": {incremental_ms:.3},");
+        let _ = writeln!(json, "      \"rebuild_ms\": {rebuild_ms:.3},");
+        let _ = writeln!(json, "      \"incremental_speedup\": {speedup:.3},");
+        let _ = writeln!(
+            json,
+            "      \"subtree_rebuilds\": {},",
+            mstats.subtree_rebuilds
+        );
+        let _ = writeln!(json, "      \"garbage_fraction\": {frag:.4}");
+        let _ = writeln!(json, "    }}{}", if ci < 2 { "," } else { "" });
+    }
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

@@ -243,7 +243,7 @@ const PARALLEL_FRONTIER_MIN: usize = 512;
 /// A whole-batch radius searcher the BFS can drain frontiers through:
 /// the single-tree engine or the shard router, with the same
 /// sequential/parallel split.
-trait FrontierSearcher {
+pub(crate) trait FrontierSearcher {
     fn batch_seq(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch);
     #[cfg(feature = "parallel")]
     fn batch_par(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch);
@@ -271,7 +271,7 @@ impl FrontierSearcher for ShardRouter {
 
 /// Searches one BFS frontier, in parallel when the frontier is large
 /// enough to amortize thread startup.
-fn search_frontier<S: FrontierSearcher>(
+pub(crate) fn search_frontier<S: FrontierSearcher>(
     searcher: &S,
     queries: &[Point3],
     tolerance: f32,
@@ -284,14 +284,20 @@ fn search_frontier<S: FrontierSearcher>(
     searcher.batch_seq(queries, tolerance, batch);
 }
 
-/// The level-synchronous BFS shared by the batched and sharded
-/// extractions: grows each cluster by answering one whole frontier of
-/// radius queries per round through `search` (any batch searcher with
-/// exact per-query neighbor sets), then size-filters. Clusters are the
-/// connected components of the tolerance graph, so the result is
-/// independent of the searcher's per-query neighbor *order*.
-fn bfs_connected_clusters<F>(
+/// The level-synchronous BFS shared by the batched, sharded and
+/// streaming extractions: grows each cluster by answering one whole
+/// frontier of radius queries per round through `search` (any batch
+/// searcher with exact per-query neighbor sets), then size-filters.
+/// Clusters are the connected components of the tolerance graph, so
+/// the result is independent of the searcher's per-query neighbor
+/// *order*.
+///
+/// `alive`, when given, masks `points`: dead slots are never seeded
+/// (the streaming extractor's cloud keeps deleted points' coordinate
+/// slots, and its searcher never returns a dead index).
+pub(crate) fn bfs_connected_clusters<F>(
     points: &[Point3],
+    alive: Option<&[bool]>,
     min_cluster_size: usize,
     max_cluster_size: usize,
     search_stats: &mut SearchStats,
@@ -301,7 +307,12 @@ where
     F: FnMut(&[Point3], &mut QueryBatch),
 {
     let n = points.len();
-    let mut processed = vec![false; n];
+    let mut processed: Vec<bool> = match alive {
+        // Pre-marking dead slots as processed removes them from both
+        // the seed loop and membership checks.
+        Some(alive) => alive.iter().map(|&a| !a).collect(),
+        None => vec![false; n],
+    };
     let mut clusters: Vec<Vec<u32>> = Vec::new();
     // Round-trip buffers, reused across every round of every cluster.
     let mut batch = QueryBatch::new();
@@ -405,6 +416,7 @@ pub fn extract_euclidean_clusters_batched(
     let mut search_stats = SearchStats::default();
     let clusters = bfs_connected_clusters(
         tree.points(),
+        None,
         min_cluster_size,
         max_cluster_size,
         &mut search_stats,
@@ -473,6 +485,7 @@ pub fn extract_euclidean_clusters_sharded(
     let mut search_stats = SearchStats::default();
     let clusters = bfs_connected_clusters(
         &points,
+        None,
         min_cluster_size,
         max_cluster_size,
         &mut search_stats,

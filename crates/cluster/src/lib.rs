@@ -46,9 +46,11 @@ pub mod filters;
 
 mod extract;
 mod pipeline;
+mod streaming;
 
 pub use extract::{
     extract_euclidean_clusters, extract_euclidean_clusters_batched,
     extract_euclidean_clusters_sharded, ClusterOutput, TreeMode,
 };
-pub use pipeline::{ClusterParams, FramePipeline, FrameResult};
+pub use pipeline::{ClusterParams, FramePipeline, FrameResult, StreamingPipeline};
+pub use streaming::{FrameUpdate, StreamingExtractor};

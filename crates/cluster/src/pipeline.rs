@@ -180,6 +180,136 @@ impl FramePipeline {
     }
 }
 
+/// The streaming form of [`FramePipeline`]: one persistent
+/// [`StreamingExtractor`](crate::StreamingExtractor) serves every
+/// frame, so consecutive frames **diff-and-update** the sharded index
+/// instead of rebuilding it. Frame 0 builds; frame `k` pays only its
+/// churn (typically a few percent of the cloud) plus the per-touched-
+/// leaf re-bake.
+///
+/// `process_frame` reproduces [`FramePipeline::run`]'s `FrameResult`
+/// exactly — same clusters (frame-local indices), same boxes — for
+/// every [`TreeMode`]; only the `search_stats`/`build_stats` counters
+/// reflect the incremental trees' own shapes. Uninstrumented by
+/// design: an instrumented run models the paper's rebuild-per-frame
+/// kernel sequence, which an incremental update intentionally does not
+/// reproduce.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_cluster::{ClusterParams, StreamingPipeline, TreeMode};
+/// use bonsai_geom::Point3;
+///
+/// let frame: Vec<Point3> = (0..200)
+///     .map(|i| Point3::new((i % 20) as f32 * 0.1 + 5.0, (i / 20) as f32 * 0.1, 1.0))
+///     .collect();
+/// let mut pipeline = StreamingPipeline::new(ClusterParams::default(), TreeMode::Bonsai);
+/// let first = pipeline.process_frame(&frame);   // builds
+/// let second = pipeline.process_frame(&frame);  // zero churn
+/// assert_eq!(first.output.clusters, second.output.clusters);
+/// ```
+#[derive(Debug)]
+pub struct StreamingPipeline {
+    pipeline: FramePipeline,
+    mode: TreeMode,
+    extractor: crate::StreamingExtractor,
+    /// Scratch: global index → position in the current frame.
+    frame_pos: Vec<u32>,
+}
+
+impl StreamingPipeline {
+    /// Creates a streaming pipeline; `params.shards` picks the shard
+    /// count of the persistent index (`0`/`1` = one shard).
+    pub fn new(params: ClusterParams, mode: TreeMode) -> StreamingPipeline {
+        let extractor = crate::StreamingExtractor::new(mode, params.tree, params.shards.max(1));
+        StreamingPipeline {
+            pipeline: FramePipeline::new(params),
+            mode,
+            extractor,
+            frame_pos: Vec::new(),
+        }
+    }
+
+    /// The wrapped per-frame pipeline (parameters, preprocessing).
+    pub fn pipeline(&self) -> &FramePipeline {
+        &self.pipeline
+    }
+
+    /// The leaf-inspection mode.
+    pub fn mode(&self) -> TreeMode {
+        self.mode
+    }
+
+    /// The persistent extractor (diff inspection, router stats).
+    pub fn extractor(&self) -> &crate::StreamingExtractor {
+        &self.extractor
+    }
+
+    /// Runs preprocess → diff → incremental update → extract →
+    /// post-process on a raw sensor frame, returning the same
+    /// `FrameResult` a from-scratch [`FramePipeline::run`] produces.
+    pub fn process_frame(&mut self, raw_cloud: &[Point3]) -> FrameResult {
+        let mut sim = SimEngine::disabled();
+        let points = self.pipeline.preprocess(&mut sim, raw_cloud);
+        let p = self.pipeline.params();
+        let frame_globals = self.extractor.ingest_frame(&points);
+        let output = self
+            .extractor
+            .extract(p.tolerance, p.min_cluster_size, p.max_cluster_size);
+
+        // Remap global-index clusters to frame-local indices and
+        // restore the canonical ordering `run` emits (members sorted,
+        // clusters by first member — the seed order of the per-frame
+        // BFS).
+        self.frame_pos
+            .resize(self.extractor.points_ever(), u32::MAX);
+        for (pos, &g) in frame_globals.iter().enumerate() {
+            // A non-finite frame point is never indexed (and can never
+            // appear in a cluster).
+            if g != crate::StreamingExtractor::UNINDEXED {
+                self.frame_pos[g as usize] = pos as u32;
+            }
+        }
+        let mut clusters: Vec<Vec<u32>> = output
+            .clusters
+            .iter()
+            .map(|c| {
+                let mut local: Vec<u32> = c.iter().map(|&g| self.frame_pos[g as usize]).collect();
+                local.sort_unstable();
+                local
+            })
+            .collect();
+        clusters.sort_unstable_by_key(|c| c[0]);
+
+        // Post-process exactly like `cluster_prepared`: per-cluster
+        // boxes folded in ascending member order over the frame cloud.
+        let mut boxes = Vec::with_capacity(clusters.len());
+        for cluster in &clusters {
+            let mut aabb: Option<Aabb> = None;
+            for &idx in cluster {
+                let pt = points[idx as usize];
+                match &mut aabb {
+                    Some(b) => b.insert(pt),
+                    None => aabb = Some(Aabb::new(pt, pt)),
+                }
+            }
+            boxes.push(aabb.expect("clusters are non-empty"));
+        }
+
+        FrameResult {
+            output: ClusterOutput {
+                clusters,
+                search_stats: output.search_stats,
+                build_stats: output.build_stats,
+                compressed_bytes: output.compressed_bytes,
+            },
+            boxes,
+            clustered_points: points.len(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +372,46 @@ mod tests {
             assert_eq!(a.output.clusters, b.output.clusters, "{mode:?}");
             assert_eq!(a.boxes, b.boxes, "{mode:?}");
             assert_eq!(a.clustered_points, b.clustered_points, "{mode:?}");
+        }
+    }
+
+    /// The streaming pipeline must reproduce the rebuild-per-frame
+    /// pipeline's FrameResult end to end, for every mode, single-shard
+    /// and sharded, across a real frame sequence.
+    #[test]
+    fn streaming_pipeline_matches_rebuild_per_frame_end_to_end() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        for mode in [
+            TreeMode::Baseline,
+            TreeMode::Bonsai,
+            TreeMode::SoftwareCodec,
+        ] {
+            for shards in [0, 4] {
+                let params = ClusterParams {
+                    shards,
+                    ..ClusterParams::default()
+                };
+                let rebuild = FramePipeline::new(params.clone());
+                let mut streaming = StreamingPipeline::new(params, mode);
+                for frame_idx in 0..4 {
+                    let frame = seq.frame(frame_idx);
+                    let mut sim = SimEngine::disabled();
+                    let expect = rebuild.run(&mut sim, &frame, mode);
+                    let got = streaming.process_frame(&frame);
+                    assert_eq!(
+                        got.output.clusters, expect.output.clusters,
+                        "{mode:?} shards {shards} frame {frame_idx}"
+                    );
+                    assert_eq!(got.boxes, expect.boxes, "{mode:?} frame {frame_idx}");
+                    assert_eq!(got.clustered_points, expect.clustered_points);
+                }
+                // Frames 1.. must have gone through the diff path, not
+                // rebuilds.
+                assert!(
+                    streaming.extractor().points_ever() < 4 * streaming.extractor().num_live(),
+                    "{mode:?}: streaming state grew like rebuild-per-frame"
+                );
+            }
         }
     }
 

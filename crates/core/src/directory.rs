@@ -115,6 +115,35 @@ impl CompressedDirectory {
         self.base_addr + offset as u64
     }
 
+    /// Replaces (or first creates) leaf `leaf`'s structure: the new
+    /// bytes are appended at the next free slice-aligned index and the
+    /// leaf's reference is rewritten. The old structure's bytes become
+    /// unreachable garbage in the array — the incremental-update
+    /// fragmentation a full rebuild reclaims.
+    ///
+    /// Returns the simulated address the structure was placed at.
+    pub fn replace(&mut self, leaf: LeafId, compressed: &CompressedLeaf) -> u64 {
+        self.refs[leaf as usize] = None;
+        self.insert(leaf, compressed)
+    }
+
+    /// Forgets leaf `leaf`'s structure (the node stopped being a live
+    /// leaf). A missing entry is fine — clearing is idempotent.
+    pub fn clear(&mut self, leaf: LeafId) {
+        if let Some(slot) = self.refs.get_mut(leaf as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Grows the per-node reference table to cover `num_nodes` tree
+    /// nodes (mutations may append node-pool slots past the build-time
+    /// size). Never shrinks.
+    pub fn ensure_nodes(&mut self, num_nodes: usize) {
+        if num_nodes > self.refs.len() {
+            self.refs.resize(num_nodes, None);
+        }
+    }
+
     /// The reference for leaf `leaf`, if it was compressed.
     pub fn leaf_ref(&self, leaf: LeafId) -> Option<LeafRef> {
         self.refs.get(leaf as usize).copied().flatten()

@@ -39,6 +39,14 @@ pub enum EngineMode {
 /// search borrows the caller's scratch/batch buffers, so steady-state
 /// queries allocate nothing.
 ///
+/// The engine holds no per-tree derived state of its own (just the
+/// 32-entry error-bound ROM), so it **stays valid across incremental
+/// updates**: after `BonsaiTree::insert`/`delete` + `commit`, searches
+/// see the mutated tree through the same SoA/directory references —
+/// nothing is rebuilt. Borrow-wise this means dropping the engine
+/// across the `&mut` mutation window and re-creating it, which is
+/// free.
+///
 /// # Examples
 ///
 /// ```
@@ -217,6 +225,11 @@ pub(crate) fn append_hits(
                 scratch,
                 stats,
                 |leaf, start, count, stats| {
+                    if count == 0 {
+                        // Deletions can hollow a leaf out completely;
+                        // it owns no compressed structure.
+                        return;
+                    }
                     let leaf_ref = directory
                         .leaf_ref(leaf)
                         .expect("compressed engine requires a compressed leaf");

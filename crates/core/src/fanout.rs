@@ -11,15 +11,20 @@
 use bonsai_geom::Point3;
 use bonsai_kdtree::QueryBatch;
 
-/// Resolves a requested worker count: `0` means the machine's available
-/// parallelism, and the result is clamped to `1..=items`.
-pub(crate) fn resolve_threads(threads: usize, items: usize) -> usize {
-    let threads = if threads == 0 {
+/// Resolves `0` (meaning "use the machine's available parallelism")
+/// into a concrete worker count, unclamped.
+pub(crate) fn requested_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         threads
-    };
-    threads.min(items).max(1)
+    }
+}
+
+/// Resolves a requested worker count: `0` means the machine's available
+/// parallelism, and the result is clamped to `1..=items`.
+pub(crate) fn resolve_threads(threads: usize, items: usize) -> usize {
+    requested_threads(threads).min(items).max(1)
 }
 
 /// Runs `search` (any sequential whole-batch searcher) over `queries`

@@ -99,6 +99,10 @@ impl LeafProcessor for BonsaiLeafProcessor<'_> {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
+        if count == 0 {
+            // A fully-deleted leaf owns no compressed structure.
+            return;
+        }
         let leaf_ref = self
             .directory
             .leaf_ref(leaf)

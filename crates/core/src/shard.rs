@@ -101,13 +101,49 @@ impl ShardTree {
             ShardTree::Bonsai(b) => Some(b),
         }
     }
+
+    fn insert(&mut self, sim: &mut SimEngine, p: Point3) -> Option<u32> {
+        match self {
+            ShardTree::Baseline(t) => t.insert(sim, p),
+            ShardTree::Bonsai(b) => b.insert(sim, p),
+        }
+    }
+
+    fn delete(&mut self, sim: &mut SimEngine, local: u32) -> bool {
+        match self {
+            ShardTree::Baseline(t) => t.delete(sim, local),
+            ShardTree::Bonsai(b) => b.delete(sim, local),
+        }
+    }
+
+    /// Re-bakes pending dirty leaves (Bonsai) and drains the dirty log
+    /// (baseline trees have no layered cache to invalidate).
+    fn commit(&mut self, sim: &mut SimEngine) {
+        match self {
+            ShardTree::Baseline(t) => {
+                t.drain_dirty_nodes();
+            }
+            ShardTree::Bonsai(b) => {
+                b.commit(sim);
+            }
+        }
+    }
+}
+
+/// Where one global point index lives: its shard and the shard-local
+/// index.
+#[derive(Debug, Clone, Copy)]
+struct PointLoc {
+    shard: u32,
+    local: u32,
 }
 
 /// A sharded multi-tree radius-search front-end: `K` spatial shards,
 /// each with its own tree and engine state, behind the same batch API
 /// as the single-tree [`RadiusSearchEngine`].
 ///
-/// See the [module docs](self) for the exactness contract.
+/// See the module source docs (`core/src/shard.rs`) for the exactness
+/// contract.
 ///
 /// # Examples
 ///
@@ -135,6 +171,13 @@ pub struct ShardRouter {
     mode: EngineMode,
     num_points: usize,
     lut: PartErrorMem,
+    /// Tree construction parameters, kept for shards created by
+    /// inserts into an empty router.
+    tree_cfg: KdTreeConfig,
+    /// Global point index → owning shard and shard-local index
+    /// (deleted points keep their entry; the shard tree tracks
+    /// liveness).
+    locs: Vec<PointLoc>,
 }
 
 impl ShardRouter {
@@ -179,11 +222,22 @@ impl ShardRouter {
             })
             .collect();
         let shards = build_shards(inputs, tree_cfg, mode, cfg.build_threads);
+        let mut locs = vec![PointLoc { shard: 0, local: 0 }; num_points];
+        for (si, shard) in shards.iter().enumerate() {
+            for (local, &global) in shard.global.iter().enumerate() {
+                locs[global as usize] = PointLoc {
+                    shard: si as u32,
+                    local: local as u32,
+                };
+            }
+        }
         ShardRouter {
             shards,
             mode,
             num_points,
             lut: PartErrorMem::new(),
+            tree_cfg,
+            locs,
         }
     }
 
@@ -198,7 +252,8 @@ impl ShardRouter {
         self.shards.len()
     }
 
-    /// Total points across all shards.
+    /// Total **live** points across all shards (inserts add, deletes
+    /// subtract).
     pub fn num_points(&self) -> usize {
         self.num_points
     }
@@ -213,11 +268,13 @@ impl ShardRouter {
         self.shards.iter().map(|s| s.aabb)
     }
 
-    /// The global cloud indices shard `shard` serves, ascending. A
-    /// shard's tree is built over exactly these points in exactly this
-    /// order, so rebuilding a single-tree engine from them reproduces
-    /// the shard's results and counters — the observability hook the
-    /// router's property tests rest on.
+    /// The global cloud indices shard `shard` serves — ascending after
+    /// construction; routed inserts append past the build-time range
+    /// (and deleted indices linger, tracked dead by the shard's tree).
+    /// A shard's tree is built over exactly these points in exactly
+    /// this order, so rebuilding a single-tree engine from them
+    /// reproduces the shard's results and counters — the observability
+    /// hook the router's property tests rest on.
     ///
     /// # Panics
     ///
@@ -247,6 +304,102 @@ impl ShardRouter {
             .filter_map(|s| s.tree.bonsai())
             .map(|b| b.compression_stats().compressed_bytes)
             .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental updates (the ikd-Tree "many independently updated
+    // regions" idiom): every mutation touches exactly one shard.
+    // ------------------------------------------------------------------
+
+    /// Inserts a point, routed to the shard whose bounding box is
+    /// nearest (containing boxes have distance 0); an out-of-bounds
+    /// insert **grows** that shard's box so later query routing keeps
+    /// seeing the point. Returns the point's new global index, or
+    /// `None` for a non-finite point. An empty router grows its first
+    /// single-point shard.
+    ///
+    /// Only the chosen shard's tree mutates; re-baking its compressed
+    /// leaves is deferred to [`commit`](ShardRouter::commit) (or
+    /// [`apply_update`](ShardRouter::apply_update)).
+    pub fn insert(&mut self, p: Point3) -> Option<u32> {
+        if !p.is_finite() {
+            return None;
+        }
+        let global = self.locs.len() as u32;
+        let mut sim = SimEngine::disabled();
+        if self.shards.is_empty() {
+            self.shards
+                .push(build_shard(vec![global], vec![p], self.tree_cfg, self.mode));
+            self.locs.push(PointLoc { shard: 0, local: 0 });
+            self.num_points += 1;
+            return Some(global);
+        }
+        let si = self
+            .shards
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.aabb
+                    .distance_squared_to(p)
+                    .total_cmp(&b.aabb.distance_squared_to(p))
+            })
+            .map(|(i, _)| i)
+            .expect("shards is non-empty");
+        let shard = &mut self.shards[si];
+        shard.aabb.insert(p);
+        let local = shard
+            .tree
+            .insert(&mut sim, p)
+            .expect("finite point is accepted by the shard tree");
+        debug_assert_eq!(local as usize, shard.global.len());
+        shard.global.push(global);
+        self.locs.push(PointLoc {
+            shard: si as u32,
+            local,
+        });
+        self.num_points += 1;
+        Some(global)
+    }
+
+    /// Deletes global point `global`, routed to its owning shard.
+    /// Returns `false` — without touching any shard tree beyond a
+    /// constant-time liveness check — when the index is out of range or
+    /// already deleted. Shard boxes are left unshrunk (conservative:
+    /// routing stays exact, merely less selective).
+    pub fn delete(&mut self, global: u32) -> bool {
+        let Some(&loc) = self.locs.get(global as usize) else {
+            return false;
+        };
+        let mut sim = SimEngine::disabled();
+        let deleted = self.shards[loc.shard as usize]
+            .tree
+            .delete(&mut sim, loc.local);
+        if deleted {
+            self.num_points -= 1;
+        }
+        deleted
+    }
+
+    /// Re-bakes every shard with pending mutations (a no-op for clean
+    /// shards — only touched shards pay).
+    pub fn commit(&mut self) {
+        let mut sim = SimEngine::disabled();
+        for shard in &mut self.shards {
+            shard.tree.commit(&mut sim);
+        }
+    }
+
+    /// Applies one frame's diff: deletes `removed` (dead indices are
+    /// skipped), inserts `added` (non-finite points are skipped), then
+    /// re-bakes the touched shards. Returns the global indices of the
+    /// accepted inserts, in `added` order.
+    pub fn apply_update(&mut self, added: &[Point3], removed: &[u32]) -> Vec<u32> {
+        for &idx in removed {
+            self.delete(idx);
+        }
+        let inserted = added.iter().filter_map(|&p| self.insert(p)).collect();
+        self.commit();
+        inserted
     }
 
     /// Answers one query, clearing `out` first: hits from every shard
@@ -383,11 +536,37 @@ fn median_cut(points: &[Point3], k: usize) -> Vec<Vec<u32>> {
 /// Builds one shard's tree (and, under Bonsai, its compressed
 /// directory) from its owned point set.
 fn build_shard(global: Vec<u32>, pts: Vec<Point3>, cfg: KdTreeConfig, mode: EngineMode) -> Shard {
+    build_shard_threaded(global, pts, cfg, mode, 1)
+}
+
+/// [`build_shard`] with `inner_threads` workers fanning the top levels
+/// of the single shard's build recursion (the dinotree idiom; the
+/// resulting tree is identical to the sequential build's). Used when
+/// the router has fewer shards than threads — e.g. a one-shard
+/// streaming index on a many-core box.
+fn build_shard_threaded(
+    global: Vec<u32>,
+    pts: Vec<Point3>,
+    cfg: KdTreeConfig,
+    mode: EngineMode,
+    inner_threads: usize,
+) -> Shard {
     let aabb = Aabb::from_points(pts.iter().copied()).expect("shards are non-empty");
-    let mut sim = SimEngine::disabled();
-    let tree = match mode {
-        EngineMode::Baseline => ShardTree::Baseline(KdTree::build(pts, cfg, &mut sim)),
-        EngineMode::Compressed => ShardTree::Bonsai(BonsaiTree::build(pts, cfg, &mut sim)),
+    let tree = if inner_threads > 1 {
+        match mode {
+            EngineMode::Baseline => {
+                ShardTree::Baseline(KdTree::build_parallel(pts, cfg, inner_threads))
+            }
+            EngineMode::Compressed => {
+                ShardTree::Bonsai(BonsaiTree::build_parallel(pts, cfg, inner_threads))
+            }
+        }
+    } else {
+        let mut sim = SimEngine::disabled();
+        match mode {
+            EngineMode::Baseline => ShardTree::Baseline(KdTree::build(pts, cfg, &mut sim)),
+            EngineMode::Compressed => ShardTree::Bonsai(BonsaiTree::build(pts, cfg, &mut sim)),
+        }
     };
     Shard { aabb, global, tree }
 }
@@ -401,9 +580,16 @@ fn build_shards(
     mode: EngineMode,
     threads: usize,
 ) -> Vec<Shard> {
+    let requested = crate::fanout::requested_threads(threads);
     let threads = crate::fanout::resolve_threads(threads, inputs.len());
     if threads == 1 {
-        return build_shards_sequential(inputs, cfg, mode);
+        // Fewer shards than workers: give each shard's own build
+        // recursion the leftover parallelism (subtree fan-out).
+        let inner = (requested / inputs.len().max(1)).max(1);
+        return inputs
+            .into_iter()
+            .map(|(global, pts)| build_shard_threaded(global, pts, cfg, mode, inner))
+            .collect();
     }
     let chunk = inputs.len().div_ceil(threads);
     let mut chunks: Vec<Vec<(Vec<u32>, Vec<Point3>)>> = Vec::with_capacity(threads);
@@ -415,10 +601,20 @@ fn build_shards(
         }
         chunks.push(c);
     }
+    // Workers beyond one-per-shard go into each shard's own build
+    // recursion (e.g. 2 shards on an 8-core box: 2 workers × 4 inner
+    // threads instead of 6 idle cores).
+    let inner = (requested / threads).max(1);
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|c| scope.spawn(move || build_shards_sequential(c, cfg, mode)))
+            .map(|c| {
+                scope.spawn(move || -> Vec<Shard> {
+                    c.into_iter()
+                        .map(|(global, pts)| build_shard_threaded(global, pts, cfg, mode, inner))
+                        .collect()
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -433,14 +629,6 @@ fn build_shards(
     cfg: KdTreeConfig,
     mode: EngineMode,
     _threads: usize,
-) -> Vec<Shard> {
-    build_shards_sequential(inputs, cfg, mode)
-}
-
-fn build_shards_sequential(
-    inputs: Vec<(Vec<u32>, Vec<Point3>)>,
-    cfg: KdTreeConfig,
-    mode: EngineMode,
 ) -> Vec<Shard> {
     inputs
         .into_iter()
@@ -581,6 +769,106 @@ mod tests {
             }
             assert_eq!(parallel.stats(), sequential.stats(), "threads {threads}");
         }
+    }
+
+    /// Routed incremental updates must keep the router bit-identical to
+    /// a fresh single-tree engine over the live points.
+    #[test]
+    fn routed_updates_match_fresh_single_tree() {
+        let cloud = urban_cloud(2000, 21);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(5));
+        let added = urban_cloud(250, 22);
+        let removed: Vec<u32> = (0..250u32).map(|i| i * 13 % 2000).collect();
+        let inserted = router.apply_update(&added, &removed);
+        assert_eq!(inserted.len(), 250);
+        assert_eq!(router.num_points(), 2000 - removed.len() + 250);
+
+        // The live global cloud, by ascending global index.
+        let mut live: Vec<(u32, Point3)> = Vec::new();
+        for (si, shard) in router.shards.iter().enumerate() {
+            for (local, &global) in shard.global.iter().enumerate() {
+                if shard.tree.kd().is_live(local as u32) {
+                    let p = shard.tree.kd().points()[local];
+                    live.push((global, p));
+                    assert_eq!(router.locs[global as usize].shard, si as u32);
+                }
+            }
+        }
+        live.sort_unstable_by_key(|&(g, _)| g);
+        assert_eq!(live.len(), router.num_points());
+        let live_pts: Vec<Point3> = live.iter().map(|&(_, p)| p).collect();
+        let mut sim = SimEngine::disabled();
+        let fresh = BonsaiTree::build(live_pts, KdTreeConfig::default(), &mut sim);
+        let engine = RadiusSearchEngine::bonsai(&fresh);
+
+        let mut scratch = SearchScratch::new();
+        let mut got = Vec::new();
+        let mut expect = Vec::new();
+        for (qi, q) in urban_cloud(30, 23).into_iter().enumerate() {
+            let mut stats = SearchStats::default();
+            router.search_one(q, 1.4, &mut scratch, &mut got, &mut stats);
+            let mut fresh_stats = SearchStats::default();
+            engine.search_one(q, 1.4, &mut scratch, &mut expect, &mut fresh_stats);
+            let remapped = sorted(
+                expect
+                    .iter()
+                    .map(|n| Neighbor {
+                        index: live[n.index as usize].0,
+                        dist_sq: n.dist_sq,
+                    })
+                    .collect(),
+            );
+            assert_eq!(got, remapped, "query {qi}");
+        }
+    }
+
+    /// An insert outside every shard box grows the nearest shard's box
+    /// so query routing keeps finding the point.
+    #[test]
+    fn out_of_bounds_insert_grows_a_shard_box() {
+        let cloud = urban_cloud(600, 25);
+        let mut router =
+            ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let far = Point3::new(500.0, 500.0, 50.0);
+        assert!(router.shard_bounds().all(|b| !b.intersects_ball(far, 0.01)));
+        let idx = router.insert(far).unwrap();
+        router.commit();
+        assert!(router.shard_bounds().any(|b| b.intersects_ball(far, 0.0)));
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        router.search_one(far, 1.0, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, idx);
+    }
+
+    /// Inserting into an empty router bootstraps a shard; non-finite
+    /// inserts and dead deletes stay rejected.
+    #[test]
+    fn empty_router_bootstraps_and_guards_degenerate_mutations() {
+        let mut router =
+            ShardRouter::bonsai(&[], KdTreeConfig::default(), ShardConfig::with_shards(4));
+        assert!(router.insert(Point3::new(f32::NAN, 0.0, 0.0)).is_none());
+        assert!(!router.delete(0), "delete on an empty router");
+        let idx = router.insert(Point3::new(1.0, 2.0, 3.0)).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(router.num_shards(), 1);
+        router.commit();
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        router.search_one(
+            Point3::new(1.0, 2.0, 3.0),
+            0.5,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(router.delete(idx));
+        assert!(!router.delete(idx), "double delete");
+        assert_eq!(router.num_points(), 0);
     }
 
     #[test]

@@ -55,6 +55,10 @@ impl LeafProcessor for SoftwareCodecProcessor<'_> {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
+        if count == 0 {
+            // A fully-deleted leaf owns no compressed structure.
+            return;
+        }
         let leaf_ref = self
             .directory
             .leaf_ref(leaf)

@@ -49,6 +49,32 @@ impl ApproxSoa {
         }
         soa
     }
+
+    /// Grows the rows to cover `n` slots (new slots hold placeholder
+    /// values until their leaf is re-baked). Never shrinks.
+    fn ensure_slots(&mut self, n: usize) {
+        if n > self.x.len() {
+            self.x.resize(n, 0.0);
+            self.y.resize(n, 0.0);
+            self.z.resize(n, 0.0);
+            self.ex.resize(n, 0);
+            self.ey.resize(n, 0);
+            self.ez.resize(n, 0);
+        }
+    }
+
+    /// Re-bakes one slot from its exact `f32` point.
+    fn set_slot(&mut self, i: usize, p: Point3) {
+        let hx = Half::from_f32(p.x);
+        let hy = Half::from_f32(p.y);
+        let hz = Half::from_f32(p.z);
+        self.x[i] = hx.to_f32();
+        self.y[i] = hy.to_f32();
+        self.z[i] = hz.to_f32();
+        self.ex[i] = hx.exponent_field();
+        self.ey[i] = hy.exponent_field();
+        self.ez[i] = hz.exponent_field();
+    }
 }
 
 /// A k-d tree whose leaves carry Bonsai-compressed copies of their
@@ -122,6 +148,19 @@ impl BonsaiTree {
     /// charges `Compress`.
     pub fn build(points: Vec<Point3>, cfg: KdTreeConfig, sim: &mut SimEngine) -> BonsaiTree {
         let tree = KdTree::build(points, cfg, sim);
+        BonsaiTree::compress_whole(tree, sim)
+    }
+
+    /// [`build`](BonsaiTree::build) with the tree construction fanned
+    /// out across scoped worker threads (see
+    /// [`KdTree::build_parallel`]); the compression pass is unchanged.
+    /// Uninstrumented — no simulator events are recorded.
+    pub fn build_parallel(points: Vec<Point3>, cfg: KdTreeConfig, threads: usize) -> BonsaiTree {
+        let tree = KdTree::build_parallel(points, cfg, threads);
+        BonsaiTree::compress_whole(tree, &mut SimEngine::disabled())
+    }
+
+    fn compress_whole(tree: KdTree, sim: &mut SimEngine) -> BonsaiTree {
         let mut directory = CompressedDirectory::new(sim, tree.nodes().len());
         let mut machine = Machine::new();
         let prev = sim.set_kernel(Kernel::Compress);
@@ -129,28 +168,16 @@ impl BonsaiTree {
             let Node::Leaf { start, count } = tree.nodes()[id] else {
                 continue;
             };
-            // LDSPZPB each leaf point into the ZipPts buffer (one vind
-            // load to find it, then the point load inside the
-            // instruction).
-            for (slot, i) in (start..start + count).enumerate() {
-                sim.load(tree.vind_entry_addr(i), 4);
-                sim.exec(OpClass::IntAlu, 2);
-                let idx = tree.vind()[i as usize];
-                machine.ldspzpb(
-                    sim,
-                    slot,
-                    tree.point_addr(idx),
-                    tree.points()[idx as usize].to_array(),
-                );
-            }
-            machine.cprzpb(sim, count as usize);
-            let addr = directory.next_addr();
-            let compressed = machine.stzpb(sim, addr);
-            let placed = directory.insert(id as u32, &compressed);
-            debug_assert_eq!(placed, addr);
-            // Update the leaf's (union-reused) fields and the next-free
-            // index.
-            sim.exec(OpClass::IntAlu, 4);
+            compress_leaf_structure(
+                sim,
+                &mut machine,
+                &tree,
+                &mut directory,
+                id as u32,
+                start,
+                count,
+                false,
+            );
         }
         sim.set_kernel(prev);
         let approx = ApproxSoa::bake(&tree);
@@ -161,18 +188,128 @@ impl BonsaiTree {
         }
     }
 
+    /// Inserts a point (see [`KdTree::insert`]), returning its new
+    /// cloud index, or `None` for a non-finite point. The touched
+    /// leaf's compressed structure and f16 rows are **not** re-baked
+    /// here — they are marked dirty and re-compressed once by the next
+    /// [`commit`](BonsaiTree::commit), so a burst of mutations pays one
+    /// re-bake per touched leaf instead of one per mutation.
+    pub fn insert(&mut self, sim: &mut SimEngine, p: Point3) -> Option<u32> {
+        self.tree.insert(sim, p)
+    }
+
+    /// Deletes point `idx` (see [`KdTree::delete`]); `false` is a
+    /// constant-time no-op. Like [`insert`](BonsaiTree::insert), the
+    /// re-bake of the touched leaf is deferred to
+    /// [`commit`](BonsaiTree::commit).
+    pub fn delete(&mut self, sim: &mut SimEngine, idx: u32) -> bool {
+        self.tree.delete(sim, idx)
+    }
+
+    /// Whether mutations are pending a [`commit`](BonsaiTree::commit).
+    /// Searching while pending is a contract violation — the
+    /// compressed search entry points and the
+    /// [`directory`](BonsaiTree::directory) accessor panic on it, in
+    /// release builds too, because the compressed structures of dirty
+    /// leaves still describe their pre-mutation points and would be
+    /// served silently otherwise.
+    pub fn has_pending_rebake(&self) -> bool {
+        self.tree.has_dirty_nodes()
+    }
+
+    /// Re-bakes every dirty leaf — and only the dirty leaves: their
+    /// f16-approximate SoA rows are recomputed and their compressed
+    /// structures re-encoded (`LDSPZPB`/`CPRZPB`/`STZPB`, charged to
+    /// the `Compress` kernel); directory entries of nodes that stopped
+    /// being live leaves are cleared. Untouched leaves keep their baked
+    /// bytes. Returns the number of leaves re-compressed.
+    pub fn commit(&mut self, sim: &mut SimEngine) -> usize {
+        if !self.tree.has_dirty_nodes() {
+            return 0;
+        }
+        let dirty = self.tree.drain_dirty_nodes();
+        self.approx.ensure_slots(self.tree.vind().len());
+        self.directory.ensure_nodes(self.tree.nodes().len());
+        let mut machine = Machine::new();
+        let prev = sim.set_kernel(Kernel::Compress);
+        let mut rebaked = 0;
+        for id in dirty {
+            match self.tree.nodes()[id as usize] {
+                Node::Leaf { start, count } if count > 0 => {
+                    for i in start as usize..(start + count) as usize {
+                        let idx = self.tree.vind()[i];
+                        self.approx.set_slot(i, self.tree.points()[idx as usize]);
+                    }
+                    compress_leaf_structure(
+                        sim,
+                        &mut machine,
+                        &self.tree,
+                        &mut self.directory,
+                        id,
+                        start,
+                        count,
+                        true,
+                    );
+                    rebaked += 1;
+                }
+                // Retired slots, empty leaves and leaf→interior splits
+                // no longer own a compressed structure.
+                _ => self.directory.clear(id),
+            }
+        }
+        sim.set_kernel(prev);
+        rebaked
+    }
+
+    /// Applies a frame diff in one call: deletes `removed` (dead
+    /// indices are skipped), inserts `added` (non-finite points are
+    /// skipped), then [`commit`](BonsaiTree::commit)s the touched
+    /// leaves. Returns the new cloud indices of the accepted inserts,
+    /// in `added` order.
+    pub fn update(&mut self, sim: &mut SimEngine, added: &[Point3], removed: &[u32]) -> Vec<u32> {
+        for &idx in removed {
+            self.delete(sim, idx);
+        }
+        let inserted = added.iter().filter_map(|&p| self.insert(sim, p)).collect();
+        self.commit(sim);
+        inserted
+    }
+
     /// The underlying k-d tree (baseline searches, structure access).
     pub fn kd_tree(&self) -> &KdTree {
         &self.tree
     }
 
     /// The compressed-structure directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when mutations are pending a
+    /// [`commit`](BonsaiTree::commit) — dirty leaves' structures still
+    /// encode their pre-mutation points, so handing the directory to a
+    /// leaf processor would silently produce stale results.
     pub fn directory(&self) -> &CompressedDirectory {
+        assert!(
+            !self.tree.has_dirty_nodes(),
+            "reading a BonsaiTree directory with uncommitted mutations; call commit() first"
+        );
         &self.directory
     }
 
     /// The baked f16-approximate SoA rows (fast-scan substrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics when mutations are pending a
+    /// [`commit`](BonsaiTree::commit): the rows still describe the
+    /// pre-mutation points, and silently serving them would return
+    /// stale neighbor sets. The check is one `Vec::is_empty`, so it is
+    /// enforced in release builds too.
     pub(crate) fn approx_soa(&self) -> &ApproxSoa {
+        assert!(
+            !self.tree.has_dirty_nodes(),
+            "searching a BonsaiTree with uncommitted mutations; call commit() first"
+        );
         &self.approx
     }
 
@@ -187,6 +324,10 @@ impl BonsaiTree {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
+        assert!(
+            !self.tree.has_dirty_nodes(),
+            "searching a BonsaiTree with uncommitted mutations; call commit() first"
+        );
         let mut proc = BonsaiLeafProcessor::new(&self.directory, machine);
         self.tree
             .radius_search(sim, &mut proc, query, radius, out, stats);
@@ -205,6 +346,10 @@ impl BonsaiTree {
         stats: &mut SearchStats,
         scratch: &mut SearchScratch,
     ) {
+        assert!(
+            !self.tree.has_dirty_nodes(),
+            "searching a BonsaiTree with uncommitted mutations; call commit() first"
+        );
         let mut proc = BonsaiLeafProcessor::new(&self.directory, machine);
         self.tree
             .radius_search_scratch(sim, &mut proc, query, radius, out, stats, scratch);
@@ -240,6 +385,47 @@ impl BonsaiTree {
         }
         s
     }
+}
+
+/// The Bonsai compress-instruction sequence over one leaf: `LDSPZPB`
+/// each point into the ZipPts buffer (one vind load to find it, then
+/// the point load inside the instruction), `CPRZPB`, `STZPB` into the
+/// directory's next free slice, then the leaf-field/next-free update.
+/// Shared by the build-time whole-tree pass (`replace == false`) and
+/// the incremental per-dirty-leaf re-bake (`replace == true`).
+#[allow(clippy::too_many_arguments)] // the flattened compression state
+fn compress_leaf_structure(
+    sim: &mut SimEngine,
+    machine: &mut Machine,
+    tree: &KdTree,
+    directory: &mut CompressedDirectory,
+    id: u32,
+    start: u32,
+    count: u32,
+    replace: bool,
+) {
+    for (slot, i) in (start..start + count).enumerate() {
+        sim.load(tree.vind_entry_addr(i), 4);
+        sim.exec(OpClass::IntAlu, 2);
+        let idx = tree.vind()[i as usize];
+        machine.ldspzpb(
+            sim,
+            slot,
+            tree.point_addr(idx),
+            tree.points()[idx as usize].to_array(),
+        );
+    }
+    machine.cprzpb(sim, count as usize);
+    let addr = directory.next_addr();
+    let compressed = machine.stzpb(sim, addr);
+    let placed = if replace {
+        directory.replace(id, &compressed)
+    } else {
+        directory.insert(id, &compressed)
+    };
+    debug_assert_eq!(placed, addr);
+    // Update the leaf's (union-reused) fields and the next-free index.
+    sim.exec(OpClass::IntAlu, 4);
 }
 
 #[cfg(test)]
@@ -338,6 +524,109 @@ mod tests {
         );
         assert!(comp.stores > 0, "STZPB slice stores charged");
         assert!(sim.kernel_counters(Kernel::Build).micro_ops() > 0);
+    }
+
+    /// Incremental mutations + commit must reproduce a from-scratch
+    /// build over the live points bit-for-bit (sorted; index remapped).
+    #[test]
+    fn incremental_updates_match_fresh_build_bit_for_bit() {
+        let cloud = urban_like_cloud(2500, 7);
+        let mut sim = SimEngine::disabled();
+        let mut tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        let added = urban_like_cloud(300, 8);
+        let removed: Vec<u32> = (0..300u32).map(|i| i * 7 % 2500).collect();
+        let inserted = tree.update(&mut sim, &added, &removed);
+        assert_eq!(inserted.len(), 300);
+        assert!(!tree.has_pending_rebake());
+
+        let live: Vec<u32> = tree.kd_tree().live_indices().collect();
+        let live_pts: Vec<Point3> = live
+            .iter()
+            .map(|&i| tree.kd_tree().points()[i as usize])
+            .collect();
+        let fresh = BonsaiTree::build(live_pts, KdTreeConfig::default(), &mut sim);
+        for (qi, q) in urban_like_cloud(20, 9).into_iter().enumerate() {
+            let mut got: Vec<(u32, u32)> = tree
+                .radius_search_simple(q, 1.5)
+                .iter()
+                .map(|n| (n.index, n.dist_sq.to_bits()))
+                .collect();
+            got.sort_unstable();
+            let mut expect: Vec<(u32, u32)> = fresh
+                .radius_search_simple(q, 1.5)
+                .iter()
+                .map(|n| (live[n.index as usize], n.dist_sq.to_bits()))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "query {qi}");
+        }
+    }
+
+    /// The lazy re-bake touches only dirty leaves: a single insert
+    /// re-compresses a handful of leaves, not the whole tree.
+    #[test]
+    fn commit_rebakes_only_touched_leaves() {
+        let mut sim = SimEngine::disabled();
+        let mut tree =
+            BonsaiTree::build(urban_like_cloud(5000, 3), KdTreeConfig::default(), &mut sim);
+        let total_leaves = tree.kd_tree().build_stats().num_leaves as usize;
+        tree.insert(&mut sim, Point3::new(1.0, 2.0, 1.0)).unwrap();
+        assert!(tree.has_pending_rebake());
+        let rebaked = tree.commit(&mut sim);
+        assert!(rebaked >= 1);
+        assert!(
+            rebaked < total_leaves / 10,
+            "rebaked {rebaked} of {total_leaves} leaves"
+        );
+        assert_eq!(tree.commit(&mut sim), 0, "clean commit is free");
+    }
+
+    /// Directory structures of mutated leaves decode to the mutated
+    /// points (the build-time decode invariant survives churn).
+    #[test]
+    fn mutated_directory_structures_stay_decodable() {
+        let mut sim = SimEngine::disabled();
+        let cloud = urban_like_cloud(600, 5);
+        let mut tree = BonsaiTree::build(cloud, KdTreeConfig::default(), &mut sim);
+        for i in 0..200u32 {
+            tree.delete(&mut sim, i * 3 % 600);
+        }
+        let added = urban_like_cloud(120, 6);
+        for &p in &added {
+            tree.insert(&mut sim, p).unwrap();
+        }
+        tree.commit(&mut sim);
+        for (id, node) in tree.kd_tree().nodes().iter().enumerate() {
+            let Node::Leaf { start, count } = *node else {
+                continue;
+            };
+            if count == 0 {
+                continue;
+            }
+            let Some(r) = tree.directory().leaf_ref(id as u32) else {
+                // Retired pool slots are empty leaves and were skipped
+                // above; a live leaf must own a structure.
+                panic!("live leaf {id} has no structure");
+            };
+            assert_eq!(r.num_pts as u32, count, "leaf {id}");
+            let mut decoded = [[0u16; 3]; 16];
+            codec::decompress(
+                tree.directory().bytes_of(id as u32),
+                count as usize,
+                &mut decoded,
+            );
+            for (slot, i) in (start..start + count).enumerate() {
+                let idx = tree.kd_tree().vind()[i as usize] as usize;
+                let p = tree.kd_tree().points()[idx];
+                for c in 0..3 {
+                    assert_eq!(
+                        decoded[slot][c],
+                        Half::from_f32(p[c]).to_bits(),
+                        "leaf {id} slot {slot} coord {c}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -148,8 +148,9 @@ impl Aabb {
     /// This is the shard-routing test: a query ball only needs to visit
     /// a shard when it intersects the shard's bounding box. The
     /// comparison is inclusive, matching radius search's `d² ≤ r²`
-    /// membership rule, and [`distance_squared_to`]
-    /// (Aabb::distance_squared_to) is a monotone under-estimate of the
+    /// membership rule, and
+    /// [`distance_squared_to`](Aabb::distance_squared_to) is a
+    /// monotone under-estimate of the
     /// distance to any contained point in `f32`, so a shard that holds
     /// a true neighbor is never skipped.
     ///

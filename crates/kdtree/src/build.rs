@@ -2,6 +2,7 @@ use bonsai_geom::{Aabb, Axis, Point3};
 use bonsai_sim::{Kernel, OpClass, SimEngine};
 
 use crate::costs::TraversalCosts;
+use crate::mutate::{MutationStats, NodeMeta};
 use crate::node::{Node, NodeId, NODE_BYTES};
 
 /// How an interior node chooses its split threshold.
@@ -57,31 +58,50 @@ pub struct BuildStats {
 /// The bucketed k-d tree. See the [crate docs](crate) for an overview.
 #[derive(Debug, Clone)]
 pub struct KdTree {
-    points: Vec<Point3>,
-    vind: Vec<u32>,
-    nodes: Vec<Node>,
+    pub(crate) points: Vec<Point3>,
+    pub(crate) vind: Vec<u32>,
+    pub(crate) nodes: Vec<Node>,
     /// Leaf-contiguous SoA copy of the cloud, baked by the reorder pass:
     /// slot `i` holds `points[vind[i]]`, so a leaf scan is one linear
     /// sweep over three dense `f32` rows instead of an indexed gather.
     /// This is the host-side realization of FLANN's `reorder=true`
     /// matrix the simulated layout already modelled.
-    leaf_x: Vec<f32>,
-    leaf_y: Vec<f32>,
-    leaf_z: Vec<f32>,
-    cfg: KdTreeConfig,
-    stats: BuildStats,
+    pub(crate) leaf_x: Vec<f32>,
+    pub(crate) leaf_y: Vec<f32>,
+    pub(crate) leaf_z: Vec<f32>,
+    pub(crate) cfg: KdTreeConfig,
+    pub(crate) stats: BuildStats,
+    /// Liveness of each point index: `false` after [`KdTree::delete`].
+    pub(crate) alive: Vec<bool>,
+    /// Number of `true` entries in `alive`.
+    pub(crate) num_live: usize,
+    /// Per-node mutation bookkeeping (subtree live counts, leaf counts,
+    /// leaf slot capacities), parallel to `nodes`.
+    pub(crate) meta: Vec<NodeMeta>,
+    /// `vind`/SoA slots abandoned by leaf relocations and subtree
+    /// rebuilds (fragmentation; reclaimed only by a full rebuild).
+    pub(crate) garbage_slots: usize,
+    /// Node-pool slots freed by subtree rebuilds, reusable by later
+    /// rebuilds so churn does not grow the pool unboundedly.
+    pub(crate) free_nodes: Vec<NodeId>,
+    /// Node ids touched since the last [`KdTree::drain_dirty_nodes`] —
+    /// the invalidation feed of layered caches (the compressed-leaf
+    /// directory of `bonsai-core`).
+    pub(crate) dirty_nodes: Vec<NodeId>,
+    /// Mutation counters.
+    pub(crate) mut_stats: MutationStats,
     /// Simulated base of the 16-byte-stride point array (PCL `PointXYZ`
     /// is 16 bytes: x, y, z + SSE padding).
-    points_addr: u64,
+    pub(crate) points_addr: u64,
     /// Simulated base of the reordered index array.
-    vind_addr: u64,
+    pub(crate) vind_addr: u64,
     /// Simulated base of the node pool.
-    nodes_addr: u64,
+    pub(crate) nodes_addr: u64,
     /// Simulated base of the *reordered* point-data matrix: FLANN's
     /// `reorder=true` (the PCL default) copies the points into `vind`
     /// order after building, so leaf scans read consecutive 12-byte rows
     /// instead of gathering through the index array.
-    reordered_addr: u64,
+    pub(crate) reordered_addr: u64,
 }
 
 /// Simulated bytes per stored point (PCL `PointXYZ` stride).
@@ -119,6 +139,13 @@ impl KdTree {
             leaf_z: Vec::new(),
             cfg,
             stats: BuildStats::default(),
+            alive: vec![true; n],
+            num_live: n,
+            meta: Vec::new(),
+            garbage_slots: 0,
+            free_nodes: Vec::new(),
+            dirty_nodes: Vec::new(),
+            mut_stats: MutationStats::default(),
             points_addr,
             vind_addr,
             nodes_addr,
@@ -147,7 +174,23 @@ impl KdTree {
             }
             sim.set_kernel(prev);
         }
+        tree.rebuild_meta();
         tree
+    }
+
+    /// Builds a tree with the top levels of the recursion fanned out
+    /// across scoped worker threads (`threads == 0` uses the machine's
+    /// available parallelism) — the dinotree idiom of handing each
+    /// half of a partition to its own worker until the workers run out.
+    ///
+    /// The resulting tree is **identical** (nodes, `vind` order, SoA
+    /// rows, shape stats) to [`KdTree::build`] over the same cloud; only
+    /// the wall-clock construction differs. No simulator events are
+    /// recorded — this is the uninstrumented production build, also
+    /// reused by criterion-triggered subtree rebuilds. Without the
+    /// `parallel` feature the fan degenerates to the sequential walk.
+    pub fn build_parallel(points: Vec<Point3>, cfg: KdTreeConfig, threads: usize) -> KdTree {
+        crate::parts::build_tree_parallel(points, cfg, threads)
     }
 
     /// Recursively builds `vind[lo..hi]`; returns the created node id.
@@ -400,7 +443,7 @@ pub(crate) mod sites {
 
 /// Stable in-place partition; returns the number of elements satisfying
 /// the predicate (moved to the front).
-fn itertools_partition<T, F: FnMut(&T) -> bool>(slice: &mut [T], mut pred: F) -> usize {
+pub(crate) fn itertools_partition<T, F: FnMut(&T) -> bool>(slice: &mut [T], mut pred: F) -> usize {
     let mut next = 0;
     for i in 0..slice.len() {
         if pred(&slice[i]) {

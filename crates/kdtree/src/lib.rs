@@ -40,13 +40,16 @@ mod baseline;
 mod build;
 mod costs;
 mod knn;
+mod mutate;
 mod node;
+mod parts;
 mod scratch;
 mod search;
 
 pub use baseline::BaselineLeafProcessor;
 pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
 pub use costs::TraversalCosts;
+pub use mutate::{MutationStats, ALPHA_BALANCE};
 pub use node::{LeafId, Node, NodeId};
 pub use scratch::{QueryBatch, SearchScratch};
 pub use search::{radius_is_searchable, LeafProcessor, Neighbor, SearchStats};

@@ -1,0 +1,394 @@
+//! The pure (uninstrumented) subtree builder behind
+//! [`KdTree::build_parallel`] and the criterion-triggered subtree
+//! rebuilds of the mutation layer.
+//!
+//! [`build_subtree`] turns a set of point indices into a relocatable
+//! [`SubtreeParts`]: preorder-numbered nodes whose leaf `start` fields
+//! index a private `order` array. The caller splices the parts wherever
+//! it needs them — `build_tree_parallel` makes them the whole tree,
+//! [`KdTree::insert`](crate::KdTree::insert)'s re-balance splices them
+//! over one violating subtree. The recursion fans its top levels across
+//! scoped threads (the dinotree idiom: each half of a partition gets
+//! its own worker until the workers run out), which is safe because the
+//! two halves of a partition touch disjoint `order` ranges and build
+//! disjoint node sets.
+//!
+//! The partitioning is byte-for-byte the sequential build's (same
+//! median selection, same sliding-midpoint fallback), so the assembled
+//! tree is **identical** to [`KdTree::build`]'s regardless of the
+//! thread count — property-tested in this module and at the workspace
+//! root.
+
+use bonsai_geom::{Aabb, Axis, Point3};
+use bonsai_sim::SimEngine;
+
+use crate::build::{itertools_partition, BuildStats, KdTree, KdTreeConfig, SplitRule};
+use crate::node::{Node, NodeId, NODE_BYTES};
+
+/// Padding entry of slack leaf slots in a [`SubtreeParts::order`]
+/// array; never read (leaf scans stop at `count`).
+pub(crate) const PAD_SLOT: u32 = u32::MAX;
+
+/// Minimum points in a range before the builder forks a worker for one
+/// of its halves; below this the spawn costs more than the subtree.
+const PARALLEL_MIN_POINTS: usize = 2048;
+
+/// A built subtree, relative to itself: nodes are numbered in preorder
+/// starting at 0 (the subtree root), and leaf `start` offsets index
+/// [`SubtreeParts::order`].
+#[derive(Debug)]
+pub(crate) struct SubtreeParts {
+    /// Preorder node pool of the subtree.
+    pub nodes: Vec<Node>,
+    /// The `vind` arrangement of the subtree's points. With slack, each
+    /// leaf owns `max_leaf_points` consecutive slots, the tail padded
+    /// with [`PAD_SLOT`].
+    pub order: Vec<u32>,
+    /// Shape statistics of the subtree (`max_depth` relative to its
+    /// root).
+    pub stats: BuildStats,
+}
+
+/// Build configuration of one [`build_subtree`] call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SubtreeConfig {
+    pub tree: KdTreeConfig,
+    /// Pad every leaf's `order` range to `max_leaf_points` slots so
+    /// later inserts append in place instead of relocating the leaf.
+    /// The initial full build stays packed (the paper's layout); only
+    /// mutation-created leaves carry slack.
+    pub slack: bool,
+    /// Worker threads the recursion may still fork (1 = sequential).
+    pub threads: usize,
+}
+
+/// Builds a subtree over `idxs` (rearranged in place exactly as the
+/// sequential build would rearrange the same `vind` range).
+pub(crate) fn build_subtree(
+    points: &[Point3],
+    idxs: &mut [u32],
+    cfg: SubtreeConfig,
+) -> SubtreeParts {
+    debug_assert!(!idxs.is_empty(), "build_subtree over an empty range");
+    build_rec(points, idxs, cfg, cfg.threads, 0)
+}
+
+fn build_rec(
+    points: &[Point3],
+    idxs: &mut [u32],
+    cfg: SubtreeConfig,
+    threads: usize,
+    depth: u32,
+) -> SubtreeParts {
+    let count = idxs.len();
+    let m = cfg.tree.max_leaf_points;
+    if count <= m {
+        let mut order = idxs.to_vec();
+        if cfg.slack {
+            order.resize(m, PAD_SLOT);
+        }
+        return SubtreeParts {
+            nodes: vec![Node::Leaf {
+                start: 0,
+                count: count as u32,
+            }],
+            order,
+            stats: BuildStats {
+                num_leaves: 1,
+                num_interior: 0,
+                max_depth: depth,
+            },
+        };
+    }
+
+    let bbox = Aabb::from_points(idxs.iter().map(|&i| points[i as usize]))
+        .expect("non-empty range has a bounding box");
+    let axis = bbox.widest_axis();
+    let mid = match cfg.tree.split_rule {
+        SplitRule::Median => partition_median(points, idxs, axis),
+        SplitRule::SlidingMidpoint => partition_midpoint(points, idxs, axis, bbox.center()[axis]),
+    };
+    let div_low = max_coord(points, &idxs[..mid], axis);
+    let div_high = min_coord(points, &idxs[mid..], axis);
+    let split_val = 0.5 * (div_low + div_high);
+
+    let (left_idxs, right_idxs) = idxs.split_at_mut(mid);
+    let fork = threads > 1 && count >= PARALLEL_MIN_POINTS;
+    let (left, right) = if fork {
+        let lt = threads / 2;
+        let rt = threads - lt;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| build_rec(points, left_idxs, cfg, lt, depth + 1));
+            let right = build_rec(points, right_idxs, cfg, rt, depth + 1);
+            (handle.join().expect("subtree build worker panicked"), right)
+        })
+    } else {
+        (
+            build_rec(points, left_idxs, cfg, 1, depth + 1),
+            build_rec(points, right_idxs, cfg, 1, depth + 1),
+        )
+    };
+
+    // Stitch in the sequential numbering: parent first, then the whole
+    // left subtree, then the right (the preorder `build_range` emits).
+    let left_nodes = left.nodes.len() as NodeId;
+    let left_slots = left.order.len() as u32;
+    let mut nodes = Vec::with_capacity(1 + left.nodes.len() + right.nodes.len());
+    nodes.push(Node::Interior {
+        axis,
+        split_val,
+        div_low,
+        div_high,
+        left: 1,
+        right: 1 + left_nodes,
+    });
+    nodes.extend(left.nodes.iter().map(|n| shift_node(n, 1, 0)));
+    nodes.extend(
+        right
+            .nodes
+            .iter()
+            .map(|n| shift_node(n, 1 + left_nodes, left_slots)),
+    );
+    let mut order = left.order;
+    order.extend_from_slice(&right.order);
+    SubtreeParts {
+        nodes,
+        order,
+        stats: BuildStats {
+            num_leaves: left.stats.num_leaves + right.stats.num_leaves,
+            num_interior: left.stats.num_interior + right.stats.num_interior + 1,
+            max_depth: left.stats.max_depth.max(right.stats.max_depth).max(depth),
+        },
+    }
+}
+
+/// Re-bases one local node: child ids shift by `id_off`, leaf starts by
+/// `slot_off`.
+fn shift_node(node: &Node, id_off: NodeId, slot_off: u32) -> Node {
+    match *node {
+        Node::Leaf { start, count } => Node::Leaf {
+            start: start + slot_off,
+            count,
+        },
+        Node::Interior {
+            axis,
+            split_val,
+            div_low,
+            div_high,
+            left,
+            right,
+        } => Node::Interior {
+            axis,
+            split_val,
+            div_low,
+            div_high,
+            left: left + id_off,
+            right: right + id_off,
+        },
+    }
+}
+
+/// Median partition of `idxs` on `axis`; both sides non-empty. Same
+/// selection as the instrumented `partition_median`.
+fn partition_median(points: &[Point3], idxs: &mut [u32], axis: Axis) -> usize {
+    let mid = idxs.len() / 2;
+    idxs.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize][axis].total_cmp(&points[b as usize][axis])
+    });
+    mid
+}
+
+/// Sliding-midpoint partition, degenerating to the median exactly like
+/// the instrumented `partition_midpoint`.
+fn partition_midpoint(points: &[Point3], idxs: &mut [u32], axis: Axis, threshold: f32) -> usize {
+    let mid = itertools_partition(idxs, |&i| points[i as usize][axis] < threshold);
+    if mid == 0 || mid == idxs.len() {
+        partition_median(points, idxs, axis)
+    } else {
+        mid
+    }
+}
+
+fn max_coord(points: &[Point3], idxs: &[u32], axis: Axis) -> f32 {
+    idxs.iter()
+        .map(|&i| points[i as usize][axis])
+        .fold(f32::NEG_INFINITY, f32::max)
+}
+
+fn min_coord(points: &[Point3], idxs: &[u32], axis: Axis) -> f32 {
+    idxs.iter()
+        .map(|&i| points[i as usize][axis])
+        .fold(f32::INFINITY, f32::min)
+}
+
+/// Resolves a requested worker count: `0` means available parallelism.
+/// Without the `parallel` feature the result is always 1.
+pub(crate) fn resolve_build_threads(threads: usize) -> usize {
+    if cfg!(feature = "parallel") {
+        if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+    } else {
+        1
+    }
+}
+
+/// The whole-tree assembly behind [`KdTree::build_parallel`].
+pub(crate) fn build_tree_parallel(
+    points: Vec<Point3>,
+    cfg: KdTreeConfig,
+    threads: usize,
+) -> KdTree {
+    assert!(
+        (1..=16).contains(&cfg.max_leaf_points),
+        "max_leaf_points must be in 1..=16, got {}",
+        cfg.max_leaf_points
+    );
+    let n = points.len();
+    let mut sim = SimEngine::disabled();
+    let points_addr = sim.alloc(n as u64 * crate::build::POINT_STRIDE, 64);
+    let vind_addr = sim.alloc(n as u64 * 4, 64);
+    let nodes_addr = sim.alloc((2 * n as u64 + 1) * NODE_BYTES, 64);
+    let reordered_addr = sim.alloc(n as u64 * crate::build::REORDERED_STRIDE, 64);
+
+    let mut vind: Vec<u32> = (0..n as u32).collect();
+    let (nodes, stats) = if n == 0 {
+        (Vec::new(), BuildStats::default())
+    } else {
+        let parts = build_subtree(
+            &points,
+            &mut vind,
+            SubtreeConfig {
+                tree: cfg,
+                slack: false,
+                threads: resolve_build_threads(threads),
+            },
+        );
+        debug_assert_eq!(parts.order, vind, "packed parts must preserve the range");
+        (parts.nodes, parts.stats)
+    };
+
+    let mut leaf_x = Vec::with_capacity(n);
+    let mut leaf_y = Vec::with_capacity(n);
+    let mut leaf_z = Vec::with_capacity(n);
+    for &idx in &vind {
+        let p = points[idx as usize];
+        leaf_x.push(p.x);
+        leaf_y.push(p.y);
+        leaf_z.push(p.z);
+    }
+
+    let mut tree = KdTree {
+        points,
+        vind,
+        nodes,
+        leaf_x,
+        leaf_y,
+        leaf_z,
+        cfg,
+        stats,
+        alive: vec![true; n],
+        num_live: n,
+        meta: Vec::new(),
+        garbage_slots: 0,
+        free_nodes: Vec::new(),
+        dirty_nodes: Vec::new(),
+        mut_stats: crate::mutate::MutationStats::default(),
+        points_addr,
+        vind_addr,
+        nodes_addr,
+        reordered_addr,
+    };
+    tree.rebuild_meta();
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_cloud(n: usize, seed: u64, scale: f32) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| Point3::new((next() - 0.5) * scale, (next() - 0.5) * scale, next() * 4.0))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_build_is_bitwise_identical_to_sequential() {
+        for seed in [1, 5, 9] {
+            let cloud = random_cloud(6000, seed, 80.0);
+            let mut sim = SimEngine::disabled();
+            let seq = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+            for threads in [1, 2, 3, 8] {
+                let par = KdTree::build_parallel(cloud.clone(), KdTreeConfig::default(), threads);
+                assert_eq!(par.nodes(), seq.nodes(), "seed {seed} threads {threads}");
+                assert_eq!(par.vind(), seq.vind(), "seed {seed} threads {threads}");
+                assert_eq!(
+                    par.leaf_soa(),
+                    seq.leaf_soa(),
+                    "seed {seed} threads {threads}"
+                );
+                assert_eq!(par.build_stats(), seq.build_stats());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_for_sliding_midpoint_and_tiny_clouds() {
+        let cfg = KdTreeConfig {
+            split_rule: SplitRule::SlidingMidpoint,
+            ..KdTreeConfig::default()
+        };
+        for n in [0, 1, 15, 16, 17, 300] {
+            let cloud = random_cloud(n, 3, 20.0);
+            let mut sim = SimEngine::disabled();
+            let seq = KdTree::build(cloud.clone(), cfg, &mut sim);
+            let par = KdTree::build_parallel(cloud, cfg, 4);
+            assert_eq!(par.nodes(), seq.nodes(), "n {n}");
+            assert_eq!(par.vind(), seq.vind(), "n {n}");
+        }
+    }
+
+    #[test]
+    fn slack_parts_pad_every_leaf_to_capacity() {
+        let cloud = random_cloud(500, 7, 50.0);
+        let mut idxs: Vec<u32> = (0..cloud.len() as u32).collect();
+        let cfg = SubtreeConfig {
+            tree: KdTreeConfig::default(),
+            slack: true,
+            threads: 1,
+        };
+        let parts = build_subtree(&cloud, &mut idxs, cfg);
+        let m = cfg.tree.max_leaf_points;
+        assert_eq!(
+            parts.order.len(),
+            parts.stats.num_leaves as usize * m,
+            "every leaf owns m slots"
+        );
+        let mut seen = vec![false; cloud.len()];
+        for node in &parts.nodes {
+            if let Node::Leaf { start, count } = *node {
+                assert!(count as usize <= m);
+                for s in start..start + count {
+                    let idx = parts.order[s as usize];
+                    assert_ne!(idx, PAD_SLOT);
+                    assert!(!seen[idx as usize], "point {idx} twice");
+                    seen[idx as usize] = true;
+                }
+                for s in start + count..start + m as u32 {
+                    assert_eq!(parts.order[s as usize], PAD_SLOT);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

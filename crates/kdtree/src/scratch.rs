@@ -310,8 +310,9 @@ impl KdTree {
 
     /// Answers many baseline queries in one call, filling `batch`.
     ///
-    /// Equivalent to looping [`radius_search_fast`]
-    /// (KdTree::radius_search_fast) but amortizes all buffers; the
+    /// Equivalent to looping
+    /// [`radius_search_fast`](KdTree::radius_search_fast) but
+    /// amortizes all buffers; the
     /// mode-aware front-end (compressed leaves, parallelism) is
     /// `RadiusSearchEngine` in `bonsai-core`.
     pub fn radius_search_batch(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {

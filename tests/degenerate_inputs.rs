@@ -357,3 +357,133 @@ fn identical_points_shard_cleanly() {
         assert_eq!(idx, (0..64).collect::<Vec<u32>>(), "K={shards}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Degenerate mutations (the incremental-update guards).
+// ---------------------------------------------------------------------------
+
+/// Non-finite inserts are rejected by every mutation entry point —
+/// tree, compressed tree, and router — without growing any state.
+#[test]
+fn non_finite_inserts_are_rejected_everywhere() {
+    let cloud = lane_cloud(200);
+    let mut sim = SimEngine::disabled();
+    let mut tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let mut router =
+        ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(3));
+    for p in [
+        Point3::new(f32::NAN, 0.0, 0.0),
+        Point3::new(0.0, f32::INFINITY, 0.0),
+        Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+        Point3::new(f32::NAN, f32::NAN, f32::NAN),
+    ] {
+        assert!(tree.insert(&mut sim, p).is_none(), "{p:?} into tree");
+        assert!(router.insert(p).is_none(), "{p:?} into router");
+    }
+    assert!(
+        !tree.has_pending_rebake(),
+        "rejected inserts dirtied leaves"
+    );
+    assert_eq!(tree.kd_tree().points().len(), 200);
+    assert_eq!(router.num_points(), 200);
+    // The accepted path still works afterwards.
+    let idx = tree.insert(&mut sim, Point3::new(0.5, 0.5, 0.5)).unwrap();
+    tree.commit(&mut sim);
+    assert_eq!(idx, 200);
+}
+
+/// Deleting a nonexistent index is a no-op with zero traversal: no
+/// simulated events, no stats, no dirty leaves.
+#[test]
+fn nonexistent_deletes_are_no_ops_with_zero_traversal() {
+    let cloud = lane_cloud(150);
+    let mut sim = SimEngine::new(&kd_bonsai::sim::CpuConfig::a72_like());
+    let mut tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let before = sim.totals().micro_ops();
+    assert!(!tree.delete(&mut sim, 150), "out-of-range index");
+    assert!(!tree.delete(&mut sim, u32::MAX));
+    assert_eq!(sim.totals().micro_ops(), before, "no-op delete did work");
+    assert!(!tree.has_pending_rebake());
+
+    assert!(tree.delete(&mut sim, 3), "live index deletes");
+    assert!(
+        !tree.delete(&mut sim, 3),
+        "second delete of the same index is a no-op"
+    );
+    tree.commit(&mut sim);
+
+    let mut router =
+        ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+    assert!(!router.delete(150));
+    assert!(router.delete(7));
+    assert!(!router.delete(7));
+    assert_eq!(router.num_points(), 149);
+}
+
+/// Updating an empty tree behaves like a build: the same searches
+/// succeed, all three modes stay pinned to each other, and the
+/// compressed state is fully baked.
+#[test]
+fn update_on_empty_tree_behaves_like_build() {
+    let cloud = lane_cloud(120);
+    let mut sim = SimEngine::disabled();
+    let mut grown = BonsaiTree::build(Vec::new(), KdTreeConfig::default(), &mut sim);
+    let inserted = grown.update(&mut sim, &cloud, &[]);
+    assert_eq!(inserted, (0..120).collect::<Vec<u32>>());
+    assert!(!grown.has_pending_rebake());
+
+    let built = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    for (qi, &q) in cloud.iter().step_by(11).enumerate() {
+        for r in [0.05f32, 0.8, 5.0] {
+            let got = sorted_indices(&grown.radius_search_simple(q, r));
+            let expect = sorted_indices(&built.radius_search_simple(q, r));
+            assert_eq!(got, expect, "query {qi} r {r}");
+            let base = sorted_indices(&grown.kd_tree().radius_search_simple(q, r));
+            assert_eq!(got, base, "query {qi} r {r}: modes diverge");
+        }
+    }
+
+    // Degenerate radii stay rejected on a grown tree too.
+    for r in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+        assert!(
+            grown.radius_search_simple(cloud[0], r).is_empty(),
+            "radius {r}"
+        );
+    }
+
+    // The empty-router twin: point-by-point growth from nothing.
+    let mut router = ShardRouter::bonsai(&[], KdTreeConfig::default(), ShardConfig::with_shards(3));
+    let ids = router.apply_update(&cloud, &[]);
+    assert_eq!(ids.len(), 120);
+    let mut scratch = SearchScratch::new();
+    let mut out = Vec::new();
+    let mut stats = SearchStats::default();
+    router.search_one(cloud[60], 0.8, &mut scratch, &mut out, &mut stats);
+    let expect = {
+        let mut v = built.radius_search_simple(cloud[60], 0.8);
+        v.sort_unstable_by_key(|n| n.index);
+        v
+    };
+    assert_eq!(out, expect, "router grown from empty diverges");
+}
+
+/// Deleting every point, then inserting again: the hollowed-out tree
+/// keeps every mode consistent and the compressed directory clean.
+#[test]
+fn full_deletion_then_reinsertion_stays_consistent() {
+    let cloud = lane_cloud(90);
+    let mut sim = SimEngine::disabled();
+    let mut tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let removed: Vec<u32> = (0..90).collect();
+    tree.update(&mut sim, &[], &removed);
+    assert_eq!(tree.kd_tree().num_live(), 0);
+    for r in [0.5f32, 100.0] {
+        assert!(tree.radius_search_simple(cloud[0], r).is_empty());
+        assert!(tree.kd_tree().radius_search_simple(cloud[0], r).is_empty());
+    }
+    let p = Point3::new(2.0, 2.0, 0.5);
+    let idx = tree.update(&mut sim, &[p], &[])[0];
+    let hits = tree.radius_search_simple(p, 0.1);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].index, idx);
+}

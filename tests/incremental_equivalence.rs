@@ -1,0 +1,221 @@
+//! Churn-equivalence property tests for the incremental mutation
+//! layer: **any** interleaving of inserts, deletes and searches yields
+//! neighbor sets bit-identical to a from-scratch rebuild over the same
+//! live points — at every checkpoint, for all three tree modes
+//! (Baseline / Bonsai / SoftwareCodec), through both the single-tree
+//! `RadiusSearchEngine` and the mutated `ShardRouter`, and end-to-end
+//! through cluster extraction.
+//!
+//! The invariant under test is the tentpole contract of the streaming
+//! update path: membership and reported `dist_sq` bits depend only on
+//! each point's own coordinates (and, under Bonsai, its own f16
+//! approximation + error bound), never on the tree shape the mutations
+//! produced.
+
+use kd_bonsai::cluster::TreeMode;
+use kd_bonsai::core::{BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::kdtree::{KdTreeConfig, Neighbor, SearchScratch, SearchStats};
+use kd_bonsai::sim::SimEngine;
+use proptest::prelude::*;
+
+const MODES: [TreeMode; 3] = [
+    TreeMode::Baseline,
+    TreeMode::Bonsai,
+    TreeMode::SoftwareCodec,
+];
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec(
+        (-60.0f32..60.0, -60.0f32..60.0, -3.0f32..3.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        2..max,
+    )
+}
+
+/// One scripted step: `kind` 0 inserts, 1 deletes, 2 checkpoints
+/// (commit + compare against a fresh rebuild); `arg` seeds the step's
+/// choice of point/index.
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<(u8, usize)>> {
+    prop::collection::vec((0u8..3, 0usize..10_000), 4..max)
+}
+
+fn engine_for<'t>(tree: &'t BonsaiTree, mode: TreeMode) -> RadiusSearchEngine<'t> {
+    match mode {
+        TreeMode::Baseline => RadiusSearchEngine::baseline(tree.kd_tree()),
+        TreeMode::Bonsai => RadiusSearchEngine::bonsai(tree),
+        TreeMode::SoftwareCodec => RadiusSearchEngine::software_codec(tree),
+    }
+}
+
+/// Canonical comparable form: ascending index, exact dist bits.
+fn keyed(hits: &[Neighbor]) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = hits
+        .iter()
+        .map(|n| (n.index, n.dist_sq.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The scripted-churn invariant, single-tree and sharded.
+    #[test]
+    fn interleaved_mutations_match_fresh_rebuild(
+        cloud in arb_cloud(110),
+        extra in arb_cloud(70),
+        ops in arb_ops(36),
+        radius in 0.05f32..8.0,
+        leaf in 2usize..=16,
+        shards in 1usize..=5,
+    ) {
+        let cfg = KdTreeConfig { max_leaf_points: leaf, ..KdTreeConfig::default() };
+        let mut sim = SimEngine::disabled();
+        // The mutated single tree (covers all three modes: its kd tree
+        // serves Baseline, its directory Bonsai/SoftwareCodec)…
+        let mut tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        // …and the mutated routers (bonsai also serves software-codec).
+        let shard_cfg = ShardConfig::with_shards(shards);
+        let mut router_base = ShardRouter::baseline(&cloud, cfg, shard_cfg);
+        let mut router_bonsai = ShardRouter::bonsai(&cloud, cfg, shard_cfg);
+
+        let mut next_extra = 0usize;
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut checkpoints = 0usize;
+        for (step, &(kind, arg)) in ops.iter().enumerate() {
+            match kind {
+                0 => {
+                    let p = extra[(next_extra + arg) % extra.len()];
+                    next_extra += 1;
+                    let a = tree.insert(&mut sim, p);
+                    let b = router_base.insert(p);
+                    let c = router_bonsai.insert(p);
+                    prop_assert_eq!(a, b, "step {}: tree and router disagree", step);
+                    prop_assert_eq!(a, c, "step {}", step);
+                }
+                1 => {
+                    let idx = (arg % tree.kd_tree().points().len()) as u32;
+                    let a = tree.delete(&mut sim, idx);
+                    let b = router_base.delete(idx);
+                    let c = router_bonsai.delete(idx);
+                    prop_assert_eq!(a, b, "step {}: delete divergence", step);
+                    prop_assert_eq!(a, c, "step {}", step);
+                }
+                _ => {
+                    checkpoints += 1;
+                    tree.commit(&mut sim);
+                    router_base.commit();
+                    router_bonsai.commit();
+
+                    let live: Vec<u32> = tree.kd_tree().live_indices().collect();
+                    prop_assert_eq!(live.len(), tree.kd_tree().num_live());
+                    prop_assert_eq!(live.len(), router_base.num_points());
+                    prop_assert_eq!(live.len(), router_bonsai.num_points());
+                    let live_pts: Vec<Point3> =
+                        live.iter().map(|&i| tree.kd_tree().points()[i as usize]).collect();
+                    let fresh = BonsaiTree::build(live_pts.clone(), cfg, &mut sim);
+
+                    // Queries: live points, a recently deleted point's
+                    // coordinates, and an unreachable probe.
+                    let mut queries: Vec<Point3> =
+                        live_pts.iter().step_by(7).copied().collect();
+                    queries.push(extra[arg % extra.len()]);
+                    queries.push(Point3::new(1.0e4, -1.0e4, 1.0e4));
+
+                    for mode in MODES {
+                        let engine = engine_for(&tree, mode);
+                        let fresh_engine = engine_for(&fresh, mode);
+                        let router = match mode {
+                            TreeMode::Baseline => &router_base,
+                            _ => &router_bonsai,
+                        };
+                        for (qi, &q) in queries.iter().enumerate() {
+                            let mut stats = SearchStats::default();
+                            engine.search_one(q, radius, &mut scratch, &mut out, &mut stats);
+                            let got = keyed(&out);
+
+                            let mut fresh_stats = SearchStats::default();
+                            fresh_engine.search_one(
+                                q, radius, &mut scratch, &mut out, &mut fresh_stats);
+                            let expect: Vec<(u32, u32)> = {
+                                let remapped: Vec<Neighbor> = out
+                                    .iter()
+                                    .map(|n| Neighbor {
+                                        index: live[n.index as usize],
+                                        dist_sq: n.dist_sq,
+                                    })
+                                    .collect();
+                                keyed(&remapped)
+                            };
+                            prop_assert_eq!(
+                                &got, &expect,
+                                "{:?} step {} query {}: mutated tree vs fresh rebuild",
+                                mode, step, qi
+                            );
+
+                            let mut router_stats = SearchStats::default();
+                            router.search_one(
+                                q, radius, &mut scratch, &mut out, &mut router_stats);
+                            prop_assert_eq!(
+                                keyed(&out), expect,
+                                "{:?} step {} query {}: mutated router vs fresh rebuild",
+                                mode, step, qi
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(checkpoints > 0 || ops.iter().all(|&(k, _)| k < 2));
+    }
+
+    /// End-to-end churn: streaming cluster extraction over mutating
+    /// frames equals a from-scratch extraction of every frame.
+    #[test]
+    fn streaming_clusters_equal_fresh_extraction_under_churn(
+        cloud in arb_cloud(90),
+        churn in arb_cloud(40),
+        shards in 1usize..=4,
+        tolerance in 0.4f32..4.0,
+    ) {
+        use kd_bonsai::cluster::{extract_euclidean_clusters_batched, StreamingExtractor};
+
+        for mode in MODES {
+            let mut ex = StreamingExtractor::new(mode, KdTreeConfig::default(), shards);
+            let mut frame = cloud.clone();
+            for round in 0..3 {
+                // Mutate the frame: drop a deterministic slice, add
+                // churn points.
+                let drop = round * 7 % frame.len().max(1);
+                frame.drain(..drop.min(frame.len()));
+                frame.extend(churn.iter().skip(round).step_by(3).copied());
+
+                ex.ingest_frame(&frame);
+                prop_assert_eq!(ex.num_live(), frame.len());
+                let streamed = ex.extract(tolerance, 1, 100_000);
+                let fresh = extract_euclidean_clusters_batched(
+                    frame.clone(), tolerance, 1, 100_000, KdTreeConfig::default(), mode);
+
+                // Same clusters as point-multisets.
+                let norm = |clusters: &[Vec<u32>], coord: &dyn Fn(u32) -> [u32; 3]| {
+                    let mut v: Vec<Vec<[u32; 3]>> = clusters
+                        .iter()
+                        .map(|c| {
+                            let mut w: Vec<[u32; 3]> = c.iter().map(|&i| coord(i)).collect();
+                            w.sort_unstable();
+                            w
+                        })
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                let key = |p: Point3| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()];
+                let got = norm(&streamed.clusters, &|i| key(ex.point(i)));
+                let expect = norm(&fresh.clusters, &|i| key(frame[i as usize]));
+                prop_assert_eq!(got, expect, "{:?} shards {} round {}", mode, shards, round);
+            }
+        }
+    }
+}
