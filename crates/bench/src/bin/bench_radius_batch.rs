@@ -13,11 +13,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use bonsai_bench::workload::{
-    batch_queries, urban_cloud, BATCH_CLOUD, BATCH_QUERIES, BATCH_RADIUS,
+    batch_queries, collect_sweep_sets, urban_cloud, BATCH_CLOUD, BATCH_QUERIES, BATCH_RADIUS,
+    SWEEP_RADIUS,
 };
 use bonsai_core::{BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter};
 use bonsai_isa::Machine;
-use bonsai_kdtree::{KdTree, KdTreeConfig, QueryBatch, SearchStats};
+use bonsai_kdtree::{simd, KdTree, KdTreeConfig, QueryBatch, SearchStats};
 use bonsai_sim::SimEngine;
 
 const RADIUS: f32 = BATCH_RADIUS;
@@ -268,6 +269,101 @@ fn main() {
         let _ = writeln!(json, "      }}{}", if mi == 0 { "," } else { "" });
     }
     let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+
+    // ------------------------------------------------------------------
+    // SIMD leaf sweeps: scalar vs the runtime-detected vector backend,
+    // per mode. Two views: the isolated sweep kernel (`sweep_leaf`
+    // over every leaf, points/s — the number the ≥1.5× acceptance
+    // target reads) and the whole batched search (traversal included,
+    // q/s). The scalar rows run through the process-wide override, so
+    // one SIMD-enabled binary measures both paths.
+    // ------------------------------------------------------------------
+    let _ = writeln!(json, "  \"simd\": {{");
+    let _ = writeln!(json, "    \"backend\": \"{}\",", simd::active_backend());
+    let _ = writeln!(json, "    \"lanes\": {},", simd::LANES);
+    // Each sweep query's visit list is collected once up front (the
+    // traversal half), so the measurement times exactly the leaf-sweep
+    // kernel over the leaf mix real queries visit — the same workload
+    // as the `leaf_sweep` criterion group.
+    let sweep_radius = SWEEP_RADIUS;
+    let _ = writeln!(json, "    \"sweep_radius\": {sweep_radius},");
+    let sweep_queries = batch_queries(&cloud, 32);
+    let (sweep_sets, sweep_points) =
+        collect_sweep_sets(tree.kd_tree(), &sweep_queries, sweep_radius);
+    let sweep_budget = budget_ms / 2;
+    let ov = simd::scalar_override();
+    for (mi, mode) in ["baseline", "bonsai"].into_iter().enumerate() {
+        let baseline = mode == "baseline";
+        let engine = if baseline {
+            RadiusSearchEngine::baseline(tree.kd_tree())
+        } else {
+            RadiusSearchEngine::bonsai(&tree)
+        };
+        let sweep_pps = |force_scalar: bool| {
+            ov.set(force_scalar);
+            let mut out = Vec::new();
+            let mut stats = SearchStats::default();
+            let (rounds, elapsed) = measure_rounds(sweep_budget, || {
+                let mut total = 0usize;
+                for (q, visited) in sweep_queries.iter().zip(&sweep_sets) {
+                    out.clear();
+                    engine.sweep_visited(visited, *q, sweep_radius, &mut out, &mut stats);
+                    total += out.len();
+                }
+                total
+            });
+            // One warm-up round runs untimed inside measure_rounds.
+            (rounds as f64 * sweep_points as f64) / elapsed
+        };
+        let scalar_sweep_pps = sweep_pps(true);
+        let simd_sweep_pps = sweep_pps(false);
+        let mut batch = QueryBatch::new();
+        let mut batched = |force_scalar: bool| {
+            ov.set(force_scalar);
+            measure_qps(query_n, sweep_budget, || {
+                engine.search_batch(&queries, RADIUS, &mut batch);
+                batch.total_matches()
+            })
+        };
+        let scalar_qps = batched(true);
+        let simd_qps = batched(false);
+        ov.set(false);
+
+        // Exactness spot check: both backends must agree bit-for-bit
+        // (the property suite proves it; the bench keeps it honest on
+        // the bench workload too).
+        let mut scalar_batch = QueryBatch::new();
+        ov.set(true);
+        engine.search_batch(&queries, RADIUS, &mut scalar_batch);
+        ov.set(false);
+        engine.search_batch(&queries, RADIUS, &mut batch);
+        for i in (0..queries.len()).step_by(37) {
+            assert_eq!(
+                batch.results(i),
+                scalar_batch.results(i),
+                "{mode} query {i}: simd diverged from scalar"
+            );
+        }
+
+        let sweep_speedup = simd_sweep_pps / scalar_sweep_pps;
+        let batched_speedup = simd_qps / scalar_qps;
+        println!(
+            "{mode:>8} sweep: scalar {scalar_sweep_pps:>12.0} pts/s | {} \
+             {simd_sweep_pps:>12.0} pts/s ({sweep_speedup:.2}x) | search {scalar_qps:>9.0} → \
+             {simd_qps:>9.0} q/s ({batched_speedup:.2}x)",
+            simd::active_backend(),
+        );
+        let _ = writeln!(json, "    \"{mode}\": {{");
+        let _ = writeln!(json, "      \"scalar_sweep_pps\": {scalar_sweep_pps:.0},");
+        let _ = writeln!(json, "      \"simd_sweep_pps\": {simd_sweep_pps:.0},");
+        let _ = writeln!(json, "      \"sweep_speedup\": {sweep_speedup:.3},");
+        let _ = writeln!(json, "      \"scalar_batched_qps\": {scalar_qps:.0},");
+        let _ = writeln!(json, "      \"simd_batched_qps\": {simd_qps:.0},");
+        let _ = writeln!(json, "      \"batched_speedup\": {batched_speedup:.3}");
+        let _ = writeln!(json, "    }}{}", if mi == 0 { "," } else { "" });
+    }
+    drop(ov);
     let _ = writeln!(json, "  }},");
 
     // ------------------------------------------------------------------

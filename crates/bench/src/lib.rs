@@ -114,6 +114,41 @@ pub mod workload {
     pub fn batch_queries(cloud: &[Point3], n: usize) -> Vec<Point3> {
         (0..n).map(|i| cloud[(i * 97) % cloud.len()]).collect()
     }
+
+    /// Radius of the leaf-sweep kernel comparisons (criterion group
+    /// and the `simd` rows of `BENCH_radius_batch.json`): larger than
+    /// [`BATCH_RADIUS`] so each collected visit list carries enough
+    /// leaf work to time the kernel rather than the dispatch — an
+    /// obstacle-inflation-scale query; the kernels are radius-blind.
+    pub const SWEEP_RADIUS: f32 = BATCH_RADIUS * 5.0;
+
+    /// Collects each sweep query's visited leaves up front (the
+    /// traversal half of the two-phase search) and the total points
+    /// they hold, so a bench loop over
+    /// `RadiusSearchEngine::sweep_visited` times exactly the
+    /// leaf-sweep kernels. Shared by the criterion group and the
+    /// trajectory binary so both measure the same thing.
+    pub fn collect_sweep_sets(
+        tree: &bonsai_kdtree::KdTree,
+        queries: &[Point3],
+        radius: f32,
+    ) -> (Vec<Vec<bonsai_kdtree::simd::LeafVisit>>, u64) {
+        let mut scratch = bonsai_kdtree::SearchScratch::new();
+        let mut stats = bonsai_kdtree::SearchStats::default();
+        let sets: Vec<Vec<bonsai_kdtree::simd::LeafVisit>> = queries
+            .iter()
+            .map(|&q| {
+                let mut visited = Vec::new();
+                tree.collect_leaves_in_radius(q, radius, &mut scratch, &mut stats, &mut visited);
+                visited
+            })
+            .collect();
+        let points = sets
+            .iter()
+            .flat_map(|s| s.iter().map(|&(_, _, c)| c as u64))
+            .sum();
+        (sets, points)
+    }
 }
 
 #[cfg(test)]

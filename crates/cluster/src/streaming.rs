@@ -87,6 +87,11 @@ pub struct StreamingExtractor {
     coords: Vec<Point3>,
     alive: Vec<bool>,
     num_live: usize,
+    /// Live global indices per exact coordinate bits, each list
+    /// ascending — the frame matcher, maintained across mutations so
+    /// [`diff`](StreamingExtractor::diff) is `O(frame + churn)`
+    /// instead of re-hashing the whole live set per frame.
+    matcher: HashMap<[u32; 3], Vec<u32>>,
 }
 
 impl StreamingExtractor {
@@ -102,6 +107,7 @@ impl StreamingExtractor {
             coords: Vec::new(),
             alive: Vec::new(),
             num_live: 0,
+            matcher: HashMap::new(),
         }
     }
 
@@ -161,11 +167,11 @@ impl StreamingExtractor {
     /// global index first). The returned update turns the live set
     /// into exactly `next`'s multiset.
     ///
-    /// Cost is `O(live + frame)` hashing per call — the coordinate
-    /// multimap is rebuilt from scratch rather than maintained across
-    /// mutations. That keeps the matcher trivially correct; an
-    /// incremental index (`O(churn)` per frame) is a ROADMAP item, and
-    /// the hash pass is already far below the tree build it replaces.
+    /// Cost is `O(frame + churn)` per call: the coordinate multimap is
+    /// **maintained across mutations** (one list edit per insert or
+    /// delete in [`apply`](StreamingExtractor::apply)) rather than
+    /// re-hashed over the whole live set every frame, so a quiet frame
+    /// pays only its own length.
     pub fn diff(&self, next: &[Point3]) -> FrameUpdate {
         let (update, _) = self.diff_with_positions(next);
         update
@@ -175,18 +181,13 @@ impl StreamingExtractor {
     /// frame position either the matched live global index or `None`
     /// (the position is an insertion).
     fn diff_with_positions(&self, next: &[Point3]) -> (FrameUpdate, Vec<Option<u32>>) {
-        let mut by_bits: HashMap<[u32; 3], Vec<u32>> = HashMap::new();
-        for idx in self.live_indices() {
-            let p = self.coords[idx as usize];
-            by_bits.entry(coord_key(p)).or_default().push(idx);
-        }
-        // Lists are ascending; consume from the front.
+        // The maintained lists are ascending; consume from the front.
         let mut cursors: HashMap<[u32; 3], usize> = HashMap::new();
         let mut matched: Vec<Option<u32>> = Vec::with_capacity(next.len());
         let mut added = Vec::new();
         for &p in next {
             let key = coord_key(p);
-            let hit = match by_bits.get(&key) {
+            let hit = match self.matcher.get(&key) {
                 Some(list) => {
                     let cur = cursors.entry(key).or_insert(0);
                     if *cur < list.len() {
@@ -205,12 +206,47 @@ impl StreamingExtractor {
             matched.push(hit);
         }
         let mut removed = Vec::new();
-        for (key, list) in &by_bits {
+        for (key, list) in &self.matcher {
             let consumed = cursors.get(key).copied().unwrap_or(0);
             removed.extend_from_slice(&list[consumed..]);
         }
         removed.sort_unstable();
         (FrameUpdate { added, removed }, matched)
+    }
+
+    /// Rebuilds the frame matcher from the live set (the reference the
+    /// maintained map is tested against, and the frame-0 bootstrap).
+    fn rebuilt_matcher(&self) -> HashMap<[u32; 3], Vec<u32>> {
+        let mut by_bits: HashMap<[u32; 3], Vec<u32>> = HashMap::new();
+        for idx in self.live_indices() {
+            let p = self.coords[idx as usize];
+            by_bits.entry(coord_key(p)).or_default().push(idx);
+        }
+        by_bits
+    }
+
+    /// Records global index `g` (just inserted, the largest ever
+    /// assigned) in the matcher; pushing keeps its list ascending.
+    fn matcher_insert(&mut self, g: u32) {
+        let key = coord_key(self.coords[g as usize]);
+        self.matcher.entry(key).or_default().push(g);
+    }
+
+    /// Removes global index `g` from the matcher (it was just
+    /// deleted); drops the list when it empties so the map tracks the
+    /// live set's distinct coordinates.
+    fn matcher_remove(&mut self, g: u32) {
+        let key = coord_key(self.coords[g as usize]);
+        let Some(list) = self.matcher.get_mut(&key) else {
+            unreachable!("deleted a live point the matcher never saw");
+        };
+        let pos = list
+            .binary_search(&g)
+            .expect("live point present in its matcher list");
+        list.remove(pos);
+        if list.is_empty() {
+            self.matcher.remove(&key);
+        }
     }
 
     /// Applies an update: deletions and insertions are routed to their
@@ -223,6 +259,7 @@ impl StreamingExtractor {
             if self.router.delete(idx) {
                 self.alive[idx as usize] = false;
                 self.num_live -= 1;
+                self.matcher_remove(idx);
             }
         }
         let mut inserted = Vec::with_capacity(update.added.len());
@@ -233,6 +270,7 @@ impl StreamingExtractor {
                 self.coords.push(p);
                 self.alive.push(true);
                 self.num_live += 1;
+                self.matcher_insert(g);
             }
             inserted.push(assigned);
         }
@@ -264,6 +302,7 @@ impl StreamingExtractor {
             self.coords = finite;
             self.alive = vec![true; self.coords.len()];
             self.num_live = self.coords.len();
+            self.matcher = self.rebuilt_matcher();
             let mut g = 0u32;
             return next
                 .iter()
@@ -417,6 +456,39 @@ mod tests {
         assert_eq!(globals0[0], StreamingExtractor::UNINDEXED);
         assert_eq!(ex0.num_live(), f1.len() - 2);
         assert_eq!(globals0[1], 0, "finite positions number densely");
+    }
+
+    /// The maintained frame matcher must equal a from-scratch rebuild
+    /// of the coordinate multimap after arbitrary churn — including
+    /// duplicate coordinates, deletes of one duplicate, re-inserts of
+    /// previously-deleted coordinates, and rejected non-finite points.
+    #[test]
+    fn maintained_matcher_equals_rebuilt_map() {
+        let mut ex = StreamingExtractor::new(TreeMode::Baseline, KdTreeConfig::default(), 2);
+        let mut f0 = scene(0.0, 5);
+        f0.push(f0[3]); // exact duplicate: multiset semantics
+        f0.push(f0[3]);
+        ex.ingest_frame(&f0);
+        assert_eq!(ex.matcher, ex.rebuilt_matcher(), "after frame 0");
+
+        for frame in 1..6 {
+            let mut next = scene(frame as f32 * 0.4, 5 + frame);
+            if frame % 2 == 0 {
+                next.push(next[7]); // re-appearing duplicates
+                next.push(f0[3]); // a coordinate deleted in frame 1
+                next.push(Point3::new(f32::NAN, 0.0, 0.0)); // never indexed
+            }
+            ex.ingest_frame(&next);
+            assert_eq!(ex.matcher, ex.rebuilt_matcher(), "after frame {frame}");
+            for list in ex.matcher.values() {
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "lists ascending");
+            }
+        }
+        // The maintained map also keeps diff() exact: an identical
+        // frame is a no-op.
+        let last = scene(5.0 * 0.4, 10);
+        ex.ingest_frame(&last);
+        assert_eq!(ex.diff(&last), FrameUpdate::default());
     }
 
     #[test]

@@ -17,10 +17,12 @@
 
 use bonsai_floatfmt::PartErrorMem;
 use bonsai_geom::Point3;
-use bonsai_kdtree::{KdTree, Neighbor, QueryBatch, SearchScratch, SearchStats};
+use bonsai_kdtree::{KdTree, Neighbor, Node, NodeId, QueryBatch, SearchScratch, SearchStats};
 
-use crate::shell::{classify, ShellClass};
-use crate::tree::BonsaiTree;
+use bonsai_kdtree::simd::LeafVisit;
+
+use crate::simd::{classify_candidate, sweep_compressed_visited};
+use crate::tree::{ApproxSoa, BonsaiTree};
 
 /// Which leaf representation the engine scans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,6 +164,61 @@ impl<'t> RadiusSearchEngine<'t> {
         });
     }
 
+    /// Runs only this engine's leaf-sweep kernel over one leaf,
+    /// appending hits to `out` (not cleared) and counting the sweep's
+    /// work into `stats` — the SIMD-or-scalar inner loop of
+    /// [`search_one`](RadiusSearchEngine::search_one) without the
+    /// traversal around it. Exposed for kernel-level tests; benches
+    /// should prefer [`sweep_visited`](RadiusSearchEngine::sweep_visited),
+    /// which amortizes the backend dispatch over a
+    /// whole visit list the way the search paths do. `radius` is
+    /// assumed searchable (the search entry points guard degenerate
+    /// radii before any sweep runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `leaf` is not a leaf node of the tree.
+    pub fn sweep_leaf(
+        &self,
+        leaf: NodeId,
+        query: Point3,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let Node::Leaf { start, count } = self.tree.nodes()[leaf as usize] else {
+            panic!("sweep_leaf of interior node {leaf}");
+        };
+        self.sweep_visited(&[(leaf, start, count)], query, radius, out, stats);
+    }
+
+    /// Sweeps a collected visit list — `(leaf, start, count)` triples
+    /// from [`KdTree::collect_leaves_in_radius`] (or hand-built over
+    /// leaf nodes) — through this engine's leaf kernel: one backend
+    /// dispatch covers every visit, exactly as the search entry points
+    /// run it. Hits append to `out` in visit order; sweep work counts
+    /// into `stats`. `radius` is assumed searchable.
+    pub fn sweep_visited(
+        &self,
+        visited: &[LeafVisit],
+        query: Point3,
+        radius: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let r_sq = radius * radius;
+        match self.bonsai {
+            None => self
+                .tree
+                .sweep_leaf_visits(visited, query, r_sq, out, stats),
+            Some(bonsai) => {
+                sweep_visited_compressed(
+                    bonsai, self.tree, &self.lut, visited, query, r_sq, out, stats,
+                );
+            }
+        }
+    }
+
     /// The shared per-query kernel: iterative traversal plus the
     /// mode's leaf scan, appending hits to `out`.
     fn search_append(
@@ -202,73 +259,118 @@ pub(crate) fn append_hits(
     stats: &mut SearchStats,
 ) {
     let r_sq = radius * radius;
+    // Two-phase in both modes: collect the visited leaves, then sweep
+    // them all through one backend dispatch.
+    let mut visited = scratch.take_visited();
+    tree.collect_leaves_in_radius(query, radius, scratch, stats, &mut visited);
     match bonsai {
-        None => {
-            tree.for_each_leaf_in_radius(
-                query,
-                radius,
-                scratch,
-                stats,
-                |_, start, count, stats| {
-                    tree.scan_leaf_baseline(start, count, query, r_sq, out, stats);
-                },
-            );
-        }
+        None => tree.sweep_leaf_visits(&visited, query, r_sq, out, stats),
         Some(bonsai) => {
-            let approx = bonsai.approx_soa();
-            let directory = bonsai.directory();
-            let vind = tree.vind();
-            let points = tree.points();
-            tree.for_each_leaf_in_radius(
+            sweep_visited_compressed(bonsai, tree, lut, &visited, query, r_sq, out, stats);
+        }
+    }
+    scratch.store_visited(visited);
+}
+
+/// The compressed mode's whole visit-list sweep: counts each visited
+/// leaf's inspection work through its directory reference (deletions
+/// can hollow a leaf out completely — it owns no compressed structure
+/// and contributes nothing), then runs the classification sweep. The
+/// single site both `RadiusSearchEngine::sweep_visited` and the search
+/// paths go through, so the bench/test kernel can never drift from the
+/// real searches.
+#[allow(clippy::too_many_arguments)] // the flattened engine state
+fn sweep_visited_compressed(
+    bonsai: &BonsaiTree,
+    tree: &KdTree,
+    lut: &PartErrorMem,
+    visited: &[LeafVisit],
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    let directory = bonsai.directory();
+    for &(leaf, _, count) in visited {
+        if count == 0 {
+            continue;
+        }
+        let leaf_ref = directory
+            .leaf_ref(leaf)
+            .expect("compressed engine requires a compressed leaf");
+        debug_assert_eq!(leaf_ref.num_pts as u32, count);
+        stats.points_inspected += count as u64;
+        stats.point_bytes_loaded += leaf_ref.padded_len() as u64;
+    }
+    scan_compressed_visited(
+        bonsai.approx_soa(),
+        tree.vind(),
+        tree.points(),
+        lut,
+        visited,
+        query,
+        r_sq,
+        out,
+        stats,
+    );
+}
+
+/// The compressed (Bonsai/software-codec) sweep of a query's visit
+/// list: the SIMD lane path when a gather-capable backend is active,
+/// otherwise the scalar reference loop. Both evaluate, per point in
+/// visit order then ascending slot order, the same f16-approximate
+/// arithmetic as the SQDWE lanes — diff from the approximate
+/// coordinate, squared distance and Eq. 11 error accumulated
+/// x → y → z in `f32` — and run the identical LUT/shell/fallback tail
+/// ([`classify_candidate`]), so membership, `dist_sq` bits, hit order
+/// and [`SearchStats`] never depend on the backend.
+#[allow(clippy::too_many_arguments)] // the flattened sweep state
+pub(crate) fn scan_compressed_visited(
+    approx: &ApproxSoa,
+    vind: &[u32],
+    points: &[Point3],
+    lut: &PartErrorMem,
+    visited: &[LeafVisit],
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    if sweep_compressed_visited(approx, vind, points, lut, visited, query, r_sq, out, stats) {
+        return;
+    }
+    // Scalar reference path (also the no-`simd` build): slice windows
+    // hoisted to one exact length per leaf so the loop body indexes
+    // without bounds checks.
+    for &(_, start, count) in visited {
+        let (start, count) = (start as usize, count as usize);
+        let ax = &approx.x[start..start + count];
+        let ay = &approx.y[start..start + count];
+        let az = &approx.z[start..start + count];
+        let exw = &approx.ex[start..start + count];
+        let eyw = &approx.ey[start..start + count];
+        let ezw = &approx.ez[start..start + count];
+        let vw = &vind[start..start + count];
+        for i in 0..count {
+            let dx = query.x - ax[i];
+            let dy = query.y - ay[i];
+            let dz = query.z - az[i];
+            let d_sq = dx * dx + dy * dy + dz * dz;
+            classify_candidate(
+                d_sq,
+                dx.abs(),
+                dy.abs(),
+                dz.abs(),
+                exw[i],
+                eyw[i],
+                ezw[i],
+                vw[i],
+                points,
+                lut,
                 query,
-                radius,
-                scratch,
+                r_sq,
+                out,
                 stats,
-                |leaf, start, count, stats| {
-                    if count == 0 {
-                        // Deletions can hollow a leaf out completely;
-                        // it owns no compressed structure.
-                        return;
-                    }
-                    let leaf_ref = directory
-                        .leaf_ref(leaf)
-                        .expect("compressed engine requires a compressed leaf");
-                    debug_assert_eq!(leaf_ref.num_pts as u32, count);
-                    stats.points_inspected += count as u64;
-                    stats.point_bytes_loaded += leaf_ref.padded_len() as u64;
-                    for i in start as usize..(start + count) as usize {
-                        // Same arithmetic, in the same order, as the
-                        // SQDWE lanes: diff from the f16-approximate
-                        // coordinate, squared distance and Eq. 11
-                        // error accumulated x → y → z in f32.
-                        let dx = query.x - approx.x[i];
-                        let dy = query.y - approx.y[i];
-                        let dz = query.z - approx.z[i];
-                        let d_sq = dx * dx + dy * dy + dz * dz;
-                        let t_err = lut.max_squared_difference_error(dx.abs(), approx.ex[i])
-                            + lut.max_squared_difference_error(dy.abs(), approx.ey[i])
-                            + lut.max_squared_difference_error(dz.abs(), approx.ez[i]);
-                        match classify(d_sq, t_err, r_sq) {
-                            ShellClass::In => out.push(Neighbor {
-                                index: vind[i],
-                                dist_sq: d_sq,
-                            }),
-                            ShellClass::Out => {}
-                            ShellClass::Recompute => {
-                                stats.fallbacks += 1;
-                                stats.point_bytes_loaded += 12;
-                                let idx = vind[i];
-                                let exact = points[idx as usize].distance_squared(query);
-                                if exact <= r_sq {
-                                    out.push(Neighbor {
-                                        index: idx,
-                                        dist_sq: exact,
-                                    });
-                                }
-                            }
-                        }
-                    }
-                },
             );
         }
     }

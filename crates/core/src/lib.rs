@@ -47,6 +47,7 @@ mod fanout;
 mod processor;
 mod reduced;
 mod shard;
+mod simd;
 mod software;
 mod tree;
 

@@ -1,0 +1,332 @@
+//! Vectorized compressed (Bonsai) leaf sweep.
+//!
+//! The hardware `SQDWE` instruction evaluates the f16-approximate
+//! squared distance *and* the Eq. 11 error accumulation across many
+//! lanes at once; this module reproduces that split in software over
+//! the lane-padded f16 SoA rows baked by
+//! [`BonsaiTree`](crate::BonsaiTree). The AVX2 kernel vectorizes the
+//! whole conclusive path — `d′²`, the three `|A − B′|` magnitudes, the
+//! [`PartErrorMem`] coefficients (synthesized in-register from the f16
+//! exponent fields: every ROM entry is an exact power of two, verified
+//! bit-for-bit against [`lookup`](PartErrorMem::lookup) by
+//! `synthesized_rom_matches_lut`), the Eq. 11 sum and the Eq. 12
+//! shell comparisons — while
+//! inconclusive ([`Recompute`](ShellClass::Recompute)) lanes drop to
+//! the identical scalar exact-fallback, lane by lane in ascending slot
+//! order. Every lane evaluates the same `f32` expressions in the same
+//! order as the scalar loop (no FMA contraction), so membership,
+//! `dist_sq` bits, hit order and stats are bit-identical to the
+//! instrumented SQDWE processor.
+//!
+//! Narrower backends (SSE2/NEON) lack the shuffle-table compaction and
+//! 8-wide integer lanes this kernel leans on; measured against the
+//! scalar loop, spilling the lane registers so a scalar tail can
+//! classify costs more than the arithmetic it saves, so the compressed
+//! sweep *declines* on them and the scalar reference path runs (the
+//! baseline sweep still vectorizes there — its inner loop has no
+//! table work).
+//!
+//! Padding lanes (+∞ sentinel coordinates) would classify as
+//! inconclusive (their error terms are non-finite) and fall back on a
+//! sentinel `vind` entry, so each lane group masks classification to
+//! its `live = min(LANES, count − base)` leading lanes.
+
+use bonsai_floatfmt::PartErrorMem;
+use bonsai_geom::Point3;
+use bonsai_kdtree::simd::{active_backend, LaneBackend, LeafVisit};
+use bonsai_kdtree::{Neighbor, SearchStats};
+
+use crate::shell::{classify, ShellClass};
+use crate::tree::ApproxSoa;
+
+/// One candidate's scalar classification tail — the code the scalar
+/// reference loop runs per point, and the code a SIMD kernel's
+/// inconclusive lanes must reproduce exactly.
+#[allow(clippy::too_many_arguments)] // the flattened per-lane state
+#[inline]
+pub(crate) fn classify_candidate(
+    d_sq: f32,
+    adx: f32,
+    ady: f32,
+    adz: f32,
+    ex: u8,
+    ey: u8,
+    ez: u8,
+    idx: u32,
+    points: &[Point3],
+    lut: &PartErrorMem,
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    let t_err = lut.max_squared_difference_error(adx, ex)
+        + lut.max_squared_difference_error(ady, ey)
+        + lut.max_squared_difference_error(adz, ez);
+    match classify(d_sq, t_err, r_sq) {
+        ShellClass::In => out.push(Neighbor {
+            index: idx,
+            dist_sq: d_sq,
+        }),
+        ShellClass::Out => {}
+        ShellClass::Recompute => recompute_candidate(idx, points, query, r_sq, out, stats),
+    }
+}
+
+/// The exact `f32` fallback of one inconclusive candidate (Eq. 3 over
+/// the original point), shared by the scalar tail and the SIMD
+/// kernels' masked fallback lanes.
+#[inline]
+fn recompute_candidate(
+    idx: u32,
+    points: &[Point3],
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    stats.fallbacks += 1;
+    stats.point_bytes_loaded += 12;
+    let exact = points[idx as usize].distance_squared(query);
+    if exact <= r_sq {
+        out.push(Neighbor {
+            index: idx,
+            dist_sq: exact,
+        });
+    }
+}
+
+/// Vectorized compressed sweep of a query's collected leaf visits
+/// (each `(leaf, start, count)`, swept in order; the classification
+/// work of all visits runs through **one** backend dispatch with the
+/// lane constants and gather bases hoisted). Returns `false` without
+/// touching `out`/`stats` when no gather-capable backend is active —
+/// the caller then runs the scalar reference loop.
+#[allow(unused_variables)] // non-AVX2 builds use none of the inputs
+#[allow(clippy::needless_return)] // the return closes the x86_64 cfg arm
+#[allow(clippy::too_many_arguments)] // the flattened sweep state
+#[inline]
+pub(crate) fn sweep_compressed_visited(
+    approx: &ApproxSoa,
+    vind: &[u32],
+    points: &[Point3],
+    lut: &PartErrorMem,
+    visited: &[LeafVisit],
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) -> bool {
+    if active_backend() != LaneBackend::Avx2 {
+        return false;
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        for &(_, start, count) in visited {
+            let hi = start as usize + bonsai_kdtree::simd::lane_padded(count as usize);
+            assert!(
+                hi <= approx.x.len()
+                    && hi <= approx.y.len()
+                    && hi <= approx.z.len()
+                    && hi <= approx.ex.len()
+                    && hi <= approx.ey.len()
+                    && hi <= approx.ez.len()
+                    && hi <= vind.len(),
+                "compressed sweep past the f16 rows: start {start} count {count} rows {}",
+                approx.x.len()
+            );
+        }
+        // SAFETY: row bounds asserted above; AVX2 presence established
+        // by the backend detection.
+        unsafe {
+            avx2::sweep(approx, vind, points, visited, query, r_sq, out, stats);
+        }
+        return true;
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        unreachable!("LaneBackend::Avx2 is only ever detected on x86_64 with the simd feature")
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    use super::*;
+    use crate::shell::SHELL_SLACK_ULPS;
+    use bonsai_kdtree::simd::lane_padded;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    ///
+    /// Caller guarantees every visit's lane-padded footprint is within
+    /// every f16 row and `vind`, and that AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)] // the flattened sweep state
+    pub(super) unsafe fn sweep(
+        approx: &ApproxSoa,
+        vind: &[u32],
+        points: &[Point3],
+        visited: &[LeafVisit],
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let (px, py, pz) = (approx.x.as_ptr(), approx.y.as_ptr(), approx.z.as_ptr());
+        let (pex, pey, pez) = (approx.ex.as_ptr(), approx.ey.as_ptr(), approx.ez.as_ptr());
+        let qx = _mm256_set1_ps(query.x);
+        let qy = _mm256_set1_ps(query.y);
+        let qz = _mm256_set1_ps(query.z);
+        let rs = _mm256_set1_ps(r_sq);
+        let abs_mask = _mm256_set1_ps(f32::from_bits(0x7FFF_FFFF));
+        // `16 · ε` is a power of two, so pre-multiplying it is exact
+        // and the per-lane `slack` bits match the scalar
+        // `SHELL_SLACK_ULPS * f32::EPSILON * max(d′², r²)`.
+        let slack_coef = _mm256_set1_ps(SHELL_SLACK_ULPS * f32::EPSILON);
+        for &(_, start, count) in visited {
+            let (start, count) = (start as usize, count as usize);
+            let mut g = 0;
+            while g < lane_padded(count) {
+                let base = start + g;
+                // Same arithmetic, same order as the scalar loop and the
+                // SQDWE lanes: diff from the f16-approximate coordinate
+                // (query − approx), then (dx² + dy²) + dz² — no FMA.
+                let dx = _mm256_sub_ps(qx, _mm256_loadu_ps(px.add(base)));
+                let dy = _mm256_sub_ps(qy, _mm256_loadu_ps(py.add(base)));
+                let dz = _mm256_sub_ps(qz, _mm256_loadu_ps(pz.add(base)));
+                let d = _mm256_add_ps(
+                    _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+                    _mm256_mul_ps(dz, dz),
+                );
+                // Eq. 9 per coordinate with in-register ROM synthesis: the
+                // `part_error_mem` entries are all exact powers of two
+                // (`two_max_delta[e] = 2^(max(e,1)−25)`, `max_delta_sq[e] =
+                // 2^(2·max(e,1)−52)`, overflow row `e = 31` forced to ∞
+                // below), so each lane builds them by exponent-field bit
+                // arithmetic instead of a memory gather — bit-identical to
+                // the ROM (asserted by `synthesized_rom_matches_lut`), an
+                // order of magnitude cheaper than `vgatherdps`. Then
+                // `two_max_delta · |A − B′| + max_delta_sq`, accumulated
+                // x → y → z like the scalar sum.
+                let ix = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pex.add(base) as *const __m128i));
+                let iy = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pey.add(base) as *const __m128i));
+                let iz = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pez.add(base) as *const __m128i));
+                let tx = part_error_lanes(ix, _mm256_and_ps(dx, abs_mask));
+                let ty = part_error_lanes(iy, _mm256_and_ps(dy, abs_mask));
+                let tz = part_error_lanes(iz, _mm256_and_ps(dz, abs_mask));
+                let t_err = _mm256_add_ps(_mm256_add_ps(tx, ty), tz);
+                // Overflowed-f16 rows (exponent field 31) have an infinite
+                // bound: force those lanes non-finite so they classify
+                // Recompute exactly like the scalar LUT path.
+                let e31 = _mm256_set1_epi32(31);
+                let any31 = _mm256_or_si256(
+                    _mm256_or_si256(_mm256_cmpeq_epi32(ix, e31), _mm256_cmpeq_epi32(iy, e31)),
+                    _mm256_cmpeq_epi32(iz, e31),
+                );
+                let t_err = _mm256_blendv_ps(
+                    t_err,
+                    _mm256_set1_ps(f32::INFINITY),
+                    _mm256_castsi256_ps(any31),
+                );
+                // Eq. 12 with the documented f32 slack. `max_ps(d, rs)`
+                // returns its second operand on a NaN `d`, matching Rust's
+                // `f32::max`; non-finite `t` fails both ordered compares,
+                // which is exactly the scalar classify's forced Recompute.
+                let t = _mm256_add_ps(t_err, _mm256_mul_ps(slack_coef, _mm256_max_ps(d, rs)));
+                let m_in =
+                    _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d, _mm256_sub_ps(rs, t))) as u32;
+                let m_out =
+                    _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_GT_OQ>(d, _mm256_add_ps(rs, t))) as u32;
+                // Conclusive-In lanes push their approximate distance;
+                // lanes that are neither In nor Out re-compute exactly —
+                // all in ascending slot order. Padding lanes are clipped
+                // by the live mask.
+                let live = (count - g).min(8);
+                let live_bits = 0xFFu32 >> (8 - live);
+                let m_in = m_in & live_bits;
+                let mut cand = (m_in | !m_out) & live_bits;
+                let recompute = cand & !m_in;
+                if recompute == 0 {
+                    // The common shape (~99.6 % of points classify
+                    // conclusively): every candidate is a conclusive In,
+                    // so the whole group compacts with vector stores.
+                    if m_in != 0 {
+                        bonsai_kdtree::simd::compact_hits_avx2(vind.as_ptr(), base, d, m_in, out);
+                    }
+                } else if cand != 0 {
+                    let mut dv = [0.0f32; 8];
+                    _mm256_storeu_ps(dv.as_mut_ptr(), d);
+                    while cand != 0 {
+                        let j = cand.trailing_zeros() as usize;
+                        let idx = vind[base + j];
+                        if m_in & (1 << j) != 0 {
+                            out.push(Neighbor {
+                                index: idx,
+                                dist_sq: dv[j],
+                            });
+                        } else {
+                            super::recompute_candidate(idx, points, query, r_sq, out, stats);
+                        }
+                        cand &= cand - 1;
+                    }
+                }
+                g += 8;
+            }
+        }
+    }
+
+    /// One coordinate's Eq. 9 term for 8 lanes, with the ROM entries
+    /// synthesized from the exponent fields:
+    /// `2^(max(e,1)−25) · adiff + 2^(2·max(e,1)−52)` — float-bit
+    /// construction of exact powers of two, so the products and sums
+    /// are bit-identical to the LUT path for every conclusive row
+    /// (the ∞ row 31 is patched afterwards by the caller).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn part_error_lanes(e: __m256i, adiff: __m256) -> __m256 {
+        let ec = _mm256_max_epi32(e, _mm256_set1_epi32(1));
+        // two_max_delta = 2^(ec − 25): float bits ((ec + 102) << 23).
+        let two = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            ec,
+            _mm256_set1_epi32(102),
+        )));
+        // max_delta_sq = 2^(2·ec − 52): float bits ((2·ec + 75) << 23).
+        let sq = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_add_epi32(ec, ec),
+            _mm256_set1_epi32(75),
+        )));
+        _mm256_add_ps(_mm256_mul_ps(two, adiff), sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The in-register ROM synthesis of the AVX2 kernel must agree
+    /// with `part_error_mem` bit for bit on every conclusive row, and
+    /// the overflow row must be non-finite (the kernel patches those
+    /// lanes to ∞, which classifies Recompute exactly like the LUT).
+    #[test]
+    fn synthesized_rom_matches_lut() {
+        let lut = PartErrorMem::new();
+        for e in 0u8..=30 {
+            let ec = e.max(1) as u32;
+            let two = f32::from_bits((ec + 102) << 23);
+            let sq = f32::from_bits((2 * ec + 75) << 23);
+            let entry = lut.lookup(e);
+            assert_eq!(
+                two.to_bits(),
+                entry.two_max_delta.to_bits(),
+                "two row, e {e}"
+            );
+            assert_eq!(sq.to_bits(), entry.max_delta_sq.to_bits(), "sq row, e {e}");
+        }
+        assert!(!lut.lookup(31).two_max_delta.is_finite());
+        assert!(!lut.lookup(31).max_delta_sq.is_finite());
+    }
+}

@@ -13,6 +13,12 @@ use crate::processor::BonsaiLeafProcessor;
 /// `f32` value `LDDCP` would materialize in a vector register. The fast
 /// (uninstrumented) compressed scan sweeps these rows linearly instead
 /// of running the instruction-level decode per leaf visit.
+///
+/// The rows mirror the tree's lane-padded layout too: every leaf's
+/// padding slots hold the `+∞` sentinel
+/// ([`PAD_COORD`](bonsai_kdtree::simd::PAD_COORD)), so the SIMD shell
+/// sweep can load whole lane groups; the sentinel lanes are clipped
+/// before classification (their error terms are non-finite).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ApproxSoa {
     pub x: Vec<f32>,
@@ -36,6 +42,15 @@ impl ApproxSoa {
             ez: Vec::with_capacity(n),
         };
         for &idx in tree.vind() {
+            if idx == bonsai_kdtree::simd::PAD_SLOT {
+                soa.x.push(bonsai_kdtree::simd::PAD_COORD);
+                soa.y.push(bonsai_kdtree::simd::PAD_COORD);
+                soa.z.push(bonsai_kdtree::simd::PAD_COORD);
+                soa.ex.push(0);
+                soa.ey.push(0);
+                soa.ez.push(0);
+                continue;
+            }
             let p = tree.points()[idx as usize];
             let hx = Half::from_f32(p.x);
             let hy = Half::from_f32(p.y);
@@ -50,13 +65,13 @@ impl ApproxSoa {
         soa
     }
 
-    /// Grows the rows to cover `n` slots (new slots hold placeholder
-    /// values until their leaf is re-baked). Never shrinks.
+    /// Grows the rows to cover `n` slots (new slots hold the padding
+    /// sentinel until their leaf is re-baked). Never shrinks.
     fn ensure_slots(&mut self, n: usize) {
         if n > self.x.len() {
-            self.x.resize(n, 0.0);
-            self.y.resize(n, 0.0);
-            self.z.resize(n, 0.0);
+            self.x.resize(n, bonsai_kdtree::simd::PAD_COORD);
+            self.y.resize(n, bonsai_kdtree::simd::PAD_COORD);
+            self.z.resize(n, bonsai_kdtree::simd::PAD_COORD);
             self.ex.resize(n, 0);
             self.ey.resize(n, 0);
             self.ez.resize(n, 0);
@@ -74,6 +89,17 @@ impl ApproxSoa {
         self.ex[i] = hx.exponent_field();
         self.ey[i] = hy.exponent_field();
         self.ez[i] = hz.exponent_field();
+    }
+
+    /// Writes the padding sentinel into slot `i` (a vacated or padded
+    /// tail slot of a re-baked leaf).
+    fn pad_slot(&mut self, i: usize) {
+        self.x[i] = bonsai_kdtree::simd::PAD_COORD;
+        self.y[i] = bonsai_kdtree::simd::PAD_COORD;
+        self.z[i] = bonsai_kdtree::simd::PAD_COORD;
+        self.ex[i] = 0;
+        self.ey[i] = 0;
+        self.ez[i] = 0;
     }
 }
 
@@ -240,6 +266,13 @@ impl BonsaiTree {
                         let idx = self.tree.vind()[i];
                         self.approx.set_slot(i, self.tree.points()[idx as usize]);
                     }
+                    // Re-sentinel the lane-padding tail: deletions may
+                    // have shrunk the leaf, leaving stale f16 rows a
+                    // SIMD lane group would otherwise load.
+                    let fp = self.tree.leaf_slot_footprint(id) as usize;
+                    for i in (start + count) as usize..start as usize + fp {
+                        self.approx.pad_slot(i);
+                    }
                     compress_leaf_structure(
                         sim,
                         &mut machine,
@@ -252,9 +285,21 @@ impl BonsaiTree {
                     );
                     rebaked += 1;
                 }
-                // Retired slots, empty leaves and leaf→interior splits
-                // no longer own a compressed structure.
-                _ => self.directory.clear(id),
+                Node::Leaf { start, .. } => {
+                    // A hollowed-out (count = 0) leaf owns no
+                    // compressed structure, but it still owns its slot
+                    // footprint — re-sentinel it so the f16 rows never
+                    // carry stale points under a live leaf.
+                    let fp = self.tree.leaf_slot_footprint(id) as usize;
+                    for i in start as usize..start as usize + fp {
+                        self.approx.pad_slot(i);
+                    }
+                    self.directory.clear(id);
+                }
+                // Retired slots and leaf→interior splits no longer own
+                // a compressed structure (their abandoned slot ranges
+                // are garbage no sweep can reach).
+                Node::Interior { .. } => self.directory.clear(id),
             }
         }
         sim.set_kernel(prev);
@@ -363,6 +408,45 @@ impl BonsaiTree {
         let mut stats = SearchStats::default();
         self.radius_search(&mut sim, &mut machine, query, radius, &mut out, &mut stats);
         out
+    }
+
+    /// Validates the lane-padding invariant on the tree **and** its
+    /// f16 rows: the underlying [`KdTree::assert_lane_padding`] holds,
+    /// the approximate rows span every `vind` slot, and each leaf's
+    /// padding tail holds the `+∞` sentinel there too. A test/debug
+    /// aid (callable with a pending commit — the padding contract
+    /// covers the committed prefix of the rows, which mutation only
+    /// extends).
+    ///
+    /// # Panics
+    ///
+    /// Panics describing the first violation found.
+    pub fn assert_lane_padding(&self) {
+        self.tree.assert_lane_padding();
+        let slots = self.tree.vind().len();
+        assert!(
+            self.approx.x.len() >= slots || self.tree.has_dirty_nodes(),
+            "f16 rows cover {} of {slots} committed slots",
+            self.approx.x.len()
+        );
+        if self.tree.has_dirty_nodes() {
+            // Dirty leaves' rows are stale by design until commit.
+            return;
+        }
+        for (id, node) in self.tree.nodes().iter().enumerate() {
+            let Node::Leaf { start, count } = *node else {
+                continue;
+            };
+            let fp = self.tree.leaf_slot_footprint(id as u32) as usize;
+            for i in start as usize + count as usize..start as usize + fp {
+                assert!(
+                    self.approx.x[i] == bonsai_kdtree::simd::PAD_COORD
+                        && self.approx.y[i] == bonsai_kdtree::simd::PAD_COORD
+                        && self.approx.z[i] == bonsai_kdtree::simd::PAD_COORD,
+                    "leaf {id} slot {i}: f16 rows not padded"
+                );
+            }
+        }
     }
 
     /// Aggregate compression statistics.

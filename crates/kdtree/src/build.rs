@@ -4,6 +4,8 @@ use bonsai_sim::{Kernel, OpClass, SimEngine};
 use crate::costs::TraversalCosts;
 use crate::mutate::{MutationStats, NodeMeta};
 use crate::node::{Node, NodeId, NODE_BYTES};
+use crate::parts::PAD_SLOT;
+use crate::simd::{lane_padded, LANES, PAD_COORD};
 
 /// How an interior node chooses its split threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,11 +126,15 @@ impl KdTree {
         );
         let n = points.len();
         let points_addr = sim.alloc(n as u64 * POINT_STRIDE, 64);
-        let vind_addr = sim.alloc(n as u64 * 4, 64);
+        // The vind/reordered regions hold lane-padded leaf footprints:
+        // every leaf is non-empty and pads to at most LANES − 1 extra
+        // slots, so n · LANES slots bound any tree shape.
+        let padded_bound = n as u64 * LANES as u64;
+        let vind_addr = sim.alloc(padded_bound * 4, 64);
         // Node-pool bound: every interior split leaves both sides
         // non-empty, so there are at most 2n − 1 nodes.
         let nodes_addr = sim.alloc((2 * n as u64 + 1) * NODE_BYTES, 64);
-        let reordered_addr = sim.alloc(n as u64 * REORDERED_STRIDE, 64);
+        let reordered_addr = sim.alloc(padded_bound * REORDERED_STRIDE, 64);
 
         let mut tree = KdTree {
             points,
@@ -155,14 +161,24 @@ impl KdTree {
             let prev = sim.set_kernel(Kernel::Build);
             let costs = TraversalCosts::default_model();
             tree.build_range(sim, &costs, 0, n, 0);
+            tree.apply_lane_padding();
             // FLANN's reorder pass: copy the points into vind order so
             // leaf scans stream instead of gathering. Host-side this
-            // bakes the leaf-contiguous SoA rows the fast scans sweep.
-            tree.leaf_x.reserve_exact(n);
-            tree.leaf_y.reserve_exact(n);
-            tree.leaf_z.reserve_exact(n);
-            for i in 0..n {
+            // bakes the leaf-contiguous SoA rows the fast scans sweep;
+            // padding slots get the +∞ sentinel (layout upkeep, no
+            // simulated events — the paper's layout carries no pads).
+            let slots = tree.vind.len();
+            tree.leaf_x.reserve_exact(slots);
+            tree.leaf_y.reserve_exact(slots);
+            tree.leaf_z.reserve_exact(slots);
+            for i in 0..slots {
                 let idx = tree.vind[i];
+                if idx == PAD_SLOT {
+                    tree.leaf_x.push(PAD_COORD);
+                    tree.leaf_y.push(PAD_COORD);
+                    tree.leaf_z.push(PAD_COORD);
+                    continue;
+                }
                 sim.load(tree.vind_entry_addr(i as u32), 4);
                 sim.load(tree.point_addr(idx), 12);
                 sim.store(tree.reordered_point_addr(i as u32), 12);
@@ -248,6 +264,38 @@ impl KdTree {
             right,
         };
         id
+    }
+
+    /// Rewrites the freshly-built dense `vind` into the lane-padded
+    /// layout: every leaf's slot range grows to
+    /// [`lane_padded`]`(count)` slots, the tail filled with
+    /// [`PAD_SLOT`], and leaf `start` fields are rebased. Leaves are
+    /// laid out in the same (ascending-start) order as the dense
+    /// build, so the sequential and parallel builders produce
+    /// identical padded layouts.
+    fn apply_lane_padding(&mut self) {
+        let mut leaves: Vec<(u32, u32, NodeId)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, n)| match *n {
+                Node::Leaf { start, count } => Some((start, count, id as NodeId)),
+                Node::Interior { .. } => None,
+            })
+            .collect();
+        leaves.sort_unstable_by_key(|&(start, _, _)| start);
+        let dense = std::mem::take(&mut self.vind);
+        let mut vind = Vec::with_capacity(lane_padded(dense.len()) + leaves.len() * (LANES - 1));
+        for (start, count, id) in leaves {
+            let new_start = vind.len() as u32;
+            vind.extend_from_slice(&dense[start as usize..(start + count) as usize]);
+            vind.resize(new_start as usize + lane_padded(count as usize), PAD_SLOT);
+            self.nodes[id as usize] = Node::Leaf {
+                start: new_start,
+                count,
+            };
+        }
+        self.vind = vind;
     }
 
     /// Computes the bounding box of `vind[lo..hi]`, charging one index
@@ -377,17 +425,78 @@ impl KdTree {
         &self.points
     }
 
-    /// The reordered index array; leaves reference ranges of it.
+    /// The reordered index array; leaves reference ranges of it. Slots
+    /// past a leaf's live count (its lane-padding tail) hold a
+    /// sentinel index no live slot ever carries.
     pub fn vind(&self) -> &[u32] {
         &self.vind
     }
 
-    /// The leaf-contiguous SoA point rows `(x, y, z)`: slot `i` holds
-    /// the coordinates of `points()[vind()[i]]`, so each leaf's points
-    /// occupy a dense range per coordinate. Baked by the build's
-    /// reorder pass; empty for an empty tree.
+    /// The leaf-contiguous SoA point rows `(x, y, z)`: live slot `i`
+    /// holds the coordinates of `points()[vind()[i]]`, so each leaf's
+    /// points occupy a dense range per coordinate. Every leaf's range
+    /// is padded to a [`LANES`](crate::simd::LANES) multiple with
+    /// [`PAD_COORD`](crate::simd::PAD_COORD) sentinels so the SIMD
+    /// sweeps read whole lane groups without tail handling. Baked by
+    /// the build's reorder pass; empty for an empty tree.
     pub fn leaf_soa(&self) -> (&[f32], &[f32], &[f32]) {
         (&self.leaf_x, &self.leaf_y, &self.leaf_z)
+    }
+
+    /// The number of `vind`/SoA slots leaf `leaf` owns from its
+    /// `start`: its capacity rounded up to the lane multiple. Slots
+    /// beyond the live count hold padding sentinels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `leaf` is not a leaf node.
+    pub fn leaf_slot_footprint(&self, leaf: NodeId) -> u32 {
+        let Node::Leaf { count, .. } = self.nodes[leaf as usize] else {
+            panic!("leaf_slot_footprint of interior node {leaf}");
+        };
+        let cap = self.meta[leaf as usize].cap.max(count);
+        lane_padded(cap as usize) as u32
+    }
+
+    /// Validates the lane-padding invariant the SIMD sweeps rely on:
+    /// every leaf's slots between its live count and its
+    /// [footprint](KdTree::leaf_slot_footprint) hold the `vind`
+    /// sentinel and [`PAD_COORD`](crate::simd::PAD_COORD) in all three
+    /// SoA rows, footprints stay inside the arrays, and the rows are
+    /// the same length. A test/debug aid — the builders and the
+    /// mutation layer maintain the invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics describing the first violation found.
+    pub fn assert_lane_padding(&self) {
+        let slots = self.vind.len();
+        assert_eq!(self.leaf_x.len(), slots, "x row length");
+        assert_eq!(self.leaf_y.len(), slots, "y row length");
+        assert_eq!(self.leaf_z.len(), slots, "z row length");
+        for (id, node) in self.nodes.iter().enumerate() {
+            let Node::Leaf { start, count } = *node else {
+                continue;
+            };
+            let fp = self.leaf_slot_footprint(id as NodeId) as usize;
+            let (s, c) = (start as usize, count as usize);
+            assert!(
+                c <= fp && lane_padded(c) <= fp && s + fp <= slots,
+                "leaf {id}: count {c} footprint {fp} start {s} of {slots} slots"
+            );
+            for i in s + c..s + fp {
+                assert_eq!(
+                    self.vind[i], PAD_SLOT,
+                    "leaf {id} slot {i}: vind not padded"
+                );
+                assert!(
+                    self.leaf_x[i] == PAD_COORD
+                        && self.leaf_y[i] == PAD_COORD
+                        && self.leaf_z[i] == PAD_COORD,
+                    "leaf {id} slot {i}: SoA rows not padded"
+                );
+            }
+        }
     }
 
     /// The node pool; index 0 is the root (when non-empty).

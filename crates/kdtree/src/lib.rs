@@ -45,6 +45,7 @@ mod node;
 mod parts;
 mod scratch;
 mod search;
+pub mod simd;
 
 pub use baseline::BaselineLeafProcessor;
 pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};

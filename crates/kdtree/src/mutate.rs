@@ -62,6 +62,7 @@ use bonsai_sim::{Kernel, OpClass, SimEngine};
 use crate::build::{sites, KdTree};
 use crate::node::{Node, NodeId, NODE_BYTES};
 use crate::parts::{build_subtree, resolve_build_threads, SubtreeConfig, PAD_SLOT};
+use crate::simd::{lane_padded, PAD_COORD};
 
 /// Fraction of a subtree's live points one child may hold before the
 /// subtree is rebuilt (ikd-Tree's α_bal; Cai et al. use 0.7).
@@ -132,10 +133,10 @@ impl KdTree {
 
         if self.nodes.is_empty() {
             // Update on an empty tree behaves like a first build: one
-            // slack root leaf.
+            // slack root leaf (lane-padded footprint).
             let start = self.vind.len() as u32;
             self.push_point_slot(sim, idx);
-            self.pad_slots(self.cfg.max_leaf_points - 1);
+            self.pad_slots(lane_padded(self.cfg.max_leaf_points) - 1);
             let root = self.alloc_node(
                 sim,
                 Node::Leaf { start, count: 1 },
@@ -220,7 +221,8 @@ impl KdTree {
             sim.store(self.vind_entry_addr(slot as u32), 4);
             self.set_leaf(sim, leaf, start, count + 1, cap);
         } else if (count as usize) < self.cfg.max_leaf_points {
-            // Packed build-time leaf: relocate once to a slack range.
+            // Packed build-time leaf: relocate once to a slack range
+            // (lane-padded `m`-slot footprint).
             self.mut_stats.leaf_relocations += 1;
             let new_start = self.vind.len() as u32;
             for i in start..start + count {
@@ -229,8 +231,8 @@ impl KdTree {
                 self.push_point_slot(sim, moved);
             }
             self.push_point_slot(sim, idx);
-            self.pad_slots(self.cfg.max_leaf_points - count as usize - 1);
-            self.garbage_slots += cap as usize;
+            self.pad_slots(lane_padded(self.cfg.max_leaf_points) - count as usize - 1);
+            self.garbage_slots += lane_padded(cap as usize);
             self.set_leaf(
                 sim,
                 leaf,
@@ -286,6 +288,14 @@ impl KdTree {
         let moved = Point3::new(self.leaf_x[last], self.leaf_y[last], self.leaf_z[last]);
         self.write_soa_slot(sim, slot, moved);
         sim.store(self.vind_entry_addr(slot as u32), 4);
+        // Re-pad the vacated tail slot: it may sit inside the lane
+        // group covering the (shrunk) count, and a SIMD sweep would
+        // read its stale coordinates otherwise. Layout upkeep, no
+        // simulated events (like the build-time pads).
+        self.vind[last] = PAD_SLOT;
+        self.leaf_x[last] = PAD_COORD;
+        self.leaf_y[last] = PAD_COORD;
+        self.leaf_z[last] = PAD_COORD;
         let cap = self.meta[leaf as usize].cap;
         self.set_leaf(sim, leaf, start, count - 1, cap);
 
@@ -424,12 +434,14 @@ impl KdTree {
         sim.exec(OpClass::IntAlu, 2);
     }
 
-    /// Appends `n` padding slots (slack tail of a mutation leaf).
+    /// Appends `n` padding slots (slack/lane tail of a mutation leaf):
+    /// `PAD_SLOT` indices and `+∞` sentinel coordinates, so a SIMD
+    /// lane group covering the tail can never produce a hit.
     fn pad_slots(&mut self, n: usize) {
         self.vind.resize(self.vind.len() + n, PAD_SLOT);
-        self.leaf_x.resize(self.leaf_x.len() + n, 0.0);
-        self.leaf_y.resize(self.leaf_y.len() + n, 0.0);
-        self.leaf_z.resize(self.leaf_z.len() + n, 0.0);
+        self.leaf_x.resize(self.leaf_x.len() + n, PAD_COORD);
+        self.leaf_y.resize(self.leaf_y.len() + n, PAD_COORD);
+        self.leaf_z.resize(self.leaf_z.len() + n, PAD_COORD);
     }
 
     /// Overwrites SoA slot `slot` with `p`'s coordinates.
@@ -631,7 +643,7 @@ impl KdTree {
         // root, which the new subtree reuses), vind ranges abandoned.
         for &id in &ids {
             if let Node::Leaf { .. } = self.nodes[id as usize] {
-                self.garbage_slots += self.meta[id as usize].cap as usize;
+                self.garbage_slots += lane_padded(self.meta[id as usize].cap as usize);
             }
             sim.load(self.node_addr(id), NODE_BYTES as u32);
             self.retire_node(id);

@@ -24,10 +24,11 @@ use bonsai_sim::SimEngine;
 
 use crate::build::{itertools_partition, BuildStats, KdTree, KdTreeConfig, SplitRule};
 use crate::node::{Node, NodeId, NODE_BYTES};
-
-/// Padding entry of slack leaf slots in a [`SubtreeParts::order`]
-/// array; never read (leaf scans stop at `count`).
-pub(crate) const PAD_SLOT: u32 = u32::MAX;
+use crate::simd::{lane_padded, LANES, PAD_COORD};
+// The padding sentinel for leaf slack/lane tails in `order` and the
+// tree's `vind`; defined (publicly) by the lane-engine module, since
+// the SIMD sweeps and layered caches are what the sentinel protects.
+pub(crate) use crate::simd::PAD_SLOT;
 
 /// Minimum points in a range before the builder forks a worker for one
 /// of its halves; below this the spawn costs more than the subtree.
@@ -40,9 +41,10 @@ const PARALLEL_MIN_POINTS: usize = 2048;
 pub(crate) struct SubtreeParts {
     /// Preorder node pool of the subtree.
     pub nodes: Vec<Node>,
-    /// The `vind` arrangement of the subtree's points. With slack, each
-    /// leaf owns `max_leaf_points` consecutive slots, the tail padded
-    /// with [`PAD_SLOT`].
+    /// The `vind` arrangement of the subtree's points. Each leaf owns
+    /// a lane-padded footprint of consecutive slots —
+    /// `lane_padded(count)` packed, `lane_padded(max_leaf_points)`
+    /// with slack — the tail padded with [`PAD_SLOT`].
     pub order: Vec<u32>,
     /// Shape statistics of the subtree (`max_depth` relative to its
     /// root).
@@ -53,10 +55,11 @@ pub(crate) struct SubtreeParts {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SubtreeConfig {
     pub tree: KdTreeConfig,
-    /// Pad every leaf's `order` range to `max_leaf_points` slots so
-    /// later inserts append in place instead of relocating the leaf.
-    /// The initial full build stays packed (the paper's layout); only
-    /// mutation-created leaves carry slack.
+    /// Pad every leaf's `order` range to the full (lane-padded)
+    /// `max_leaf_points` capacity so later inserts append in place
+    /// instead of relocating the leaf. The initial full build stays
+    /// packed apart from its lane-padding tails; only mutation-created
+    /// leaves carry slack.
     pub slack: bool,
     /// Worker threads the recursion may still fork (1 = sequential).
     pub threads: usize,
@@ -84,9 +87,15 @@ fn build_rec(
     let m = cfg.tree.max_leaf_points;
     if count <= m {
         let mut order = idxs.to_vec();
-        if cfg.slack {
-            order.resize(m, PAD_SLOT);
-        }
+        // Every leaf owns a lane-padded slot footprint; slack leaves
+        // additionally reserve the full `m`-point capacity so later
+        // inserts append in place.
+        let footprint = if cfg.slack {
+            lane_padded(m)
+        } else {
+            lane_padded(count)
+        };
+        order.resize(footprint, PAD_SLOT);
         return SubtreeParts {
             nodes: vec![Node::Leaf {
                 start: 0,
@@ -249,31 +258,42 @@ pub(crate) fn build_tree_parallel(
     let n = points.len();
     let mut sim = SimEngine::disabled();
     let points_addr = sim.alloc(n as u64 * crate::build::POINT_STRIDE, 64);
-    let vind_addr = sim.alloc(n as u64 * 4, 64);
+    // Same lane-padded bound as the instrumented build: each (non-
+    // empty) leaf pads to at most LANES − 1 extra slots.
+    let padded_bound = n as u64 * LANES as u64;
+    let vind_addr = sim.alloc(padded_bound * 4, 64);
     let nodes_addr = sim.alloc((2 * n as u64 + 1) * NODE_BYTES, 64);
-    let reordered_addr = sim.alloc(n as u64 * crate::build::REORDERED_STRIDE, 64);
+    let reordered_addr = sim.alloc(padded_bound * crate::build::REORDERED_STRIDE, 64);
 
-    let mut vind: Vec<u32> = (0..n as u32).collect();
-    let (nodes, stats) = if n == 0 {
-        (Vec::new(), BuildStats::default())
+    let mut idxs: Vec<u32> = (0..n as u32).collect();
+    let (nodes, vind, stats) = if n == 0 {
+        (Vec::new(), Vec::new(), BuildStats::default())
     } else {
         let parts = build_subtree(
             &points,
-            &mut vind,
+            &mut idxs,
             SubtreeConfig {
                 tree: cfg,
                 slack: false,
                 threads: resolve_build_threads(threads),
             },
         );
-        debug_assert_eq!(parts.order, vind, "packed parts must preserve the range");
-        (parts.nodes, parts.stats)
+        // `order` is the permuted range plus each leaf's lane-padding
+        // tail — exactly the layout the sequential build's padding
+        // pass produces.
+        (parts.nodes, parts.order, parts.stats)
     };
 
-    let mut leaf_x = Vec::with_capacity(n);
-    let mut leaf_y = Vec::with_capacity(n);
-    let mut leaf_z = Vec::with_capacity(n);
+    let mut leaf_x = Vec::with_capacity(vind.len());
+    let mut leaf_y = Vec::with_capacity(vind.len());
+    let mut leaf_z = Vec::with_capacity(vind.len());
     for &idx in &vind {
+        if idx == PAD_SLOT {
+            leaf_x.push(PAD_COORD);
+            leaf_y.push(PAD_COORD);
+            leaf_z.push(PAD_COORD);
+            continue;
+        }
         let p = points[idx as usize];
         leaf_x.push(p.x);
         leaf_y.push(p.y);
@@ -369,10 +389,11 @@ mod tests {
         };
         let parts = build_subtree(&cloud, &mut idxs, cfg);
         let m = cfg.tree.max_leaf_points;
+        let footprint = lane_padded(m);
         assert_eq!(
             parts.order.len(),
-            parts.stats.num_leaves as usize * m,
-            "every leaf owns m slots"
+            parts.stats.num_leaves as usize * footprint,
+            "every slack leaf owns a lane-padded m-slot footprint"
         );
         let mut seen = vec![false; cloud.len()];
         for node in &parts.nodes {
@@ -384,11 +405,38 @@ mod tests {
                     assert!(!seen[idx as usize], "point {idx} twice");
                     seen[idx as usize] = true;
                 }
-                for s in start + count..start + m as u32 {
+                for s in start + count..start + footprint as u32 {
                     assert_eq!(parts.order[s as usize], PAD_SLOT);
                 }
             }
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn packed_parts_lane_pad_every_leaf() {
+        let cloud = random_cloud(777, 11, 40.0);
+        let mut idxs: Vec<u32> = (0..cloud.len() as u32).collect();
+        let cfg = SubtreeConfig {
+            tree: KdTreeConfig::default(),
+            slack: false,
+            threads: 1,
+        };
+        let parts = build_subtree(&cloud, &mut idxs, cfg);
+        let mut slots = 0usize;
+        for node in &parts.nodes {
+            if let Node::Leaf { start, count } = *node {
+                assert_eq!(start as usize % LANES, 0, "leaf starts lane-aligned");
+                slots += lane_padded(count as usize);
+                for s in start + count..start + lane_padded(count as usize) as u32 {
+                    assert_eq!(parts.order[s as usize], PAD_SLOT);
+                }
+            }
+        }
+        assert_eq!(parts.order.len(), slots);
+        assert_eq!(
+            parts.order.iter().filter(|&&o| o != PAD_SLOT).count(),
+            cloud.len()
+        );
     }
 }

@@ -68,6 +68,11 @@ pub(crate) enum Frame {
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     pub(crate) frames: Vec<Frame>,
+    /// Reusable visit buffer of the two-phase (collect-then-sweep)
+    /// searches; borrowed out via
+    /// [`take_visited`](SearchScratch::take_visited) so the traversal
+    /// can fill it while the frame stack is borrowed too.
+    visited: Vec<crate::simd::LeafVisit>,
 }
 
 impl SearchScratch {
@@ -80,7 +85,26 @@ impl SearchScratch {
     pub fn with_depth(depth: usize) -> SearchScratch {
         SearchScratch {
             frames: Vec::with_capacity(2 * depth + 2),
+            visited: Vec::new(),
         }
+    }
+
+    /// Borrows the reusable leaf-visit buffer out of the scratch
+    /// (cleared). Two-phase search fronts fill it with
+    /// [`KdTree::collect_leaves_in_radius`], sweep it, and hand it
+    /// back with [`store_visited`](SearchScratch::store_visited) so
+    /// steady-state queries allocate nothing.
+    pub fn take_visited(&mut self) -> Vec<crate::simd::LeafVisit> {
+        let mut v = std::mem::take(&mut self.visited);
+        v.clear();
+        v
+    }
+
+    /// Returns a visit buffer taken with
+    /// [`take_visited`](SearchScratch::take_visited), keeping its
+    /// capacity for the next query.
+    pub fn store_visited(&mut self, visited: Vec<crate::simd::LeafVisit>) {
+        self.visited = visited;
     }
 }
 
@@ -254,10 +278,73 @@ impl KdTree {
         }
     }
 
+    /// Collects the leaves the query ball visits — `(leaf, start,
+    /// count)`, in the traversal's near-to-far order — into `visited`
+    /// (cleared first), updating the traversal counters of `stats`.
+    /// The collect half of the two-phase search: sweeping the
+    /// collected visits afterwards
+    /// ([`sweep_leaf_visits`](KdTree::sweep_leaf_visits)) lets one
+    /// backend dispatch cover the whole query.
+    #[inline]
+    pub fn collect_leaves_in_radius(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        stats: &mut SearchStats,
+        visited: &mut Vec<crate::simd::LeafVisit>,
+    ) {
+        visited.clear();
+        self.for_each_leaf_in_radius(query, radius, scratch, stats, |leaf, start, count, _| {
+            visited.push((leaf, start, count));
+        });
+    }
+
+    /// Sweeps collected leaf visits in baseline `f32` precision,
+    /// appending hits to `out` — the sweep half of the two-phase
+    /// search. One backend dispatch (lane constants hoisted) covers
+    /// every visit; without a vector backend the scalar reference
+    /// loop runs per visit. Hits and stats are bit-identical either
+    /// way, and identical to scanning each leaf through
+    /// [`scan_leaf_baseline`](KdTree::scan_leaf_baseline).
+    #[inline]
+    pub fn sweep_leaf_visits(
+        &self,
+        visited: &[crate::simd::LeafVisit],
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        let total: u64 = visited.iter().map(|&(_, _, c)| c as u64).sum();
+        stats.points_inspected += total;
+        stats.point_bytes_loaded += total * 12;
+        if crate::simd::sweep_baseline_visited(
+            &self.leaf_x,
+            &self.leaf_y,
+            &self.leaf_z,
+            &self.vind,
+            visited,
+            query,
+            r_sq,
+            out,
+        ) {
+            return;
+        }
+        for &(_, start, count) in visited {
+            self.scan_leaf_scalar(start, count, query, r_sq, out);
+        }
+    }
+
     /// Scans one leaf in baseline `f32` precision over the
     /// leaf-contiguous SoA layout, appending hits to `out`.
     ///
-    /// Produces bit-identical `Neighbor`s to
+    /// With the `simd` feature and a vector backend
+    /// ([`simd::active_backend`](crate::simd::active_backend)), the
+    /// sweep runs eight squared-distance lanes per step over the
+    /// leaf's lane-padded rows and compacts hits in ascending slot
+    /// order; otherwise the scalar reference loop runs. Both paths
+    /// produce bit-identical `Neighbor`s to
     /// [`BaselineLeafProcessor`](crate::BaselineLeafProcessor) (same
     /// values, same order) without touching the event model.
     #[inline]
@@ -272,9 +359,41 @@ impl KdTree {
     ) {
         stats.points_inspected += count as u64;
         stats.point_bytes_loaded += count as u64 * 12;
-        let (xs, ys, zs) = self.leaf_soa();
-        let vind = self.vind();
-        for i in start as usize..(start + count) as usize {
+        if crate::simd::sweep_baseline_visited(
+            &self.leaf_x,
+            &self.leaf_y,
+            &self.leaf_z,
+            &self.vind,
+            &[(u32::MAX, start, count)],
+            query,
+            r_sq,
+            out,
+        ) {
+            return;
+        }
+        self.scan_leaf_scalar(start, count, query, r_sq, out);
+    }
+
+    /// The scalar reference sweep of one leaf: slice windows hoisted
+    /// to one exact length so the loop body indexes without bounds
+    /// checks (this loop is the semantics both SIMD sweeps reproduce
+    /// bit for bit).
+    #[inline]
+    fn scan_leaf_scalar(
+        &self,
+        start: u32,
+        count: u32,
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let lo = start as usize;
+        let n = count as usize;
+        let xs = &self.leaf_x[lo..lo + n];
+        let ys = &self.leaf_y[lo..lo + n];
+        let zs = &self.leaf_z[lo..lo + n];
+        let vind = &self.vind[lo..lo + n];
+        for i in 0..n {
             let dx = xs[i] - query.x;
             let dy = ys[i] - query.y;
             let dz = zs[i] - query.z;
@@ -303,9 +422,12 @@ impl KdTree {
     ) {
         out.clear();
         let r_sq = radius * radius;
-        self.for_each_leaf_in_radius(query, radius, scratch, stats, |_, start, count, stats| {
-            self.scan_leaf_baseline(start, count, query, r_sq, out, stats);
-        });
+        // Two-phase: collect the visited leaves, then sweep them all
+        // through one backend dispatch.
+        let mut visited = scratch.take_visited();
+        self.collect_leaves_in_radius(query, radius, scratch, stats, &mut visited);
+        self.sweep_leaf_visits(&visited, query, r_sq, out, stats);
+        scratch.store_visited(visited);
     }
 
     /// Answers many baseline queries in one call, filling `batch`.
@@ -320,15 +442,10 @@ impl KdTree {
         let r_sq = radius * radius;
         for &query in queries {
             batch.push_query(|scratch, out, stats| {
-                self.for_each_leaf_in_radius(
-                    query,
-                    radius,
-                    scratch,
-                    stats,
-                    |_, start, count, stats| {
-                        self.scan_leaf_baseline(start, count, query, r_sq, out, stats);
-                    },
-                );
+                let mut visited = scratch.take_visited();
+                self.collect_leaves_in_radius(query, radius, scratch, stats, &mut visited);
+                self.sweep_leaf_visits(&visited, query, r_sq, out, stats);
+                scratch.store_visited(visited);
             });
         }
     }

@@ -9,6 +9,11 @@ use crate::scratch::{Frame, SearchScratch};
 
 /// One radius-search result: a point index and its squared distance to
 /// the query (PCL returns both).
+///
+/// `repr(C)` so the layout is the declared `(index, dist_sq)` pair —
+/// the SIMD sweeps emit whole compacted lane groups of these with
+/// vector stores.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {
     /// Index into the original point cloud.

@@ -1,0 +1,618 @@
+//! The SIMD lane engine behind the leaf sweeps.
+//!
+//! K-D Bonsai's `SQDWE` instruction evaluates many squared-distance
+//! lanes per cycle; the software reproduction gets the same effect by
+//! sweeping each leaf's lane-padded SoA rows eight `f32` lanes at a
+//! time. This module owns everything lane-shaped:
+//!
+//! * the lane geometry ([`LANES`], [`lane_padded`]) and the padding
+//!   sentinel ([`PAD_COORD`]) every leaf's SoA tail is filled with,
+//! * runtime backend selection ([`active_backend`]): AVX2 or SSE2 on
+//!   `x86_64`, NEON on `aarch64`, detected once per process, plus a
+//!   scalar fallback that is byte-for-byte the pre-SIMD loop,
+//! * the vectorized baseline leaf sweep, used by
+//!   `KdTree::sweep_leaf_visits` / `KdTree::scan_leaf_baseline` over
+//!   collected [`LeafVisit`] lists (the compressed sweep lives in
+//!   `bonsai-core`, built on the same geometry and dispatch).
+//!
+//! # Bit-identical by construction
+//!
+//! Every backend evaluates, per lane, exactly the scalar expression
+//! `(x−qx)² + (y−qy)² + (z−qz)²` with the same operation order and no
+//! FMA contraction, so the `dist_sq` a hit reports has the same bits
+//! whichever backend ran. Hits are compacted from the lane mask in
+//! ascending slot order, so the `Neighbor` *sequence* is identical
+//! too. Padding slots hold [`PAD_COORD`] (`+∞`): their squared
+//! distance is `+∞` (or NaN for a non-finite query), which no finite
+//! `r²` admits, so sentinels can never produce a hit and the tail of a
+//! partially-filled lane group costs nothing to mask.
+//!
+//! Everything here is compiled regardless of the `simd` cargo feature
+//! so layouts stay stable; without the feature (or on other
+//! architectures) [`active_backend`] reports [`LaneBackend::Scalar`]
+//! and the sweeps decline, leaving the caller's scalar loop in charge.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use bonsai_geom::Point3;
+
+use crate::search::Neighbor;
+
+/// Lanes per sweep step: the 8-wide `f32` vector the hardware SQDWE
+/// model and the AVX2 backend both use (narrower backends split it).
+pub const LANES: usize = 8;
+
+/// Sentinel coordinate of padding slots (`+∞`): farther than any
+/// finite radius from any query, so a padded lane can never match.
+pub const PAD_COORD: f32 = f32::INFINITY;
+
+/// Sentinel `vind()` entry of padding slots. No live slot ever holds
+/// it (cloud indices are dense `u32`s far below it), so layered caches
+/// (the f16 rows of `bonsai-core`) use it to recognize padding when
+/// they mirror the layout.
+pub const PAD_SLOT: u32 = u32::MAX;
+
+/// Rounds a leaf's point count up to its lane-padded slot footprint.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_kdtree::simd::lane_padded;
+/// assert_eq!(lane_padded(0), 0);
+/// assert_eq!(lane_padded(7), 8);
+/// assert_eq!(lane_padded(8), 8);
+/// assert_eq!(lane_padded(15), 16);
+/// ```
+pub const fn lane_padded(n: usize) -> usize {
+    (n + LANES - 1) & !(LANES - 1)
+}
+
+/// Which lane implementation [`active_backend`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneBackend {
+    /// 8-wide `core::arch::x86_64` AVX2.
+    Avx2,
+    /// 4-wide `core::arch::x86_64` SSE2 (the `x86_64` baseline), run
+    /// twice per lane group.
+    Sse2,
+    /// 4-wide `core::arch::aarch64` NEON, run twice per lane group.
+    Neon,
+    /// The plain scalar loop (no `simd` feature, an unsupported
+    /// architecture, or a [`scalar_override`] in force).
+    Scalar,
+}
+
+impl fmt::Display for LaneBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LaneBackend::Avx2 => "avx2",
+            LaneBackend::Sse2 => "sse2",
+            LaneBackend::Neon => "neon",
+            LaneBackend::Scalar => "scalar",
+        })
+    }
+}
+
+/// The best backend this host supports, detected once per process
+/// (independent of the `simd` feature and of any override).
+pub fn detected_backend() -> LaneBackend {
+    static DETECTED: OnceLock<LaneBackend> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                LaneBackend::Avx2
+            } else {
+                LaneBackend::Sse2
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            LaneBackend::Neon
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            LaneBackend::Scalar
+        }
+    })
+}
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// The backend the sweeps will actually use right now.
+///
+/// [`LaneBackend::Scalar`] when the `simd` feature is off, the host
+/// supports no vector backend, or a [`scalar_override`] is active.
+pub fn active_backend() -> LaneBackend {
+    if !cfg!(feature = "simd") || FORCE_SCALAR.load(Ordering::Relaxed) {
+        return LaneBackend::Scalar;
+    }
+    detected_backend()
+}
+
+/// Exclusive handle for toggling the process-wide scalar override —
+/// how benches and equivalence tests run the scalar reference path in
+/// a SIMD-enabled build. See [`scalar_override`].
+#[derive(Debug)]
+pub struct ScalarOverride {
+    _serialize: MutexGuard<'static, ()>,
+}
+
+impl ScalarOverride {
+    /// Forces (or releases) the scalar path for every sweep in the
+    /// process while this handle is alive.
+    pub fn set(&self, force_scalar: bool) {
+        FORCE_SCALAR.store(force_scalar, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ScalarOverride {
+    fn drop(&mut self) {
+        FORCE_SCALAR.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Acquires the scalar-override handle, serializing every caller that
+/// wants to compare backends (concurrent tests would otherwise flip
+/// the flag under each other — results would still be identical, by
+/// the module invariant, but the comparison would silently test
+/// scalar against scalar). The override is cleared on drop.
+pub fn scalar_override() -> ScalarOverride {
+    ScalarOverride {
+        _serialize: OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner),
+    }
+}
+
+/// One collected leaf visit of a two-phase radius search: the leaf's
+/// id and its `(start, count)` slot range, in traversal order.
+/// Produced by `KdTree::collect_leaves_in_radius`, consumed by the
+/// range sweeps — collecting first lets a whole query's leaves run
+/// through **one** backend dispatch with the lane constants hoisted,
+/// instead of paying dispatch + broadcast per leaf.
+pub type LeafVisit = (u32, u32, u32);
+
+/// Vectorized baseline sweep over a query's collected leaf visits:
+/// for each visit, in order, pushes a [`Neighbor`] for every slot
+/// with `(x−q.x)² + (y−q.y)² + (z−q.z)² ≤ r_sq`, in ascending slot
+/// order, with bit-identical `dist_sq` to the scalar loop. Returns
+/// `false` without touching `out` when only the scalar backend is
+/// active (the caller then runs its scalar loop).
+///
+/// The rows and `vind` must cover each visit's lane-padded footprint,
+/// and slots beyond a leaf's `count` must hold [`PAD_COORD`] — the
+/// layout invariant the builders and the mutation layer maintain.
+#[allow(unused_variables)] // scalar-only builds use none of the inputs
+#[allow(clippy::needless_return)] // the returns close per-arch cfg arms
+#[allow(clippy::too_many_arguments)] // the flattened sweep state
+#[inline]
+pub(crate) fn sweep_baseline_visited(
+    xs: &[f32],
+    ys: &[f32],
+    zs: &[f32],
+    vind: &[u32],
+    visited: &[LeafVisit],
+    query: Point3,
+    r_sq: f32,
+    out: &mut Vec<Neighbor>,
+) -> bool {
+    let backend = active_backend();
+    if backend == LaneBackend::Scalar {
+        return false;
+    }
+    for &(_, start, count) in visited {
+        let hi = start as usize + lane_padded(count as usize);
+        assert!(
+            hi <= xs.len() && hi <= ys.len() && hi <= zs.len() && hi <= vind.len(),
+            "leaf sweep past the SoA rows: start {start} count {count} rows {}",
+            xs.len()
+        );
+    }
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        // SAFETY: bounds asserted above; AVX2 presence established by
+        // `detected_backend` before that arm is ever selected; SSE2 is
+        // part of the x86_64 baseline.
+        unsafe {
+            match backend {
+                LaneBackend::Avx2 => {
+                    x86::sweep_visited_avx2(xs, ys, zs, vind, visited, query, r_sq, out)
+                }
+                LaneBackend::Sse2 => {
+                    x86::sweep_visited_sse2(xs, ys, zs, vind, visited, query, r_sq, out)
+                }
+                _ => unreachable!("x86_64 detects Avx2 or Sse2"),
+            }
+        }
+        return true;
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    {
+        // SAFETY: bounds asserted above; NEON is part of the aarch64
+        // baseline.
+        unsafe {
+            aarch64::sweep_visited_neon(xs, ys, zs, vind, visited, query, r_sq, out);
+        }
+        return true;
+    }
+    #[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+    {
+        unreachable!("active_backend() is Scalar off x86_64/aarch64 or without the simd feature")
+    }
+}
+
+/// The AVX2 hit-compaction primitive, shared with the compressed
+/// sweep of `bonsai-core` (see its documentation in the `x86` module).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub use x86::compact_hits_avx2;
+
+/// AVX2 / SSE2 lane kernels.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use super::*;
+    use core::arch::x86_64::*;
+
+    /// Lane-compaction shuffle table: entry `m` lists the set bit
+    /// positions of `m` in ascending order (tail entries repeat 0 and
+    /// are never read past the popcount).
+    static COMPACT: [[u32; 8]; 256] = compact_table();
+
+    const fn compact_table() -> [[u32; 8]; 256] {
+        let mut t = [[0u32; 8]; 256];
+        let mut m = 0usize;
+        while m < 256 {
+            let mut k = 0usize;
+            let mut j = 0usize;
+            while j < 8 {
+                if m & (1 << j) != 0 {
+                    t[m][k] = j as u32;
+                    k += 1;
+                }
+                j += 1;
+            }
+            m += 1;
+        }
+        t
+    }
+
+    /// Emits the hits of one 8-lane group in ascending lane order with
+    /// two vector stores: the distance lanes and the group's `vind`
+    /// entries are compacted through one shuffle-table permute, then
+    /// interleaved into `(index, dist_sq)` pairs — `Neighbor`'s
+    /// `repr(C)` layout — and written as whole registers (only the
+    /// first `popcount(mask)` pairs become visible via `set_len`).
+    /// Constant work per group however many lanes hit, where a
+    /// bit-scan loop pays per hit.
+    ///
+    /// # Safety
+    ///
+    /// `mask` must be an 8-bit lane mask, slots `g..g + 8` must be
+    /// within `vind`, and AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    pub unsafe fn compact_hits_avx2(
+        vind: *const u32,
+        g: usize,
+        d: __m256,
+        mask: u32,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let hits = mask.count_ones() as usize;
+        let perm = _mm256_loadu_si256(COMPACT[mask as usize].as_ptr() as *const __m256i);
+        let dv = _mm256_castps_si256(_mm256_permutevar8x32_ps(d, perm));
+        let iv =
+            _mm256_permutevar8x32_epi32(_mm256_loadu_si256(vind.add(g) as *const __m256i), perm);
+        // Interleave to (index, dist) pairs: unpack works per 128-bit
+        // half (pairs 0,1|4,5 and 2,3|6,7), the cross-lane permutes
+        // restore ascending order.
+        let lo = _mm256_unpacklo_epi32(iv, dv);
+        let hi = _mm256_unpackhi_epi32(iv, dv);
+        let first = _mm256_permute2x128_si256::<0x20>(lo, hi);
+        let second = _mm256_permute2x128_si256::<0x31>(lo, hi);
+        out.reserve(8);
+        let len = out.len();
+        let p = out.as_mut_ptr().add(len) as *mut __m256i;
+        _mm256_storeu_si256(p, first);
+        _mm256_storeu_si256(p.add(1), second);
+        out.set_len(len + hits);
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees every visit's lane-padded footprint is within
+    /// every slice and AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)] // the flattened sweep state
+    pub(super) unsafe fn sweep_visited_avx2(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        vind: &[u32],
+        visited: &[LeafVisit],
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let (px, py, pz) = (xs.as_ptr(), ys.as_ptr(), zs.as_ptr());
+        // The lane constants broadcast once per *query*, not per leaf.
+        let qx = _mm256_set1_ps(query.x);
+        let qy = _mm256_set1_ps(query.y);
+        let qz = _mm256_set1_ps(query.z);
+        let rs = _mm256_set1_ps(r_sq);
+        for &(_, start, count) in visited {
+            let lo = start as usize;
+            let hi = lo + lane_padded(count as usize);
+            let mut g = lo;
+            // Two lane groups per step (a full default-size leaf):
+            // independent chains for the OoO core, one hit branch.
+            while g + 2 * LANES <= hi {
+                let d0 = distance_lanes(px, py, pz, g, qx, qy, qz);
+                let d1 = distance_lanes(px, py, pz, g + LANES, qx, qy, qz);
+                // Ordered ≤: false for the NaN a non-finite query
+                // produces against the +∞ sentinel, exactly like the
+                // scalar `<=`.
+                let m0 = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d0, rs)) as u32;
+                let m1 = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d1, rs)) as u32;
+                if m0 | m1 != 0 {
+                    let vp = vind.as_ptr();
+                    if m0 != 0 {
+                        compact_hits_avx2(vp, g, d0, m0, out);
+                    }
+                    if m1 != 0 {
+                        compact_hits_avx2(vp, g + LANES, d1, m1, out);
+                    }
+                }
+                g += 2 * LANES;
+            }
+            if g < hi {
+                let d = distance_lanes(px, py, pz, g, qx, qy, qz);
+                let mask = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d, rs)) as u32;
+                if mask != 0 {
+                    compact_hits_avx2(vind.as_ptr(), g, d, mask, out);
+                }
+            }
+        }
+    }
+
+    /// One 8-lane squared-distance group at slot `g`, with the scalar
+    /// loop's exact association: `(dx² + dy²) + dz²`, no FMA.
+    ///
+    /// # Safety
+    ///
+    /// Caller guarantees slots `g..g + 8` are in bounds and AVX2 is
+    /// available.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // lane kernel plumbing
+    unsafe fn distance_lanes(
+        px: *const f32,
+        py: *const f32,
+        pz: *const f32,
+        g: usize,
+        qx: __m256,
+        qy: __m256,
+        qz: __m256,
+    ) -> __m256 {
+        let dx = _mm256_sub_ps(_mm256_loadu_ps(px.add(g)), qx);
+        let dy = _mm256_sub_ps(_mm256_loadu_ps(py.add(g)), qy);
+        let dz = _mm256_sub_ps(_mm256_loadu_ps(pz.add(g)), qz);
+        _mm256_add_ps(
+            _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
+            _mm256_mul_ps(dz, dz),
+        )
+    }
+
+    /// # Safety
+    ///
+    /// Caller guarantees every visit's lane-padded footprint is within
+    /// every slice (SSE2 is part of the `x86_64` baseline).
+    #[allow(clippy::too_many_arguments)] // the flattened sweep state
+    pub(super) unsafe fn sweep_visited_sse2(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        vind: &[u32],
+        visited: &[LeafVisit],
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let (px, py, pz) = (xs.as_ptr(), ys.as_ptr(), zs.as_ptr());
+        let qx = _mm_set1_ps(query.x);
+        let qy = _mm_set1_ps(query.y);
+        let qz = _mm_set1_ps(query.z);
+        let rs = _mm_set1_ps(r_sq);
+        for &(_, start, count) in visited {
+            let lo = start as usize;
+            let hi = lo + lane_padded(count as usize);
+            let mut g = lo;
+            while g < hi {
+                let dx = _mm_sub_ps(_mm_loadu_ps(px.add(g)), qx);
+                let dy = _mm_sub_ps(_mm_loadu_ps(py.add(g)), qy);
+                let dz = _mm_sub_ps(_mm_loadu_ps(pz.add(g)), qz);
+                let d = _mm_add_ps(
+                    _mm_add_ps(_mm_mul_ps(dx, dx), _mm_mul_ps(dy, dy)),
+                    _mm_mul_ps(dz, dz),
+                );
+                let mask = _mm_movemask_ps(_mm_cmple_ps(d, rs)) as u32;
+                if mask != 0 {
+                    let mut dv = [0.0f32; 4];
+                    _mm_storeu_ps(dv.as_mut_ptr(), d);
+                    push_mask_hits(vind, g, mask, &dv, out);
+                }
+                g += 4;
+            }
+        }
+    }
+}
+
+/// NEON lane kernels.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+mod aarch64 {
+    use super::*;
+    use core::arch::aarch64::*;
+
+    /// # Safety
+    ///
+    /// Caller guarantees every visit's lane-padded footprint is within
+    /// every slice (NEON is part of the `aarch64` baseline).
+    #[target_feature(enable = "neon")]
+    #[allow(clippy::too_many_arguments)] // the flattened sweep state
+    pub(super) unsafe fn sweep_visited_neon(
+        xs: &[f32],
+        ys: &[f32],
+        zs: &[f32],
+        vind: &[u32],
+        visited: &[LeafVisit],
+        query: Point3,
+        r_sq: f32,
+        out: &mut Vec<Neighbor>,
+    ) {
+        let (px, py, pz) = (xs.as_ptr(), ys.as_ptr(), zs.as_ptr());
+        let qx = vdupq_n_f32(query.x);
+        let qy = vdupq_n_f32(query.y);
+        let qz = vdupq_n_f32(query.z);
+        let rs = vdupq_n_f32(r_sq);
+        for &(_, start, count) in visited {
+            let lo = start as usize;
+            let hi = lo + lane_padded(count as usize);
+            let mut g = lo;
+            while g < hi {
+                let dx = vsubq_f32(vld1q_f32(px.add(g)), qx);
+                let dy = vsubq_f32(vld1q_f32(py.add(g)), qy);
+                let dz = vsubq_f32(vld1q_f32(pz.add(g)), qz);
+                // vmulq + vaddq, never vfmaq: FMA contraction would
+                // change result bits relative to the scalar loop.
+                let d = vaddq_f32(
+                    vaddq_f32(vmulq_f32(dx, dx), vmulq_f32(dy, dy)),
+                    vmulq_f32(dz, dz),
+                );
+                let le = vcleq_f32(d, rs);
+                if vmaxvq_u32(le) != 0 {
+                    let mut dv = [0.0f32; 4];
+                    vst1q_f32(dv.as_mut_ptr(), d);
+                    let mut mv = [0u32; 4];
+                    vst1q_u32(mv.as_mut_ptr(), le);
+                    let mut mask = 0u32;
+                    for (j, &m) in mv.iter().enumerate() {
+                        mask |= u32::from(m != 0) << j;
+                    }
+                    push_mask_hits(vind, g, mask, &dv, out);
+                }
+                g += 4;
+            }
+        }
+    }
+}
+
+/// Compacts one lane group's hits in ascending slot order: lane `j` of
+/// `mask` set means slot `base + j` is a hit with distance `dists[j]`.
+/// One reservation covers the whole group, and the writes skip the
+/// per-push capacity/bounds checks the optimizer cannot elide for a
+/// `trailing_zeros`-derived lane index.
+///
+/// # Safety
+///
+/// `mask` must only have bits `< dists.len()` set, and `base + j` must
+/// be within `vind` for every set bit `j`.
+#[cfg(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[inline]
+unsafe fn push_mask_hits(
+    vind: &[u32],
+    base: usize,
+    mask: u32,
+    dists: &[f32],
+    out: &mut Vec<Neighbor>,
+) {
+    let hits = mask.count_ones() as usize;
+    out.reserve(hits);
+    let len = out.len();
+    let mut p = out.as_mut_ptr().add(len);
+    let mut bits = mask;
+    while bits != 0 {
+        let j = bits.trailing_zeros() as usize;
+        p.write(Neighbor {
+            index: *vind.get_unchecked(base + j),
+            dist_sq: *dists.get_unchecked(j),
+        });
+        p = p.add(1);
+        bits &= bits - 1;
+    }
+    out.set_len(len + hits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_padding_rounds_up_to_lane_multiples() {
+        for n in 0..64 {
+            let p = lane_padded(n);
+            assert!(
+                p >= n && p.is_multiple_of(LANES) && p < n + LANES,
+                "n {n} → {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_is_stable_and_printable() {
+        let a = detected_backend();
+        let b = detected_backend();
+        assert_eq!(a, b, "detection is cached");
+        assert!(!a.to_string().is_empty());
+        #[cfg(target_arch = "x86_64")]
+        assert!(matches!(a, LaneBackend::Avx2 | LaneBackend::Sse2));
+    }
+
+    #[test]
+    fn scalar_override_forces_and_restores() {
+        {
+            let ov = scalar_override();
+            ov.set(true);
+            assert_eq!(active_backend(), LaneBackend::Scalar);
+            ov.set(false);
+            if cfg!(feature = "simd") {
+                assert_eq!(active_backend(), detected_backend());
+            } else {
+                assert_eq!(active_backend(), LaneBackend::Scalar);
+            }
+            ov.set(true);
+        }
+        // Drop clears the override even when left set.
+        let _ov = scalar_override();
+        if cfg!(feature = "simd") {
+            assert_eq!(active_backend(), detected_backend());
+        }
+    }
+
+    #[test]
+    fn sentinel_lanes_never_match() {
+        // A full +∞ pad group against a huge radius: no hits, whatever
+        // backend runs.
+        let xs = vec![PAD_COORD; LANES];
+        let ys = vec![PAD_COORD; LANES];
+        let zs = vec![PAD_COORD; LANES];
+        let vind = vec![u32::MAX; LANES];
+        let mut out = Vec::new();
+        // One visit of a leaf whose live points were all deleted down
+        // to a single slot, leaving 7 sentinel lanes in its group.
+        let ran = sweep_baseline_visited(
+            &xs,
+            &ys,
+            &zs,
+            &vind,
+            &[(0, 0, 1)],
+            Point3::new(0.0, 0.0, 0.0),
+            f32::MAX,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        if cfg!(feature = "simd") && detected_backend() != LaneBackend::Scalar {
+            assert!(ran, "a vector backend should have taken the sweep");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests for the SIMD lane engine: the vectorized leaf
+//! sweeps must be **bit-identical** to the scalar reference path —
+//! same `Neighbor` values, same order, same aggregated `SearchStats` —
+//! in all three engine modes, on fresh builds *and* across
+//! insert/delete churn, with the lane-padding invariant checked after
+//! every mutation.
+//!
+//! The comparison uses the process-wide scalar override
+//! (`kdtree::simd::scalar_override`), so a `--features simd` build
+//! really runs both paths; a `--no-default-features` build degenerates
+//! to scalar-vs-scalar and still validates the layout invariant. Leaf
+//! sizes cover every capacity the ZipPts buffer admits (1..=16 — the
+//! odd sizes exercise partially-filled tail lanes; 17 is rejected at
+//! construction, pinned in `crates/kdtree`'s tests), so lane groups of
+//! every fill level run.
+
+use kd_bonsai::core::{BonsaiTree, RadiusSearchEngine};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::kdtree::simd::{self, LaneBackend};
+use kd_bonsai::kdtree::{KdTreeConfig, Neighbor, Node, QueryBatch, SearchScratch, SearchStats};
+use kd_bonsai::sim::SimEngine;
+use proptest::prelude::*;
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    prop::collection::vec(
+        (-60.0f32..60.0, -60.0f32..60.0, -3.0f32..3.0).prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        2..max,
+    )
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Baseline,
+    Bonsai,
+    SoftwareCodec,
+}
+
+const MODES: [Mode; 3] = [Mode::Baseline, Mode::Bonsai, Mode::SoftwareCodec];
+
+fn engine_for(tree: &BonsaiTree, mode: Mode) -> RadiusSearchEngine<'_> {
+    match mode {
+        Mode::Baseline => RadiusSearchEngine::baseline(tree.kd_tree()),
+        Mode::Bonsai => RadiusSearchEngine::bonsai(tree),
+        Mode::SoftwareCodec => RadiusSearchEngine::software_codec(tree),
+    }
+}
+
+/// Answers every query through `engine`, returning per-query hits and
+/// the aggregate stats of the batch path plus a spot-check against
+/// `search_one`.
+fn run_engine(
+    engine: &RadiusSearchEngine<'_>,
+    queries: &[Point3],
+    radius: f32,
+) -> (Vec<Vec<Neighbor>>, SearchStats) {
+    let mut batch = QueryBatch::new();
+    engine.search_batch(queries, radius, &mut batch);
+    let results: Vec<Vec<Neighbor>> = (0..batch.num_queries())
+        .map(|i| batch.results(i).to_vec())
+        .collect();
+    // One direct search per run keeps the single-query path honest.
+    if let Some(&q) = queries.first() {
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        engine.search_one(q, radius, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out, results[0], "search_one vs batch");
+    }
+    (results, *batch.stats())
+}
+
+/// Asserts SIMD ≡ scalar (bits, order, stats) for every mode on the
+/// committed `tree`. `ov` must already be held by the caller so the
+/// flip is race-free.
+fn assert_simd_equals_scalar(
+    ov: &simd::ScalarOverride,
+    tree: &BonsaiTree,
+    queries: &[Point3],
+    radius: f32,
+) {
+    for mode in MODES {
+        let engine = engine_for(tree, mode);
+        ov.set(true);
+        let (scalar_hits, scalar_stats) = run_engine(&engine, queries, radius);
+        ov.set(false);
+        let (simd_hits, simd_stats) = run_engine(&engine, queries, radius);
+        for (qi, (s, v)) in scalar_hits.iter().zip(&simd_hits).enumerate() {
+            assert_eq!(s, v, "{mode:?} query {qi}: SIMD diverged from scalar");
+        }
+        assert_eq!(scalar_stats, simd_stats, "{mode:?} stats diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Fresh builds: SIMD and scalar sweeps agree bit-for-bit across
+    /// every mode, leaf capacity 1..=16 and both split rules' default.
+    #[test]
+    fn simd_matches_scalar_on_fresh_builds(
+        cloud in arb_cloud(300),
+        radius in 0.05f32..12.0,
+        leaf in 1usize..=16,
+    ) {
+        let ov = simd::scalar_override();
+        let cfg = KdTreeConfig { max_leaf_points: leaf, ..KdTreeConfig::default() };
+        let mut sim = SimEngine::disabled();
+        let tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        tree.assert_lane_padding();
+        let queries: Vec<Point3> = cloud.iter().step_by(3).copied().collect();
+        assert_simd_equals_scalar(&ov, &tree, &queries, radius);
+    }
+
+    /// Churned trees: after interleaved inserts and deletes (padding
+    /// invariant checked after every single mutation) the committed
+    /// tree still sweeps identically under SIMD and scalar.
+    #[test]
+    fn simd_matches_scalar_after_churn(
+        cloud in arb_cloud(220),
+        extra in arb_cloud(80),
+        radius in 0.1f32..8.0,
+        leaf in 1usize..=16,
+        del_stride in 1usize..7,
+    ) {
+        let ov = simd::scalar_override();
+        let cfg = KdTreeConfig { max_leaf_points: leaf, ..KdTreeConfig::default() };
+        let mut sim = SimEngine::disabled();
+        let mut tree = BonsaiTree::build(cloud.clone(), cfg, &mut sim);
+        for (k, &p) in extra.iter().enumerate() {
+            tree.insert(&mut sim, p);
+            tree.kd_tree().assert_lane_padding();
+            let victim = ((k * del_stride * 13) % cloud.len()) as u32;
+            tree.delete(&mut sim, victim);
+            tree.kd_tree().assert_lane_padding();
+        }
+        tree.commit(&mut sim);
+        tree.assert_lane_padding();
+        let queries: Vec<Point3> = cloud.iter().chain(extra.iter()).step_by(4).copied().collect();
+        assert_simd_equals_scalar(&ov, &tree, &queries, radius);
+    }
+}
+
+/// The per-leaf sweep kernel (`RadiusSearchEngine::sweep_leaf`) — the
+/// unit the benches time — is itself backend-independent, leaf by
+/// leaf, in both modes.
+#[test]
+fn sweep_leaf_kernel_is_backend_independent() {
+    let cloud: Vec<Point3> = (0..4000)
+        .map(|i| {
+            let f = i as f32;
+            Point3::new(
+                (f * 0.37).sin() * 50.0,
+                (f * 0.51).cos() * 50.0,
+                (f * 0.13).sin() * 2.0,
+            )
+        })
+        .collect();
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let leaves: Vec<u32> = tree
+        .kd_tree()
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| matches!(n, Node::Leaf { .. }).then_some(id as u32))
+        .collect();
+    let ov = simd::scalar_override();
+    for mode in MODES {
+        let engine = engine_for(&tree, mode);
+        for &q in &[cloud[17], cloud[2000], Point3::new(0.0, 0.0, 0.0)] {
+            for &leaf in &leaves {
+                let mut scalar_out = Vec::new();
+                let mut scalar_stats = SearchStats::default();
+                ov.set(true);
+                engine.sweep_leaf(leaf, q, 2.5, &mut scalar_out, &mut scalar_stats);
+                let mut simd_out = Vec::new();
+                let mut simd_stats = SearchStats::default();
+                ov.set(false);
+                engine.sweep_leaf(leaf, q, 2.5, &mut simd_out, &mut simd_stats);
+                assert_eq!(scalar_out, simd_out, "{mode:?} leaf {leaf}");
+                assert_eq!(scalar_stats, simd_stats, "{mode:?} leaf {leaf} stats");
+            }
+        }
+    }
+}
+
+/// On x86_64 hosts a `--features simd` build must actually dispatch a
+/// vector backend (the equivalence above would otherwise silently test
+/// scalar against scalar everywhere).
+#[test]
+fn simd_feature_activates_a_vector_backend() {
+    // Hold the override lock so a concurrent equivalence test can't
+    // have the scalar flag forced while we read the backend.
+    let _ov = simd::scalar_override();
+    if cfg!(all(feature = "simd", target_arch = "x86_64")) {
+        assert_ne!(simd::active_backend(), LaneBackend::Scalar);
+    } else if !cfg!(feature = "simd") {
+        assert_eq!(simd::active_backend(), LaneBackend::Scalar);
+    }
+}
