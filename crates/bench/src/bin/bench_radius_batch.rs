@@ -16,7 +16,7 @@ use bonsai_bench::workload::{
     batch_queries, collect_sweep_sets, urban_cloud, BATCH_CLOUD, BATCH_QUERIES, BATCH_RADIUS,
     SWEEP_RADIUS,
 };
-use bonsai_core::{BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter};
+use bonsai_core::{BonsaiTree, CompactionPolicy, RadiusSearchEngine, ShardConfig, ShardRouter};
 use bonsai_isa::Machine;
 use bonsai_kdtree::{simd, KdTree, KdTreeConfig, QueryBatch, SearchStats};
 use bonsai_sim::SimEngine;
@@ -446,9 +446,119 @@ fn main() {
         let _ = writeln!(json, "      \"garbage_fraction\": {frag:.4}");
         let _ = writeln!(json, "    }}{}", if ci < 2 { "," } else { "" });
     }
+    let _ = writeln!(json, "  }},");
+
+    // ------------------------------------------------------------------
+    // Long-stream soak: 200 churn frames through a sharded Bonsai
+    // router, with the rolling compaction policy off vs. on. The
+    // policy-off arm shows the unbounded fragmentation a long stream
+    // accumulates (garbage slots + dead points never reclaimed); the
+    // policy-on arm bounds both with one amortized shard check per
+    // frame. Exactness is spot-checked at the end of each arm.
+    // ------------------------------------------------------------------
+    let _ = writeln!(json, "  \"soak\": {{");
+    let soak_frames = 200usize;
+    let soak_churn = (cloud_n / 50).max(1); // 2 % of the cloud per frame
+    let _ = writeln!(json, "    \"frames\": {soak_frames},");
+    let _ = writeln!(json, "    \"churn_points\": {soak_churn},");
+    let _ = writeln!(json, "    \"shards\": {SHARDS},");
+    for (ai, policy) in [None, Some(CompactionPolicy::default())]
+        .into_iter()
+        .enumerate()
+    {
+        let label = if policy.is_some() {
+            "policy_on"
+        } else {
+            "policy_off"
+        };
+        let mut router = ShardRouter::bonsai(
+            &cloud,
+            KdTreeConfig::default(),
+            ShardConfig::with_shards(SHARDS),
+        );
+        let mut live: Vec<u32> = (0..cloud_n as u32).collect();
+        let mut max_ratio = 0.0f64;
+        let mut compactions = 0usize;
+        let start = Instant::now();
+        for frame in 0..soak_frames {
+            for j in 0..soak_churn {
+                let pos = (frame.wrapping_mul(31) + j * 7919) % live.len();
+                router.delete(live[pos]);
+                let p = insert_source[(frame * soak_churn + j) % insert_source.len()];
+                live[pos] = router.insert(p).expect("finite insert");
+            }
+            router.commit();
+            if let Some(policy) = &policy {
+                if router.compact_next(policy).is_some() {
+                    compactions += 1;
+                }
+            }
+            let ratio = router.garbage_slots() as f64 / router.slot_count().max(1) as f64;
+            max_ratio = max_ratio.max(ratio);
+        }
+        let ms_per_frame = start.elapsed().as_secs_f64() * 1e3 / soak_frames as f64;
+        let final_ratio = router.garbage_slots() as f64 / router.slot_count().max(1) as f64;
+        let resident_mb = router.resident_bytes() as f64 / (1024.0 * 1024.0);
+
+        // Exactness spot check: the soaked router must still match a
+        // fresh single tree over its live points (indices remapped).
+        // Global index g ≥ cloud_n is the (g − cloud_n)-th insert, so
+        // its coordinates replay the deterministic churn schedule.
+        {
+            let mut sorted_live = live.clone();
+            sorted_live.sort_unstable();
+            let live_pts: Vec<_> = sorted_live
+                .iter()
+                .map(|&g| {
+                    if (g as usize) < cloud_n {
+                        cloud[g as usize]
+                    } else {
+                        insert_source[(g as usize - cloud_n) % insert_source.len()]
+                    }
+                })
+                .collect();
+            let mut sim = SimEngine::disabled();
+            let fresh = BonsaiTree::build(live_pts, KdTreeConfig::default(), &mut sim);
+            let mut batch = QueryBatch::new();
+            let probes: Vec<_> = queries.iter().copied().step_by(97).collect();
+            router.search_batch(&probes, RADIUS, &mut batch);
+            for (i, &q) in probes.iter().enumerate() {
+                let mut expect = fresh.radius_search_simple(q, RADIUS);
+                for n in &mut expect {
+                    n.index = sorted_live[n.index as usize];
+                }
+                expect.sort_unstable_by_key(|n| n.index);
+                assert_eq!(batch.results(i), &expect[..], "{label} probe {i} diverged");
+            }
+        }
+
+        println!(
+            "soak {label:>10}: garbage ratio final {final_ratio:.3} (max {max_ratio:.3}) | \
+             resident {resident_mb:>7.2} MiB | {compactions:>3} shard rebuilds | \
+             {ms_per_frame:.2} ms/frame"
+        );
+        let _ = writeln!(json, "    \"{label}\": {{");
+        let _ = writeln!(json, "      \"final_garbage_ratio\": {final_ratio:.4},");
+        let _ = writeln!(json, "      \"max_garbage_ratio\": {max_ratio:.4},");
+        let _ = writeln!(
+            json,
+            "      \"resident_bytes\": {},",
+            router.resident_bytes()
+        );
+        let _ = writeln!(json, "      \"shard_rebuilds\": {compactions},");
+        let _ = writeln!(json, "      \"ms_per_frame\": {ms_per_frame:.3}");
+        let _ = writeln!(json, "    }}{}", if ai == 0 { "," } else { "" });
+    }
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
-    std::fs::write("BENCH_radius_batch.json", &json).expect("write BENCH_radius_batch.json");
-    println!("wrote BENCH_radius_batch.json");
+    // --quick (the CI smoke) writes to a sibling path so it can never
+    // clobber the committed full-run artifact.
+    let out_path = if quick {
+        "BENCH_radius_batch.quick.json"
+    } else {
+        "BENCH_radius_batch.json"
+    };
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
 }

@@ -48,6 +48,7 @@ mod extract;
 mod pipeline;
 mod streaming;
 
+pub use bonsai_core::CompactionPolicy;
 pub use extract::{
     extract_euclidean_clusters, extract_euclidean_clusters_batched,
     extract_euclidean_clusters_sharded, ClusterOutput, TreeMode,

@@ -216,11 +216,29 @@ pub struct StreamingPipeline {
     extractor: crate::StreamingExtractor,
     /// Scratch: global index → position in the current frame.
     frame_pos: Vec<u32>,
+    /// Auto-compaction policy checked after every frame (`None`
+    /// disables the rolling shard rebuilds).
+    compaction: Option<bonsai_core::CompactionPolicy>,
 }
 
 impl StreamingPipeline {
     /// Creates a streaming pipeline; `params.shards` picks the shard
     /// count of the persistent index (`0`/`1` = one shard).
+    ///
+    /// Auto-compaction defaults to
+    /// [`CompactionPolicy::default`](bonsai_core::CompactionPolicy):
+    /// after each frame one shard is checked (round robin) and rebuilt
+    /// when churn has wasted enough of its storage, so the **tree and
+    /// directory storage** of a long stream stays bounded without any
+    /// frame paying for more than one shard rebuild. (The per-insert
+    /// global-index bookkeeping — extractor coordinates, router
+    /// directory — still grows one entry per insert ever; see the
+    /// roadmap's slot-reuse item.) Compaction never changes extraction
+    /// output —
+    /// global indices are stable and per-point membership is
+    /// shape-independent — so the streaming results stay bit-identical
+    /// to rebuild-per-frame with the policy on or off. Disable or tune
+    /// with [`set_compaction_policy`](StreamingPipeline::set_compaction_policy).
     pub fn new(params: ClusterParams, mode: TreeMode) -> StreamingPipeline {
         let extractor = crate::StreamingExtractor::new(mode, params.tree, params.shards.max(1));
         StreamingPipeline {
@@ -228,7 +246,19 @@ impl StreamingPipeline {
             mode,
             extractor,
             frame_pos: Vec::new(),
+            compaction: Some(bonsai_core::CompactionPolicy::default()),
         }
+    }
+
+    /// The auto-compaction policy (`None` = disabled).
+    pub fn compaction_policy(&self) -> Option<bonsai_core::CompactionPolicy> {
+        self.compaction
+    }
+
+    /// Replaces the auto-compaction policy; `None` disables the
+    /// per-frame rolling rebuilds entirely.
+    pub fn set_compaction_policy(&mut self, policy: Option<bonsai_core::CompactionPolicy>) {
+        self.compaction = policy;
     }
 
     /// The wrapped per-frame pipeline (parameters, preprocessing).
@@ -254,6 +284,12 @@ impl StreamingPipeline {
         let points = self.pipeline.preprocess(&mut sim, raw_cloud);
         let p = self.pipeline.params();
         let frame_globals = self.extractor.ingest_frame(&points);
+        // Amortized fragmentation control: one shard checked per frame,
+        // rebuilt only when the waste criterion fires. Output-neutral
+        // (stable global indices), so it can run before extraction.
+        if let Some(policy) = self.compaction {
+            self.extractor.maybe_compact(&policy);
+        }
         let output = self
             .extractor
             .extract(p.tolerance, p.min_cluster_size, p.max_cluster_size);

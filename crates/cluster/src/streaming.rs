@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use bonsai_core::{ShardConfig, ShardRouter};
+use bonsai_core::{CompactionPolicy, ShardConfig, ShardRouter};
 use bonsai_geom::Point3;
 use bonsai_kdtree::{KdTreeConfig, SearchStats};
 
@@ -160,6 +160,18 @@ impl StreamingExtractor {
     /// fragmentation).
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// One amortized rolling-compaction step (see
+    /// [`ShardRouter::compact_next`]): checks the next shard against
+    /// `policy` and rebuilds it — dropping its dead points and garbage
+    /// slots and re-tightening its bounding box — when the waste
+    /// criterion fires. Global indices are stable across rebuilds, so
+    /// the live set, the frame matcher and every extracted cluster are
+    /// unaffected; only memory and routed traversal work shrink.
+    /// Returns the rebuilt shard's index, if any.
+    pub fn maybe_compact(&mut self, policy: &CompactionPolicy) -> Option<usize> {
+        self.router.compact_next(policy)
     }
 
     /// Diffs a new frame against the live set by exact coordinate bits
@@ -489,6 +501,42 @@ mod tests {
         let last = scene(5.0 * 0.4, 10);
         ex.ingest_frame(&last);
         assert_eq!(ex.diff(&last), FrameUpdate::default());
+    }
+
+    /// Rolling compaction is invisible to extraction (same clusters as
+    /// an uncompacted twin, frame after frame) while actually firing
+    /// and bounding the index's waste on a churny stream.
+    #[test]
+    fn rolling_compaction_is_output_neutral_and_bounds_waste() {
+        let mut plain = StreamingExtractor::new(TreeMode::Bonsai, KdTreeConfig::default(), 3);
+        let mut compacted = StreamingExtractor::new(TreeMode::Bonsai, KdTreeConfig::default(), 3);
+        let policy = CompactionPolicy {
+            garbage_ratio: 0.15,
+            min_points: 64,
+        };
+        let mut fired = 0usize;
+        for frame in 0..30 {
+            let cloud = scene((frame % 7) as f32 * 0.9, 11 + frame % 5);
+            plain.ingest_frame(&cloud);
+            compacted.ingest_frame(&cloud);
+            if compacted.maybe_compact(&policy).is_some() {
+                fired += 1;
+            }
+            let a = plain.extract(0.5, 1, 100_000);
+            let b = compacted.extract(0.5, 1, 100_000);
+            assert_eq!(
+                cluster_coords(&plain, &a.clusters),
+                cluster_coords(&compacted, &b.clusters),
+                "frame {frame}: compaction changed extraction output"
+            );
+        }
+        assert!(fired > 0, "the churny stream never triggered a rebuild");
+        assert!(
+            compacted.router().resident_bytes() < plain.router().resident_bytes(),
+            "compaction did not reclaim memory: {} vs {}",
+            compacted.router().resident_bytes(),
+            plain.router().resident_bytes()
+        );
     }
 
     #[test]

@@ -144,6 +144,46 @@ impl CompressedDirectory {
         }
     }
 
+    /// Replays a tree compaction through the directory: every surviving
+    /// leaf's reference moves to its new node id (`node_map[old]`,
+    /// [`CompactRemap::DROPPED`](bonsai_kdtree::CompactRemap::DROPPED)
+    /// entries vanish) and the byte array is repacked in ascending new-id
+    /// order, dropping the unreachable bytes earlier
+    /// [`replace`](CompressedDirectory::replace) calls abandoned. Baked
+    /// bytes are **moved**, never re-encoded, so every structure decodes
+    /// bit-identically afterwards. The reference table is resized to
+    /// exactly `new_nodes`.
+    pub fn compact_remap(&mut self, node_map: &[u32], new_nodes: usize) {
+        let mut moves: Vec<(u32, LeafRef)> = self
+            .refs
+            .iter()
+            .enumerate()
+            .filter_map(|(old_id, r)| {
+                let r = (*r)?;
+                match node_map.get(old_id).copied() {
+                    Some(new_id) if new_id != bonsai_kdtree::CompactRemap::DROPPED => {
+                        Some((new_id, r))
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        moves.sort_unstable_by_key(|&(id, _)| id);
+        let mut refs = vec![None; new_nodes];
+        let mut data = Vec::with_capacity(self.data.len());
+        for (new_id, mut r) in moves {
+            let offset = data.len();
+            debug_assert_eq!(offset % SLICE_BYTES, 0);
+            data.extend_from_slice(
+                &self.data[r.offset as usize..r.offset as usize + r.padded_len()],
+            );
+            r.offset = offset as u32;
+            refs[new_id as usize] = Some(r);
+        }
+        self.data = data;
+        self.refs = refs;
+    }
+
     /// The reference for leaf `leaf`, if it was compressed.
     pub fn leaf_ref(&self, leaf: LeafId) -> Option<LeafRef> {
         self.refs.get(leaf as usize).copied().flatten()
@@ -236,6 +276,37 @@ mod tests {
         let leaf = sample_leaf(3);
         dir.insert(1, &leaf);
         dir.insert(1, &leaf);
+    }
+
+    #[test]
+    fn compact_remap_moves_refs_and_drops_garbage_bytes() {
+        let mut sim = SimEngine::disabled();
+        let mut dir = CompressedDirectory::new(&mut sim, 6);
+        let a = sample_leaf(15);
+        let b = sample_leaf(7);
+        let c = sample_leaf(3);
+        dir.insert(1, &a);
+        dir.insert(4, &b);
+        dir.insert(5, &c);
+        // Replacing leaf 1 abandons its original bytes in the array.
+        dir.replace(1, &b);
+        let garbage = a.slices() * SLICE_BYTES;
+        let live = 2 * b.slices() * SLICE_BYTES + c.slices() * SLICE_BYTES;
+        assert_eq!(dir.total_bytes(), garbage + live);
+
+        // Old 1 → new 0, old 4 → dropped, old 5 → new 2.
+        let node_map = [u32::MAX, 0, u32::MAX, u32::MAX, u32::MAX, 2];
+        dir.compact_remap(&node_map, 3);
+        assert_eq!(dir.bytes_of(0), b.bytes());
+        assert_eq!(dir.bytes_of(2), c.bytes());
+        assert!(dir.leaf_ref(1).is_none());
+        assert_eq!(
+            dir.total_bytes(),
+            (b.slices() + c.slices()) * SLICE_BYTES,
+            "garbage and dropped leaves reclaimed"
+        );
+        // Repacked in ascending new-id order from offset 0.
+        assert_eq!(dir.leaf_ref(0).unwrap().offset, 0);
     }
 
     #[test]

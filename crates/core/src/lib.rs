@@ -55,6 +55,6 @@ pub use directory::{CompressedDirectory, LeafRef};
 pub use engine::{EngineMode, RadiusSearchEngine};
 pub use processor::BonsaiLeafProcessor;
 pub use reduced::ReducedUncheckedProcessor;
-pub use shard::{ShardConfig, ShardRouter};
+pub use shard::{CompactionPolicy, ShardConfig, ShardRouter};
 pub use software::SoftwareCodecProcessor;
 pub use tree::{BonsaiTree, CompressionStats};

@@ -138,6 +138,62 @@ struct PointLoc {
     local: u32,
 }
 
+impl PointLoc {
+    /// The entry of a dead point whose storage a shard rebuild
+    /// reclaimed: the global index no longer resolves to any shard
+    /// slot. Guarded in [`ShardRouter::delete`], because after a
+    /// rebuild the old local index may name a *different* live point.
+    const GONE: PointLoc = PointLoc {
+        shard: u32::MAX,
+        local: u32::MAX,
+    };
+}
+
+/// When a [`ShardRouter`] shard is worth compacting — the
+/// ikd-Tree-style criterion that triggers a rolling
+/// [`rebuild_shard`](ShardRouter::rebuild_shard).
+///
+/// A shard's **waste** is its tree's abandoned `vind`/SoA slots
+/// (`garbage_slots`, lane-padded footprints) plus its dead points
+/// (deleted entries still occupying the point array); its **footprint**
+/// is total slots plus total points. The shard is rebuilt when
+/// `waste ≥ garbage_ratio · footprint` and the footprint is at least
+/// `min_points` (rebuilding a tiny shard costs more than the waste).
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_core::CompactionPolicy;
+/// let policy = CompactionPolicy::default();
+/// assert!(policy.should_compact(300, 1000));
+/// assert!(!policy.should_compact(100, 1000));
+/// assert!(!policy.should_compact(90, 100)); // below min_points
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Waste fraction that triggers a rebuild.
+    pub garbage_ratio: f64,
+    /// Minimum shard footprint (slots + points) worth rebuilding.
+    pub min_points: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> CompactionPolicy {
+        CompactionPolicy {
+            garbage_ratio: 0.25,
+            min_points: 256,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether a shard with `waste` wasted units out of a `footprint`
+    /// total should be rebuilt under this policy.
+    pub fn should_compact(&self, waste: usize, footprint: usize) -> bool {
+        footprint >= self.min_points && waste as f64 >= self.garbage_ratio * footprint as f64
+    }
+}
+
 /// A sharded multi-tree radius-search front-end: `K` spatial shards,
 /// each with its own tree and engine state, behind the same batch API
 /// as the single-tree [`RadiusSearchEngine`].
@@ -175,9 +231,12 @@ pub struct ShardRouter {
     /// inserts into an empty router.
     tree_cfg: KdTreeConfig,
     /// Global point index → owning shard and shard-local index
-    /// (deleted points keep their entry; the shard tree tracks
-    /// liveness).
+    /// (deleted points keep their entry until a shard rebuild retires
+    /// it to [`PointLoc::GONE`]; the shard tree tracks liveness).
     locs: Vec<PointLoc>,
+    /// Round-robin cursor of [`compact_next`](ShardRouter::compact_next):
+    /// which shard the next policy check inspects.
+    compact_cursor: usize,
 }
 
 impl ShardRouter {
@@ -238,6 +297,7 @@ impl ShardRouter {
             lut: PartErrorMem::new(),
             tree_cfg,
             locs,
+            compact_cursor: 0,
         }
     }
 
@@ -314,7 +374,9 @@ impl ShardRouter {
     /// Inserts a point, routed to the shard whose bounding box is
     /// nearest (containing boxes have distance 0); an out-of-bounds
     /// insert **grows** that shard's box so later query routing keeps
-    /// seeing the point. Returns the point's new global index, or
+    /// seeing the point — preferring an emptied shard, when one
+    /// exists, over stretching a populated shard's box across a region
+    /// it does not serve. Returns the point's new global index, or
     /// `None` for a non-finite point. An empty router grows its first
     /// single-point shard.
     ///
@@ -334,7 +396,7 @@ impl ShardRouter {
             self.num_points += 1;
             return Some(global);
         }
-        let si = self
+        let mut si = self
             .shards
             .iter()
             .enumerate()
@@ -345,6 +407,19 @@ impl ShardRouter {
             })
             .map(|(i, _)| i)
             .expect("shards is non-empty");
+        if self.shards[si].aabb.distance_squared_to(p) > 0.0 {
+            // No shard's box covers the point. Revive a *rebuilt-empty*
+            // shard (its inverted sentinel box is infinitely far, so
+            // distance routing alone would never pick it again) instead
+            // of stretching a populated shard's box over a region it
+            // does not serve. Delete-emptied but never-rebuilt shards
+            // are deliberately excluded: their stale boxes still
+            // describe the region they served, so ordinary distance
+            // routing remains the better (and nearer) choice for them.
+            if let Some(empty) = self.shards.iter().position(|s| s.aabb.min.x > s.aabb.max.x) {
+                si = empty;
+            }
+        }
         let shard = &mut self.shards[si];
         shard.aabb.insert(p);
         let local = shard
@@ -363,13 +438,18 @@ impl ShardRouter {
 
     /// Deletes global point `global`, routed to its owning shard.
     /// Returns `false` — without touching any shard tree beyond a
-    /// constant-time liveness check — when the index is out of range or
-    /// already deleted. Shard boxes are left unshrunk (conservative:
-    /// routing stays exact, merely less selective).
+    /// constant-time liveness check — when the index is out of range,
+    /// already deleted, or reclaimed by an earlier
+    /// [`rebuild_shard`](ShardRouter::rebuild_shard). Shard boxes are
+    /// left unshrunk (conservative: routing stays exact, merely less
+    /// selective) until a rebuild re-tightens them.
     pub fn delete(&mut self, global: u32) -> bool {
         let Some(&loc) = self.locs.get(global as usize) else {
             return false;
         };
+        if loc.shard == PointLoc::GONE.shard {
+            return false;
+        }
         let mut sim = SimEngine::disabled();
         let deleted = self.shards[loc.shard as usize]
             .tree
@@ -402,13 +482,166 @@ impl ShardRouter {
         inserted
     }
 
+    // ------------------------------------------------------------------
+    // Rolling compaction: criterion-triggered shard rebuilds bound the
+    // memory a long churn stream can pin (the ikd-Tree re-building
+    // idiom, one shard at a time so no frame pays for the whole index).
+    // ------------------------------------------------------------------
+
+    /// Rebuilds shard `shard` from scratch over its **live** points:
+    /// dead point slots, abandoned `vind`/SoA ranges and retired pool
+    /// nodes are all dropped, and the shard's bounding box is
+    /// **re-tightened** to the live points (deletes only ever leave
+    /// boxes over-grown — see [`delete`](ShardRouter::delete) — so
+    /// stale boxes route queries into shards that cannot answer them).
+    /// Global indices are preserved: every live point keeps its index,
+    /// so query results are unchanged; only per-shard traversal
+    /// counters may shrink with the tightened routing and the rebuilt
+    /// shape. A shard whose points were all deleted collapses to an
+    /// empty tree with a never-intersecting box (it revives on the next
+    /// routed insert).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn rebuild_shard(&mut self, shard: usize) {
+        let (globals, pts, dead): (Vec<u32>, Vec<Point3>, Vec<u32>) = {
+            let s = &self.shards[shard];
+            let kd = s.tree.kd();
+            let mut globals = Vec::with_capacity(kd.num_live());
+            let mut pts = Vec::with_capacity(kd.num_live());
+            let mut dead = Vec::new();
+            for (local, &g) in s.global.iter().enumerate() {
+                if kd.is_live(local as u32) {
+                    globals.push(g);
+                    pts.push(kd.points()[local]);
+                } else {
+                    dead.push(g);
+                }
+            }
+            (globals, pts, dead)
+        };
+        for g in dead {
+            self.locs[g as usize] = PointLoc::GONE;
+        }
+        if pts.is_empty() {
+            // Keep the shard slot (locs store shard ids) but give it an
+            // inverted box no ball can intersect; Aabb::insert heals it
+            // on the next routed insert.
+            let mut sim = SimEngine::disabled();
+            let tree = match self.mode {
+                EngineMode::Baseline => {
+                    ShardTree::Baseline(KdTree::build(Vec::new(), self.tree_cfg, &mut sim))
+                }
+                EngineMode::Compressed => {
+                    ShardTree::Bonsai(BonsaiTree::build(Vec::new(), self.tree_cfg, &mut sim))
+                }
+            };
+            self.shards[shard] = Shard {
+                aabb: Aabb {
+                    min: Point3::splat(f32::INFINITY),
+                    max: Point3::splat(f32::NEG_INFINITY),
+                },
+                global: Vec::new(),
+                tree,
+            };
+            return;
+        }
+        let inner_threads = if cfg!(feature = "parallel") {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            1
+        };
+        let rebuilt = build_shard_threaded(globals, pts, self.tree_cfg, self.mode, inner_threads);
+        for (local, &g) in rebuilt.global.iter().enumerate() {
+            self.locs[g as usize] = PointLoc {
+                shard: shard as u32,
+                local: local as u32,
+            };
+        }
+        self.shards[shard] = rebuilt;
+    }
+
+    /// One amortized step of the rolling compaction: inspects the next
+    /// shard in round-robin order and rebuilds it when `policy` says
+    /// its waste warrants it. Returns the rebuilt shard's index, or
+    /// `None` when the inspected shard (or an empty router) needed
+    /// nothing. Call once per frame — over `num_shards()` frames every
+    /// shard gets checked, so no single frame ever pays for more than
+    /// one rebuild.
+    pub fn compact_next(&mut self, policy: &CompactionPolicy) -> Option<usize> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let i = self.compact_cursor % self.shards.len();
+        self.compact_cursor = (i + 1) % self.shards.len();
+        let (waste, footprint) = self.shard_fragmentation(i);
+        if policy.should_compact(waste, footprint) {
+            self.rebuild_shard(i);
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Shard `shard`'s `(waste, footprint)` pair: abandoned slots plus
+    /// dead points, over total slots plus total points — the quantities
+    /// [`CompactionPolicy::should_compact`] consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn shard_fragmentation(&self, shard: usize) -> (usize, usize) {
+        let kd = self.shards[shard].tree.kd();
+        let dead = kd.points().len() - kd.num_live();
+        (
+            kd.garbage_slots() + dead,
+            kd.vind().len() + kd.points().len(),
+        )
+    }
+
+    /// Total abandoned `vind`/SoA slots across all shards (the
+    /// fragmentation counter the soak bench plots).
+    pub fn garbage_slots(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.tree.kd().garbage_slots())
+            .sum()
+    }
+
+    /// Total `vind`/SoA slots across all shards (live + garbage), the
+    /// denominator of the garbage ratio.
+    pub fn slot_count(&self) -> usize {
+        self.shards.iter().map(|s| s.tree.kd().vind().len()).sum()
+    }
+
+    /// Host-side memory footprint across all shards, in bytes (point
+    /// arrays including dead points, slot arrays including garbage,
+    /// node pools, f16 rows and compressed directories) plus the
+    /// global→shard directory.
+    pub fn resident_bytes(&self) -> u64 {
+        let shard_bytes: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                let tree = match &s.tree {
+                    ShardTree::Baseline(t) => t.resident_bytes(),
+                    ShardTree::Bonsai(b) => b.resident_bytes(),
+                };
+                tree + s.global.len() as u64 * 4
+            })
+            .sum();
+        shard_bytes + self.locs.len() as u64 * 8
+    }
+
     /// Answers one query, clearing `out` first: hits from every shard
     /// whose box intersects the query ball, re-indexed to global cloud
     /// indices and sorted ascending. Allocation-free once `scratch` and
     /// `out` are warm.
     ///
-    /// A non-positive or non-finite `radius` yields an empty result
-    /// without touching any shard.
+    /// A non-positive or non-finite `radius` — or a query center with a
+    /// non-finite coordinate — yields an empty result without touching
+    /// any shard.
     pub fn search_one(
         &self,
         query: Point3,
@@ -463,8 +696,15 @@ impl ShardRouter {
         stats: &mut SearchStats,
     ) {
         // Same up-front rejection as the traversal layer, so a
-        // degenerate radius skips even the AABB walk.
-        if !bonsai_kdtree::radius_is_searchable(radius) {
+        // degenerate radius or a non-finite query center skips even the
+        // AABB walk. Without the center guard the router could diverge
+        // from the single-tree engine: `Aabb::intersects_ball` with a
+        // NaN center is false for every box (no shard searched), while
+        // an ∞ center makes the distance arithmetic produce NaN
+        // (∞ − ∞) for boxes that "contain" the coordinate.
+        if !bonsai_kdtree::radius_is_searchable(radius)
+            || !bonsai_kdtree::query_is_searchable(query)
+        {
             return;
         }
         let r_sq = radius * radius;
@@ -869,6 +1109,242 @@ mod tests {
         assert!(router.delete(idx));
         assert!(!router.delete(idx), "double delete");
         assert_eq!(router.num_points(), 0);
+    }
+
+    /// Regression (query-center guard): a NaN center must be empty with
+    /// zero stats — before the guard `intersects_ball` was false for
+    /// every box under NaN (silently empty by accident) while an ∞
+    /// center made the box distance arithmetic produce NaN, so the
+    /// router's behavior was undefined relative to the single-tree
+    /// engine's.
+    #[test]
+    fn non_finite_query_centers_are_empty_through_the_router() {
+        let cloud = urban_cloud(600, 6);
+        let router = ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::default());
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        for q in [
+            Point3::new(f32::NAN, 0.0, 0.0),
+            Point3::new(0.0, f32::INFINITY, 0.0),
+            Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+        ] {
+            let mut stats = SearchStats::default();
+            router.search_one(q, 1.0, &mut scratch, &mut out, &mut stats);
+            assert!(out.is_empty(), "query {q:?}");
+            assert_eq!(stats, SearchStats::default(), "query {q:?} did work");
+        }
+        let mut batch = QueryBatch::new();
+        router.search_batch(&[Point3::new(f32::NAN, 0.0, 0.0)], 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), 1);
+        assert_eq!(batch.total_matches(), 0);
+        assert_eq!(*batch.stats(), SearchStats::default());
+    }
+
+    /// The satellite pinning test: deletes leave shard boxes over-grown
+    /// (queries in the emptied region still pay traversal work), and a
+    /// rolling rebuild re-tightens them back to the rebuilt-router
+    /// baseline — here, a region whose points are all gone routes **no**
+    /// work at all afterwards.
+    #[test]
+    fn rebuild_retightens_overgrown_shard_boxes() {
+        // Two well-separated blobs → 2 shards, one per blob.
+        let mut cloud: Vec<Point3> = (0..400)
+            .map(|i| Point3::new((i % 20) as f32 * 0.1, (i / 20) as f32 * 0.1, 1.0))
+            .collect();
+        let far_base = cloud.len() as u32;
+        cloud.extend(
+            (0..400)
+                .map(|i| Point3::new(500.0 + (i % 20) as f32 * 0.1, (i / 20) as f32 * 0.1, 1.0)),
+        );
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(2));
+        let probe = Point3::new(500.5, 0.5, 1.0);
+
+        // Delete the whole far blob.
+        for g in far_base..far_base + 400 {
+            assert!(router.delete(g));
+        }
+        router.commit();
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stale_stats = SearchStats::default();
+        router.search_one(probe, 0.5, &mut scratch, &mut out, &mut stale_stats);
+        assert!(out.is_empty());
+        assert!(
+            stale_stats.nodes_visited > 0,
+            "the over-grown box should still route the probe into the emptied shard"
+        );
+
+        // Rolling rebuild over every shard re-tightens the boxes.
+        for i in 0..router.num_shards() {
+            router.rebuild_shard(i);
+        }
+        let mut tight_stats = SearchStats::default();
+        router.search_one(probe, 0.5, &mut scratch, &mut out, &mut tight_stats);
+        assert!(out.is_empty());
+        assert_eq!(
+            tight_stats,
+            SearchStats::default(),
+            "after re-tightening, the emptied region routes no work — the rebuilt-router baseline"
+        );
+
+        // Near-blob queries still answer identically, and the emptied
+        // shard revives on insert.
+        let near = cloud[30];
+        let mut stats = SearchStats::default();
+        router.search_one(near, 0.3, &mut scratch, &mut out, &mut stats);
+        assert!(out.iter().any(|n| n.index == 30));
+        let idx = router.insert(probe).unwrap();
+        router.commit();
+        router.search_one(probe, 0.1, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, idx);
+    }
+
+    /// Rolling rebuilds keep results bit-identical, reclaim dead
+    /// points + garbage slots, and keep later mutations safe (a dead
+    /// global must not resolve to a recycled local slot).
+    #[test]
+    fn rebuild_shard_preserves_results_and_guards_dead_globals() {
+        let cloud = urban_cloud(2000, 31);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let added = urban_cloud(300, 32);
+        let removed: Vec<u32> = (0..300u32).map(|i| i * 11 % 2000).collect();
+        router.apply_update(&added, &removed);
+
+        let queries: Vec<Point3> = cloud.iter().step_by(37).copied().collect();
+        let mut before = QueryBatch::new();
+        router.search_batch(&queries, 1.3, &mut before);
+        let bytes_before = router.resident_bytes();
+
+        for i in 0..router.num_shards() {
+            router.rebuild_shard(i);
+        }
+        assert_eq!(router.garbage_slots(), 0, "rebuilds drop garbage slots");
+        assert!(
+            router.resident_bytes() < bytes_before,
+            "rebuilds reclaim dead-point storage"
+        );
+        let mut after = QueryBatch::new();
+        router.search_batch(&queries, 1.3, &mut after);
+        for i in 0..before.num_queries() {
+            assert_eq!(after.results(i), before.results(i), "query {i} moved");
+        }
+
+        // Dead globals stay dead (their reclaimed local slots now name
+        // other live points — deleting them again must be a no-op)…
+        for &g in removed.iter().take(50) {
+            assert!(!router.delete(g), "dead global {g} deleted twice");
+        }
+        // …and live globals keep routing.
+        let live_probe = (0..2000u32).find(|g| !removed.contains(g)).unwrap();
+        assert!(router.delete(live_probe));
+        assert!(!router.delete(live_probe));
+        router.commit();
+    }
+
+    /// An emptied-and-rebuilt shard (inverted box, infinitely far from
+    /// everything under distance routing) must be revived by the next
+    /// out-of-box insert instead of a populated shard's box stretching
+    /// across the emptied region — otherwise the over-broad routing the
+    /// re-tightening fixed would silently come back, permanently.
+    #[test]
+    fn out_of_box_inserts_revive_emptied_shards() {
+        let mut cloud: Vec<Point3> = (0..300)
+            .map(|i| Point3::new((i % 20) as f32 * 0.1, (i / 20) as f32 * 0.1, 1.0))
+            .collect();
+        let far_base = cloud.len() as u32;
+        cloud.extend(
+            (0..300)
+                .map(|i| Point3::new(500.0 + (i % 20) as f32 * 0.1, (i / 20) as f32 * 0.1, 1.0)),
+        );
+        let mut router =
+            ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(2));
+        for g in far_base..far_base + 300 {
+            assert!(router.delete(g));
+        }
+        router.commit();
+        router.rebuild_shard(1); // the far shard empties
+        assert_eq!(router.shard_sizes().nth(1), Some(0));
+
+        // The stream resumes in the far region: the emptied shard must
+        // take the inserts, and the near shard's box must stay tight.
+        let near_box_before = router.shard_bounds().next().unwrap();
+        let p = Point3::new(500.5, 0.5, 1.0);
+        let idx = router.insert(p).unwrap();
+        router.commit();
+        assert_eq!(
+            router.shard_sizes().nth(1),
+            Some(1),
+            "insert did not revive the emptied shard"
+        );
+        assert_eq!(
+            router.shard_bounds().next().unwrap(),
+            near_box_before,
+            "near shard's box stretched across the emptied region"
+        );
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+        router.search_one(p, 0.5, &mut scratch, &mut out, &mut stats);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index, idx);
+        // An in-box insert still routes to its covering shard, not the
+        // (now single-point) revived one.
+        let covered = cloud[30];
+        router.insert(covered).unwrap();
+        router.commit();
+        assert_eq!(router.shard_sizes().next(), Some(301));
+    }
+
+    /// The round-robin policy only pays when a shard's waste crosses
+    /// the threshold, and one call never rebuilds more than one shard.
+    #[test]
+    fn compact_next_is_criterion_triggered_and_amortized() {
+        let cloud = urban_cloud(1600, 41);
+        let mut router =
+            ShardRouter::baseline(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let policy = CompactionPolicy::default();
+        // Fresh router: a full round of checks rebuilds nothing.
+        for _ in 0..router.num_shards() {
+            assert_eq!(router.compact_next(&policy), None);
+        }
+        // Delete most points: every shard crosses the waste threshold;
+        // each call rebuilds exactly one shard, round robin.
+        for g in 0..1400u32 {
+            router.delete(g);
+        }
+        router.commit();
+        let mut rebuilt = Vec::new();
+        for _ in 0..router.num_shards() {
+            if let Some(i) = router.compact_next(&policy) {
+                rebuilt.push(i);
+            }
+        }
+        assert_eq!(
+            rebuilt.len(),
+            router.num_shards(),
+            "all shards hollowed out"
+        );
+        let mut sorted_ids = rebuilt.clone();
+        sorted_ids.sort_unstable();
+        sorted_ids.dedup();
+        assert_eq!(
+            sorted_ids.len(),
+            rebuilt.len(),
+            "a shard rebuilt twice in one round"
+        );
+        // After the round, everything is clean again.
+        for _ in 0..router.num_shards() {
+            assert_eq!(router.compact_next(&policy), None);
+        }
+        // Never-compact policy never fires.
+        let off = CompactionPolicy {
+            garbage_ratio: f64::INFINITY,
+            min_points: usize::MAX,
+        };
+        assert_eq!(router.compact_next(&off), None);
     }
 
     #[test]

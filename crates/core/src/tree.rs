@@ -320,6 +320,76 @@ impl BonsaiTree {
         inserted
     }
 
+    /// Compacts the tree's fragmented storage and replays the move
+    /// through the compressed layers: the underlying
+    /// [`KdTree::compact`] repacks `vind`/SoA slots and the node pool,
+    /// then the f16-approximate rows are permuted through the slot map
+    /// and the [`CompressedDirectory`] through the node map. Baked
+    /// bytes only **move** — no leaf is re-encoded — so searches,
+    /// their order and every
+    /// [`SearchStats`](bonsai_kdtree::SearchStats) counter are
+    /// bit-identical before and after in all three modes, while
+    /// `garbage_slots()` drops to zero, the directory sheds the bytes
+    /// its incremental `replace` calls abandoned, and the lane-padding
+    /// invariant holds. Returns the number of `vind` slots reclaimed.
+    ///
+    /// Dead *points* keep their slots (cloud indices must stay stable
+    /// for reported neighbors); the shard router's rolling
+    /// [`rebuild_shard`](crate::ShardRouter::rebuild_shard) reclaims
+    /// those, because it owns the local→global index translation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when mutations are pending a
+    /// [`commit`](BonsaiTree::commit): compacting around stale
+    /// directory structures would bake the staleness in.
+    pub fn compact(&mut self, sim: &mut SimEngine) -> usize {
+        assert!(
+            !self.tree.has_dirty_nodes(),
+            "compacting a BonsaiTree with uncommitted mutations; call commit() first"
+        );
+        let old_slots = self.tree.vind().len();
+        let remap = self.tree.compact(sim);
+        let new_slots = self.tree.vind().len();
+
+        // Permute the f16 rows: the bits move with their slots, nothing
+        // is re-quantized, so the approximate coordinates (and thus
+        // shell classifications) cannot drift.
+        let mut approx = ApproxSoa {
+            x: vec![bonsai_kdtree::simd::PAD_COORD; new_slots],
+            y: vec![bonsai_kdtree::simd::PAD_COORD; new_slots],
+            z: vec![bonsai_kdtree::simd::PAD_COORD; new_slots],
+            ex: vec![0; new_slots],
+            ey: vec![0; new_slots],
+            ez: vec![0; new_slots],
+        };
+        for (old, &new) in remap.slot_map.iter().enumerate() {
+            if new == bonsai_kdtree::CompactRemap::DROPPED || old >= self.approx.x.len() {
+                continue;
+            }
+            let new = new as usize;
+            approx.x[new] = self.approx.x[old];
+            approx.y[new] = self.approx.y[old];
+            approx.z[new] = self.approx.z[old];
+            approx.ex[new] = self.approx.ex[old];
+            approx.ey[new] = self.approx.ey[old];
+            approx.ez[new] = self.approx.ez[old];
+        }
+        self.approx = approx;
+        self.directory
+            .compact_remap(&remap.node_map, self.tree.nodes().len());
+        old_slots - new_slots
+    }
+
+    /// Host-side memory footprint, in bytes: the underlying tree's
+    /// [`resident_bytes`](KdTree::resident_bytes) plus the f16 rows and
+    /// the compressed directory (including its garbage bytes).
+    pub fn resident_bytes(&self) -> u64 {
+        self.tree.resident_bytes()
+            + self.approx.x.len() as u64 * (3 * 4 + 3)
+            + self.directory.total_bytes() as u64
+    }
+
     /// The underlying k-d tree (baseline searches, structure access).
     pub fn kd_tree(&self) -> &KdTree {
         &self.tree
@@ -711,6 +781,116 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Churns a compressed tree until it fragments.
+    fn churned_bonsai(n: usize, seed: u64) -> BonsaiTree {
+        let mut sim = SimEngine::disabled();
+        let mut tree =
+            BonsaiTree::build(urban_like_cloud(n, seed), KdTreeConfig::default(), &mut sim);
+        let extra = urban_like_cloud(n, seed + 1);
+        for round in 0..4usize {
+            for k in 0..n / 8 {
+                tree.delete(&mut sim, ((round * 13 + k * 7) % n) as u32);
+            }
+            for k in 0..n / 8 {
+                tree.insert(&mut sim, extra[(round * n / 8 + k) % extra.len()])
+                    .unwrap();
+            }
+            tree.commit(&mut sim);
+        }
+        tree
+    }
+
+    /// The tentpole contract: compaction reclaims every garbage slot
+    /// and the directory's abandoned bytes while keeping compressed
+    /// searches (hits, order, stats) bit-identical.
+    #[test]
+    fn compact_is_invisible_to_compressed_searches() {
+        let mut tree = churned_bonsai(1800, 21);
+        assert!(tree.kd_tree().garbage_slots() > 0, "churn never fragmented");
+        let dir_bytes_before = tree.directory().total_bytes();
+        let queries = urban_like_cloud(40, 23);
+
+        let mut sim = SimEngine::disabled();
+        let mut machine = Machine::new();
+        let mut before = Vec::new();
+        for &q in &queries {
+            let mut out = Vec::new();
+            let mut stats = bonsai_kdtree::SearchStats::default();
+            tree.radius_search(&mut sim, &mut machine, q, 1.5, &mut out, &mut stats);
+            before.push((out, stats));
+        }
+
+        let reclaimed = tree.compact(&mut sim);
+        assert!(reclaimed > 0);
+        assert_eq!(tree.kd_tree().garbage_slots(), 0);
+        assert!(
+            tree.directory().total_bytes() < dir_bytes_before,
+            "directory kept its replace() garbage"
+        );
+        tree.assert_lane_padding();
+
+        for (qi, &q) in queries.iter().enumerate() {
+            let mut out = Vec::new();
+            let mut stats = bonsai_kdtree::SearchStats::default();
+            tree.radius_search(&mut sim, &mut machine, q, 1.5, &mut out, &mut stats);
+            assert_eq!(out, before[qi].0, "query {qi}: hits moved");
+            assert_eq!(stats, before[qi].1, "query {qi}: stats moved");
+        }
+    }
+
+    /// Directory structures still decode to their leaves' exact points
+    /// after the repack (bytes moved, never re-encoded).
+    #[test]
+    fn compacted_directory_structures_stay_decodable() {
+        let mut tree = churned_bonsai(700, 31);
+        let mut sim = SimEngine::disabled();
+        tree.compact(&mut sim);
+        for (id, node) in tree.kd_tree().nodes().iter().enumerate() {
+            let Node::Leaf { start, count } = *node else {
+                continue;
+            };
+            if count == 0 {
+                continue;
+            }
+            let r = tree
+                .directory()
+                .leaf_ref(id as u32)
+                .expect("live leaf lost its structure in the repack");
+            assert_eq!(r.num_pts as u32, count, "leaf {id}");
+            let mut decoded = [[0u16; 3]; 16];
+            codec::decompress(
+                tree.directory().bytes_of(id as u32),
+                count as usize,
+                &mut decoded,
+            );
+            for (slot, i) in (start..start + count).enumerate() {
+                let idx = tree.kd_tree().vind()[i as usize] as usize;
+                let p = tree.kd_tree().points()[idx];
+                for c in 0..3 {
+                    assert_eq!(
+                        decoded[slot][c],
+                        Half::from_f32(p[c]).to_bits(),
+                        "leaf {id} slot {slot} coord {c}"
+                    );
+                }
+            }
+        }
+        // The compacted tree keeps mutating + committing cleanly.
+        tree.insert(&mut sim, Point3::new(0.5, 0.5, 0.5)).unwrap();
+        tree.commit(&mut sim);
+        tree.assert_lane_padding();
+    }
+
+    #[test]
+    #[should_panic(expected = "uncommitted mutations")]
+    fn compact_with_pending_commit_panics() {
+        let mut sim = SimEngine::disabled();
+        let mut tree =
+            BonsaiTree::build(urban_like_cloud(200, 9), KdTreeConfig::default(), &mut sim);
+        tree.insert(&mut sim, Point3::new(1.0, 1.0, 1.0)).unwrap();
+        tree.compact(&mut sim);
     }
 
     #[test]

@@ -84,8 +84,9 @@ impl PartErrorMem {
     /// Every entry is an exact power of two (or `∞` on the overflow
     /// row) — the property that lets the AVX2 shell sweep of
     /// `bonsai-core` synthesize the ROM in-register from the exponent
-    /// fields, pinned bit-for-bit against [`lookup`](PartErrorMem::
-    /// lookup) by its `synthesized_rom_matches_lut` test.
+    /// fields, pinned bit-for-bit against
+    /// [`lookup`](PartErrorMem::lookup) by its
+    /// `synthesized_rom_matches_lut` test.
     pub fn new() -> PartErrorMem {
         let mut entries = [PartErrorEntry {
             two_max_delta: 0.0,

@@ -41,6 +41,13 @@ impl KdTree {
     /// Finds the `k` nearest neighbours of `query`, sorted by ascending
     /// distance. Returns fewer when the cloud is smaller than `k`.
     ///
+    /// A query center with a non-finite coordinate returns an empty
+    /// result without visiting any node. The guard matters more here
+    /// than in radius search: the heap admits a point whenever
+    /// `heap.len() < k` **or** the NaN comparison mis-orders, so an
+    /// unguarded NaN query returned `k` arbitrary "neighbors" with NaN
+    /// `dist_sq` instead of nothing.
+    ///
     /// Traversal is charged like radius search (baseline costs); leaf
     /// scans charge the baseline per-point model.
     ///
@@ -59,7 +66,7 @@ impl KdTree {
     /// assert_eq!(nn.len(), 3);
     /// ```
     pub fn knn(&self, sim: &mut SimEngine, query: Point3, k: usize) -> Vec<Neighbor> {
-        if self.nodes().is_empty() || k == 0 {
+        if self.nodes().is_empty() || k == 0 || !crate::search::query_is_searchable(query) {
             return Vec::new();
         }
         let costs = TraversalCosts::default_model();
@@ -92,7 +99,8 @@ impl KdTree {
         result
     }
 
-    /// The single nearest neighbour (`None` on an empty tree).
+    /// The single nearest neighbour (`None` on an empty tree or for a
+    /// query center with a non-finite coordinate).
     pub fn nearest(&self, sim: &mut SimEngine, query: Point3) -> Option<Neighbor> {
         self.knn(sim, query, 1).into_iter().next()
     }
@@ -261,6 +269,26 @@ mod tests {
         let nn = tree.nearest(&mut sim, cloud[123]).unwrap();
         assert_eq!(nn.index, 123);
         assert_eq!(nn.dist_sq, 0.0);
+    }
+
+    /// Regression: before the query-center guard, a NaN query returned
+    /// `k` garbage neighbors with NaN `dist_sq` — `heap.len() < k`
+    /// admitted the first `k` points scanned, and the NaN comparison
+    /// never evicted them.
+    #[test]
+    fn non_finite_queries_return_no_neighbors() {
+        let cloud = random_cloud(200, 9);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud, KdTreeConfig::default(), &mut sim);
+        for q in [
+            Point3::new(f32::NAN, 0.0, 0.0),
+            Point3::new(0.0, f32::INFINITY, 0.0),
+            Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+            Point3::new(f32::NAN, f32::NAN, f32::NAN),
+        ] {
+            assert!(tree.knn(&mut sim, q, 5).is_empty(), "{q:?} found neighbors");
+            assert!(tree.nearest(&mut sim, q).is_none(), "{q:?} has a nearest");
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 mod baseline;
 mod build;
+mod compact;
 mod costs;
 mod knn;
 mod mutate;
@@ -49,8 +50,9 @@ pub mod simd;
 
 pub use baseline::BaselineLeafProcessor;
 pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
+pub use compact::CompactRemap;
 pub use costs::TraversalCosts;
 pub use mutate::{MutationStats, ALPHA_BALANCE};
 pub use node::{LeafId, Node, NodeId};
 pub use scratch::{QueryBatch, SearchScratch};
-pub use search::{radius_is_searchable, LeafProcessor, Neighbor, SearchStats};
+pub use search::{query_is_searchable, radius_is_searchable, LeafProcessor, Neighbor, SearchStats};

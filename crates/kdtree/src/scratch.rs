@@ -202,9 +202,9 @@ impl KdTree {
     /// This is the substrate of the fast (`SimEngine::disabled`) path:
     /// leaf-scan loops plug in here without paying for the event model.
     ///
-    /// A non-positive or non-finite `radius` visits nothing, matching
-    /// the instrumented search's up-front rejection of degenerate
-    /// radii.
+    /// A non-positive or non-finite `radius` — or a non-finite query
+    /// center — visits nothing, matching the instrumented search's
+    /// up-front rejection of degenerate queries.
     #[inline]
     pub fn for_each_leaf_in_radius<F>(
         &self,
@@ -216,7 +216,10 @@ impl KdTree {
     ) where
         F: FnMut(LeafId, u32, u32, &mut SearchStats),
     {
-        if self.nodes().is_empty() || !crate::search::radius_is_searchable(radius) {
+        if self.nodes().is_empty()
+            || !crate::search::radius_is_searchable(radius)
+            || !crate::search::query_is_searchable(query)
+        {
             return;
         }
         let r_sq = radius * radius;
@@ -584,6 +587,34 @@ mod tests {
             assert_eq!(batch.total_matches(), 0, "radius {r}");
             assert_eq!(*batch.stats(), SearchStats::default(), "radius {r}");
         }
+    }
+
+    /// Same contract for non-finite query centers: the fast and batched
+    /// paths reject them before any traversal, so a NaN query can never
+    /// diverge from the instrumented search's empty result.
+    #[test]
+    fn non_finite_query_centers_are_empty_in_fast_and_batched_paths() {
+        let cloud = random_cloud(400, 23, 40.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud, KdTreeConfig::default(), &mut sim);
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let queries = [
+            Point3::new(f32::NAN, 0.0, 0.0),
+            Point3::new(0.0, f32::INFINITY, 0.0),
+            Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+        ];
+        for q in queries {
+            let mut stats = SearchStats::default();
+            tree.radius_search_fast(q, 1.5, &mut scratch, &mut out, &mut stats);
+            assert!(out.is_empty(), "query {q:?}");
+            assert_eq!(stats, SearchStats::default(), "query {q:?}");
+        }
+        let mut batch = QueryBatch::new();
+        tree.radius_search_batch(&queries, 1.5, &mut batch);
+        assert_eq!(batch.num_queries(), queries.len());
+        assert_eq!(batch.total_matches(), 0);
+        assert_eq!(*batch.stats(), SearchStats::default());
     }
 
     #[test]

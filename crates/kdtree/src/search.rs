@@ -133,6 +133,35 @@ pub fn radius_is_searchable(radius: f32) -> bool {
     radius > 0.0 && radius != f32::INFINITY
 }
 
+/// Whether `center` denotes a searchable query point.
+///
+/// The twin of [`radius_is_searchable`], covering the query *center*:
+/// every search entry point (radius **and** kNN) rejects a center with
+/// a NaN or ±∞ coordinate up front and returns an empty result without
+/// visiting any node. Without the guard the damage is worse than the
+/// degenerate-radius bug: a NaN coordinate makes every `d² ≤ r²`
+/// comparison false (radius search silently finds nothing after a full
+/// traversal), while kNN's heap admits points whenever `heap.len() < k`
+/// — so a NaN query returned `k` arbitrary "neighbors" with NaN
+/// `dist_sq`. Layered front-ends (the batch engine, the shard router)
+/// apply the identical rejection before any routing work so their
+/// behavior can never diverge from the single-tree traversal.
+///
+/// # Examples
+///
+/// ```
+/// use bonsai_geom::Point3;
+/// use bonsai_kdtree::query_is_searchable;
+/// assert!(query_is_searchable(Point3::new(1.0, -2.0, 0.5)));
+/// assert!(!query_is_searchable(Point3::new(f32::NAN, 0.0, 0.0)));
+/// assert!(!query_is_searchable(Point3::new(0.0, f32::INFINITY, 0.0)));
+/// assert!(!query_is_searchable(Point3::new(0.0, 0.0, f32::NEG_INFINITY)));
+/// ```
+#[inline]
+pub fn query_is_searchable(center: Point3) -> bool {
+    center.is_finite()
+}
+
 impl KdTree {
     /// Radius search (paper Section II-C): finds every point within
     /// `radius` of `query`, using `processor` for leaf inspection and
@@ -158,8 +187,9 @@ impl KdTree {
     /// form every hot loop (cluster BFS, batch engine, benches) should
     /// use.
     ///
-    /// A non-positive or non-finite `radius` yields an empty result
-    /// without visiting any node (no stats, no simulated events).
+    /// A non-positive or non-finite `radius` — or a query center with a
+    /// non-finite coordinate — yields an empty result without visiting
+    /// any node (no stats, no simulated events).
     #[allow(clippy::too_many_arguments)] // mirrors radius_search + scratch
     pub fn radius_search_scratch<P: LeafProcessor>(
         &self,
@@ -172,7 +202,7 @@ impl KdTree {
         scratch: &mut SearchScratch,
     ) {
         out.clear();
-        if self.nodes().is_empty() || !radius_is_searchable(radius) {
+        if self.nodes().is_empty() || !radius_is_searchable(radius) || !query_is_searchable(query) {
             return;
         }
         let costs = TraversalCosts::default_model();
@@ -404,6 +434,37 @@ mod tests {
             tree.radius_search(&mut sim, &mut proc, q, r, &mut out, &mut stats);
             assert!(out.is_empty(), "radius {r} left stale results");
             assert_eq!(stats, SearchStats::default(), "radius {r} did work");
+        }
+    }
+
+    /// The non-finite-query-center contract: NaN/±∞ coordinates return
+    /// empty results with zero traversal work. Before the guard, a NaN
+    /// query silently traversed (all comparisons false) and an ∞ query
+    /// mis-pruned — and kNN admitted garbage (see `knn.rs`).
+    #[test]
+    fn non_finite_query_centers_return_empty_without_visits() {
+        let cloud = random_cloud(300, 14, 20.0);
+        let mut sim = SimEngine::disabled();
+        let tree = KdTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+        for q in [
+            Point3::new(f32::NAN, 0.0, 0.0),
+            Point3::new(0.0, f32::INFINITY, 0.0),
+            Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+            Point3::new(f32::NAN, f32::NAN, f32::NAN),
+        ] {
+            assert!(
+                tree.radius_search_simple(q, 2.0).is_empty(),
+                "query {q:?} must find nothing"
+            );
+            let mut proc = BaselineLeafProcessor::new(&mut sim);
+            let mut out = vec![Neighbor {
+                index: 0,
+                dist_sq: 0.0,
+            }];
+            let mut stats = SearchStats::default();
+            tree.radius_search(&mut sim, &mut proc, q, 2.0, &mut out, &mut stats);
+            assert!(out.is_empty(), "query {q:?} left stale results");
+            assert_eq!(stats, SearchStats::default(), "query {q:?} did work");
         }
     }
 

@@ -226,6 +226,81 @@ fn degenerate_radii_are_empty_through_the_router() {
 }
 
 // ---------------------------------------------------------------------
+// Non-finite query centers (this repo's PR 5 bugfix).
+// ---------------------------------------------------------------------
+
+const NON_FINITE_QUERIES: [Point3; 4] = [
+    Point3::new(f32::NAN, 0.0, 0.0),
+    Point3::new(0.0, f32::INFINITY, 0.0),
+    Point3::new(0.0, 0.0, f32::NEG_INFINITY),
+    Point3::new(f32::NAN, f32::INFINITY, f32::NAN),
+];
+
+/// The query-center regression: NaN/±∞ centers must return empty
+/// results with zero traversal work through every single-tree front-end
+/// (instrumented, fast engine, batched). This test fails on the
+/// pre-guard code: radius search traversed silently, and `knn` returned
+/// `k` garbage neighbors with NaN `dist_sq` because `heap.len() < k`
+/// admitted whatever the first leaves held.
+#[test]
+fn non_finite_query_centers_are_empty_all_modes() {
+    let cloud = lane_cloud(400);
+    let mut sim = SimEngine::disabled();
+    let tree = BonsaiTree::build(cloud.clone(), KdTreeConfig::default(), &mut sim);
+    let mut scratch = SearchScratch::new();
+    let mut out = Vec::new();
+    for q in NON_FINITE_QUERIES {
+        for mode in MODES {
+            let (hits, stats) = instrumented_search(&tree, mode, q, 1.0);
+            assert!(hits.is_empty(), "{mode:?} query {q:?}");
+            assert_eq!(stats, SearchStats::default(), "{mode:?} query {q:?}");
+
+            let engine = engine_for(&tree, mode);
+            let mut stats = SearchStats::default();
+            engine.search_one(q, 1.0, &mut scratch, &mut out, &mut stats);
+            assert!(out.is_empty(), "{mode:?} engine query {q:?}");
+            assert_eq!(stats, SearchStats::default(), "{mode:?} engine query {q:?}");
+        }
+        // kNN: the worst offender pre-guard.
+        assert!(
+            tree.kd_tree().knn(&mut sim, q, 7).is_empty(),
+            "knn found neighbors at {q:?}"
+        );
+        assert!(tree.kd_tree().nearest(&mut sim, q).is_none());
+    }
+    // Batched: one empty result range per query, zero aggregate stats.
+    for mode in MODES {
+        let engine = engine_for(&tree, mode);
+        let mut batch = QueryBatch::new();
+        engine.search_batch(&NON_FINITE_QUERIES, 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), NON_FINITE_QUERIES.len());
+        assert_eq!(batch.total_matches(), 0, "{mode:?}");
+        assert_eq!(*batch.stats(), SearchStats::default(), "{mode:?}");
+    }
+}
+
+/// The sharded twin: the router must reject non-finite centers before
+/// the AABB walk (NaN makes every `intersects_ball` false, ±∞ makes the
+/// box distance arithmetic NaN — either way it could diverge from the
+/// single-tree engine without the shared guard).
+#[test]
+fn non_finite_query_centers_are_empty_through_the_router() {
+    let cloud = lane_cloud(400);
+    for shards in [1, 4] {
+        let router = ShardRouter::bonsai(
+            &cloud,
+            KdTreeConfig::default(),
+            ShardConfig::with_shards(shards),
+        );
+        let mut batch = QueryBatch::new();
+        router.search_batch(&NON_FINITE_QUERIES, 1.0, &mut batch);
+        assert_eq!(batch.num_queries(), NON_FINITE_QUERIES.len());
+        assert_eq!(batch.total_matches(), 0, "K={shards}");
+        assert_eq!(*batch.stats(), SearchStats::default(), "K={shards}");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Degenerate clouds.
 // ---------------------------------------------------------------------
 
