@@ -477,6 +477,10 @@ fn main() {
             ShardConfig::with_shards(SHARDS),
         );
         let mut live: Vec<u32> = (0..cloud_n as u32).collect();
+        // Coordinates tracked per slot: shard rebuilds retire dead
+        // globals into the free list and later inserts recycle them,
+        // so a global index no longer encodes which insert it was.
+        let mut live_coords = cloud.clone();
         let mut max_ratio = 0.0f64;
         let mut compactions = 0usize;
         let start = Instant::now();
@@ -486,6 +490,7 @@ fn main() {
                 router.delete(live[pos]);
                 let p = insert_source[(frame * soak_churn + j) % insert_source.len()];
                 live[pos] = router.insert(p).expect("finite insert");
+                live_coords[pos] = p;
             }
             router.commit();
             if let Some(policy) = &policy {
@@ -502,21 +507,15 @@ fn main() {
 
         // Exactness spot check: the soaked router must still match a
         // fresh single tree over its live points (indices remapped).
-        // Global index g ≥ cloud_n is the (g − cloud_n)-th insert, so
-        // its coordinates replay the deterministic churn schedule.
         {
-            let mut sorted_live = live.clone();
-            sorted_live.sort_unstable();
-            let live_pts: Vec<_> = sorted_live
+            let mut pairs: Vec<(u32, _)> = live
                 .iter()
-                .map(|&g| {
-                    if (g as usize) < cloud_n {
-                        cloud[g as usize]
-                    } else {
-                        insert_source[(g as usize - cloud_n) % insert_source.len()]
-                    }
-                })
+                .copied()
+                .zip(live_coords.iter().copied())
                 .collect();
+            pairs.sort_unstable_by_key(|&(g, _)| g);
+            let sorted_live: Vec<u32> = pairs.iter().map(|&(g, _)| g).collect();
+            let live_pts: Vec<_> = pairs.iter().map(|&(_, p)| p).collect();
             let mut sim = SimEngine::disabled();
             let fresh = BonsaiTree::build(live_pts, KdTreeConfig::default(), &mut sim);
             let mut batch = QueryBatch::new();

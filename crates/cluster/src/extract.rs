@@ -1,5 +1,5 @@
 use bonsai_core::{
-    BonsaiTree, RadiusSearchEngine, ShardConfig, ShardRouter, SoftwareCodecProcessor,
+    BonsaiTree, Coverage, RadiusSearchEngine, ShardConfig, ShardRouter, SoftwareCodecProcessor,
 };
 use bonsai_geom::Point3;
 use bonsai_isa::Machine;
@@ -35,6 +35,11 @@ pub struct ClusterOutput {
     pub build_stats: BuildStats,
     /// Compressed-array footprint in bytes (0 in baseline mode).
     pub compressed_bytes: u64,
+    /// Which regions this extraction covered. A from-scratch build is
+    /// always complete; a streaming extraction serving through
+    /// quarantined shards reports the offline regions here (see
+    /// [`Coverage`]).
+    pub coverage: Coverage,
 }
 
 /// Branch sites of the cluster BFS.
@@ -232,6 +237,7 @@ pub fn extract_euclidean_clusters(
         search_stats,
         build_stats: tree.build_stats(),
         compressed_bytes: bonsai.map_or(0, |b| b.compression_stats().compressed_bytes),
+        coverage: Coverage::default(),
     }
 }
 
@@ -428,6 +434,7 @@ pub fn extract_euclidean_clusters_batched(
         search_stats,
         build_stats: tree.build_stats(),
         compressed_bytes,
+        coverage: Coverage::default(),
     }
 }
 
@@ -497,6 +504,7 @@ pub fn extract_euclidean_clusters_sharded(
         search_stats,
         build_stats: router.build_stats(),
         compressed_bytes: router.compressed_bytes(),
+        coverage: router.coverage(),
     }
 }
 

@@ -48,10 +48,12 @@ mod extract;
 mod pipeline;
 mod streaming;
 
-pub use bonsai_core::CompactionPolicy;
+pub use bonsai_core::{CompactionPolicy, Coverage};
 pub use extract::{
     extract_euclidean_clusters, extract_euclidean_clusters_batched,
     extract_euclidean_clusters_sharded, ClusterOutput, TreeMode,
 };
-pub use pipeline::{ClusterParams, FramePipeline, FrameResult, StreamingPipeline};
-pub use streaming::{FrameUpdate, StreamingExtractor};
+pub use pipeline::{
+    AuditPolicy, ClusterParams, FramePipeline, FrameResult, PipelineError, StreamingPipeline,
+};
+pub use streaming::{FrameUpdate, HealReport, StreamingExtractor};

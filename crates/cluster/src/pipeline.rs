@@ -1,9 +1,64 @@
+use std::fmt;
+
 use bonsai_geom::{Aabb, Point3};
-use bonsai_kdtree::KdTreeConfig;
+use bonsai_kdtree::{AuditViolation, KdTreeConfig};
 use bonsai_sim::{Kernel, OpClass, SimEngine};
 
 use crate::extract::{extract_euclidean_clusters, ClusterOutput, TreeMode};
 use crate::filters;
+
+/// Why a streaming serving call failed — the `Result` boundary of
+/// [`StreamingPipeline::try_process_frame`] and the extractor's
+/// `try_*` entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The cluster tolerance is non-positive or non-finite: no radius
+    /// search is defined for it.
+    DegenerateTolerance(f32),
+    /// An audit found corruption and the quarantine-and-rebuild heal
+    /// could not restore a clean index; the violations that survived
+    /// (or tripped the guard) are attached.
+    CorruptionUnrecovered(Vec<AuditViolation>),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::DegenerateTolerance(t) => {
+                write!(f, "cluster tolerance {t} is not a positive finite radius")
+            }
+            PipelineError::CorruptionUnrecovered(v) => {
+                write!(
+                    f,
+                    "index corruption survived a heal ({} violations",
+                    v.len()
+                )?;
+                if let Some(first) = v.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// When [`StreamingPipeline::try_process_frame`] runs the deep
+/// invariant audit (and, on findings, the quarantine-and-rebuild
+/// heal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AuditPolicy {
+    /// Never audit — the default; the healthy serving path is exactly
+    /// the unaudited one.
+    #[default]
+    Off,
+    /// Audit before every frame.
+    EveryFrame,
+    /// Audit before every `n`-th frame (`Every(0)` behaves like
+    /// [`Off`](AuditPolicy::Off)).
+    Every(u32),
+}
 
 /// Parameters of the end-to-end euclidean-cluster pipeline, with
 /// Autoware-flavoured defaults.
@@ -219,6 +274,10 @@ pub struct StreamingPipeline {
     /// Auto-compaction policy checked after every frame (`None`
     /// disables the rolling shard rebuilds).
     compaction: Option<bonsai_core::CompactionPolicy>,
+    /// When the deep invariant audit runs (default: never).
+    audit: AuditPolicy,
+    /// Frames served so far (drives [`AuditPolicy::Every`]).
+    frames_processed: u64,
 }
 
 impl StreamingPipeline {
@@ -230,11 +289,11 @@ impl StreamingPipeline {
     /// after each frame one shard is checked (round robin) and rebuilt
     /// when churn has wasted enough of its storage, so the **tree and
     /// directory storage** of a long stream stays bounded without any
-    /// frame paying for more than one shard rebuild. (The per-insert
-    /// global-index bookkeeping — extractor coordinates, router
-    /// directory — still grows one entry per insert ever; see the
-    /// roadmap's slot-reuse item.) Compaction never changes extraction
-    /// output —
+    /// frame paying for more than one shard rebuild. (Rebuilds also
+    /// retire dead global indices into a generation-tagged free list,
+    /// so the per-insert bookkeeping — extractor coordinates, router
+    /// directory — stops growing too.) Compaction never changes
+    /// extraction output —
     /// global indices are stable and per-point membership is
     /// shape-independent — so the streaming results stay bit-identical
     /// to rebuild-per-frame with the policy on or off. Disable or tune
@@ -247,7 +306,19 @@ impl StreamingPipeline {
             extractor,
             frame_pos: Vec::new(),
             compaction: Some(bonsai_core::CompactionPolicy::default()),
+            audit: AuditPolicy::default(),
+            frames_processed: 0,
         }
+    }
+
+    /// The audit policy (default [`AuditPolicy::Off`]).
+    pub fn audit_policy(&self) -> AuditPolicy {
+        self.audit
+    }
+
+    /// Replaces the audit policy.
+    pub fn set_audit_policy(&mut self, policy: AuditPolicy) {
+        self.audit = policy;
     }
 
     /// The auto-compaction policy (`None` = disabled).
@@ -276,10 +347,60 @@ impl StreamingPipeline {
         &self.extractor
     }
 
+    /// Mutable extractor access for the chaos suite (fault injection
+    /// between frames).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_extractor_mut(&mut self) -> &mut crate::StreamingExtractor {
+        &mut self.extractor
+    }
+
     /// Runs preprocess → diff → incremental update → extract →
     /// post-process on a raw sensor frame, returning the same
     /// `FrameResult` a from-scratch [`FramePipeline::run`] produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics where
+    /// [`try_process_frame`](StreamingPipeline::try_process_frame)
+    /// would return an error: a degenerate tolerance, or corruption a
+    /// policy-triggered heal could not repair.
     pub fn process_frame(&mut self, raw_cloud: &[Point3]) -> FrameResult {
+        self.try_process_frame(raw_cloud)
+            .expect("streaming frame failed")
+    }
+
+    /// [`process_frame`](StreamingPipeline::process_frame) behind the
+    /// serving `Result` boundary. If the audit policy is due it first
+    /// audits the index and, on findings,
+    /// [heals](crate::StreamingExtractor::heal) it — quarantined
+    /// shards are rebuilt from the authoritative coordinates before
+    /// the frame is served, so a transient corruption costs one
+    /// rebuild, not the stream. Corruption that survives the heal is
+    /// returned as [`PipelineError::CorruptionUnrecovered`].
+    pub fn try_process_frame(
+        &mut self,
+        raw_cloud: &[Point3],
+    ) -> Result<FrameResult, PipelineError> {
+        let tolerance = self.pipeline.params().tolerance;
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(PipelineError::DegenerateTolerance(tolerance));
+        }
+        let due = match self.audit {
+            AuditPolicy::Off => false,
+            AuditPolicy::EveryFrame => true,
+            AuditPolicy::Every(n) => n > 0 && self.frames_processed.is_multiple_of(u64::from(n)),
+        };
+        if due {
+            let report = self.extractor.heal();
+            if !report.clean {
+                return Err(PipelineError::CorruptionUnrecovered(report.violations));
+            }
+        }
+        self.frames_processed += 1;
+        Ok(self.frame_inner(raw_cloud))
+    }
+
+    fn frame_inner(&mut self, raw_cloud: &[Point3]) -> FrameResult {
         let mut sim = SimEngine::disabled();
         let points = self.pipeline.preprocess(&mut sim, raw_cloud);
         let p = self.pipeline.params();
@@ -339,6 +460,7 @@ impl StreamingPipeline {
                 search_stats: output.search_stats,
                 build_stats: output.build_stats,
                 compressed_bytes: output.compressed_bytes,
+                coverage: output.coverage,
             },
             boxes,
             clustered_points: points.len(),

@@ -26,9 +26,10 @@ use std::collections::HashMap;
 
 use bonsai_core::{CompactionPolicy, ShardConfig, ShardRouter};
 use bonsai_geom::Point3;
-use bonsai_kdtree::{KdTreeConfig, SearchStats};
+use bonsai_kdtree::{AuditViolation, KdTreeConfig, SearchStats};
 
 use crate::extract::{bfs_connected_clusters, search_frontier, ClusterOutput, TreeMode};
+use crate::pipeline::PipelineError;
 
 /// One frame's difference against the live point set: coordinates to
 /// insert and global indices to delete. Produced by
@@ -51,10 +52,15 @@ impl FrameUpdate {
 
 /// A persistent, incrementally-updated cluster extractor.
 ///
-/// Global point indices are assigned once at insertion and stay valid
-/// until the point is deleted; the live set after
+/// Global point indices are assigned at insertion and stay valid until
+/// the point is deleted; the live set after
 /// [`ingest_frame`](StreamingExtractor::ingest_frame) is exactly the
-/// frame's point multiset.
+/// frame's point multiset. A *deleted* index may later be recycled for
+/// a new point once a shard rebuild retires its slot (generation-
+/// tagged free lists keep long streams from growing one entry per
+/// insert ever), so hold indices only while their points are live —
+/// [`try_point`](StreamingExtractor::try_point) distinguishes the
+/// cases.
 ///
 /// # Examples
 ///
@@ -150,10 +156,29 @@ impl StreamingExtractor {
             .map(|(i, _)| i as u32)
     }
 
-    /// The coordinates of global point `idx` (also valid for deleted
-    /// indices — slots are never reused).
+    /// The coordinates of global point `idx`. Valid while the point is
+    /// live; a deleted index keeps reporting its last coordinates only
+    /// until a shard rebuild recycles the slot (use
+    /// [`try_point`](StreamingExtractor::try_point) when liveness is
+    /// not guaranteed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was never assigned.
     pub fn point(&self, idx: u32) -> Point3 {
         self.coords[idx as usize]
+    }
+
+    /// The coordinates of global point `idx`, or `None` when the index
+    /// is out of range or its point is not live — never panics, the
+    /// serving-path form of [`point`](StreamingExtractor::point).
+    pub fn try_point(&self, idx: u32) -> Option<Point3> {
+        let i = idx as usize;
+        if i < self.coords.len() && self.alive[i] {
+            Some(self.coords[i])
+        } else {
+            None
+        }
     }
 
     /// The underlying sharded index (bounds, per-shard stats,
@@ -237,11 +262,16 @@ impl StreamingExtractor {
         by_bits
     }
 
-    /// Records global index `g` (just inserted, the largest ever
-    /// assigned) in the matcher; pushing keeps its list ascending.
+    /// Records just-inserted global index `g` in the matcher. `g` may
+    /// be a recycled slot (smaller than indices already listed), so the
+    /// list position is found by binary search to keep it ascending.
     fn matcher_insert(&mut self, g: u32) {
         let key = coord_key(self.coords[g as usize]);
-        self.matcher.entry(key).or_default().push(g);
+        let list = self.matcher.entry(key).or_default();
+        match list.binary_search(&g) {
+            Ok(_) => unreachable!("global index {g} inserted twice"),
+            Err(pos) => list.insert(pos, g),
+        }
     }
 
     /// Removes global index `g` from the matcher (it was just
@@ -278,9 +308,18 @@ impl StreamingExtractor {
         for &p in &update.added {
             let assigned = self.router.insert(p);
             if let Some(g) = assigned {
-                debug_assert_eq!(g as usize, self.coords.len());
-                self.coords.push(p);
-                self.alive.push(true);
+                let gi = g as usize;
+                if gi < self.coords.len() {
+                    // Recycled slot: a shard rebuild retired this
+                    // index after its point died.
+                    debug_assert!(!self.alive[gi], "router recycled a live index");
+                    self.coords[gi] = p;
+                    self.alive[gi] = true;
+                } else {
+                    debug_assert_eq!(gi, self.coords.len());
+                    self.coords.push(p);
+                    self.alive.push(true);
+                }
                 self.num_live += 1;
                 self.matcher_insert(g);
             }
@@ -346,6 +385,17 @@ impl StreamingExtractor {
     /// Extracts euclidean clusters from the live set, in **global**
     /// index space: identical membership to a from-scratch extraction
     /// over the live points, for every mode and shard count.
+    ///
+    /// With shards quarantined (see [`heal`](StreamingExtractor::heal))
+    /// their points are **offline**: they neither seed nor join
+    /// clusters, and the output's `coverage` names the offline regions
+    /// so consumers know the result is partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive tolerance; see
+    /// [`try_extract`](StreamingExtractor::try_extract) for the
+    /// `Result` form.
     pub fn extract(
         &self,
         tolerance: f32,
@@ -353,10 +403,30 @@ impl StreamingExtractor {
         max_cluster_size: usize,
     ) -> ClusterOutput {
         assert!(tolerance > 0.0, "cluster tolerance must be positive");
+        let coverage = self.router.coverage();
+        // Quarantined shards are unsearchable; their points must not
+        // seed clusters either, or singleton fragments would appear.
+        let masked: Vec<bool>;
+        let alive: &[bool] = if coverage.complete {
+            &self.alive
+        } else {
+            masked = self
+                .alive
+                .iter()
+                .enumerate()
+                .map(|(g, &a)| {
+                    a && self
+                        .router
+                        .shard_of(g as u32)
+                        .is_some_and(|s| !self.router.is_quarantined(s))
+                })
+                .collect();
+            &masked
+        };
         let mut search_stats = SearchStats::default();
         let clusters = bfs_connected_clusters(
             &self.coords,
-            Some(&self.alive),
+            Some(alive),
             min_cluster_size,
             max_cluster_size,
             &mut search_stats,
@@ -367,8 +437,133 @@ impl StreamingExtractor {
             search_stats,
             build_stats: self.router.build_stats(),
             compressed_bytes: self.router.compressed_bytes(),
+            coverage,
         }
     }
+
+    /// [`extract`](StreamingExtractor::extract) behind the serving
+    /// `Result` boundary: a degenerate tolerance is an error, never a
+    /// panic.
+    pub fn try_extract(
+        &self,
+        tolerance: f32,
+        min_cluster_size: usize,
+        max_cluster_size: usize,
+    ) -> Result<ClusterOutput, PipelineError> {
+        if !tolerance.is_finite() || tolerance <= 0.0 {
+            return Err(PipelineError::DegenerateTolerance(tolerance));
+        }
+        Ok(self.extract(tolerance, min_cluster_size, max_cluster_size))
+    }
+
+    /// [`ingest_frame`](StreamingExtractor::ingest_frame) behind the
+    /// serving `Result` boundary: before mutating, the extractor's
+    /// live count is checked against the router's — an `O(1)` tripwire
+    /// for directory corruption that would otherwise surface as a
+    /// panic deep inside the diff apply. (The full corruption check is
+    /// [`audit`](StreamingExtractor::audit); this guard only catches
+    /// drift the cheap counters already disagree on.)
+    pub fn try_ingest_frame(&mut self, next: &[Point3]) -> Result<Vec<u32>, PipelineError> {
+        if self.router.num_points() != self.num_live {
+            return Err(PipelineError::CorruptionUnrecovered(vec![
+                AuditViolation::new(
+                    bonsai_kdtree::ViolationKind::Accounting,
+                    format!(
+                        "router holds {} live points but the extractor tracks {}",
+                        self.router.num_points(),
+                        self.num_live
+                    ),
+                ),
+            ]));
+        }
+        Ok(self.ingest_frame(next))
+    }
+
+    /// Runs the deep invariant audit over the whole serving stack: the
+    /// router's directory/free-list/accounting web plus every healthy
+    /// shard's full tree (and, under Bonsai, compressed-layer) walk.
+    /// Empty means certified; never panics on corrupt state.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        self.router.audit()
+    }
+
+    /// Audits, and if anything is wrong, quarantines every implicated
+    /// shard and rebuilds it from the extractor's own coordinates —
+    /// the authoritative copy the index is derived from. A violation
+    /// that names no shard implicates the global directory itself, so
+    /// every shard is rebuilt. Already-quarantined shards are rebuilt
+    /// and re-admitted too.
+    ///
+    /// After a clean heal the index serves **bit-identical** results
+    /// to a never-corrupted twin: same clusters, full coverage.
+    pub fn heal(&mut self) -> HealReport {
+        let violations = self.audit();
+        let pre = self.router.quarantined_shards();
+        if violations.is_empty() && pre.is_empty() {
+            return HealReport {
+                violations,
+                rebuilt: Vec::new(),
+                clean: true,
+            };
+        }
+        let mut rebuilt: Vec<usize> = if violations.iter().any(|v| v.shard.is_none()) {
+            (0..self.router.num_shards()).collect()
+        } else {
+            violations
+                .iter()
+                .filter_map(|v| v.shard.map(|s| s as usize))
+                .chain(pre)
+                .collect()
+        };
+        rebuilt.sort_unstable();
+        rebuilt.dedup();
+        for &s in &rebuilt {
+            self.router.quarantine(s);
+        }
+        let live: Vec<(u32, Point3)> = self
+            .live_indices()
+            .map(|g| (g, self.coords[g as usize]))
+            .collect();
+        self.router.rebuild_shards_from(&rebuilt, &live);
+        let clean = self.audit().is_empty();
+        HealReport {
+            violations,
+            rebuilt,
+            clean,
+        }
+    }
+
+    /// Injects a seeded state fault into the live router (the chaos
+    /// harness's entry point at this layer). Returns the attributed
+    /// shard, or `None` when no site applies.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_inject(
+        &mut self,
+        plan: &mut bonsai_core::FaultPlan,
+        kind: bonsai_core::FaultKind,
+    ) -> Option<usize> {
+        plan.inject(&mut self.router, kind)
+    }
+
+    /// Mutable router access for the chaos suite (direct quarantine,
+    /// hand-crafted corruption).
+    #[cfg(feature = "chaos")]
+    pub fn chaos_router_mut(&mut self) -> &mut ShardRouter {
+        &mut self.router
+    }
+}
+
+/// What one [`StreamingExtractor::heal`] call found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealReport {
+    /// Everything the triggering audit reported (empty = the index was
+    /// already certified and nothing was quarantined).
+    pub violations: Vec<AuditViolation>,
+    /// Shards quarantined and rebuilt from the authoritative
+    /// coordinates, ascending.
+    pub rebuilt: Vec<usize>,
+    /// Whether the post-heal audit certified the index.
+    pub clean: bool,
 }
 
 fn coord_key(p: Point3) -> [u32; 3] {

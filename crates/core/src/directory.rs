@@ -220,6 +220,32 @@ impl CompressedDirectory {
     }
 }
 
+#[cfg(feature = "chaos")]
+impl CompressedDirectory {
+    /// Chaos hook: redirects the `nth % live`-th recorded reference
+    /// one slice past the end of the byte array, so its byte range no
+    /// longer fits — the audit's range check catches it. Returns
+    /// `false` when no reference is recorded.
+    pub fn chaos_corrupt_ref(&mut self, nth: usize) -> bool {
+        let live: Vec<usize> = self
+            .refs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            return false;
+        }
+        let leaf = live[nth % live.len()];
+        let past_end = (self.data.len() + SLICE_BYTES) as u32;
+        if let Some(r) = &mut self.refs[leaf] {
+            r.offset = past_end;
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

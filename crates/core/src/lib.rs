@@ -40,6 +40,9 @@
 
 pub mod shell;
 
+mod audit;
+#[cfg(feature = "chaos")]
+mod chaos;
 mod directory;
 mod engine;
 #[cfg(feature = "parallel")]
@@ -51,10 +54,12 @@ mod simd;
 mod software;
 mod tree;
 
+#[cfg(feature = "chaos")]
+pub use chaos::{FaultKind, FaultPlan};
 pub use directory::{CompressedDirectory, LeafRef};
 pub use engine::{EngineMode, RadiusSearchEngine};
 pub use processor::BonsaiLeafProcessor;
 pub use reduced::ReducedUncheckedProcessor;
-pub use shard::{CompactionPolicy, ShardConfig, ShardRouter};
+pub use shard::{CompactionPolicy, Coverage, ShardConfig, ShardRouter};
 pub use software::SoftwareCodecProcessor;
 pub use tree::{BonsaiTree, CompressionStats};

@@ -28,10 +28,13 @@
 //! equal the sum over shards of searching that shard's own engine with
 //! the queries routed to it.
 
+use std::collections::{HashMap, HashSet};
+
 use bonsai_floatfmt::PartErrorMem;
 use bonsai_geom::{Aabb, Point3};
 use bonsai_kdtree::{
-    BuildStats, KdTree, KdTreeConfig, Neighbor, QueryBatch, SearchScratch, SearchStats,
+    AuditViolation, BuildStats, KdTree, KdTreeConfig, Neighbor, QueryBatch, SearchScratch,
+    SearchStats, ViolationKind,
 };
 use bonsai_sim::SimEngine;
 
@@ -75,9 +78,22 @@ impl ShardConfig {
 struct Shard {
     /// Tight bounding box of the shard's points (the routing test).
     aabb: Aabb,
-    /// Shard-local point index → global cloud index (ascending).
+    /// Shard-local point index → global cloud index (ascending after a
+    /// build/rebuild; routed inserts append, possibly with recycled —
+    /// smaller — global indices).
     global: Vec<u32>,
     tree: ShardTree,
+    /// A quarantined shard is suspected corrupt: queries skip it
+    /// (reported through [`ShardRouter::coverage`]), mutations never
+    /// touch its tree, and
+    /// [`rebuild_shards_from`](ShardRouter::rebuild_shards_from)
+    /// re-admits it from authoritative coordinates.
+    quarantined: bool,
+    /// Deletes routed here while quarantined — the tree cannot be
+    /// trusted to record them, so they are queued and resolved by the
+    /// healing rebuild (which only re-admits points the caller lists as
+    /// live).
+    pending_deletes: Vec<u32>,
 }
 
 #[derive(Debug)]
@@ -194,6 +210,33 @@ impl CompactionPolicy {
     }
 }
 
+/// What fraction of the indexed space a query answer covers: complete,
+/// or missing the regions of quarantined shards.
+///
+/// Returned by [`ShardRouter::coverage`] and attached to every
+/// streaming extraction so a downstream consumer can tell an
+/// authoritative "no neighbors here" from "that region's shard is
+/// offline pending a healing rebuild".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// `true` when no shard is quarantined — results are exact over the
+    /// whole live cloud.
+    pub complete: bool,
+    /// Bounding boxes of the quarantined shards' regions (empty when
+    /// `complete`). Queries intersecting these boxes may be missing
+    /// neighbors.
+    pub offline: Vec<Aabb>,
+}
+
+impl Default for Coverage {
+    fn default() -> Coverage {
+        Coverage {
+            complete: true,
+            offline: Vec::new(),
+        }
+    }
+}
+
 /// A sharded multi-tree radius-search front-end: `K` spatial shards,
 /// each with its own tree and engine state, behind the same batch API
 /// as the single-tree [`RadiusSearchEngine`].
@@ -234,6 +277,16 @@ pub struct ShardRouter {
     /// (deleted points keep their entry until a shard rebuild retires
     /// it to [`PointLoc::GONE`]; the shard tree tracks liveness).
     locs: Vec<PointLoc>,
+    /// Per-global-index generation tag, parallel to `locs`: bumped each
+    /// time the index is retired to [`PointLoc::GONE`], so a consumer
+    /// holding a stale global index can detect that the index was
+    /// recycled for a different point.
+    generations: Vec<u32>,
+    /// Retired global indices available for reuse —
+    /// [`insert`](ShardRouter::insert) pops from here before growing
+    /// `locs`, so a long churn stream's directory stops growing once
+    /// retirement keeps pace.
+    free_globals: Vec<u32>,
     /// Round-robin cursor of [`compact_next`](ShardRouter::compact_next):
     /// which shard the next policy check inspects.
     compact_cursor: usize,
@@ -296,7 +349,9 @@ impl ShardRouter {
             num_points,
             lut: PartErrorMem::new(),
             tree_cfg,
+            generations: vec![0; locs.len()],
             locs,
+            free_globals: Vec::new(),
             compact_cursor: 0,
         }
     }
@@ -387,26 +442,36 @@ impl ShardRouter {
         if !p.is_finite() {
             return None;
         }
-        let global = self.locs.len() as u32;
+        let global = self.alloc_global();
         let mut sim = SimEngine::disabled();
-        if self.shards.is_empty() {
-            self.shards
-                .push(build_shard(vec![global], vec![p], self.tree_cfg, self.mode));
-            self.locs.push(PointLoc { shard: 0, local: 0 });
-            self.num_points += 1;
-            return Some(global);
-        }
-        let mut si = self
+        let fresh = self
             .shards
             .iter()
             .enumerate()
+            .filter(|(_, s)| !s.quarantined)
             .min_by(|(_, a), (_, b)| {
                 a.aabb
                     .distance_squared_to(p)
                     .total_cmp(&b.aabb.distance_squared_to(p))
             })
-            .map(|(i, _)| i)
-            .expect("shards is non-empty");
+            .map(|(i, _)| i);
+        let Some(mut si) = fresh else {
+            // No healthy shard exists (empty router, or every shard is
+            // quarantined): bootstrap a new single-point shard rather
+            // than mutating a suspect tree.
+            let si = self.shards.len();
+            self.shards
+                .push(build_shard(vec![global], vec![p], self.tree_cfg, self.mode));
+            self.set_loc(
+                global,
+                PointLoc {
+                    shard: si as u32,
+                    local: 0,
+                },
+            );
+            self.num_points += 1;
+            return Some(global);
+        };
         if self.shards[si].aabb.distance_squared_to(p) > 0.0 {
             // No shard's box covers the point. Revive a *rebuilt-empty*
             // shard (its inverted sentinel box is infinitely far, so
@@ -416,7 +481,11 @@ impl ShardRouter {
             // are deliberately excluded: their stale boxes still
             // describe the region they served, so ordinary distance
             // routing remains the better (and nearer) choice for them.
-            if let Some(empty) = self.shards.iter().position(|s| s.aabb.min.x > s.aabb.max.x) {
+            if let Some(empty) = self
+                .shards
+                .iter()
+                .position(|s| !s.quarantined && s.aabb.min.x > s.aabb.max.x)
+            {
                 si = empty;
             }
         }
@@ -428,12 +497,43 @@ impl ShardRouter {
             .expect("finite point is accepted by the shard tree");
         debug_assert_eq!(local as usize, shard.global.len());
         shard.global.push(global);
-        self.locs.push(PointLoc {
-            shard: si as u32,
-            local,
-        });
+        self.set_loc(
+            global,
+            PointLoc {
+                shard: si as u32,
+                local,
+            },
+        );
         self.num_points += 1;
         Some(global)
+    }
+
+    /// The next global index an insert will occupy: a retired
+    /// (free-listed) index when one exists, else a fresh one past the
+    /// directory.
+    fn alloc_global(&mut self) -> u32 {
+        match self.free_globals.pop() {
+            Some(g) => g,
+            None => self.locs.len() as u32,
+        }
+    }
+
+    /// Records `global → loc`, growing the directory (and its
+    /// generation tags) when `global` is fresh.
+    fn set_loc(&mut self, global: u32, loc: PointLoc) {
+        let gi = global as usize;
+        if gi < self.locs.len() {
+            debug_assert_eq!(
+                self.locs[gi].shard,
+                PointLoc::GONE.shard,
+                "recycled global {global} still mapped"
+            );
+            self.locs[gi] = loc;
+        } else {
+            debug_assert_eq!(gi, self.locs.len());
+            self.locs.push(loc);
+            self.generations.push(0);
+        }
     }
 
     /// Deletes global point `global`, routed to its owning shard.
@@ -451,9 +551,25 @@ impl ShardRouter {
             return false;
         }
         let mut sim = SimEngine::disabled();
-        let deleted = self.shards[loc.shard as usize]
-            .tree
-            .delete(&mut sim, loc.local);
+        let shard = &mut self.shards[loc.shard as usize];
+        if shard.quarantined {
+            // The tree is suspect — queue the delete instead of
+            // mutating corrupt state. The healing rebuild resolves the
+            // queue (it only re-admits points the authoritative live
+            // set still contains). Liveness is judged from the alive
+            // mask, which fault injection leaves intact.
+            if shard.pending_deletes.contains(&global) {
+                return false;
+            }
+            let kd = shard.tree.kd();
+            let was_live = (loc.local as usize) < kd.points().len() && kd.is_live(loc.local);
+            shard.pending_deletes.push(global);
+            if was_live {
+                self.num_points -= 1;
+            }
+            return was_live;
+        }
+        let deleted = shard.tree.delete(&mut sim, loc.local);
         if deleted {
             self.num_points -= 1;
         }
@@ -465,6 +581,9 @@ impl ShardRouter {
     pub fn commit(&mut self) {
         let mut sim = SimEngine::disabled();
         for shard in &mut self.shards {
+            if shard.quarantined {
+                continue; // a suspect tree is frozen until healed
+            }
             shard.tree.commit(&mut sim);
         }
     }
@@ -505,6 +624,11 @@ impl ShardRouter {
     ///
     /// Panics if `shard >= num_shards()`.
     pub fn rebuild_shard(&mut self, shard: usize) {
+        assert!(
+            !self.shards[shard].quarantined,
+            "rebuilding quarantined shard {shard} from its own (suspect) tree; \
+             use rebuild_shards_from with authoritative coordinates"
+        );
         let (globals, pts, dead): (Vec<u32>, Vec<Point3>, Vec<u32>) = {
             let s = &self.shards[shard];
             let kd = s.tree.kd();
@@ -522,7 +646,7 @@ impl ShardRouter {
             (globals, pts, dead)
         };
         for g in dead {
-            self.locs[g as usize] = PointLoc::GONE;
+            self.retire_global(g);
         }
         if pts.is_empty() {
             // Keep the shard slot (locs store shard ids) but give it an
@@ -544,6 +668,8 @@ impl ShardRouter {
                 },
                 global: Vec::new(),
                 tree,
+                quarantined: false,
+                pending_deletes: Vec::new(),
             };
             return;
         }
@@ -575,6 +701,9 @@ impl ShardRouter {
         }
         let i = self.compact_cursor % self.shards.len();
         self.compact_cursor = (i + 1) % self.shards.len();
+        if self.shards[i].quarantined {
+            return None; // frozen until healed
+        }
         let (waste, footprint) = self.shard_fragmentation(i);
         if policy.should_compact(waste, footprint) {
             self.rebuild_shard(i);
@@ -710,7 +839,9 @@ impl ShardRouter {
         let r_sq = radius * radius;
         let start = out.len();
         for shard in &self.shards {
-            if !shard.aabb.intersects_ball(query, r_sq) {
+            // Quarantined shards are skipped outright: their trees are
+            // suspect, and coverage() reports the offline region.
+            if shard.quarantined || !shard.aabb.intersects_ball(query, r_sq) {
                 continue;
             }
             let before = out.len();
@@ -731,6 +862,546 @@ impl ShardRouter {
         // Global indices are unique, so the sort key is total and the
         // canonical order is independent of the shard layout.
         out[start..].sort_unstable_by_key(|n| n.index);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance: deep audit, quarantine, healing rebuild.
+    // ------------------------------------------------------------------
+
+    /// Retires global index `g`: the directory entry goes to
+    /// [`PointLoc::GONE`], its generation tag is bumped, and the index
+    /// joins the free list for reuse by a later insert.
+    fn retire_global(&mut self, g: u32) {
+        self.locs[g as usize] = PointLoc::GONE;
+        self.generations[g as usize] = self.generations[g as usize].wrapping_add(1);
+        self.free_globals.push(g);
+    }
+
+    /// An empty shard slot: a never-intersecting inverted box over an
+    /// empty tree, revived by the next routed insert.
+    fn make_empty_shard(&self) -> Shard {
+        let mut sim = SimEngine::disabled();
+        let tree = match self.mode {
+            EngineMode::Baseline => {
+                ShardTree::Baseline(KdTree::build(Vec::new(), self.tree_cfg, &mut sim))
+            }
+            EngineMode::Compressed => {
+                ShardTree::Bonsai(BonsaiTree::build(Vec::new(), self.tree_cfg, &mut sim))
+            }
+        };
+        Shard {
+            aabb: Aabb {
+                min: Point3::splat(f32::INFINITY),
+                max: Point3::splat(f32::NEG_INFINITY),
+            },
+            global: Vec::new(),
+            tree,
+            quarantined: false,
+            pending_deletes: Vec::new(),
+        }
+    }
+
+    /// Marks shard `shard` quarantined: queries skip it (the region is
+    /// reported through [`coverage`](ShardRouter::coverage)), mutations
+    /// never touch its tree (deletes are queued), and only
+    /// [`rebuild_shards_from`](ShardRouter::rebuild_shards_from)
+    /// re-admits it. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn quarantine(&mut self, shard: usize) {
+        self.shards[shard].quarantined = true;
+    }
+
+    /// Whether shard `shard` is quarantined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.shards[shard].quarantined
+    }
+
+    /// Indices of the quarantined shards, ascending.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.quarantined)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The coverage the next query would see: complete when no shard is
+    /// quarantined, else the offline regions' bounding boxes.
+    pub fn coverage(&self) -> Coverage {
+        let offline: Vec<Aabb> = self
+            .shards
+            .iter()
+            .filter(|s| s.quarantined)
+            .map(|s| s.aabb)
+            .collect();
+        Coverage {
+            complete: offline.is_empty(),
+            offline,
+        }
+    }
+
+    /// The shard currently owning global index `global`, or `None` when
+    /// the index is out of range or retired.
+    pub fn shard_of(&self, global: u32) -> Option<usize> {
+        let loc = self.locs.get(global as usize)?;
+        if loc.shard == PointLoc::GONE.shard {
+            None
+        } else {
+            Some(loc.shard as usize)
+        }
+    }
+
+    /// Generation tag of global index `global` (bumped each time the
+    /// index is retired and made reusable), or `None` out of range.
+    pub fn generation(&self, global: u32) -> Option<u32> {
+        self.generations.get(global as usize).copied()
+    }
+
+    /// Deep invariant audit of the whole router: every healthy shard's
+    /// tree (its full [`KdTree`] invariant web plus, under Bonsai, the
+    /// f16 rows and compressed directory), the global→(shard, local)
+    /// directory ↔ per-shard live-set bijection, the free-list ↔
+    /// retired-entry bijection, and the live-point accounting. Never
+    /// panics on corrupt state — every finding comes back as a typed
+    /// [`AuditViolation`] (shard-attributed where one is involved);
+    /// an empty vector certifies the router.
+    ///
+    /// Quarantined shards are skipped: they are already known-suspect
+    /// and frozen.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.quarantined {
+                continue;
+            }
+            let tree_violations = match &shard.tree {
+                ShardTree::Baseline(t) => t.audit(),
+                ShardTree::Bonsai(b) => b.audit(),
+            };
+            for v in tree_violations {
+                out.push(v.at_shard(si as u32));
+            }
+            let kd = shard.tree.kd();
+            if shard.global.len() != kd.points().len() {
+                out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!(
+                            "local→global map covers {} of {} tree points",
+                            shard.global.len(),
+                            kd.points().len()
+                        ),
+                    )
+                    .at_shard(si as u32),
+                );
+            }
+        }
+        // Reverse pass: every live local slot of a healthy shard must be
+        // claimed by exactly its directory entry.
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.quarantined {
+                continue;
+            }
+            let kd = shard.tree.kd();
+            for (local, &g) in shard.global.iter().enumerate() {
+                if local >= kd.points().len() || !kd.is_live(local as u32) {
+                    continue;
+                }
+                match self.locs.get(g as usize) {
+                    Some(loc) if loc.shard == si as u32 && loc.local == local as u32 => {}
+                    Some(loc) if loc.shard == PointLoc::GONE.shard => out.push(
+                        AuditViolation::new(
+                            ViolationKind::ShardDirectory,
+                            format!("live global {g} (shard {si} local {local}) is retired"),
+                        )
+                        .at_shard(si as u32)
+                        .at_index(g),
+                    ),
+                    Some(loc) => out.push(
+                        AuditViolation::new(
+                            ViolationKind::ShardDirectory,
+                            format!(
+                                "live global {g} lives at shard {si} local {local} but the \
+                                 directory claims shard {} local {}",
+                                loc.shard, loc.local
+                            ),
+                        )
+                        .at_shard(si as u32)
+                        .at_index(g),
+                    ),
+                    None => out.push(
+                        AuditViolation::new(
+                            ViolationKind::ShardDirectory,
+                            format!(
+                                "live global {g} (shard {si} local {local}) is past the \
+                                 directory ({} entries)",
+                                self.locs.len()
+                            ),
+                        )
+                        .at_shard(si as u32)
+                        .at_index(g),
+                    ),
+                }
+            }
+        }
+        // Forward pass: every mapped directory entry must resolve to a
+        // shard slot holding exactly that global index.
+        let mut retired = 0usize;
+        for (g, loc) in self.locs.iter().enumerate() {
+            if loc.shard == PointLoc::GONE.shard {
+                retired += 1;
+                continue;
+            }
+            let Some(shard) = self.shards.get(loc.shard as usize) else {
+                out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!("global {g} maps to shard {} past the router", loc.shard),
+                    )
+                    .at_index(g as u32),
+                );
+                continue;
+            };
+            if shard.quarantined {
+                continue;
+            }
+            match shard.global.get(loc.local as usize) {
+                Some(&owner) if owner == g as u32 => {}
+                Some(&owner) => out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!(
+                            "global {g} maps to shard {} local {} but that slot holds \
+                             global {owner}",
+                            loc.shard, loc.local
+                        ),
+                    )
+                    .at_shard(loc.shard)
+                    .at_index(g as u32),
+                ),
+                None => out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!(
+                            "global {g} maps to shard {} local {}, past the shard's {} slots",
+                            loc.shard,
+                            loc.local,
+                            shard.global.len()
+                        ),
+                    )
+                    .at_shard(loc.shard)
+                    .at_index(g as u32),
+                ),
+            }
+        }
+        // Free list ↔ retired entries: a bijection.
+        let mut seen = HashSet::new();
+        for &g in &self.free_globals {
+            match self.locs.get(g as usize) {
+                None => out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!("free-list entry {g} is past the directory"),
+                    )
+                    .at_index(g),
+                ),
+                Some(_) if !seen.insert(g) => out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!("free-list entry {g} is listed twice"),
+                    )
+                    .at_index(g),
+                ),
+                Some(loc) if loc.shard != PointLoc::GONE.shard => out.push(
+                    AuditViolation::new(
+                        ViolationKind::ShardDirectory,
+                        format!("free-list entry {g} is still mapped to shard {}", loc.shard),
+                    )
+                    .at_index(g),
+                ),
+                Some(_) => {}
+            }
+        }
+        if retired != self.free_globals.len() {
+            out.push(AuditViolation::new(
+                ViolationKind::ShardDirectory,
+                format!(
+                    "directory holds {retired} retired entries but the free list holds {}",
+                    self.free_globals.len()
+                ),
+            ));
+        }
+        if self.generations.len() != self.locs.len() {
+            out.push(AuditViolation::new(
+                ViolationKind::ShardDirectory,
+                format!(
+                    "generation tags cover {} of {} directory entries",
+                    self.generations.len(),
+                    self.locs.len()
+                ),
+            ));
+        }
+        // Live accounting is only meaningful with every shard healthy —
+        // deletes routed to a quarantined shard are counted from a
+        // suspect alive mask until the heal recounts.
+        if self.shards.iter().all(|s| !s.quarantined) {
+            let live: usize = self.shards.iter().map(|s| s.tree.kd().num_live()).sum();
+            if live != self.num_points {
+                out.push(AuditViolation::new(
+                    ViolationKind::Accounting,
+                    format!(
+                        "num_points is {} but shards hold {live} live points",
+                        self.num_points
+                    ),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Heals shards from authoritative coordinates: quarantines every
+    /// shard in `targets` (idempotent), then rebuilds each from the
+    /// subset of `live` — the caller's authoritative `(global index,
+    /// exact point)` live set, e.g. the streaming extractor's — that no
+    /// healthy shard owns, and re-admits them. Directory entries of
+    /// healthy-shard points are repaired in place, global indices
+    /// vanished from the live set are retired (generation bumped, index
+    /// free-listed), pending quarantine-time deletes are resolved by
+    /// construction, and the live-point counter is recounted once no
+    /// shard remains quarantined.
+    ///
+    /// Unclaimed live points go to the target their directory entry
+    /// names when it names one, else to the nearest target by
+    /// bounding-box distance; each target is rebuilt over its points in
+    /// ascending global order, so healing is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target index is `>= num_shards()`.
+    pub fn rebuild_shards_from(&mut self, targets: &[usize], live: &[(u32, Point3)]) {
+        if targets.is_empty() {
+            return;
+        }
+        for &t in targets {
+            self.shards[t].quarantined = true;
+        }
+        // Reverse map over the healthy shards: which globals they own
+        // (live slots only). Points the healthy half owns must NOT be
+        // adopted into a rebuilt target — that would double-store them.
+        let mut owned: HashMap<u32, PointLoc> = HashMap::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.quarantined {
+                continue;
+            }
+            let kd = shard.tree.kd();
+            for (local, &g) in shard.global.iter().enumerate() {
+                if local < kd.points().len() && kd.is_live(local as u32) {
+                    owned.insert(
+                        g,
+                        PointLoc {
+                            shard: si as u32,
+                            local: local as u32,
+                        },
+                    );
+                }
+            }
+        }
+        // Partition the unclaimed live points among the targets.
+        let mut assign: Vec<Vec<(u32, Point3)>> = vec![Vec::new(); targets.len()];
+        for &(g, p) in live {
+            if let Some(&loc) = owned.get(&g) {
+                // A healthy shard owns it — repair the directory entry
+                // in place if corruption redirected it.
+                if (g as usize) < self.locs.len() {
+                    self.locs[g as usize] = loc;
+                }
+                continue;
+            }
+            let claimed = self
+                .locs
+                .get(g as usize)
+                .filter(|loc| loc.shard != PointLoc::GONE.shard)
+                .and_then(|loc| targets.iter().position(|&t| t == loc.shard as usize));
+            let ti = claimed.unwrap_or_else(|| {
+                targets
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        self.shards[a]
+                            .aabb
+                            .distance_squared_to(p)
+                            .total_cmp(&self.shards[b].aabb.distance_squared_to(p))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("targets is non-empty")
+            });
+            assign[ti].push((g, p));
+        }
+        let inner_threads = if cfg!(feature = "parallel") {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            1
+        };
+        for (ti, &t) in targets.iter().enumerate() {
+            let mut items = std::mem::take(&mut assign[ti]);
+            items.sort_unstable_by_key(|&(g, _)| g);
+            if items.is_empty() {
+                self.shards[t] = self.make_empty_shard();
+                continue;
+            }
+            let globals: Vec<u32> = items.iter().map(|&(g, _)| g).collect();
+            let pts: Vec<Point3> = items.iter().map(|&(_, p)| p).collect();
+            let rebuilt =
+                build_shard_threaded(globals, pts, self.tree_cfg, self.mode, inner_threads);
+            for (local, &g) in rebuilt.global.iter().enumerate() {
+                if (g as usize) >= self.locs.len() {
+                    // An authoritative global past the directory (the
+                    // directory itself was corrupt): grow to cover it.
+                    self.locs.resize(g as usize + 1, PointLoc::GONE);
+                    self.generations.resize(g as usize + 1, 0);
+                }
+                self.locs[g as usize] = PointLoc {
+                    shard: t as u32,
+                    local: local as u32,
+                };
+            }
+            self.shards[t] = rebuilt;
+        }
+        // Retirement sweep: directory entries no shard slot holds any
+        // more (dead points the rebuild dropped, quarantine-time
+        // deletes) are retired with a generation bump. Entries present
+        // in any shard — live or dead — are left alone; the owning
+        // shard's own rebuild retires its dead ones later.
+        let mut present = vec![false; self.locs.len()];
+        for shard in &self.shards {
+            for &g in &shard.global {
+                if let Some(slot) = present.get_mut(g as usize) {
+                    *slot = true;
+                }
+            }
+        }
+        for (g, here) in present.iter().enumerate() {
+            if !here && self.locs[g].shard != PointLoc::GONE.shard {
+                self.locs[g] = PointLoc::GONE;
+                self.generations[g] = self.generations[g].wrapping_add(1);
+            }
+        }
+        // Re-derive the free list as exactly the retired entries — the
+        // heal may have both retired entries and revived free-listed
+        // ones (a repaired directory entry).
+        self.free_globals = self
+            .locs
+            .iter()
+            .enumerate()
+            .filter(|(_, loc)| loc.shard == PointLoc::GONE.shard)
+            .map(|(g, _)| g as u32)
+            .collect();
+        if self.shards.iter().all(|s| !s.quarantined) {
+            self.num_points = self.shards.iter().map(|s| s.tree.kd().num_live()).sum();
+        }
+    }
+}
+
+/// Deterministic fault-injection hooks for the chaos test suite: each
+/// corrupts live router state in a way the audit is contracted to
+/// catch, returning the shard attributed (or `None` when the router
+/// offers no applicable site). Never compiled into default builds.
+#[cfg(feature = "chaos")]
+impl ShardRouter {
+    /// Tries the per-tree fault on each healthy shard (starting from a
+    /// seeded pick) until one applies.
+    fn chaos_try(
+        &mut self,
+        rng: &mut bonsai_kdtree::ChaosRng,
+        mut f: impl FnMut(&mut ShardTree, &mut bonsai_kdtree::ChaosRng) -> bool,
+    ) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !self.shards[i].quarantined)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let start = rng.below(candidates.len());
+        for k in 0..candidates.len() {
+            let si = candidates[(start + k) % candidates.len()];
+            if f(&mut self.shards[si].tree, rng) {
+                return Some(si);
+            }
+        }
+        None
+    }
+
+    /// Duplicates a `vind` entry inside one shard tree's leaf.
+    pub fn chaos_duplicate_vind(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        self.chaos_try(rng, |t, rng| match t {
+            ShardTree::Baseline(k) => k.chaos_duplicate_vind(rng),
+            ShardTree::Bonsai(b) => b.chaos_duplicate_vind(rng),
+        })
+    }
+
+    /// Skews one interior divider past its split value.
+    pub fn chaos_skew_divider(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        self.chaos_try(rng, |t, rng| match t {
+            ShardTree::Baseline(k) => k.chaos_skew_divider(rng),
+            ShardTree::Bonsai(b) => b.chaos_skew_divider(rng),
+        })
+    }
+
+    /// Skews one shard tree's garbage-slot counter.
+    pub fn chaos_skew_garbage(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        self.chaos_try(rng, |t, rng| match t {
+            ShardTree::Baseline(k) => k.chaos_skew_garbage(rng),
+            ShardTree::Bonsai(b) => b.chaos_skew_garbage(rng),
+        })
+    }
+
+    /// Flips one f16-approximate row bit (Bonsai shards only).
+    pub fn chaos_flip_f16(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        self.chaos_try(rng, |t, rng| match t {
+            ShardTree::Baseline(_) => false,
+            ShardTree::Bonsai(b) => b.chaos_flip_f16(rng),
+        })
+    }
+
+    /// Redirects one compressed-directory reference past its byte
+    /// array (Bonsai shards only).
+    pub fn chaos_truncate_directory(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        self.chaos_try(rng, |t, rng| match t {
+            ShardTree::Baseline(_) => false,
+            ShardTree::Bonsai(b) => b.chaos_truncate_directory(rng),
+        })
+    }
+
+    /// Breaks one global→(shard, local) directory entry: a mapped
+    /// global routed to a healthy shard gets a local index no shard
+    /// slot can hold.
+    pub fn chaos_break_directory(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> Option<usize> {
+        let candidates: Vec<usize> = self
+            .locs
+            .iter()
+            .enumerate()
+            .filter(|(_, loc)| {
+                loc.shard != PointLoc::GONE.shard
+                    && (loc.shard as usize) < self.shards.len()
+                    && !self.shards[loc.shard as usize].quarantined
+            })
+            .map(|(g, _)| g)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let g = candidates[rng.below(candidates.len())];
+        let si = self.locs[g].shard as usize;
+        self.locs[g].local = u32::MAX - 1;
+        Some(si)
     }
 }
 
@@ -808,7 +1479,13 @@ fn build_shard_threaded(
             EngineMode::Compressed => ShardTree::Bonsai(BonsaiTree::build(pts, cfg, &mut sim)),
         }
     };
-    Shard { aabb, global, tree }
+    Shard {
+        aabb,
+        global,
+        tree,
+        quarantined: false,
+        pending_deletes: Vec::new(),
+    }
 }
 
 /// Builds every shard, fanning out over scoped threads when the

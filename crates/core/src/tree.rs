@@ -541,6 +541,70 @@ impl BonsaiTree {
     }
 }
 
+/// Deterministic fault-injection hooks for the chaos test suite: each
+/// corrupts one structure the auditor certifies, and returns `false`
+/// when the tree offers no applicable site. Never compiled into
+/// default builds.
+#[cfg(feature = "chaos")]
+impl BonsaiTree {
+    /// Duplicates a `vind` entry inside one leaf (see
+    /// [`KdTree::chaos_duplicate_vind`]).
+    pub fn chaos_duplicate_vind(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> bool {
+        self.tree.chaos_duplicate_vind(rng)
+    }
+
+    /// Skews one interior divider past its split value (see
+    /// [`KdTree::chaos_skew_divider`]).
+    pub fn chaos_skew_divider(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> bool {
+        self.tree.chaos_skew_divider(rng)
+    }
+
+    /// Skews the garbage-slot counter (see
+    /// [`KdTree::chaos_skew_garbage`]).
+    pub fn chaos_skew_garbage(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> bool {
+        self.tree.chaos_skew_garbage(rng)
+    }
+
+    /// Flips the low mantissa bit of one live slot's f16-approximate
+    /// row — the audit's bit-compare against the point's true f16
+    /// decode catches it.
+    pub fn chaos_flip_f16(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> bool {
+        if self.tree.has_dirty_nodes() {
+            return false;
+        }
+        let mut slots: Vec<usize> = Vec::new();
+        for node in self.tree.nodes() {
+            let Node::Leaf { start, count } = *node else {
+                continue;
+            };
+            for i in start as usize..(start + count) as usize {
+                if i < self.approx.x.len() {
+                    slots.push(i);
+                }
+            }
+        }
+        if slots.is_empty() {
+            return false;
+        }
+        let i = slots[rng.below(slots.len())];
+        match rng.below(3) {
+            0 => self.approx.x[i] = f32::from_bits(self.approx.x[i].to_bits() ^ 1),
+            1 => self.approx.y[i] = f32::from_bits(self.approx.y[i].to_bits() ^ 1),
+            _ => self.approx.z[i] = f32::from_bits(self.approx.z[i].to_bits() ^ 1),
+        }
+        true
+    }
+
+    /// Redirects one compressed-directory reference past the byte
+    /// array (see `CompressedDirectory::chaos_corrupt_ref`).
+    pub fn chaos_truncate_directory(&mut self, rng: &mut bonsai_kdtree::ChaosRng) -> bool {
+        if self.tree.has_dirty_nodes() {
+            return false;
+        }
+        self.directory.chaos_corrupt_ref(rng.next_u64() as usize)
+    }
+}
+
 /// The Bonsai compress-instruction sequence over one leaf: `LDSPZPB`
 /// each point into the ZipPts buffer (one vind load to find it, then
 /// the point load inside the instruction), `CPRZPB`, `STZPB` into the

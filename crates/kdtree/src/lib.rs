@@ -36,8 +36,11 @@
 //! assert_eq!(hits.len(), 5); // 4.8, 4.9, 5.0, 5.1, 5.2
 //! ```
 
+mod audit;
 mod baseline;
 mod build;
+#[cfg(feature = "chaos")]
+mod chaos;
 mod compact;
 mod costs;
 mod knn;
@@ -48,8 +51,11 @@ mod scratch;
 mod search;
 pub mod simd;
 
+pub use audit::{AuditViolation, TreeAuditor, ViolationKind};
 pub use baseline::BaselineLeafProcessor;
 pub use build::{BuildStats, KdTree, KdTreeConfig, SplitRule};
+#[cfg(feature = "chaos")]
+pub use chaos::ChaosRng;
 pub use compact::CompactRemap;
 pub use costs::TraversalCosts;
 pub use mutate::{MutationStats, ALPHA_BALANCE};

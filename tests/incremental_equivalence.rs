@@ -156,6 +156,12 @@ proptest! {
         let mut scratch = SearchScratch::new();
         let mut out = Vec::new();
         let mut checkpoints = 0usize;
+        // The routers recycle global indices retired by shard rebuilds
+        // (generation-tagged free list); the single tree always
+        // appends. Maintain the correspondence explicitly: it is the
+        // identity until the first rebuild retires something.
+        let mut tree2router: Vec<u32> = (0..cloud.len() as u32).collect();
+        let mut router2tree: Vec<u32> = (0..cloud.len() as u32).collect();
         for (step, &(kind, arg)) in ops.iter().enumerate() {
             match kind {
                 0 => {
@@ -164,16 +170,31 @@ proptest! {
                     let a = tree.insert(&mut sim, p);
                     let b = router_base.insert(p);
                     let c = router_bonsai.insert(p);
-                    prop_assert_eq!(a, b, "step {}: tree and router disagree", step);
-                    prop_assert_eq!(a, c, "step {}", step);
+                    prop_assert_eq!(b, c, "step {}: the routers disagree", step);
+                    prop_assert_eq!(a.is_some(), b.is_some(), "step {}: insert divergence", step);
+                    if let (Some(ti), Some(ri)) = (a, b) {
+                        if ti as usize >= tree2router.len() {
+                            tree2router.resize(ti as usize + 1, u32::MAX);
+                        }
+                        if ri as usize >= router2tree.len() {
+                            router2tree.resize(ri as usize + 1, u32::MAX);
+                        }
+                        tree2router[ti as usize] = ri;
+                        router2tree[ri as usize] = ti;
+                    }
                 }
                 1 => {
                     let idx = (arg % tree.kd_tree().points().len()) as u32;
                     let a = tree.delete(&mut sim, idx);
-                    let b = router_base.delete(idx);
-                    let c = router_bonsai.delete(idx);
-                    prop_assert_eq!(a, b, "step {}: delete divergence", step);
-                    prop_assert_eq!(a, c, "step {}", step);
+                    // Only live points have a current router index (a
+                    // dead one's slot may have been recycled), so the
+                    // routers are exercised when the tree delete lands.
+                    if a {
+                        let ridx = tree2router[idx as usize];
+                        let b = router_base.delete(ridx);
+                        let c = router_bonsai.delete(ridx);
+                        prop_assert!(b && c, "step {}: delete divergence", step);
+                    }
                 }
                 kind => {
                     checkpoints += 1;
@@ -195,6 +216,16 @@ proptest! {
                             router_bonsai.rebuild_shard(s);
                         }
                     }
+
+                    // Deep-audit checkpoint: every commit, compaction
+                    // and shard rebuild must leave the full invariant
+                    // web certified.
+                    let audit = tree.audit();
+                    prop_assert!(audit.is_empty(), "step {}: tree audit: {:?}", step, audit);
+                    let audit = router_base.audit();
+                    prop_assert!(audit.is_empty(), "step {}: baseline router audit: {:?}", step, audit);
+                    let audit = router_bonsai.audit();
+                    prop_assert!(audit.is_empty(), "step {}: bonsai router audit: {:?}", step, audit);
 
                     let live: Vec<u32> = tree.kd_tree().live_indices().collect();
                     prop_assert_eq!(live.len(), tree.kd_tree().num_live());
@@ -245,8 +276,18 @@ proptest! {
                             let mut router_stats = SearchStats::default();
                             router.search_one(
                                 q, radius, &mut scratch, &mut out, &mut router_stats);
+                            // Router hits arrive in the router's own
+                            // (recycling) index space; map back to the
+                            // tree's before comparing.
+                            let router_hits: Vec<Neighbor> = out
+                                .iter()
+                                .map(|n| Neighbor {
+                                    index: router2tree[n.index as usize],
+                                    dist_sq: n.dist_sq,
+                                })
+                                .collect();
                             prop_assert_eq!(
-                                keyed(&out), expect,
+                                keyed(&router_hits), expect,
                                 "{:?} step {} query {}: mutated router vs fresh rebuild",
                                 mode, step, qi
                             );
@@ -319,6 +360,8 @@ proptest! {
 
                 ex.ingest_frame(&frame);
                 prop_assert_eq!(ex.num_live(), frame.len());
+                let audit = ex.audit();
+                prop_assert!(audit.is_empty(), "round {}: audit: {:?}", round, audit);
                 let streamed = ex.extract(tolerance, 1, 100_000);
                 let fresh = extract_euclidean_clusters_batched(
                     frame.clone(), tolerance, 1, 100_000, KdTreeConfig::default(), mode);
