@@ -12,6 +12,8 @@
 //! eight-minute synthetic drive with 20 × 300 ms systematic sub-samples
 //! (60 simulated frames).
 
+#![forbid(unsafe_code)]
+
 use bonsai_pipeline::ExperimentConfig;
 
 /// Parsed command-line options.

@@ -42,6 +42,8 @@
 //! assert_eq!(result.output.clusters.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod filters;
 
 mod extract;

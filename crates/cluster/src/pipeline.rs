@@ -213,6 +213,10 @@ impl FramePipeline {
         let prev = sim.set_kernel(Kernel::PostProcess);
         let mut boxes = Vec::with_capacity(output.clusters.len());
         for cluster in &output.clusters {
+            // Extraction never emits an empty cluster (min size ≥ 1),
+            // so the box folds from the first member — no panic path
+            // on the serving route; a defensively-empty cluster would
+            // contribute no box rather than killing the frame.
             let mut aabb: Option<Aabb> = None;
             for &idx in cluster {
                 sim.load(points_addr + idx as u64 * 16, 12);
@@ -224,7 +228,7 @@ impl FramePipeline {
                     None => aabb = Some(Aabb::new(pt, pt)),
                 }
             }
-            boxes.push(aabb.expect("clusters are non-empty"));
+            boxes.extend(aabb);
         }
         sim.set_kernel(prev);
         FrameResult {
@@ -365,6 +369,8 @@ impl StreamingPipeline {
     /// would return an error: a degenerate tolerance, or corruption a
     /// policy-triggered heal could not repair.
     pub fn process_frame(&mut self, raw_cloud: &[Point3]) -> FrameResult {
+        // lint: allow(panic-free-serving) — documented panicking
+        // convenience wrapper; the serving path is `try_process_frame`.
         self.try_process_frame(raw_cloud)
             .expect("streaming frame failed")
     }
@@ -443,6 +449,9 @@ impl StreamingPipeline {
         // boxes folded in ascending member order over the frame cloud.
         let mut boxes = Vec::with_capacity(clusters.len());
         for cluster in &clusters {
+            // Same no-panic fold as `cluster_prepared`: extraction
+            // never emits an empty cluster, and a defectively-empty
+            // one contributes no box instead of killing the stream.
             let mut aabb: Option<Aabb> = None;
             for &idx in cluster {
                 let pt = points[idx as usize];
@@ -451,7 +460,7 @@ impl StreamingPipeline {
                     None => aabb = Some(Aabb::new(pt, pt)),
                 }
             }
-            boxes.push(aabb.expect("clusters are non-empty"));
+            boxes.extend(aabb);
         }
 
         FrameResult {

@@ -282,6 +282,10 @@ impl StreamingExtractor {
         let Some(list) = self.matcher.get_mut(&key) else {
             unreachable!("deleted a live point the matcher never saw");
         };
+        // lint: allow(panic-free-serving) — matcher lists are sorted
+        // and hold exactly the live points of their coordinate key; a
+        // miss is internal index corruption, which the deep auditor
+        // (not silent continuation) is the recovery path for.
         let pos = list
             .binary_search(&g)
             .expect("live point present in its matcher list");
@@ -374,6 +378,10 @@ impl StreamingExtractor {
             .into_iter()
             .map(|m| match m {
                 Some(g) => g,
+                // lint: allow(panic-free-serving) — `apply()` returns
+                // exactly one entry per unmatched position by
+                // construction of the diff; a shortfall is a diff bug,
+                // not an input condition.
                 None => inserted_iter
                     .next()
                     .expect("one apply() entry per unmatched position")

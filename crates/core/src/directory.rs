@@ -195,12 +195,20 @@ impl CompressedDirectory {
     ///
     /// Panics if the leaf has no structure.
     pub fn bytes_of(&self, leaf: LeafId) -> &[u8] {
+        // lint: allow(panic-free-serving) — documented `# Panics`
+        // contract of this accessor; callers hold a baked directory.
         let r = self.leaf_ref(leaf).expect("leaf not compressed");
         &self.data[r.offset as usize..r.offset as usize + r.len as usize]
     }
 
     /// The simulated address of leaf `leaf`'s structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leaf has no structure.
     pub fn addr_of(&self, leaf: LeafId) -> u64 {
+        // lint: allow(panic-free-serving) — same documented contract
+        // as `bytes_of`: callers hold a baked directory.
         let r = self.leaf_ref(leaf).expect("leaf not compressed");
         self.base_addr + r.offset as u64
     }

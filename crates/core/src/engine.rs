@@ -187,6 +187,9 @@ impl<'t> RadiusSearchEngine<'t> {
         stats: &mut SearchStats,
     ) {
         let Node::Leaf { start, count } = self.tree.nodes()[leaf as usize] else {
+            // lint: allow(panic-free-serving) — caller contract: the
+            // traversal only ever hands leaf ids to a leaf sweep;
+            // an interior id is a walker bug, not an input condition.
             panic!("sweep_leaf of interior node {leaf}");
         };
         self.sweep_visited(&[(leaf, start, count)], query, radius, out, stats);
@@ -295,6 +298,8 @@ fn sweep_visited_compressed(
         if count == 0 {
             continue;
         }
+        // lint: allow(panic-free-serving) — baking invariant: every
+        // non-empty leaf of a baked Bonsai tree has a directory entry.
         let leaf_ref = directory
             .leaf_ref(leaf)
             .expect("compressed engine requires a compressed leaf");

@@ -491,6 +491,9 @@ impl ShardRouter {
         }
         let shard = &mut self.shards[si];
         shard.aabb.insert(p);
+        // lint: allow(panic-free-serving) — the router's `insert`
+        // rejected non-finite points before routing, and a finite
+        // point is always accepted by the shard tree.
         let local = shard
             .tree
             .insert(&mut sim, p)
@@ -624,6 +627,10 @@ impl ShardRouter {
     ///
     /// Panics if `shard >= num_shards()`.
     pub fn rebuild_shard(&mut self, shard: usize) {
+        // lint: allow(debug-assert-discipline) — rebuilding a
+        // quarantined shard from its own suspect tree would launder
+        // corruption into a "clean" index; this must hold in release
+        // builds, where the chaos/heal machinery actually runs.
         assert!(
             !self.shards[shard].quarantined,
             "rebuilding quarantined shard {shard} from its own (suspect) tree; \
@@ -1241,6 +1248,9 @@ impl ShardRouter {
                             .total_cmp(&self.shards[b].aabb.distance_squared_to(p))
                     })
                     .map(|(i, _)| i)
+                    // lint: allow(panic-free-serving) — `targets` is
+                    // the non-empty rebuild set computed above; a min
+                    // over it always exists.
                     .expect("targets is non-empty")
             });
             assign[ti].push((g, p));
@@ -1421,11 +1431,15 @@ fn median_cut(points: &[Point3], k: usize) -> Vec<Vec<u32>> {
             .iter()
             .enumerate()
             .max_by_key(|(_, p)| p.len())
+            // lint: allow(panic-free-serving) — `parts` starts with
+            // one partition and only ever splits; it is never empty.
             .expect("parts is non-empty");
         if parts[widest].len() < 2 {
             break; // Only single-point parts remain.
         }
         let mut part = parts.swap_remove(widest);
+        // lint: allow(panic-free-serving) — the split-candidate part
+        // was just checked to hold ≥ 2 points, so its box exists.
         let bbox =
             Aabb::from_points(part.iter().map(|&i| points[i as usize])).expect("non-empty part");
         let axis = bbox.widest_axis();
@@ -1462,6 +1476,8 @@ fn build_shard_threaded(
     mode: EngineMode,
     inner_threads: usize,
 ) -> Shard {
+    // lint: allow(panic-free-serving) — the median cut never emits an
+    // empty shard, so the bounding box always exists.
     let aabb = Aabb::from_points(pts.iter().copied()).expect("shards are non-empty");
     let tree = if inner_threads > 1 {
         match mode {
@@ -1535,6 +1551,9 @@ fn build_shards(
             .collect();
         handles
             .into_iter()
+            // lint: allow(panic-free-serving) — join() only fails when
+            // the worker itself panicked; re-raising that panic is the
+            // correct propagation, not an input condition.
             .flat_map(|h| h.join().expect("shard build worker panicked"))
             .collect()
     })

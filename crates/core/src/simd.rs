@@ -105,6 +105,7 @@ fn recompute_candidate(
 #[allow(unused_variables)] // non-AVX2 builds use none of the inputs
 #[allow(clippy::needless_return)] // the return closes the x86_64 cfg arm
 #[allow(clippy::too_many_arguments)] // the flattened sweep state
+#[allow(clippy::ptr_arg)] // the lane kernel pushes; non-AVX2 builds never touch `out`
 #[inline]
 pub(crate) fn sweep_compressed_visited(
     approx: &ApproxSoa,
@@ -124,6 +125,10 @@ pub(crate) fn sweep_compressed_visited(
     {
         for &(_, start, count) in visited {
             let hi = start as usize + bonsai_kdtree::simd::lane_padded(count as usize);
+            // lint: allow(debug-assert-discipline) — this assert *is*
+            // the bounds contract of the unsafe AVX2 kernel below;
+            // eliding it in release builds would turn a baking bug
+            // into UB.
             assert!(
                 hi <= approx.x.len()
                     && hi <= approx.y.len()
@@ -191,9 +196,16 @@ mod avx2 {
                 // Same arithmetic, same order as the scalar loop and the
                 // SQDWE lanes: diff from the f16-approximate coordinate
                 // (query − approx), then (dx² + dy²) + dz² — no FMA.
-                let dx = _mm256_sub_ps(qx, _mm256_loadu_ps(px.add(base)));
-                let dy = _mm256_sub_ps(qy, _mm256_loadu_ps(py.add(base)));
-                let dz = _mm256_sub_ps(qz, _mm256_loadu_ps(pz.add(base)));
+                // SAFETY: `base..base + 8` is within every approx row —
+                // the caller asserted each visit's lane-padded footprint
+                // against all six rows and `vind`.
+                let (dx, dy, dz) = unsafe {
+                    (
+                        _mm256_sub_ps(qx, _mm256_loadu_ps(px.add(base))),
+                        _mm256_sub_ps(qy, _mm256_loadu_ps(py.add(base))),
+                        _mm256_sub_ps(qz, _mm256_loadu_ps(pz.add(base))),
+                    )
+                };
                 let d = _mm256_add_ps(
                     _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
                     _mm256_mul_ps(dz, dz),
@@ -208,12 +220,23 @@ mod avx2 {
                 // order of magnitude cheaper than `vgatherdps`. Then
                 // `two_max_delta · |A − B′| + max_delta_sq`, accumulated
                 // x → y → z like the scalar sum.
-                let ix = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pex.add(base) as *const __m128i));
-                let iy = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pey.add(base) as *const __m128i));
-                let iz = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pez.add(base) as *const __m128i));
-                let tx = part_error_lanes(ix, _mm256_and_ps(dx, abs_mask));
-                let ty = part_error_lanes(iy, _mm256_and_ps(dy, abs_mask));
-                let tz = part_error_lanes(iz, _mm256_and_ps(dz, abs_mask));
+                // SAFETY: the 8-byte exponent loads cover
+                // `base..base + 8` of the u8 rows — in bounds by the
+                // same caller-asserted footprint; `part_error_lanes`
+                // is register-only and needs only AVX2, enabled here.
+                let (tx, ty, tz, ix, iy, iz) = unsafe {
+                    let ix = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pex.add(base) as *const __m128i));
+                    let iy = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pey.add(base) as *const __m128i));
+                    let iz = _mm256_cvtepu8_epi32(_mm_loadl_epi64(pez.add(base) as *const __m128i));
+                    (
+                        part_error_lanes(ix, _mm256_and_ps(dx, abs_mask)),
+                        part_error_lanes(iy, _mm256_and_ps(dy, abs_mask)),
+                        part_error_lanes(iz, _mm256_and_ps(dz, abs_mask)),
+                        ix,
+                        iy,
+                        iz,
+                    )
+                };
                 let t_err = _mm256_add_ps(_mm256_add_ps(tx, ty), tz);
                 // Overflowed-f16 rows (exponent field 31) have an infinite
                 // bound: force those lanes non-finite so they classify
@@ -251,11 +274,26 @@ mod avx2 {
                     // conclusively): every candidate is a conclusive In,
                     // so the whole group compacts with vector stores.
                     if m_in != 0 {
-                        bonsai_kdtree::simd::compact_hits_avx2(vind.as_ptr(), base, d, m_in, out);
+                        // SAFETY: `m_in` is live-masked to 8 bits and
+                        // `base..base + 8` is within `vind` (asserted
+                        // footprint); AVX2 is enabled on this fn.
+                        unsafe {
+                            bonsai_kdtree::simd::compact_hits_avx2(
+                                vind.as_ptr(),
+                                base,
+                                d,
+                                m_in,
+                                out,
+                            );
+                        }
                     }
                 } else if cand != 0 {
                     let mut dv = [0.0f32; 8];
-                    _mm256_storeu_ps(dv.as_mut_ptr(), d);
+                    // SAFETY: `dv` is an 8-float stack buffer sized
+                    // for the full-register store.
+                    unsafe {
+                        _mm256_storeu_ps(dv.as_mut_ptr(), d);
+                    }
                     while cand != 0 {
                         let j = cand.trailing_zeros() as usize;
                         let idx = vind[base + j];

@@ -59,6 +59,8 @@ impl LeafProcessor for SoftwareCodecProcessor<'_> {
             // A fully-deleted leaf owns no compressed structure.
             return;
         }
+        // lint: allow(panic-free-serving) — baking invariant: every
+        // non-empty leaf of a baked Bonsai tree has a directory entry.
         let leaf_ref = self
             .directory
             .leaf_ref(leaf)

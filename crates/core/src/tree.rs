@@ -161,6 +161,9 @@ impl CompressionStats {
             0 => self.x_compressed,
             1 => self.y_compressed,
             2 => self.z_compressed,
+            // lint: allow(panic-free-serving) — stats accessor API
+            // misuse (coord is 0..3 by its doc contract), not a
+            // serving-path input condition.
             _ => panic!("coordinate index {coord} out of range"),
         };
         n as f64 / self.leaves as f64
@@ -344,6 +347,10 @@ impl BonsaiTree {
     /// [`commit`](BonsaiTree::commit): compacting around stale
     /// directory structures would bake the staleness in.
     pub fn compact(&mut self, sim: &mut SimEngine) -> usize {
+        // lint: allow(debug-assert-discipline) — stale-serving guard:
+        // serving pre-mutation structures would silently return wrong
+        // neighbors, and the check is one Vec::is_empty, so it is
+        // deliberately enforced in release builds (PR 3 hardening).
         assert!(
             !self.tree.has_dirty_nodes(),
             "compacting a BonsaiTree with uncommitted mutations; call commit() first"
@@ -404,6 +411,10 @@ impl BonsaiTree {
     /// encode their pre-mutation points, so handing the directory to a
     /// leaf processor would silently produce stale results.
     pub fn directory(&self) -> &CompressedDirectory {
+        // lint: allow(debug-assert-discipline) — stale-serving guard:
+        // serving pre-mutation structures would silently return wrong
+        // neighbors, and the check is one Vec::is_empty, so it is
+        // deliberately enforced in release builds (PR 3 hardening).
         assert!(
             !self.tree.has_dirty_nodes(),
             "reading a BonsaiTree directory with uncommitted mutations; call commit() first"
@@ -421,6 +432,10 @@ impl BonsaiTree {
     /// stale neighbor sets. The check is one `Vec::is_empty`, so it is
     /// enforced in release builds too.
     pub(crate) fn approx_soa(&self) -> &ApproxSoa {
+        // lint: allow(debug-assert-discipline) — stale-serving guard:
+        // serving pre-mutation structures would silently return wrong
+        // neighbors, and the check is one Vec::is_empty, so it is
+        // deliberately enforced in release builds (PR 3 hardening).
         assert!(
             !self.tree.has_dirty_nodes(),
             "searching a BonsaiTree with uncommitted mutations; call commit() first"
@@ -439,6 +454,10 @@ impl BonsaiTree {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
+        // lint: allow(debug-assert-discipline) — stale-serving guard:
+        // serving pre-mutation structures would silently return wrong
+        // neighbors, and the check is one Vec::is_empty, so it is
+        // deliberately enforced in release builds (PR 3 hardening).
         assert!(
             !self.tree.has_dirty_nodes(),
             "searching a BonsaiTree with uncommitted mutations; call commit() first"
@@ -461,6 +480,10 @@ impl BonsaiTree {
         stats: &mut SearchStats,
         scratch: &mut SearchScratch,
     ) {
+        // lint: allow(debug-assert-discipline) — stale-serving guard:
+        // serving pre-mutation structures would silently return wrong
+        // neighbors, and the check is one Vec::is_empty, so it is
+        // deliberately enforced in release builds (PR 3 hardening).
         assert!(
             !self.tree.has_dirty_nodes(),
             "searching a BonsaiTree with uncommitted mutations; call commit() first"
@@ -494,6 +517,9 @@ impl BonsaiTree {
     pub fn assert_lane_padding(&self) {
         self.tree.assert_lane_padding();
         let slots = self.tree.vind().len();
+        // lint: allow(debug-assert-discipline) — documented panicking
+        // audit helper: reporting the first violation via panic is its
+        // API, in release builds too.
         assert!(
             self.approx.x.len() >= slots || self.tree.has_dirty_nodes(),
             "f16 rows cover {} of {slots} committed slots",
@@ -509,6 +535,8 @@ impl BonsaiTree {
             };
             let fp = self.tree.leaf_slot_footprint(id as u32) as usize;
             for i in start as usize + count as usize..start as usize + fp {
+                // lint: allow(debug-assert-discipline) — documented
+                // panicking audit helper; see above.
                 assert!(
                     self.approx.x[i] == bonsai_kdtree::simd::PAD_COORD
                         && self.approx.y[i] == bonsai_kdtree::simd::PAD_COORD

@@ -31,6 +31,8 @@
 //! assert!((x - 3.15625).abs() <= bonsai_floatfmt::max_rounding_error(h.exponent_field()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bound;
 mod fields;
 mod formats;

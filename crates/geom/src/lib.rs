@@ -21,6 +21,8 @@
 //! assert_eq!(a.distance(b), 5.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod aabb;
 mod matrix;
 mod point;

@@ -44,6 +44,8 @@
 //! assert!(size < 36); // smaller than the 3 × 12 B originals
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod software;
 

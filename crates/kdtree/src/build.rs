@@ -319,6 +319,8 @@ impl KdTree {
                 None => bbox = Some(Aabb::new(p, p)),
             }
         }
+        // lint: allow(panic-free-serving) — build recursion invariant:
+        // every partition range holds at least one point.
         bbox.expect("non-empty range")
     }
 
@@ -452,6 +454,8 @@ impl KdTree {
     /// Panics when `leaf` is not a leaf node.
     pub fn leaf_slot_footprint(&self, leaf: NodeId) -> u32 {
         let Node::Leaf { count, .. } = self.nodes[leaf as usize] else {
+            // lint: allow(panic-free-serving) — documented `# Panics`
+            // contract: callers pass leaf ids only.
             panic!("leaf_slot_footprint of interior node {leaf}");
         };
         let cap = self.meta[leaf as usize].cap.max(count);

@@ -128,6 +128,9 @@ impl KdTree {
                     sim.exec(OpClass::IntAlu, 3);
                     sim.exec(OpClass::FpAlu, 8);
                     let d_sq = self.points()[idx as usize].distance_squared(query);
+                    // lint: allow(panic-free-serving) — short-circuit:
+                    // peek runs only when `heap.len() ≥ k ≥ 1` (k = 0
+                    // early-returned at the entry point).
                     let accept =
                         heap.len() < k || d_sq < heap.peek().expect("non-empty heap").dist_sq;
                     sim.branch(sites::KNN_UPDATE, accept);
@@ -181,6 +184,9 @@ impl KdTree {
                 let worst = if heap.len() < k {
                     f32::INFINITY
                 } else {
+                    // lint: allow(panic-free-serving) — this branch
+                    // has `heap.len() ≥ k ≥ 1`, so the heap is
+                    // non-empty (k = 0 early-returned at the entry).
                     heap.peek().expect("full heap").dist_sq
                 };
                 let visit_far = far_dist_sq <= worst;

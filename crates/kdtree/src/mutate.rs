@@ -273,6 +273,9 @@ impl KdTree {
                 path.clear();
                 self.locate_exhaustive(0, idx, &mut path)
             })
+            // lint: allow(panic-free-serving) — liveness invariant:
+            // `alive[idx]` was just checked, and the exhaustive
+            // fallback visits every leaf, so a live point is found.
             .expect("live point must be stored in some leaf");
 
         let Node::Leaf { start, count } = self.nodes[leaf as usize] else {
@@ -280,6 +283,8 @@ impl KdTree {
         };
         let slot = (start..start + count)
             .find(|&i| self.vind[i as usize] == idx)
+            // lint: allow(panic-free-serving) — `locate_*` returned
+            // this leaf precisely because it stores `idx`.
             .expect("leaf contains the located point") as usize;
         let last = (start + count - 1) as usize;
         // Swap-remove inside the leaf: SoA rows stay dense, no

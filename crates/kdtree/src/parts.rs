@@ -110,6 +110,8 @@ fn build_rec(
         };
     }
 
+    // lint: allow(panic-free-serving) — build recursion invariant:
+    // every partition range holds at least one point.
     let bbox = Aabb::from_points(idxs.iter().map(|&i| points[i as usize]))
         .expect("non-empty range has a bounding box");
     let axis = bbox.widest_axis();
@@ -129,6 +131,8 @@ fn build_rec(
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| build_rec(points, left_idxs, cfg, lt, depth + 1));
             let right = build_rec(points, right_idxs, cfg, rt, depth + 1);
+            // lint: allow(panic-free-serving) — join() only fails when
+            // the worker panicked; re-raising is correct propagation.
             (handle.join().expect("subtree build worker panicked"), right)
         })
     } else {

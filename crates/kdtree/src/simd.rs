@@ -187,6 +187,7 @@ pub type LeafVisit = (u32, u32, u32);
 #[allow(unused_variables)] // scalar-only builds use none of the inputs
 #[allow(clippy::needless_return)] // the returns close per-arch cfg arms
 #[allow(clippy::too_many_arguments)] // the flattened sweep state
+#[allow(clippy::ptr_arg)] // the lane kernels push; scalar builds never touch `out`
 #[inline]
 pub(crate) fn sweep_baseline_visited(
     xs: &[f32],
@@ -204,6 +205,9 @@ pub(crate) fn sweep_baseline_visited(
     }
     for &(_, start, count) in visited {
         let hi = start as usize + lane_padded(count as usize);
+        // lint: allow(debug-assert-discipline) — this assert *is* the
+        // bounds contract of the unsafe lane kernels below; eliding it
+        // in release builds would turn a layout bug into UB.
         assert!(
             hi <= xs.len() && hi <= ys.len() && hi <= zs.len() && hi <= vind.len(),
             "leaf sweep past the SoA rows: start {start} count {count} rows {}",
@@ -300,23 +304,39 @@ mod x86 {
         out: &mut Vec<Neighbor>,
     ) {
         let hits = mask.count_ones() as usize;
-        let perm = _mm256_loadu_si256(COMPACT[mask as usize].as_ptr() as *const __m256i);
-        let dv = _mm256_castps_si256(_mm256_permutevar8x32_ps(d, perm));
-        let iv =
-            _mm256_permutevar8x32_epi32(_mm256_loadu_si256(vind.add(g) as *const __m256i), perm);
-        // Interleave to (index, dist) pairs: unpack works per 128-bit
-        // half (pairs 0,1|4,5 and 2,3|6,7), the cross-lane permutes
-        // restore ascending order.
-        let lo = _mm256_unpacklo_epi32(iv, dv);
-        let hi = _mm256_unpackhi_epi32(iv, dv);
-        let first = _mm256_permute2x128_si256::<0x20>(lo, hi);
-        let second = _mm256_permute2x128_si256::<0x31>(lo, hi);
+        // SAFETY: `mask` is an 8-bit lane mask, so it indexes the
+        // 256-entry `COMPACT` table, and slots `g..g + 8` are within
+        // `vind` per the function contract — the two unaligned loads
+        // read only owned memory.
+        let (first, second) = unsafe {
+            let perm = _mm256_loadu_si256(COMPACT[mask as usize].as_ptr() as *const __m256i);
+            let dv = _mm256_castps_si256(_mm256_permutevar8x32_ps(d, perm));
+            let iv = _mm256_permutevar8x32_epi32(
+                _mm256_loadu_si256(vind.add(g) as *const __m256i),
+                perm,
+            );
+            // Interleave to (index, dist) pairs: unpack works per
+            // 128-bit half (pairs 0,1|4,5 and 2,3|6,7), the cross-lane
+            // permutes restore ascending order.
+            let lo = _mm256_unpacklo_epi32(iv, dv);
+            let hi = _mm256_unpackhi_epi32(iv, dv);
+            (
+                _mm256_permute2x128_si256::<0x20>(lo, hi),
+                _mm256_permute2x128_si256::<0x31>(lo, hi),
+            )
+        };
         out.reserve(8);
         let len = out.len();
-        let p = out.as_mut_ptr().add(len) as *mut __m256i;
-        _mm256_storeu_si256(p, first);
-        _mm256_storeu_si256(p.add(1), second);
-        out.set_len(len + hits);
+        // SAFETY: `reserve(8)` guarantees capacity for the two whole
+        // 32-byte stores (8 `Neighbor` pairs past `len`); `set_len`
+        // exposes only the first `hits ≤ 8` pairs, all initialized by
+        // the stores.
+        unsafe {
+            let p = out.as_mut_ptr().add(len) as *mut __m256i;
+            _mm256_storeu_si256(p, first);
+            _mm256_storeu_si256(p.add(1), second);
+            out.set_len(len + hits);
+        }
     }
 
     /// # Safety
@@ -348,8 +368,14 @@ mod x86 {
             // Two lane groups per step (a full default-size leaf):
             // independent chains for the OoO core, one hit branch.
             while g + 2 * LANES <= hi {
-                let d0 = distance_lanes(px, py, pz, g, qx, qy, qz);
-                let d1 = distance_lanes(px, py, pz, g + LANES, qx, qy, qz);
+                // SAFETY: `g + 2·LANES ≤ hi`, and the caller asserted
+                // `hi` is within every lane-padded SoA row.
+                let (d0, d1) = unsafe {
+                    (
+                        distance_lanes(px, py, pz, g, qx, qy, qz),
+                        distance_lanes(px, py, pz, g + LANES, qx, qy, qz),
+                    )
+                };
                 // Ordered ≤: false for the NaN a non-finite query
                 // produces against the +∞ sentinel, exactly like the
                 // scalar `<=`.
@@ -357,20 +383,31 @@ mod x86 {
                 let m1 = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d1, rs)) as u32;
                 if m0 | m1 != 0 {
                     let vp = vind.as_ptr();
-                    if m0 != 0 {
-                        compact_hits_avx2(vp, g, d0, m0, out);
-                    }
-                    if m1 != 0 {
-                        compact_hits_avx2(vp, g + LANES, d1, m1, out);
+                    // SAFETY: `m0`/`m1` are 8-bit movemask lane masks
+                    // and both groups lie within `vind` (same padded
+                    // footprint as the loads above); AVX2 is enabled
+                    // on this fn.
+                    unsafe {
+                        if m0 != 0 {
+                            compact_hits_avx2(vp, g, d0, m0, out);
+                        }
+                        if m1 != 0 {
+                            compact_hits_avx2(vp, g + LANES, d1, m1, out);
+                        }
                     }
                 }
                 g += 2 * LANES;
             }
             if g < hi {
-                let d = distance_lanes(px, py, pz, g, qx, qy, qz);
-                let mask = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d, rs)) as u32;
-                if mask != 0 {
-                    compact_hits_avx2(vind.as_ptr(), g, d, mask, out);
+                // SAFETY: `g < hi` with `hi` within every padded row,
+                // and the mask passed on is the compare's 8-bit lane
+                // mask over that same in-bounds group.
+                unsafe {
+                    let d = distance_lanes(px, py, pz, g, qx, qy, qz);
+                    let mask = _mm256_movemask_ps(_mm256_cmp_ps::<_CMP_LE_OQ>(d, rs)) as u32;
+                    if mask != 0 {
+                        compact_hits_avx2(vind.as_ptr(), g, d, mask, out);
+                    }
                 }
             }
         }
@@ -395,9 +432,15 @@ mod x86 {
         qy: __m256,
         qz: __m256,
     ) -> __m256 {
-        let dx = _mm256_sub_ps(_mm256_loadu_ps(px.add(g)), qx);
-        let dy = _mm256_sub_ps(_mm256_loadu_ps(py.add(g)), qy);
-        let dz = _mm256_sub_ps(_mm256_loadu_ps(pz.add(g)), qz);
+        // SAFETY: slots `g..g + 8` are in bounds per the contract, so
+        // each unaligned 8-lane load reads only owned row memory.
+        let (dx, dy, dz) = unsafe {
+            (
+                _mm256_sub_ps(_mm256_loadu_ps(px.add(g)), qx),
+                _mm256_sub_ps(_mm256_loadu_ps(py.add(g)), qy),
+                _mm256_sub_ps(_mm256_loadu_ps(pz.add(g)), qz),
+            )
+        };
         _mm256_add_ps(
             _mm256_add_ps(_mm256_mul_ps(dx, dx), _mm256_mul_ps(dy, dy)),
             _mm256_mul_ps(dz, dz),
@@ -408,6 +451,7 @@ mod x86 {
     ///
     /// Caller guarantees every visit's lane-padded footprint is within
     /// every slice (SSE2 is part of the `x86_64` baseline).
+    #[target_feature(enable = "sse2")]
     #[allow(clippy::too_many_arguments)] // the flattened sweep state
     pub(super) unsafe fn sweep_visited_sse2(
         xs: &[f32],
@@ -429,18 +473,29 @@ mod x86 {
             let hi = lo + lane_padded(count as usize);
             let mut g = lo;
             while g < hi {
-                let dx = _mm_sub_ps(_mm_loadu_ps(px.add(g)), qx);
-                let dy = _mm_sub_ps(_mm_loadu_ps(py.add(g)), qy);
-                let dz = _mm_sub_ps(_mm_loadu_ps(pz.add(g)), qz);
-                let d = _mm_add_ps(
-                    _mm_add_ps(_mm_mul_ps(dx, dx), _mm_mul_ps(dy, dy)),
-                    _mm_mul_ps(dz, dz),
-                );
+                // SAFETY: `g..g + 4` is within the lane-padded rows
+                // the caller asserted, so the three unaligned 4-lane
+                // loads read only owned row memory.
+                let d = unsafe {
+                    let dx = _mm_sub_ps(_mm_loadu_ps(px.add(g)), qx);
+                    let dy = _mm_sub_ps(_mm_loadu_ps(py.add(g)), qy);
+                    let dz = _mm_sub_ps(_mm_loadu_ps(pz.add(g)), qz);
+                    _mm_add_ps(
+                        _mm_add_ps(_mm_mul_ps(dx, dx), _mm_mul_ps(dy, dy)),
+                        _mm_mul_ps(dz, dz),
+                    )
+                };
                 let mask = _mm_movemask_ps(_mm_cmple_ps(d, rs)) as u32;
                 if mask != 0 {
                     let mut dv = [0.0f32; 4];
-                    _mm_storeu_ps(dv.as_mut_ptr(), d);
-                    push_mask_hits(vind, g, mask, &dv, out);
+                    // SAFETY: `dv` is a 4-float stack buffer sized for
+                    // the 4-lane store; the mask's set bits are `< 4`
+                    // with `g + j` within `vind` for each (same padded
+                    // footprint as the loads).
+                    unsafe {
+                        _mm_storeu_ps(dv.as_mut_ptr(), d);
+                        push_mask_hits(vind, g, mask, &dv, out);
+                    }
                 }
                 g += 4;
             }
@@ -480,26 +535,37 @@ mod aarch64 {
             let hi = lo + lane_padded(count as usize);
             let mut g = lo;
             while g < hi {
-                let dx = vsubq_f32(vld1q_f32(px.add(g)), qx);
-                let dy = vsubq_f32(vld1q_f32(py.add(g)), qy);
-                let dz = vsubq_f32(vld1q_f32(pz.add(g)), qz);
-                // vmulq + vaddq, never vfmaq: FMA contraction would
-                // change result bits relative to the scalar loop.
-                let d = vaddq_f32(
-                    vaddq_f32(vmulq_f32(dx, dx), vmulq_f32(dy, dy)),
-                    vmulq_f32(dz, dz),
-                );
-                let le = vcleq_f32(d, rs);
+                // SAFETY: `g..g + 4` is within the lane-padded rows
+                // the caller asserted, so the three 4-lane loads read
+                // only owned row memory. vmulq + vaddq, never vfmaq:
+                // FMA contraction would change result bits relative to
+                // the scalar loop.
+                let (d, le) = unsafe {
+                    let dx = vsubq_f32(vld1q_f32(px.add(g)), qx);
+                    let dy = vsubq_f32(vld1q_f32(py.add(g)), qy);
+                    let dz = vsubq_f32(vld1q_f32(pz.add(g)), qz);
+                    let d = vaddq_f32(
+                        vaddq_f32(vmulq_f32(dx, dx), vmulq_f32(dy, dy)),
+                        vmulq_f32(dz, dz),
+                    );
+                    (d, vcleq_f32(d, rs))
+                };
                 if vmaxvq_u32(le) != 0 {
                     let mut dv = [0.0f32; 4];
-                    vst1q_f32(dv.as_mut_ptr(), d);
                     let mut mv = [0u32; 4];
-                    vst1q_u32(mv.as_mut_ptr(), le);
-                    let mut mask = 0u32;
-                    for (j, &m) in mv.iter().enumerate() {
-                        mask |= u32::from(m != 0) << j;
+                    // SAFETY: `dv`/`mv` are 4-lane stack buffers sized
+                    // for the stores; the mask built from `mv` only
+                    // sets bits `< 4`, each with `g + j` within `vind`
+                    // (same padded footprint as the loads).
+                    unsafe {
+                        vst1q_f32(dv.as_mut_ptr(), d);
+                        vst1q_u32(mv.as_mut_ptr(), le);
+                        let mut mask = 0u32;
+                        for (j, &m) in mv.iter().enumerate() {
+                            mask |= u32::from(m != 0) << j;
+                        }
+                        push_mask_hits(vind, g, mask, &dv, out);
                     }
-                    push_mask_hits(vind, g, mask, &dv, out);
                 }
                 g += 4;
             }
@@ -529,18 +595,24 @@ unsafe fn push_mask_hits(
     let hits = mask.count_ones() as usize;
     out.reserve(hits);
     let len = out.len();
-    let mut p = out.as_mut_ptr().add(len);
-    let mut bits = mask;
-    while bits != 0 {
-        let j = bits.trailing_zeros() as usize;
-        p.write(Neighbor {
-            index: *vind.get_unchecked(base + j),
-            dist_sq: *dists.get_unchecked(j),
-        });
-        p = p.add(1);
-        bits &= bits - 1;
+    // SAFETY: `reserve(hits)` made room for `hits` writes past `len`;
+    // every set bit `j` has `j < dists.len()` and `base + j` within
+    // `vind` per the contract, and `set_len` exposes exactly the
+    // `hits` pairs just written.
+    unsafe {
+        let mut p = out.as_mut_ptr().add(len);
+        let mut bits = mask;
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            p.write(Neighbor {
+                index: *vind.get_unchecked(base + j),
+                dist_sq: *dists.get_unchecked(j),
+            });
+            p = p.add(1);
+            bits &= bits - 1;
+        }
+        out.set_len(len + hits);
     }
-    out.set_len(len + hits);
 }
 
 #[cfg(test)]

@@ -32,6 +32,8 @@
 //! assert!(frame.iter().all(|p| p.norm() <= 121.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod scene;
 mod sensor;
 mod sequence;

@@ -1,0 +1,367 @@
+//! A minimal Rust lexer — just enough syntax awareness for the
+//! repo-invariant lints.
+//!
+//! The workspace is offline (no `syn`, no `rustc` driver), so the
+//! rules run over a hand-rolled token stream instead of an AST. The
+//! lexer understands exactly the constructs that would otherwise
+//! produce false positives in a regex scan:
+//!
+//! * line (`//`, `///`, `//!`) and nested block comments, kept as a
+//!   **separate comment stream** (the `SAFETY:` and `lint: allow`
+//!   conventions live there),
+//! * string / raw-string / byte-string / char literals (an `unwrap()`
+//!   inside a format string is not a call),
+//! * lifetimes vs. char literals (`'a` vs. `'a'`),
+//! * identifiers, numbers and single-byte punctuation, each tagged
+//!   with its 1-based line.
+//!
+//! Anything fancier (macro expansion, type resolution) is out of
+//! scope by design: the lints are conventions over source text, and
+//! the conventions are written so token-level evidence decides them.
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so quote handling stays sane.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String, raw-string or byte-string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// One byte of punctuation (`.`, `!`, `{`, …).
+    Punct(u8),
+}
+
+/// One code token: kind, source text and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// One comment: its text (markers included), line span, and whether it
+/// had code before it on its first line (a *trailing* comment).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The first code-token line strictly after `line`, if any — where
+    /// an own-line comment's subject lives.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Lexes `src`. Unterminated constructs are tolerated (consumed to end
+/// of input) — the lints must never panic on weird-but-compiling code,
+/// and fixture snippets need not be complete files.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Whether any code token has been produced on the current line
+    // (decides comment trailing-ness).
+    let mut code_on_line = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    end_line: line,
+                    trailing: code_on_line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    end_line: line,
+                    trailing: code_on_line,
+                });
+            }
+            b'"' => {
+                let start = i;
+                let start_line = line;
+                let (tok, nl) = lex_string(src, i, line);
+                i = tok;
+                line = nl;
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                });
+                code_on_line = true;
+            }
+            b'r' | b'b' if raw_string_start(b, i).is_some() => {
+                let hashes = raw_string_start(b, i).unwrap_or(0);
+                let start = i;
+                let start_line = line;
+                // Skip prefix (r / br / rb / b), hashes, opening quote.
+                while i < b.len() && b[i] != b'"' {
+                    i += 1;
+                }
+                i += 1;
+                let closer = format!("\"{}", "#".repeat(hashes));
+                let rest = &src[i.min(src.len())..];
+                let end = rest
+                    .find(&closer)
+                    .map(|p| p + closer.len())
+                    .unwrap_or(rest.len());
+                line += rest[..end.min(rest.len())].matches('\n').count() as u32;
+                i += end;
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                });
+                code_on_line = true;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                let is_char = if i + 1 >= b.len() {
+                    false
+                } else if b[i + 1] == b'\\' {
+                    true
+                } else {
+                    // 'x' is a char literal; 'x followed by anything
+                    // else is a lifetime. Multi-byte UTF-8 scalars are
+                    // char literals too ('·') — detect by the closing
+                    // quote before the next ident boundary.
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != b'\'' && b[j] != b'\n' && j < i + 8 {
+                        j += 1;
+                    }
+                    j < b.len() && b[j] == b'\'' && j > i + 1
+                };
+                if is_char {
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        i += 2; // skip escape lead
+                                // Consume to the closing quote.
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    } else {
+                        while i < b.len() && b[i] != b'\'' {
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+                code_on_line = true;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len()
+                    && (b[i] == b'_'
+                        || b[i] == b'.'
+                        || b[i].is_ascii_alphanumeric()
+                        || ((b[i] == b'+' || b[i] == b'-') && matches!(b[i - 1], b'e' | b'E')))
+                {
+                    // `1..10` is two dots of a range, not a float tail.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line,
+                });
+                code_on_line = true;
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c),
+                    text: (c as char).to_string(),
+                    line,
+                });
+                code_on_line = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If position `i` starts a raw/byte string prefix (`r"`, `r#"`,
+/// `br"`, `b"` …), returns the number of `#`s; `None` when `i` is an
+/// ordinary identifier starting with `r`/`b`.
+fn raw_string_start(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Up to two prefix letters (r, b, br, rb).
+    let mut letters = 0;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && letters < 2 {
+        j += 1;
+        letters += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+        hashes += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        // Plain b"..." has no hashes and no r — still a string prefix.
+        // A bare identifier like `ra` fails the quote check above.
+        if hashes > 0 || letters > 0 {
+            return Some(hashes);
+        }
+    }
+    None
+}
+
+/// Consumes a `"…"` string starting at `i` (which must be the opening
+/// quote); returns (next index, updated line).
+fn lex_string(src: &str, i: usize, mut line: u32) -> (usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return (j + 1, line),
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_produce_code_tokens() {
+        let lx = lex(r##"
+// a comment with unwrap() in it
+let s = "panic!(\"no\")"; // trailing
+let r = r#"unwrap()"#;
+/* block
+   with .expect( */
+let c = 'x';
+let lt: &'static str = "s";
+"##);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("expect")));
+        assert_eq!(lx.comments.len(), 3);
+        assert!(lx.comments[1].trailing);
+        assert!(!lx.comments[0].trailing);
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(lx.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let lx = lex("let a = \"x\ny\";\nunsafe {\n}");
+        let uns = lx.tokens.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let lx = lex("/* outer /* inner */ still comment */ code");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.tokens.iter().any(|t| t.is_ident("code")));
+    }
+
+    #[test]
+    fn numeric_literals_consume_hex_and_exponents() {
+        let lx = lex("let x = 0x7FFF_FFFF; let y = 1.5e-3; let r = 1..8;");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("let")));
+        // The range `1..8` must not swallow the dots.
+        assert!(lx.tokens.iter().filter(|t| t.is_punct(b'.')).count() >= 2);
+    }
+}

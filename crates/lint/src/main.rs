@@ -1,0 +1,115 @@
+#![forbid(unsafe_code)]
+//! CLI for `bonsai-lint`. See the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p bonsai-lint -- --check            # whole workspace
+//! cargo run -p bonsai-lint -- --check --root DIR # another tree
+//! cargo run -p bonsai-lint -- --list-rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on any violation, 2 on usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // --check is the only mode; accepted for CI readability.
+            "--check" => {}
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("bonsai-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "bonsai-lint — K-D Bonsai repo-invariant checks\n\n\
+                     USAGE: bonsai-lint [--check] [--root DIR] [--list-rules]\n\n\
+                     Exits 0 when the tree is clean, 1 on violations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bonsai-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for (name, what) in RULES {
+            println!("{name:<24} {what}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let diags = bonsai_lint::check_workspace(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("bonsai-lint: workspace clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bonsai-lint: {} violation{} — suppress per-site with \
+             `// lint: allow(<rule>) — <justification>`",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::FAILURE
+    }
+}
+
+const RULES: &[(&str, &str)] = &[
+    (
+        "unsafe-hygiene",
+        "every `unsafe` is immediately preceded by a `// SAFETY:` comment",
+    ),
+    (
+        "panic-free-serving",
+        "no unwrap/expect/panic!/todo! in serving-crate library code",
+    ),
+    (
+        "guard-coverage",
+        "pub entry points (radius_*, knn, nearest, insert, delete) hit a degenerate-input guard",
+    ),
+    (
+        "feature-gates",
+        "cfg feature names exist in Cargo.toml and propagate through the crate chain",
+    ),
+    (
+        "debug-assert-discipline",
+        "bare assert! in hot-path modules must be debug_assert! or justified",
+    ),
+    (
+        "allow-syntax",
+        "lint: allow(...) must name a known rule and carry a justification",
+    ),
+];
+
+/// Walks up from CWD to the directory whose `Cargo.toml` has a
+/// `[workspace]` table; falls back to CWD.
+fn find_workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let toml = dir.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&toml) {
+            if src.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A deliberately small `Cargo.toml` reader — only the shapes this
+//! workspace actually uses (the build environment is offline, so no
+//! `toml` crate).
+//!
+//! Parsed per crate:
+//!
+//! * `package.name`,
+//! * the `[features]` table: `name = ["entry", …]`, arrays possibly
+//!   spanning multiple lines,
+//! * dependency names from `[dependencies]` / `[dev-dependencies]`
+//!   (`foo.workspace = true`, `foo = { … }` and `foo = "…"` forms),
+//! * from the workspace root only: `[workspace.dependencies]`
+//!   `name = { path = "…" }` entries, which map dependency names to
+//!   workspace crate directories, and the `members` list.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One crate manifest's lint-relevant surface.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// `package.name` (empty for a virtual manifest).
+    pub name: String,
+    /// Feature name → list of entries exactly as written
+    /// (`"parallel"`, `"bonsai-core/simd"`, …), in declaration order.
+    pub features: Vec<(String, Vec<String>)>,
+    /// Direct dependency names from `[dependencies]` and
+    /// `[dev-dependencies]`.
+    pub deps: Vec<String>,
+    /// `[workspace.dependencies]` name → path (workspace root only).
+    pub workspace_dep_paths: BTreeMap<String, PathBuf>,
+    /// `[workspace] members` paths (workspace root only).
+    pub members: Vec<String>,
+    /// The line each feature was declared on (diagnostics).
+    pub feature_lines: BTreeMap<String, u32>,
+}
+
+impl Manifest {
+    /// Whether `feature` is declared in `[features]`.
+    pub fn has_feature(&self, feature: &str) -> bool {
+        self.features.iter().any(|(n, _)| n == feature)
+    }
+
+    /// The entry list of `feature`, if declared.
+    pub fn feature_entries(&self, feature: &str) -> Option<&[String]> {
+        self.features
+            .iter()
+            .find(|(n, _)| n == feature)
+            .map(|(_, e)| e.as_slice())
+    }
+}
+
+/// Parses the manifest at `path`. Returns a default (empty) manifest
+/// when the file cannot be read — missing manifests are reported by
+/// the caller, not here.
+pub fn parse(path: &Path) -> Manifest {
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return Manifest::default();
+    };
+    parse_str(&src)
+}
+
+/// Section the line cursor is in.
+#[derive(Debug, PartialEq, Clone)]
+enum Section {
+    Package,
+    Features,
+    Deps,
+    Workspace,
+    WorkspaceDeps,
+    Other,
+}
+
+/// See [`parse`].
+pub fn parse_str(src: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = Section::Other;
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = match line.as_str() {
+                "[package]" => Section::Package,
+                "[features]" => Section::Features,
+                "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]" => Section::Deps,
+                "[workspace]" => Section::Workspace,
+                "[workspace.dependencies]" => Section::WorkspaceDeps,
+                _ => Section::Other,
+            };
+            continue;
+        }
+        let Some((key_raw, mut val)) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim(), v.trim().to_string()))
+        else {
+            continue;
+        };
+        // Accumulate multi-line arrays / inline tables.
+        let mut open_brackets = val.matches('[').count() as i64 - val.matches(']').count() as i64;
+        while open_brackets > 0 {
+            let Some((_, next)) = lines.next() else { break };
+            let next = strip_toml_comment(next);
+            open_brackets += next.matches('[').count() as i64 - next.matches(']').count() as i64;
+            val.push(' ');
+            val.push_str(next.trim());
+        }
+        match section {
+            Section::Package if key_raw == "name" => {
+                m.name = unquote(&val);
+            }
+            Section::Features => {
+                let entries = parse_string_array(&val);
+                m.feature_lines.insert(key_raw.to_string(), idx as u32 + 1);
+                m.features.push((key_raw.to_string(), entries));
+            }
+            Section::Deps => {
+                // `foo.workspace = true` / `foo = { … }` / `foo = "1"`.
+                let dep = key_raw.split('.').next().unwrap_or(key_raw).trim();
+                if !dep.is_empty() {
+                    m.deps.push(dep.trim_matches('"').to_string());
+                }
+            }
+            Section::Workspace if key_raw == "members" => {
+                m.members = parse_string_array(&val);
+            }
+            Section::WorkspaceDeps => {
+                let dep = key_raw.split('.').next().unwrap_or(key_raw).trim();
+                if let Some(p) = extract_path(&val) {
+                    m.workspace_dep_paths
+                        .insert(dep.trim_matches('"').to_string(), PathBuf::from(p));
+                }
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// Strips a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// `["a", "b"]` → `["a", "b"]` (tolerant of anything else: empty).
+fn parse_string_array(val: &str) -> Vec<String> {
+    let inner = val.trim().trim_start_matches('[').trim_end_matches(']');
+    inner
+        .split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Pulls `path = "…"` out of an inline table.
+fn extract_path(val: &str) -> Option<String> {
+    let pos = val.find("path")?;
+    let rest = &val[pos + 4..];
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn unquote(v: &str) -> String {
+    v.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_features_deps_and_workspace_paths() {
+        let m = parse_str(
+            r#"
+[package]
+name = "demo"
+
+[features]
+default = ["parallel", "simd"] # with a comment
+simd = [
+    "bonsai-core/simd",
+    "bonsai-kdtree/simd",
+]
+chaos = []
+
+[workspace]
+members = [
+    "crates/core",
+    "crates/kdtree",
+]
+
+[dependencies]
+bonsai-core.workspace = true
+rand = { path = "crates/shims/rand" }
+
+[workspace.dependencies]
+bonsai-core = { path = "crates/core" }
+"#,
+        );
+        assert_eq!(m.name, "demo");
+        assert_eq!(
+            m.feature_entries("simd").unwrap(),
+            ["bonsai-core/simd", "bonsai-kdtree/simd"]
+        );
+        assert_eq!(m.feature_entries("chaos").unwrap(), [] as [&str; 0]);
+        assert!(m.has_feature("default"));
+        assert_eq!(m.deps, ["bonsai-core", "rand"]);
+        assert_eq!(m.members, ["crates/core", "crates/kdtree"]);
+        assert_eq!(
+            m.workspace_dep_paths.get("bonsai-core").unwrap(),
+            &PathBuf::from("crates/core")
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Self-tests over the fixture corpus: every known-bad file must light
+//! up with the exact diagnostics, the known-good file and the real
+//! workspace must come back clean, and the CLI must turn those results
+//! into exit codes.
+
+use std::path::{Path, PathBuf};
+
+use bonsai_lint::{check_file, check_workspace, Diagnostic, FilePolicy, Rule};
+
+/// The strictest per-file policy: every line rule enabled.
+const STRICT: FilePolicy = FilePolicy {
+    panic_free: true,
+    hot_path: true,
+    guard_surface: true,
+};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn check_fixture(name: &str) -> Vec<Diagnostic> {
+    let src = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    check_file(Path::new(name), &src, STRICT, &[])
+}
+
+/// Asserts the fixture produced exactly `expected` as (rule, line)
+/// pairs, in order.
+fn assert_diags(name: &str, expected: &[(Rule, u32)]) {
+    let got = check_fixture(name);
+    let pairs: Vec<(Rule, u32)> = got.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(pairs, expected, "{name}:\n{}", render(&got));
+}
+
+fn render(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn missing_safety_fixture() {
+    assert_diags("missing_safety.rs", &[(Rule::UnsafeHygiene, 4)]);
+}
+
+#[test]
+fn bare_allow_fixture_is_flagged_and_does_not_suppress() {
+    assert_diags(
+        "bare_allow.rs",
+        &[(Rule::AllowSyntax, 5), (Rule::PanicFreeServing, 6)],
+    );
+}
+
+#[test]
+fn unknown_rule_allow_fixture() {
+    assert_diags("unknown_rule_allow.rs", &[(Rule::AllowSyntax, 3)]);
+}
+
+#[test]
+fn unguarded_entry_fixture() {
+    assert_diags("unguarded_entry.rs", &[(Rule::GuardCoverage, 6)]);
+}
+
+#[test]
+fn panicky_fixture() {
+    assert_diags(
+        "panicky.rs",
+        &[(Rule::PanicFreeServing, 4), (Rule::PanicFreeServing, 8)],
+    );
+}
+
+#[test]
+fn bare_assert_fixture() {
+    assert_diags("bare_assert.rs", &[(Rule::DebugAssertDiscipline, 4)]);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let got = check_fixture("clean.rs");
+    assert!(got.is_empty(), "clean.rs must be clean:\n{}", render(&got));
+}
+
+/// The feature-gates rule over a deliberately drifted mini-workspace:
+/// every failure mode the rule covers, one diagnostic each.
+#[test]
+fn phantom_feature_workspace_lights_up() {
+    let diags = check_workspace(&fixture_dir().join("phantom_feature"));
+    assert!(
+        diags.iter().all(|d| d.rule == Rule::FeatureGates),
+        "only feature-gates diagnostics expected:\n{}",
+        render(&diags)
+    );
+    let has = |needle: &str| {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no diagnostic mentions {needle:?}:\n{}",
+            render(&diags)
+        );
+    };
+    // (a) a cfg on a feature no manifest declares.
+    has("`feature = \"undeclared\"` is not declared");
+    // (b) `dep:` on a dependency that does not exist.
+    has("enables `dep:missing`");
+    // (b) forward to a feature the dependency does not declare.
+    has("`leaf` declares no feature `warp`");
+    // (b) an entry that is neither a feature nor a forward.
+    has("lists `nonexistent`");
+    // (c) propagation drift: both declare `simd`, no chain.
+    has("feature gate drift: phantom-root declares `simd`");
+    assert_eq!(diags.len(), 5, "{}", render(&diags));
+}
+
+/// The real workspace must lint clean — this is the same gate CI runs,
+/// enforced from the test suite so `cargo test` alone catches drift.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let diags = check_workspace(&root);
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        render(&diags)
+    );
+}
+
+/// CLI contract: exit 0 on a clean tree, exit 1 (with `file:line`
+/// diagnostics on stdout) on a tree with violations.
+#[test]
+fn cli_exit_codes_follow_findings() {
+    let bin = env!("CARGO_BIN_EXE_bonsai-lint");
+
+    let clean_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = std::process::Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&clean_root)
+        .output()
+        .expect("run bonsai-lint");
+    assert!(out.status.success(), "clean tree must exit 0");
+
+    let bad_root = fixture_dir().join("phantom_feature");
+    let out = std::process::Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run bonsai-lint");
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Cargo.toml:") && stdout.contains("[feature-gates]"),
+        "diagnostics must carry file:line and the rule name:\n{stdout}"
+    );
+}

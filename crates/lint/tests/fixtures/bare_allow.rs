@@ -1,0 +1,7 @@
+//! Known-bad: a bare allow (no justification) is itself a violation
+//! and does not suppress the unwrap beneath it.
+
+pub fn first(xs: &[f32]) -> f32 {
+    // lint: allow(panic-free-serving)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! Known-bad: a bare `assert!` in a hot-path module.
+
+pub fn lane_count(n: usize) -> usize {
+    assert!(n % 8 == 0, "lane padding");
+    n / 8
+}

@@ -1,0 +1,41 @@
+//! Known-good: every construct the rules police, done by the book.
+//! Must produce zero diagnostics under the strictest policy.
+
+/// Reads the first lane without a bounds check.
+///
+/// # Safety
+///
+/// `xs` must be non-empty.
+pub unsafe fn first_unchecked(xs: &[f32]) -> f32 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub struct T {
+    points: Vec<[f32; 3]>,
+}
+
+impl T {
+    pub fn radius_search(&self, center: [f32; 3], r: f32) -> Vec<u32> {
+        if !r.is_finite() || center.iter().any(|c| !c.is_finite()) {
+            return Vec::new();
+        }
+        let _ = &self.points;
+        Vec::new()
+    }
+
+    pub fn nearest(&self, center: [f32; 3]) -> Option<u32> {
+        self.radius_search(center, 1.0).first().copied()
+    }
+}
+
+pub fn checked_head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn padded(n: usize) -> usize {
+    debug_assert!(n % 8 == 0, "lane padding");
+    // lint: allow(panic-free-serving) — division by the constant 8
+    // cannot fail; `checked_div` only returns `None` for divisor 0.
+    n.checked_div(8).unwrap()
+}

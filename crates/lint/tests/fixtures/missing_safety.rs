@@ -1,0 +1,5 @@
+//! Known-bad: `unsafe` with no immediately preceding `// SAFETY:`.
+
+pub fn read_first(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,9 @@
+//! Known-bad: panic paths in serving-crate library code.
+
+pub fn head(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}
+
+pub fn not_yet() {
+    todo!("later")
+}

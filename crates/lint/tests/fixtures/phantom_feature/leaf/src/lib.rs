@@ -1,0 +1,4 @@
+//! Leaf crate of the phantom-feature fixture workspace.
+
+#[cfg(feature = "simd")]
+pub const LANES: usize = 8;

@@ -1,0 +1,10 @@
+//! Phantom-feature fixture: one gate on a declared feature (fine) and
+//! one on a feature that exists nowhere (flagged).
+
+#[cfg(feature = "simd")]
+pub fn lanes() -> usize {
+    8
+}
+
+#[cfg(feature = "undeclared")]
+pub fn ghost() {}

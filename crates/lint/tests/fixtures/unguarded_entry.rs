@@ -1,0 +1,10 @@
+//! Known-bad: a search entry point with no degenerate-input guard.
+
+pub struct T;
+
+impl T {
+    pub fn radius_search(&self, center: [f32; 3], r: f32) -> Vec<u32> {
+        let _ = (center, r);
+        Vec::new()
+    }
+}

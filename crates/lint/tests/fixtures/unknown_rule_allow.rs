@@ -1,0 +1,4 @@
+//! Known-bad: an allow naming a rule that does not exist.
+
+// lint: allow(warp-drive) — engage, number one.
+pub fn noop() {}

@@ -43,6 +43,8 @@
 //! assert!(result.translation_error(&Pose::identity()) < 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod map;
 mod matcher;
 

@@ -37,6 +37,8 @@
 //! assert!(metrics[0].end_to_end.cycles > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod report;
 pub mod sampling;

@@ -14,6 +14,8 @@
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -23,6 +23,8 @@
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
 
+#![forbid(unsafe_code)]
+
 /// Shrink levels the [`proptest!`] runner tries after a failure. Each
 /// level halves numeric spans and collection-length spans once more, so
 /// level 16 has collapsed every range by 2¹⁶.

@@ -9,6 +9,8 @@
 //!
 //! [`rand`]: https://crates.io/crates/rand
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Seedable generators (subset of `rand::SeedableRng`).

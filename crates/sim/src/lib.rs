@@ -37,6 +37,8 @@
 //! assert!(TimingModel::a72_like().cycles(&t) > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod addr;
 mod branch;
 mod cache;

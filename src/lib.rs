@@ -60,6 +60,8 @@
 //! assert_eq!(batch.num_queries(), cloud.len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use bonsai_cluster as cluster;
 pub use bonsai_core as core;
 pub use bonsai_floatfmt as floatfmt;
