@@ -548,6 +548,180 @@ fn main() {
         let _ = writeln!(json, "      \"ms_per_frame\": {ms_per_frame:.3}");
         let _ = writeln!(json, "    }}{}", if ai == 0 { "," } else { "" });
     }
+    let _ = writeln!(json, "  }},");
+
+    // ------------------------------------------------------------------
+    // Open-loop serving latency: clients arrive at a fixed rate against
+    // a `bonsai-serve` executor over published router epochs, and each
+    // request's latency is completion − *scheduled* arrival (open-loop:
+    // a slow answer does not delay the next arrival, so queueing delay
+    // is charged honestly). Two arrival rates, each measured churn-free
+    // and again with a concurrent churn thread mutating the router and
+    // publishing fresh epochs — the snapshot-isolation design means
+    // ingest must cost queue time, never correctness or a stall.
+    // ------------------------------------------------------------------
+    let _ = writeln!(json, "  \"latency\": {{");
+    let rates: [u64; 2] = [500, 2000];
+    let window_ms: u64 = if quick { 250 } else { 2000 };
+    let _ = writeln!(json, "    \"rates_per_sec\": [{}, {}],", rates[0], rates[1]);
+    let _ = writeln!(json, "    \"window_ms\": {window_ms},");
+    let _ = writeln!(json, "    \"shards\": {SHARDS},");
+    for (ci, churn) in [false, true].into_iter().enumerate() {
+        let arm = if churn { "churn" } else { "no_churn" };
+        let _ = writeln!(json, "    \"{arm}\": {{");
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut router = ShardRouter::bonsai(
+                &cloud,
+                KdTreeConfig::default(),
+                ShardConfig::with_shards(SHARDS),
+            );
+            let publisher =
+                std::sync::Arc::new(bonsai_core::EpochPublisher::new(router.snapshot()));
+            let server = bonsai_serve::Server::new(
+                std::sync::Arc::clone(&publisher),
+                bonsai_serve::ServeConfig {
+                    queue_capacity: 8192,
+                    max_batch: 32,
+                },
+            );
+            let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let churn_thread = churn.then(|| {
+                let publisher = std::sync::Arc::clone(&publisher);
+                let stop = std::sync::Arc::clone(&stop);
+                let insert_source = insert_source.clone();
+                std::thread::spawn(move || {
+                    let mut epochs = 0u64;
+                    let mut cursor = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // A small mutation burst per round: short
+                        // bursts keep each writer time-slice (and so
+                        // the worst reader stall on a one-core runner)
+                        // bounded, while the 4 ms cadence still
+                        // publishes a fresh epoch every few frames'
+                        // worth of queries.
+                        for j in 0..8 {
+                            router.delete(((cursor + j) % cloud_n) as u32);
+                            let p = insert_source[(cursor + j) % insert_source.len()];
+                            let _ = router.insert(p);
+                        }
+                        cursor += 8;
+                        router.commit();
+                        publisher.publish(router.snapshot());
+                        epochs += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(4));
+                    }
+                    epochs
+                })
+            });
+
+            // Warm the executor (spawn + first batch) before timing.
+            for &q in queries.iter().take(16) {
+                let _ = server.radius_query(q, RADIUS);
+            }
+
+            let total_arrivals = (rate * window_ms / 1000).max(1) as usize;
+            let gap = std::time::Duration::from_nanos(1_000_000_000 / rate);
+            // Submitter paces the open-loop arrival grid; a dedicated
+            // harvester blocks on each ticket in FIFO order so every
+            // completion is timestamped by a condvar wake, not by
+            // whenever the pacing loop happens to look. Latency is
+            // charged from the actual submit instant: the arrival grid
+            // never slips to server speed, but OS timer overshoot in
+            // the load generator is not billed to the server (a late
+            // burst of arrivals still queues, and that queueing is in
+            // the completion−submit window).
+            struct InFlight {
+                queue: std::collections::VecDeque<(Instant, bonsai_serve::Ticket)>,
+                closed: bool,
+            }
+            let in_flight = std::sync::Mutex::new(InFlight {
+                queue: std::collections::VecDeque::new(),
+                closed: false,
+            });
+            let handoff = std::sync::Condvar::new();
+            let mut rejected = 0usize;
+            let mut latencies_us: Vec<f64> = std::thread::scope(|s| {
+                let harvester = s.spawn(|| {
+                    let mut latencies = Vec::with_capacity(total_arrivals);
+                    loop {
+                        let entry = {
+                            let mut q = in_flight.lock().expect("in-flight queue");
+                            loop {
+                                if let Some(entry) = q.queue.pop_front() {
+                                    break Some(entry);
+                                }
+                                if q.closed {
+                                    break None;
+                                }
+                                q = handoff.wait(q).expect("in-flight queue");
+                            }
+                        };
+                        let Some((submitted, ticket)) = entry else {
+                            return latencies;
+                        };
+                        ticket.wait().expect("bench query served");
+                        latencies.push((Instant::now() - submitted).as_secs_f64() * 1e6);
+                    }
+                });
+                let pacer_start = Instant::now();
+                for k in 0..total_arrivals {
+                    let scheduled = pacer_start + gap * k as u32;
+                    loop {
+                        let now = Instant::now();
+                        if now >= scheduled {
+                            break;
+                        }
+                        let remaining = scheduled - now;
+                        if remaining > std::time::Duration::from_micros(300) {
+                            std::thread::sleep(remaining - std::time::Duration::from_micros(200));
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    match server.submit(queries[k % queries.len()], RADIUS) {
+                        Ok(ticket) => {
+                            in_flight
+                                .lock()
+                                .expect("in-flight queue")
+                                .queue
+                                .push_back((Instant::now(), ticket));
+                            handoff.notify_all();
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                }
+                in_flight.lock().expect("in-flight queue").closed = true;
+                handoff.notify_all();
+                harvester.join().expect("harvester thread")
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let epochs_published = churn_thread
+                .map(|h| h.join().expect("churn thread"))
+                .unwrap_or(0);
+
+            latencies_us.sort_unstable_by(|a, b| a.total_cmp(b));
+            let pct = |p: f64| -> f64 {
+                let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+                latencies_us[idx]
+            };
+            let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+            let served = latencies_us.len();
+            println!(
+                "latency {arm:>9} @ {rate:>5}/s: p50 {p50:>8.1} µs | p95 {p95:>8.1} µs | \
+                 p99 {p99:>8.1} µs | served {served} rejected {rejected} | \
+                 epochs published {epochs_published}"
+            );
+            let _ = writeln!(json, "      \"rate_{rate}\": {{");
+            let _ = writeln!(json, "        \"p50_us\": {p50:.1},");
+            let _ = writeln!(json, "        \"p95_us\": {p95:.1},");
+            let _ = writeln!(json, "        \"p99_us\": {p99:.1},");
+            let _ = writeln!(json, "        \"served\": {served},");
+            let _ = writeln!(json, "        \"rejected\": {rejected},");
+            let _ = writeln!(json, "        \"epochs_published\": {epochs_published}");
+            let _ = writeln!(json, "      }}{}", if ri == 0 { "," } else { "" });
+        }
+        let _ = writeln!(json, "    }}{}", if ci == 0 { "," } else { "" });
+    }
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 

@@ -282,6 +282,12 @@ pub struct StreamingPipeline {
     audit: AuditPolicy,
     /// Frames served so far (drives [`AuditPolicy::Every`]).
     frames_processed: u64,
+    /// Epoch publication point: after every frame the freshly-mutated
+    /// index is published as the next
+    /// [`RouterSnapshot`](bonsai_core::RouterSnapshot) epoch, so a
+    /// serving front-end holding this `Arc` answers queries against
+    /// consistent snapshots *while* the pipeline keeps ingesting.
+    publisher: std::sync::Arc<bonsai_core::EpochPublisher<bonsai_core::RouterSnapshot>>,
 }
 
 impl StreamingPipeline {
@@ -304,6 +310,7 @@ impl StreamingPipeline {
     /// with [`set_compaction_policy`](StreamingPipeline::set_compaction_policy).
     pub fn new(params: ClusterParams, mode: TreeMode) -> StreamingPipeline {
         let extractor = crate::StreamingExtractor::new(mode, params.tree, params.shards.max(1));
+        let publisher = std::sync::Arc::new(bonsai_core::EpochPublisher::new(extractor.snapshot()));
         StreamingPipeline {
             pipeline: FramePipeline::new(params),
             mode,
@@ -312,6 +319,7 @@ impl StreamingPipeline {
             compaction: Some(bonsai_core::CompactionPolicy::default()),
             audit: AuditPolicy::default(),
             frames_processed: 0,
+            publisher,
         }
     }
 
@@ -349,6 +357,22 @@ impl StreamingPipeline {
     /// The persistent extractor (diff inspection, router stats).
     pub fn extractor(&self) -> &crate::StreamingExtractor {
         &self.extractor
+    }
+
+    /// The epoch publisher over this pipeline's index snapshots.
+    ///
+    /// Epoch 0 is the empty pre-ingest index; each
+    /// [`process_frame`](StreamingPipeline::process_frame) /
+    /// [`try_process_frame`](StreamingPipeline::try_process_frame)
+    /// publishes the post-frame index as the next epoch. Hand a clone
+    /// of this `Arc` to a `bonsai-serve` `Server` (or pin epochs
+    /// directly) to run radius queries **concurrently with ingest**:
+    /// a pinned epoch stays bit-identical to the index as it was at
+    /// that frame boundary, however many frames are ingested after.
+    pub fn epoch_publisher(
+        &self,
+    ) -> &std::sync::Arc<bonsai_core::EpochPublisher<bonsai_core::RouterSnapshot>> {
+        &self.publisher
     }
 
     /// Mutable extractor access for the chaos suite (fault injection
@@ -462,6 +486,12 @@ impl StreamingPipeline {
             }
             boxes.extend(aabb);
         }
+
+        // Publish the post-frame index as the next epoch: O(shards)
+        // pointer clones, after which concurrent readers pinned on
+        // older epochs keep their exact view while new queries see
+        // this frame's mutations.
+        self.publisher.publish(self.extractor.snapshot());
 
         FrameResult {
             output: ClusterOutput {
@@ -580,6 +610,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The streaming pipeline publishes one epoch per frame, and an
+    /// epoch pinned mid-stream keeps answering exactly as the index
+    /// stood at that frame boundary while ingest continues.
+    #[test]
+    fn pipeline_publishes_epochs_and_pins_survive_ingest() {
+        let seq = DrivingSequence::new(SequenceConfig::small_test());
+        let mut streaming = StreamingPipeline::new(
+            ClusterParams {
+                shards: 3,
+                ..ClusterParams::default()
+            },
+            TreeMode::Bonsai,
+        );
+        let publisher = std::sync::Arc::clone(streaming.epoch_publisher());
+        assert_eq!(publisher.epoch(), 0, "epoch 0 is the pre-ingest index");
+
+        streaming.process_frame(&seq.frame(0));
+        assert_eq!(publisher.epoch(), 1);
+        let pinned = publisher.pin();
+        let probe = seq.frame(0)[0];
+        let mut scratch = bonsai_kdtree::SearchScratch::new();
+        let mut frozen = Vec::new();
+        let mut stats = bonsai_kdtree::SearchStats::default();
+        pinned
+            .value()
+            .search_one(probe, 0.8, &mut scratch, &mut frozen, &mut stats);
+
+        for frame_idx in 1..3 {
+            streaming.process_frame(&seq.frame(frame_idx));
+        }
+        assert_eq!(publisher.epoch(), 3, "one epoch per frame");
+
+        // The pinned epoch is bit-stable across the later ingests.
+        let mut again = Vec::new();
+        let mut stats2 = bonsai_kdtree::SearchStats::default();
+        pinned
+            .value()
+            .search_one(probe, 0.8, &mut scratch, &mut again, &mut stats2);
+        assert_eq!(frozen, again, "pinned epoch changed under ingest");
+        assert_eq!(stats.nodes_visited, stats2.nodes_visited);
     }
 
     #[test]

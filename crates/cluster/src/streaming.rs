@@ -24,7 +24,7 @@
 
 use std::collections::HashMap;
 
-use bonsai_core::{CompactionPolicy, ShardConfig, ShardRouter};
+use bonsai_core::{CompactionPolicy, RouterSnapshot, ShardConfig, ShardRouter};
 use bonsai_geom::Point3;
 use bonsai_kdtree::{AuditViolation, KdTreeConfig, SearchStats};
 
@@ -185,6 +185,16 @@ impl StreamingExtractor {
     /// fragmentation).
     pub fn router(&self) -> &ShardRouter {
         &self.router
+    }
+
+    /// An immutable point-in-time view of the index, suitable for
+    /// publication as an epoch
+    /// ([`EpochPublisher`](bonsai_core::EpochPublisher)): the shards
+    /// are shared copy-on-write, so taking a snapshot is `O(shards)`
+    /// pointer clones and later mutations pay the deep copy only for
+    /// the shards they actually touch while this snapshot is alive.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        self.router.snapshot()
     }
 
     /// One amortized rolling-compaction step (see

@@ -15,6 +15,8 @@
 //! at the workspace root — and the [`SearchStats`] the engine produces
 //! aggregate to the same totals.
 
+use std::sync::Arc;
+
 use bonsai_floatfmt::PartErrorMem;
 use bonsai_geom::Point3;
 use bonsai_kdtree::{KdTree, Neighbor, Node, NodeId, QueryBatch, SearchScratch, SearchStats};
@@ -70,17 +72,47 @@ pub enum EngineMode {
 /// ```
 #[derive(Debug)]
 pub struct RadiusSearchEngine<'t> {
-    tree: &'t KdTree,
-    bonsai: Option<&'t BonsaiTree>,
+    handle: TreeHandle<'t>,
     lut: PartErrorMem,
+}
+
+/// How the engine holds its tree: borrowed for the classic
+/// engine-per-tree usage (zero-cost, tied to the tree's lifetime) or
+/// `Arc`-shared for epoch-published serving, where the engine itself
+/// keeps the snapshot alive and is `'static` — free to move across the
+/// serving threads of `bonsai-serve`.
+#[derive(Debug)]
+enum TreeHandle<'t> {
+    Kd(&'t KdTree),
+    Bonsai(&'t BonsaiTree),
+    SharedKd(Arc<KdTree>),
+    SharedBonsai(Arc<BonsaiTree>),
+}
+
+impl TreeHandle<'_> {
+    fn kd(&self) -> &KdTree {
+        match self {
+            TreeHandle::Kd(t) => t,
+            TreeHandle::Bonsai(b) => b.kd_tree(),
+            TreeHandle::SharedKd(t) => t,
+            TreeHandle::SharedBonsai(b) => b.kd_tree(),
+        }
+    }
+
+    fn bonsai(&self) -> Option<&BonsaiTree> {
+        match self {
+            TreeHandle::Kd(_) | TreeHandle::SharedKd(_) => None,
+            TreeHandle::Bonsai(b) => Some(b),
+            TreeHandle::SharedBonsai(b) => Some(b),
+        }
+    }
 }
 
 impl<'t> RadiusSearchEngine<'t> {
     /// An engine scanning uncompressed `f32` leaves.
     pub fn baseline(tree: &'t KdTree) -> RadiusSearchEngine<'t> {
         RadiusSearchEngine {
-            tree,
-            bonsai: None,
+            handle: TreeHandle::Kd(tree),
             lut: PartErrorMem::new(),
         }
     }
@@ -88,8 +120,7 @@ impl<'t> RadiusSearchEngine<'t> {
     /// An engine scanning Bonsai-compressed leaves (exact membership).
     pub fn bonsai(tree: &'t BonsaiTree) -> RadiusSearchEngine<'t> {
         RadiusSearchEngine {
-            tree: tree.kd_tree(),
-            bonsai: Some(tree),
+            handle: TreeHandle::Bonsai(tree),
             lut: PartErrorMem::new(),
         }
     }
@@ -104,9 +135,36 @@ impl<'t> RadiusSearchEngine<'t> {
         RadiusSearchEngine::bonsai(tree)
     }
 
+    /// An engine co-owning an uncompressed tree snapshot: `'static`, so
+    /// it can be pinned inside an [`Epoch`](crate::Epoch) and searched
+    /// from any serving thread while mutation builds the next snapshot.
+    /// Results are identical to [`baseline`](RadiusSearchEngine::baseline)
+    /// over the same tree.
+    pub fn shared_baseline(tree: Arc<KdTree>) -> RadiusSearchEngine<'static> {
+        RadiusSearchEngine {
+            handle: TreeHandle::SharedKd(tree),
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// An engine co-owning a Bonsai-compressed tree snapshot (the
+    /// `'static` twin of [`bonsai`](RadiusSearchEngine::bonsai)).
+    pub fn shared_bonsai(tree: Arc<BonsaiTree>) -> RadiusSearchEngine<'static> {
+        RadiusSearchEngine {
+            handle: TreeHandle::SharedBonsai(tree),
+            lut: PartErrorMem::new(),
+        }
+    }
+
+    /// The `'static` twin of
+    /// [`software_codec`](RadiusSearchEngine::software_codec).
+    pub fn shared_software_codec(tree: Arc<BonsaiTree>) -> RadiusSearchEngine<'static> {
+        RadiusSearchEngine::shared_bonsai(tree)
+    }
+
     /// The leaf representation this engine scans.
     pub fn mode(&self) -> EngineMode {
-        if self.bonsai.is_some() {
+        if self.handle.bonsai().is_some() {
             EngineMode::Compressed
         } else {
             EngineMode::Baseline
@@ -114,8 +172,8 @@ impl<'t> RadiusSearchEngine<'t> {
     }
 
     /// The underlying k-d tree.
-    pub fn tree(&self) -> &'t KdTree {
-        self.tree
+    pub fn tree(&self) -> &KdTree {
+        self.handle.kd()
     }
 
     /// Answers one query, clearing `out` first. Allocation-free once
@@ -186,7 +244,7 @@ impl<'t> RadiusSearchEngine<'t> {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        let Node::Leaf { start, count } = self.tree.nodes()[leaf as usize] else {
+        let Node::Leaf { start, count } = self.handle.kd().nodes()[leaf as usize] else {
             // lint: allow(panic-free-serving) — caller contract: the
             // traversal only ever hands leaf ids to a leaf sweep;
             // an interior id is a walker bug, not an input condition.
@@ -210,21 +268,22 @@ impl<'t> RadiusSearchEngine<'t> {
         stats: &mut SearchStats,
     ) {
         let r_sq = radius * radius;
-        match self.bonsai {
-            None => self
-                .tree
-                .sweep_leaf_visits(visited, query, r_sq, out, stats),
+        let tree = self.handle.kd();
+        match self.handle.bonsai() {
+            None => tree.sweep_leaf_visits(visited, query, r_sq, out, stats),
             Some(bonsai) => {
-                sweep_visited_compressed(
-                    bonsai, self.tree, &self.lut, visited, query, r_sq, out, stats,
-                );
+                sweep_visited_compressed(bonsai, tree, &self.lut, visited, query, r_sq, out, stats);
             }
         }
     }
 
     /// The shared per-query kernel: iterative traversal plus the
-    /// mode's leaf scan, appending hits to `out`.
-    fn search_append(
+    /// mode's leaf scan, **appending** hits to `out` (not cleared —
+    /// exactly the closure shape [`QueryBatch::push_query`] consumes,
+    /// which is how the `bonsai-serve` executor drives one engine
+    /// across a whole absorbed batch). Degenerate radii and non-finite
+    /// query centers append nothing and count no work.
+    pub fn search_append(
         &self,
         query: Point3,
         radius: f32,
@@ -233,8 +292,8 @@ impl<'t> RadiusSearchEngine<'t> {
         stats: &mut SearchStats,
     ) {
         append_hits(
-            self.tree,
-            self.bonsai,
+            self.handle.kd(),
+            self.handle.bonsai(),
             &self.lut,
             query,
             radius,

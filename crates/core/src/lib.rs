@@ -45,6 +45,7 @@ mod audit;
 mod chaos;
 mod directory;
 mod engine;
+mod epoch;
 #[cfg(feature = "parallel")]
 mod fanout;
 mod processor;
@@ -58,8 +59,9 @@ mod tree;
 pub use chaos::{FaultKind, FaultPlan};
 pub use directory::{CompressedDirectory, LeafRef};
 pub use engine::{EngineMode, RadiusSearchEngine};
+pub use epoch::{Epoch, EpochPublisher, QueryError};
 pub use processor::BonsaiLeafProcessor;
 pub use reduced::ReducedUncheckedProcessor;
-pub use shard::{CompactionPolicy, Coverage, ShardConfig, ShardRouter};
+pub use shard::{CompactionPolicy, Coverage, RouterSnapshot, ShardConfig, ShardRouter};
 pub use software::SoftwareCodecProcessor;
 pub use tree::{BonsaiTree, CompressionStats};

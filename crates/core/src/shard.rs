@@ -29,6 +29,7 @@
 //! the queries routed to it.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use bonsai_floatfmt::PartErrorMem;
 use bonsai_geom::{Aabb, Point3};
@@ -39,6 +40,7 @@ use bonsai_kdtree::{
 use bonsai_sim::SimEngine;
 
 use crate::engine::{append_hits, EngineMode};
+use crate::epoch::QueryError;
 use crate::tree::BonsaiTree;
 
 /// Sharding parameters of a [`ShardRouter`].
@@ -74,7 +76,12 @@ impl ShardConfig {
 
 /// One spatial shard: a contiguous region's points, their global
 /// indices, and the per-shard tree.
-#[derive(Debug)]
+///
+/// `Clone` backs the copy-on-write epoch scheme: the router stores
+/// `Arc<Shard>`, and a mutation clones a shard (via [`Arc::make_mut`])
+/// only when a published [`RouterSnapshot`] still pins it — unpinned
+/// shards mutate in place at zero copy cost.
+#[derive(Debug, Clone)]
 struct Shard {
     /// Tight bounding box of the shard's points (the routing test).
     aabb: Aabb,
@@ -96,7 +103,7 @@ struct Shard {
     pending_deletes: Vec<u32>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[allow(clippy::large_enum_variant)] // a handful of shards per router
 enum ShardTree {
     Baseline(KdTree),
@@ -266,7 +273,11 @@ impl Default for Coverage {
 /// [`RadiusSearchEngine`]: crate::RadiusSearchEngine
 #[derive(Debug)]
 pub struct ShardRouter {
-    shards: Vec<Shard>,
+    /// Copy-on-write shard storage: queries snapshot it with an O(K)
+    /// `Arc` clone ([`snapshot`](ShardRouter::snapshot)), and mutations
+    /// go through [`Arc::make_mut`] — in place while unpinned, a
+    /// one-shard deep copy when a live snapshot still reads it.
+    shards: Vec<Arc<Shard>>,
     mode: EngineMode,
     num_points: usize,
     lut: PartErrorMem,
@@ -333,7 +344,10 @@ impl ShardRouter {
                 (global, pts)
             })
             .collect();
-        let shards = build_shards(inputs, tree_cfg, mode, cfg.build_threads);
+        let shards: Vec<Arc<Shard>> = build_shards(inputs, tree_cfg, mode, cfg.build_threads)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
         let mut locs = vec![PointLoc { shard: 0, local: 0 }; num_points];
         for (si, shard) in shards.iter().enumerate() {
             for (local, &global) in shard.global.iter().enumerate() {
@@ -460,8 +474,12 @@ impl ShardRouter {
             // quarantined): bootstrap a new single-point shard rather
             // than mutating a suspect tree.
             let si = self.shards.len();
-            self.shards
-                .push(build_shard(vec![global], vec![p], self.tree_cfg, self.mode));
+            self.shards.push(Arc::new(build_shard(
+                vec![global],
+                vec![p],
+                self.tree_cfg,
+                self.mode,
+            )));
             self.set_loc(
                 global,
                 PointLoc {
@@ -489,7 +507,7 @@ impl ShardRouter {
                 si = empty;
             }
         }
-        let shard = &mut self.shards[si];
+        let shard = Arc::make_mut(&mut self.shards[si]);
         shard.aabb.insert(p);
         // lint: allow(panic-free-serving) — the router's `insert`
         // rejected non-finite points before routing, and a finite
@@ -554,7 +572,7 @@ impl ShardRouter {
             return false;
         }
         let mut sim = SimEngine::disabled();
-        let shard = &mut self.shards[loc.shard as usize];
+        let shard = Arc::make_mut(&mut self.shards[loc.shard as usize]);
         if shard.quarantined {
             // The tree is suspect — queue the delete instead of
             // mutating corrupt state. The healing rebuild resolves the
@@ -584,10 +602,13 @@ impl ShardRouter {
     pub fn commit(&mut self) {
         let mut sim = SimEngine::disabled();
         for shard in &mut self.shards {
-            if shard.quarantined {
-                continue; // a suspect tree is frozen until healed
+            // Clean shards are checked read-only before `make_mut`:
+            // otherwise a live snapshot pinning an untouched shard would
+            // force a pointless deep copy on every commit.
+            if shard.quarantined || !shard.tree.kd().has_dirty_nodes() {
+                continue; // frozen until healed, or nothing pending
             }
-            shard.tree.commit(&mut sim);
+            Arc::make_mut(shard).tree.commit(&mut sim);
         }
     }
 
@@ -668,7 +689,7 @@ impl ShardRouter {
                     ShardTree::Bonsai(BonsaiTree::build(Vec::new(), self.tree_cfg, &mut sim))
                 }
             };
-            self.shards[shard] = Shard {
+            self.shards[shard] = Arc::new(Shard {
                 aabb: Aabb {
                     min: Point3::splat(f32::INFINITY),
                     max: Point3::splat(f32::NEG_INFINITY),
@@ -677,7 +698,7 @@ impl ShardRouter {
                 tree,
                 quarantined: false,
                 pending_deletes: Vec::new(),
-            };
+            });
             return;
         }
         let inner_threads = if cfg!(feature = "parallel") {
@@ -692,7 +713,7 @@ impl ShardRouter {
                 local: local as u32,
             };
         }
-        self.shards[shard] = rebuilt;
+        self.shards[shard] = Arc::new(rebuilt);
     }
 
     /// One amortized step of the rolling compaction: inspects the next
@@ -822,7 +843,9 @@ impl ShardRouter {
 
     /// The routed per-query kernel: searches every intersecting shard,
     /// re-indexes its hits to global indices, and sorts the query's
-    /// merged hits into canonical ascending-index order.
+    /// merged hits into canonical ascending-index order. Shared
+    /// verbatim with [`RouterSnapshot`], so a pinned snapshot can never
+    /// drift from the live router at the same state.
     fn append_query(
         &self,
         query: Point3,
@@ -831,44 +854,62 @@ impl ShardRouter {
         out: &mut Vec<Neighbor>,
         stats: &mut SearchStats,
     ) {
-        // Same up-front rejection as the traversal layer, so a
-        // degenerate radius or a non-finite query center skips even the
-        // AABB walk. Without the center guard the router could diverge
-        // from the single-tree engine: `Aabb::intersects_ball` with a
-        // NaN center is false for every box (no shard searched), while
-        // an ∞ center makes the distance arithmetic produce NaN
-        // (∞ − ∞) for boxes that "contain" the coordinate.
-        if !bonsai_kdtree::radius_is_searchable(radius)
-            || !bonsai_kdtree::query_is_searchable(query)
-        {
-            return;
+        append_routed(&self.shards, &self.lut, query, radius, scratch, out, stats);
+    }
+
+    /// [`search_one`](ShardRouter::search_one) behind the typed serving
+    /// boundary: a router that is non-empty but has **every** shard
+    /// quarantined returns [`QueryError::NoCoverage`] instead of a
+    /// silently empty answer. Partial quarantine still answers (the
+    /// healthy shards' hits), reported through
+    /// [`coverage`](ShardRouter::coverage) as before; an empty router
+    /// is legitimately empty, not an error.
+    pub fn try_search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) -> Result<(), QueryError> {
+        coverage_gate(&self.shards)?;
+        self.search_one(query, radius, scratch, out, stats);
+        Ok(())
+    }
+
+    /// [`search_batch`](ShardRouter::search_batch) behind the typed
+    /// serving boundary — see
+    /// [`try_search_one`](ShardRouter::try_search_one). On error the
+    /// batch is left reset (no partial results).
+    pub fn try_search_batch(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        batch: &mut QueryBatch,
+    ) -> Result<(), QueryError> {
+        batch.reset();
+        coverage_gate(&self.shards)?;
+        self.search_batch(queries, radius, batch);
+        Ok(())
+    }
+
+    /// An immutable point-in-time view of the router for concurrent
+    /// serving: O(K) `Arc` clones of the shard list — no tree data is
+    /// copied. The snapshot answers queries bit-identically to this
+    /// router at the moment of the call, and **stays** bit-identical
+    /// while the router keeps mutating (copy-on-write: a mutation
+    /// deep-copies a shard only while a snapshot still pins it).
+    ///
+    /// Publish snapshots through an
+    /// [`EpochPublisher`](crate::EpochPublisher) to serve queries while
+    /// ingesting frames.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        RouterSnapshot {
+            shards: self.shards.clone(),
+            mode: self.mode,
+            num_points: self.num_points,
+            lut: self.lut.clone(),
         }
-        let r_sq = radius * radius;
-        let start = out.len();
-        for shard in &self.shards {
-            // Quarantined shards are skipped outright: their trees are
-            // suspect, and coverage() reports the offline region.
-            if shard.quarantined || !shard.aabb.intersects_ball(query, r_sq) {
-                continue;
-            }
-            let before = out.len();
-            append_hits(
-                shard.tree.kd(),
-                shard.tree.bonsai(),
-                &self.lut,
-                query,
-                radius,
-                scratch,
-                out,
-                stats,
-            );
-            for n in &mut out[before..] {
-                n.index = shard.global[n.index as usize];
-            }
-        }
-        // Global indices are unique, so the sort key is total and the
-        // canonical order is independent of the shard layout.
-        out[start..].sort_unstable_by_key(|n| n.index);
     }
 
     // ------------------------------------------------------------------
@@ -918,7 +959,7 @@ impl ShardRouter {
     ///
     /// Panics if `shard >= num_shards()`.
     pub fn quarantine(&mut self, shard: usize) {
-        self.shards[shard].quarantined = true;
+        Arc::make_mut(&mut self.shards[shard]).quarantined = true;
     }
 
     /// Whether shard `shard` is quarantined.
@@ -1198,7 +1239,7 @@ impl ShardRouter {
             return;
         }
         for &t in targets {
-            self.shards[t].quarantined = true;
+            Arc::make_mut(&mut self.shards[t]).quarantined = true;
         }
         // Reverse map over the healthy shards: which globals they own
         // (live slots only). Points the healthy half owns must NOT be
@@ -1264,7 +1305,7 @@ impl ShardRouter {
             let mut items = std::mem::take(&mut assign[ti]);
             items.sort_unstable_by_key(|&(g, _)| g);
             if items.is_empty() {
-                self.shards[t] = self.make_empty_shard();
+                self.shards[t] = Arc::new(self.make_empty_shard());
                 continue;
             }
             let globals: Vec<u32> = items.iter().map(|&(g, _)| g).collect();
@@ -1283,7 +1324,7 @@ impl ShardRouter {
                     local: local as u32,
                 };
             }
-            self.shards[t] = rebuilt;
+            self.shards[t] = Arc::new(rebuilt);
         }
         // Retirement sweep: directory entries no shard slot holds any
         // more (dead points the rebuild dropped, quarantine-time
@@ -1320,6 +1361,208 @@ impl ShardRouter {
     }
 }
 
+/// A pinned, immutable view of a [`ShardRouter`]'s searchable state:
+/// the shard list (shared `Arc`s), mode and error-bound LUT — everything
+/// queries touch, nothing mutation needs.
+///
+/// Obtained from [`ShardRouter::snapshot`] and typically published
+/// through an [`EpochPublisher`](crate::EpochPublisher): readers pin an
+/// epoch's snapshot and search it from any thread
+/// (`RouterSnapshot: Send + Sync`) while the live router ingests the
+/// next frame. Results are bit-identical — values, order and
+/// [`SearchStats`] — to searching the router frozen at snapshot time,
+/// because both run the exact same routed kernel over the exact same
+/// shard `Arc`s.
+#[derive(Debug, Clone)]
+pub struct RouterSnapshot {
+    shards: Vec<Arc<Shard>>,
+    mode: EngineMode,
+    num_points: usize,
+    lut: PartErrorMem,
+}
+
+impl RouterSnapshot {
+    /// The leaf representation every shard scans.
+    pub fn mode(&self) -> EngineMode {
+        self.mode
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live points at snapshot time.
+    pub fn num_points(&self) -> usize {
+        self.num_points
+    }
+
+    /// The coverage this snapshot serves — frozen at snapshot time.
+    pub fn coverage(&self) -> Coverage {
+        let offline: Vec<Aabb> = self
+            .shards
+            .iter()
+            .filter(|s| s.quarantined)
+            .map(|s| s.aabb)
+            .collect();
+        Coverage {
+            complete: offline.is_empty(),
+            offline,
+        }
+    }
+
+    /// Answers one query exactly as [`ShardRouter::search_one`] would
+    /// have at snapshot time: `out` cleared, hits re-indexed to global
+    /// indices, canonical ascending order.
+    pub fn search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        out.clear();
+        self.search_append(query, radius, scratch, out, stats);
+    }
+
+    /// The appending per-query kernel (the closure shape
+    /// [`QueryBatch::push_query`] consumes): hits append to `out`
+    /// without clearing it, in canonical order per query. This is the
+    /// entry point the `bonsai-serve` batch executor drives.
+    pub fn search_append(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        append_routed(&self.shards, &self.lut, query, radius, scratch, out, stats);
+    }
+
+    /// Answers every query in one call, filling `batch` (reset first) —
+    /// [`ShardRouter::search_batch`] frozen at snapshot time.
+    pub fn search_batch(&self, queries: &[Point3], radius: f32, batch: &mut QueryBatch) {
+        batch.reset();
+        for &query in queries {
+            batch.push_query(|scratch, out, stats| {
+                self.search_append(query, radius, scratch, out, stats);
+            });
+        }
+    }
+
+    /// [`search_batch`](RouterSnapshot::search_batch) fanned out over
+    /// scoped worker threads, identical output and stats.
+    #[cfg(feature = "parallel")]
+    pub fn search_batch_parallel(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        batch: &mut QueryBatch,
+        threads: usize,
+    ) {
+        crate::fanout::search_batch_across_threads(queries, radius, batch, threads, |q, r, b| {
+            self.search_batch(q, r, b)
+        });
+    }
+
+    /// [`search_one`](RouterSnapshot::search_one) behind the typed
+    /// serving boundary: [`QueryError::NoCoverage`] when the snapshot
+    /// is non-empty but every shard is quarantined.
+    pub fn try_search_one(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) -> Result<(), QueryError> {
+        coverage_gate(&self.shards)?;
+        self.search_one(query, radius, scratch, out, stats);
+        Ok(())
+    }
+
+    /// [`search_batch`](RouterSnapshot::search_batch) behind the typed
+    /// serving boundary. On error the batch is left reset.
+    pub fn try_search_batch(
+        &self,
+        queries: &[Point3],
+        radius: f32,
+        batch: &mut QueryBatch,
+    ) -> Result<(), QueryError> {
+        batch.reset();
+        coverage_gate(&self.shards)?;
+        self.search_batch(queries, radius, batch);
+        Ok(())
+    }
+}
+
+/// The routed per-query kernel shared by [`ShardRouter`] and
+/// [`RouterSnapshot`]: searches every healthy intersecting shard,
+/// re-indexes hits to global indices, sorts the query's merged hits
+/// into canonical ascending-index order.
+#[allow(clippy::too_many_arguments)] // the flattened router state
+fn append_routed(
+    shards: &[Arc<Shard>],
+    lut: &PartErrorMem,
+    query: Point3,
+    radius: f32,
+    scratch: &mut SearchScratch,
+    out: &mut Vec<Neighbor>,
+    stats: &mut SearchStats,
+) {
+    // Same up-front rejection as the traversal layer, so a
+    // degenerate radius or a non-finite query center skips even the
+    // AABB walk. Without the center guard the router could diverge
+    // from the single-tree engine: `Aabb::intersects_ball` with a
+    // NaN center is false for every box (no shard searched), while
+    // an ∞ center makes the distance arithmetic produce NaN
+    // (∞ − ∞) for boxes that "contain" the coordinate.
+    if !bonsai_kdtree::radius_is_searchable(radius) || !bonsai_kdtree::query_is_searchable(query) {
+        return;
+    }
+    let r_sq = radius * radius;
+    let start = out.len();
+    for shard in shards {
+        // Quarantined shards are skipped outright: their trees are
+        // suspect, and coverage() reports the offline region.
+        if shard.quarantined || !shard.aabb.intersects_ball(query, r_sq) {
+            continue;
+        }
+        let before = out.len();
+        append_hits(
+            shard.tree.kd(),
+            shard.tree.bonsai(),
+            lut,
+            query,
+            radius,
+            scratch,
+            out,
+            stats,
+        );
+        for n in &mut out[before..] {
+            n.index = shard.global[n.index as usize];
+        }
+    }
+    // Global indices are unique, so the sort key is total and the
+    // canonical order is independent of the shard layout.
+    out[start..].sort_unstable_by_key(|n| n.index);
+}
+
+/// The typed-error gate of the `try_` search variants: `Err` exactly
+/// when the shard set is non-empty and wholly quarantined — the one
+/// state where a plain search's empty answer would be silently wrong
+/// rather than authoritative.
+fn coverage_gate(shards: &[Arc<Shard>]) -> Result<(), QueryError> {
+    if !shards.is_empty() && shards.iter().all(|s| s.quarantined) {
+        return Err(QueryError::NoCoverage {
+            offline: shards.iter().map(|s| s.aabb).collect(),
+        });
+    }
+    Ok(())
+}
+
 /// Deterministic fault-injection hooks for the chaos test suite: each
 /// corrupts live router state in a way the audit is contracted to
 /// catch, returning the shard attributed (or `None` when the router
@@ -1342,7 +1585,7 @@ impl ShardRouter {
         let start = rng.below(candidates.len());
         for k in 0..candidates.len() {
             let si = candidates[(start + k) % candidates.len()];
-            if f(&mut self.shards[si].tree, rng) {
+            if f(&mut Arc::make_mut(&mut self.shards[si]).tree, rng) {
                 return Some(si);
             }
         }
@@ -2056,5 +2299,101 @@ mod tests {
         assert!(out.is_empty());
         // No shard box intersects, so not even a root node is visited.
         assert_eq!(stats, SearchStats::default());
+    }
+
+    /// Regression: an all-quarantined router used to answer queries
+    /// with a silent empty result — indistinguishable from "nothing in
+    /// range" even though *zero* indexed space was searched. The `try_`
+    /// accessors must surface that as the typed
+    /// [`QueryError::NoCoverage`] instead.
+    #[test]
+    fn all_quarantined_router_is_a_typed_error_not_silent_empty() {
+        let cloud = urban_cloud(900, 6);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(3));
+        let probe = cloud[0];
+        let mut scratch = SearchScratch::new();
+        let mut out = Vec::new();
+        let mut stats = SearchStats::default();
+
+        // Healthy: try_ answers exactly like the plain search.
+        router
+            .try_search_one(probe, 1.0, &mut scratch, &mut out, &mut stats)
+            .expect("healthy router serves");
+        assert!(!out.is_empty());
+
+        for s in 0..router.num_shards() {
+            router.quarantine(s);
+        }
+        // The old serving surface: silently empty (kept for the
+        // partial-quarantine case where skipping IS correct).
+        router.search_one(probe, 1.0, &mut scratch, &mut out, &mut stats);
+        assert!(out.is_empty());
+        // The fixed surface: typed, with the offline regions attached.
+        match router.try_search_one(probe, 1.0, &mut scratch, &mut out, &mut stats) {
+            Err(QueryError::NoCoverage { offline }) => assert_eq!(offline.len(), 3),
+            other => panic!("expected NoCoverage, got {other:?}"),
+        }
+        let mut batch = QueryBatch::new();
+        match router.try_search_batch(&[probe, cloud[1]], 1.0, &mut batch) {
+            Err(QueryError::NoCoverage { .. }) => {}
+            other => panic!("expected NoCoverage, got {other:?}"),
+        }
+        assert_eq!(batch.num_queries(), 0, "failed batch must be left reset");
+
+        // The same contract holds through a published snapshot.
+        let snap = router.snapshot();
+        match snap.try_search_one(probe, 1.0, &mut scratch, &mut out, &mut stats) {
+            Err(QueryError::NoCoverage { offline }) => assert_eq!(offline.len(), 3),
+            other => panic!("expected NoCoverage, got {other:?}"),
+        }
+
+        // Partial quarantine is coverage, not an error: one healed
+        // shard serves again.
+        let live: Vec<(u32, Point3)> = (0..100u32).map(|g| (g, cloud[g as usize])).collect();
+        router.rebuild_shards_from(&[0], &live);
+        router
+            .try_search_one(probe, 1.0, &mut scratch, &mut out, &mut stats)
+            .expect("partial coverage serves");
+    }
+
+    /// A snapshot is a point-in-time view: mutations after `snapshot()`
+    /// must not leak into it (copy-on-write), and its answers must be
+    /// bit-identical to the router as it stood at the snapshot.
+    #[test]
+    fn snapshot_is_immutable_under_router_mutation() {
+        let cloud = urban_cloud(1200, 7);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let probe = cloud[42];
+        let mut scratch = SearchScratch::new();
+
+        let snap = router.snapshot();
+        let mut frozen = Vec::new();
+        let mut stats_a = SearchStats::default();
+        snap.search_one(probe, 1.1, &mut scratch, &mut frozen, &mut stats_a);
+        assert!(frozen.iter().any(|n| n.index == 42));
+        assert_eq!(snap.num_points(), router.num_points());
+
+        // Mutate the router hard: delete the probe's own point, insert
+        // new ones, commit, rebuild a shard.
+        assert!(router.delete(42));
+        router.apply_update(&[Point3::new(9.0, 9.0, 9.0)], &[]);
+        router.commit();
+        router.rebuild_shard(1);
+
+        // The live router no longer returns 42 …
+        let mut live = Vec::new();
+        let mut stats_b = SearchStats::default();
+        router.search_one(probe, 1.1, &mut scratch, &mut live, &mut stats_b);
+        assert!(live.iter().all(|n| n.index != 42));
+
+        // … but the pinned snapshot still answers exactly as before,
+        // values AND instrumentation.
+        let mut again = Vec::new();
+        let mut stats_c = SearchStats::default();
+        snap.search_one(probe, 1.1, &mut scratch, &mut again, &mut stats_c);
+        assert_eq!(frozen, again, "snapshot mutated under the reader");
+        assert_eq!(stats_a, stats_c, "snapshot work changed under the reader");
     }
 }

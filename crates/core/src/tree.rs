@@ -113,7 +113,12 @@ impl ApproxSoa {
 /// build-time overhead that the ~52 search visits per leaf amortize.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: the epoch publication scheme
+/// ([`EpochPublisher`](crate::EpochPublisher)) builds the next epoch's
+/// tree off to the side as a deep copy while readers keep scanning the
+/// published one.
+#[derive(Debug, Clone)]
 pub struct BonsaiTree {
     tree: KdTree,
     directory: CompressedDirectory,

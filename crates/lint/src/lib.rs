@@ -52,10 +52,11 @@ pub const SERVING_CRATES: &[&str] = &[
     "bonsai-core",
     "bonsai-cluster",
     "bonsai-pipeline",
+    "bonsai-serve",
 ];
 
 /// Crates whose `pub fn` entry points are held to rule 3.
-pub const GUARD_CRATES: &[&str] = &["bonsai-kdtree", "bonsai-core"];
+pub const GUARD_CRATES: &[&str] = &["bonsai-kdtree", "bonsai-core", "bonsai-serve"];
 
 /// Hot-path modules (rule 5): the search / sweep / mutate files whose
 /// release-build cost a bare `assert!` lands on.

@@ -111,6 +111,47 @@ fn phantom_feature_workspace_lights_up() {
     assert_eq!(diags.len(), 5, "{}", render(&diags));
 }
 
+/// The serving front-end is held to the serving rules: `bonsai-serve`
+/// must be in both the panic-free and the guard-coverage crate lists,
+/// and the workspace scan must actually visit it (it is a member and a
+/// workspace dependency, so `load_workspace` picks it up both ways).
+#[test]
+fn serve_crate_is_under_the_serving_rules() {
+    assert!(
+        bonsai_lint::SERVING_CRATES.contains(&"bonsai-serve"),
+        "bonsai-serve must be panic-free serving code"
+    );
+    assert!(
+        bonsai_lint::GUARD_CRATES.contains(&"bonsai-serve"),
+        "bonsai-serve entry points must discharge the guard rule"
+    );
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let crates = bonsai_lint::load_workspace(&root);
+    assert!(
+        crates.iter().any(|c| c.manifest.name == "bonsai-serve"),
+        "workspace scan must include crates/serve"
+    );
+}
+
+/// An unguarded `pub fn radius_query` under the exact policy the serve
+/// crate's sources get must light up — proving the rules added for
+/// `bonsai-serve` are live, not just listed.
+#[test]
+fn serve_policy_catches_unguarded_serving_entry() {
+    let src = "impl Server {\n    /// Serve one query.\n    pub fn radius_query(&self, q: Point3, radius: f32) -> Vec<Neighbor> {\n        self.inner(q, radius)\n    }\n}\n";
+    let policy = FilePolicy {
+        panic_free: true,
+        hot_path: false,
+        guard_surface: true,
+    };
+    let diags = check_file(Path::new("crates/serve/src/lib.rs"), src, policy, &[]);
+    let pairs: Vec<(Rule, u32)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(pairs, vec![(Rule::GuardCoverage, 3)], "{}", render(&diags));
+}
+
 /// The real workspace must lint clean — this is the same gate CI runs,
 /// enforced from the test suite so `cargo test` alone catches drift.
 #[test]

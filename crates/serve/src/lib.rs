@@ -1,0 +1,684 @@
+#![forbid(unsafe_code)]
+//! `bonsai-serve`: the asynchronous serving front-end over
+//! epoch-published index snapshots.
+//!
+//! The production pattern this crate serves ("Learning to Localize
+//! Through Compressed Binary Maps" — many concurrent localization
+//! clients querying one compressed map) needs three things the
+//! synchronous engines don't provide:
+//!
+//! 1. **Request absorption.** Many concurrent clients each submit one
+//!    radius query; a single executor thread drains the queue and
+//!    absorbs up to [`ServeConfig::max_batch`] waiting requests into
+//!    one order-preserving [`QueryBatch`] per wakeup, so steady-state
+//!    serving pays the engine's batched amortization (shared scratch,
+//!    one backend dispatch per sweep) instead of per-call setup.
+//! 2. **Admission control.** The queue is bounded
+//!    ([`ServeConfig::queue_capacity`]); a submit past capacity is
+//!    rejected *immediately* with the typed
+//!    [`ServeError::Overloaded`] — backpressure the caller can act on,
+//!    consistent with the workspace's `Result` serving boundary —
+//!    rather than queued into unbounded latency.
+//! 3. **Snapshot isolation.** The executor pins the current
+//!    [`Epoch`](bonsai_core::Epoch) before absorbing a batch, so every
+//!    request in that batch is answered against one immutable snapshot
+//!    — bit-identical to a stop-the-world engine at that epoch — while
+//!    the ingest side keeps committing and publishing new epochs
+//!    concurrently. Each [`QueryResult`] reports the epoch that
+//!    answered it.
+//!
+//! Anything `Send + Sync` that can append radius hits can be served:
+//! the [`EpochIndex`] trait is implemented for
+//! [`RouterSnapshot`] (the sharded streaming index) and the
+//! `Arc`-owning [`RadiusSearchEngine`] (single tree, all three
+//! modes).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use bonsai_core::{EpochPublisher, ShardConfig, ShardRouter};
+//! use bonsai_geom::Point3;
+//! use bonsai_kdtree::KdTreeConfig;
+//! use bonsai_serve::{ServeConfig, Server};
+//!
+//! let cloud: Vec<Point3> =
+//!     (0..400).map(|i| Point3::new((i % 20) as f32 * 0.3, (i / 20) as f32 * 0.3, 1.0)).collect();
+//! let mut router =
+//!     ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+//!
+//! let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+//! let server = Server::new(Arc::clone(&publisher), ServeConfig::default());
+//!
+//! // Clients submit concurrently; the executor batches and answers.
+//! let ticket = server.submit(cloud[0], 0.5).expect("queue has room");
+//!
+//! // Meanwhile ingest keeps mutating and publishing — served queries
+//! // are isolated on the epoch they were absorbed under.
+//! router.apply_update(&[Point3::new(50.0, 50.0, 1.0)], &[]);
+//! publisher.publish(router.snapshot());
+//!
+//! let result = ticket.wait().expect("query served");
+//! assert!(result.neighbors.iter().any(|n| n.index == 0));
+//! ```
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use bonsai_core::{EpochPublisher, QueryError, RadiusSearchEngine, RouterSnapshot};
+use bonsai_geom::Point3;
+use bonsai_kdtree::{Neighbor, QueryBatch, SearchScratch, SearchStats};
+
+/// Lock with poison recovery: every critical section in this crate
+/// leaves the guarded state consistent at each await point (complete
+/// queue pushes/drains, complete slot assignments), so a panicking
+/// peer thread never leaves a torn value behind.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Knobs of the serving executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum requests waiting in the queue; a submit finding the
+    /// queue at capacity is rejected with [`ServeError::Overloaded`].
+    /// `0` rejects every submit (useful to test backpressure paths).
+    pub queue_capacity: usize,
+    /// Maximum requests absorbed into one [`QueryBatch`] per executor
+    /// wakeup (clamped to at least 1). Larger batches amortize better;
+    /// smaller ones re-pin fresher epochs more often.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 1024,
+            max_batch: 64,
+        }
+    }
+}
+
+/// A serving-boundary failure, typed so clients can distinguish
+/// backpressure (retry later) from shutdown (stop) from index
+/// conditions (the wrapped [`QueryError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded queue is full: the request was rejected at
+    /// admission, not queued. Retry after draining or shed load.
+    Overloaded {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and no longer admits requests
+    /// (already-admitted requests are still drained and answered).
+    ShuttingDown,
+    /// The pinned epoch's index could not answer (e.g. every shard
+    /// quarantined — [`QueryError::NoCoverage`]).
+    Query(QueryError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "request queue at capacity ({capacity}); rejected at admission"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Query(q) => write!(f, "query failed: {q}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Query(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(q: QueryError) -> ServeError {
+        ServeError::Query(q)
+    }
+}
+
+/// One answered radius query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The epoch whose snapshot answered this query. Every request
+    /// absorbed into the same batch reports the same epoch, and the
+    /// neighbors are bit-identical to a stop-the-world search of that
+    /// epoch's index.
+    pub epoch: u64,
+    /// The hits, in the index's canonical order (ascending global
+    /// index through a router snapshot; leaf order through a
+    /// single-tree engine).
+    pub neighbors: Vec<Neighbor>,
+}
+
+/// Executor observability counters (monotonic since server start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeMetrics {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests answered (including typed-error answers).
+    pub served: u64,
+    /// Requests rejected at admission ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Executor wakeups that absorbed at least one request.
+    pub batches: u64,
+    /// Largest number of requests absorbed into a single batch.
+    pub max_batch_absorbed: usize,
+}
+
+/// An index snapshot the executor can serve: anything that appends
+/// radius hits and is shareable across the serving threads.
+///
+/// Implementations must be **pure reads**: two `search_append` calls
+/// with the same inputs against the same value return bit-identical
+/// hits and stats — the property that makes epoch pinning equal to
+/// stop-the-world.
+pub trait EpochIndex: Send + Sync + 'static {
+    /// Appends the query's hits to `out` (not cleared) and its work to
+    /// `stats` — the closure shape [`QueryBatch::push_query`] consumes.
+    /// Degenerate radii / non-finite centers append nothing.
+    fn search_append(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    );
+
+    /// Whether this snapshot can answer queries at all; an `Err` fails
+    /// every request of the absorbed batch with
+    /// [`ServeError::Query`]. Defaults to always-serving.
+    fn admission(&self) -> Result<(), QueryError> {
+        Ok(())
+    }
+}
+
+impl EpochIndex for RouterSnapshot {
+    fn search_append(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        RouterSnapshot::search_append(self, query, radius, scratch, out, stats);
+    }
+
+    /// A non-empty snapshot whose every shard is quarantined serves
+    /// nothing: reject the batch with the same typed error the
+    /// snapshot's own `try_` searches return.
+    fn admission(&self) -> Result<(), QueryError> {
+        let coverage = self.coverage();
+        if self.num_shards() > 0 && coverage.offline.len() == self.num_shards() {
+            return Err(QueryError::NoCoverage {
+                offline: coverage.offline,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl EpochIndex for RadiusSearchEngine<'static> {
+    fn search_append(
+        &self,
+        query: Point3,
+        radius: f32,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<Neighbor>,
+        stats: &mut SearchStats,
+    ) {
+        RadiusSearchEngine::search_append(self, query, radius, scratch, out, stats);
+    }
+}
+
+type Outcome = Result<QueryResult, ServeError>;
+
+/// The oneshot rendezvous between a client and the executor.
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Outcome>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> TicketState {
+        TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, outcome: Outcome) {
+        let mut slot = relock(&self.slot);
+        *slot = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one admitted request's eventual answer.
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Blocks until the executor answers this request.
+    pub fn wait(self) -> Outcome {
+        let mut slot = relock(&self.state.slot);
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self
+                .state
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking poll: the answer if the executor has produced it.
+    /// After `Some`, the ticket is spent (`wait` would block forever);
+    /// callers should consume the ticket on `Some`.
+    pub fn try_take(&self) -> Option<Outcome> {
+        relock(&self.state.slot).take()
+    }
+}
+
+/// One admitted request, FIFO-queued for the executor.
+#[derive(Debug)]
+struct Request {
+    query: Point3,
+    radius: f32,
+    ticket: Arc<TicketState>,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    pending: VecDeque<Request>,
+    shutdown: bool,
+    metrics: ServeMetrics,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    publisher: Arc<EpochPublisher<T>>,
+    cfg: ServeConfig,
+    queue: Mutex<Queue>,
+    wake: Condvar,
+}
+
+/// The serving executor: one worker thread absorbing admitted requests
+/// into epoch-pinned [`QueryBatch`]es. See the [crate docs](self).
+///
+/// Dropping the server stops admission, drains every already-admitted
+/// request, and joins the worker — no ticket is ever left unanswered.
+#[derive(Debug)]
+pub struct Server<T: EpochIndex> {
+    shared: Arc<Shared<T>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl<T: EpochIndex> Server<T> {
+    /// Starts the executor over `publisher`'s epochs. The publisher is
+    /// shared: the ingest side keeps publishing new snapshots through
+    /// its own `Arc` while this server pins them per batch.
+    pub fn new(publisher: Arc<EpochPublisher<T>>, cfg: ServeConfig) -> Server<T> {
+        let shared = Arc::new(Shared {
+            publisher,
+            cfg,
+            queue: Mutex::new(Queue::default()),
+            wake: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("bonsai-serve".to_string())
+            .spawn(move || worker_loop(&worker_shared))
+            // lint: allow(panic-free-serving) — thread spawn fails only
+            // on process resource exhaustion at server construction,
+            // never on serving input; there is no request to degrade.
+            .expect("spawn bonsai-serve executor thread");
+        Server {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submits one radius query. `Ok` means admitted: the request WILL
+    /// be answered (await it through the [`Ticket`]). `Err` is
+    /// immediate backpressure — nothing was queued.
+    pub fn submit(&self, query: Point3, radius: f32) -> Result<Ticket, ServeError> {
+        let mut q = relock(&self.shared.queue);
+        if q.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.pending.len() >= self.shared.cfg.queue_capacity {
+            q.metrics.rejected += 1;
+            return Err(ServeError::Overloaded {
+                capacity: self.shared.cfg.queue_capacity,
+            });
+        }
+        let state = Arc::new(TicketState::new());
+        q.pending.push_back(Request {
+            query,
+            radius,
+            ticket: Arc::clone(&state),
+        });
+        q.metrics.submitted += 1;
+        drop(q);
+        self.shared.wake.notify_all();
+        Ok(Ticket { state })
+    }
+
+    /// Blocking convenience: submit + wait. A degenerate radius or
+    /// non-finite center short-circuits to the same empty answer a
+    /// stop-the-world engine gives, without occupying queue capacity.
+    pub fn radius_query(&self, query: Point3, radius: f32) -> Result<QueryResult, ServeError> {
+        if !bonsai_kdtree::radius_is_searchable(radius)
+            || !bonsai_kdtree::query_is_searchable(query)
+        {
+            return Ok(QueryResult {
+                epoch: self.shared.publisher.epoch(),
+                neighbors: Vec::new(),
+            });
+        }
+        self.submit(query, radius)?.wait()
+    }
+
+    /// Stops admitting new requests; already-admitted ones still
+    /// drain. Idempotent. (Dropping the server calls this and then
+    /// joins the worker.)
+    pub fn begin_shutdown(&self) {
+        relock(&self.shared.queue).shutdown = true;
+        self.shared.wake.notify_all();
+    }
+
+    /// Current executor counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        relock(&self.shared.queue).metrics
+    }
+
+    /// The epoch publisher this server pins from.
+    pub fn publisher(&self) -> &Arc<EpochPublisher<T>> {
+        &self.shared.publisher
+    }
+}
+
+impl<T: EpochIndex> Drop for Server<T> {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(worker) = self.worker.take() {
+            // A worker panic already answered no one; propagating it
+            // out of drop would abort — losing the panic message — so
+            // the join result is deliberately discarded.
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The executor body: wait → drain ≤ `max_batch` FIFO requests → pin
+/// the current epoch → answer the whole batch against that one
+/// snapshot → rendezvous each ticket.
+fn worker_loop<T: EpochIndex>(shared: &Shared<T>) {
+    let mut batch = QueryBatch::new();
+    let mut drained: Vec<Request> = Vec::new();
+    loop {
+        {
+            let mut q = relock(&shared.queue);
+            while q.pending.is_empty() && !q.shutdown {
+                q = shared.wake.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+            if q.pending.is_empty() {
+                return; // shutdown and fully drained
+            }
+            let n = q.pending.len().min(shared.cfg.max_batch.max(1));
+            drained.extend(q.pending.drain(..n));
+            q.metrics.batches += 1;
+            q.metrics.max_batch_absorbed = q.metrics.max_batch_absorbed.max(n);
+            q.metrics.served += n as u64;
+        }
+        // Pin ONE epoch for the whole absorbed batch: every request in
+        // it is answered from the same immutable snapshot, however
+        // many epochs ingest publishes while the batch runs.
+        let epoch = shared.publisher.pin();
+        let index = epoch.value();
+        match index.admission() {
+            Err(err) => {
+                for request in drained.drain(..) {
+                    request.ticket.fill(Err(ServeError::Query(err.clone())));
+                }
+            }
+            Ok(()) => {
+                batch.reset();
+                for request in &drained {
+                    let (query, radius) = (request.query, request.radius);
+                    batch.push_query(|scratch, out, stats| {
+                        index.search_append(query, radius, scratch, out, stats);
+                    });
+                }
+                for (i, request) in drained.drain(..).enumerate() {
+                    request.ticket.fill(Ok(QueryResult {
+                        epoch: epoch.id(),
+                        neighbors: batch.results(i).to_vec(),
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_core::{BonsaiTree, ShardConfig, ShardRouter};
+    use bonsai_kdtree::KdTreeConfig;
+    use bonsai_sim::SimEngine;
+
+    fn urban_cloud(n: usize, seed: u64) -> Vec<Point3> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f32 / (1u64 << 53) as f32
+        };
+        (0..n)
+            .map(|_| {
+                let cluster = (next() * 12.0).floor();
+                Point3::new(
+                    (cluster - 6.0) * 15.0 + next() * 3.0,
+                    (next() - 0.5) * 60.0,
+                    next() * 2.5,
+                )
+            })
+            .collect()
+    }
+
+    fn snapshot_server(cloud: &[Point3]) -> (ShardRouter, Server<RouterSnapshot>) {
+        let router =
+            ShardRouter::bonsai(cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+        let server = Server::new(publisher, ServeConfig::default());
+        (router, server)
+    }
+
+    #[test]
+    fn served_answers_match_the_router_exactly() {
+        let cloud = urban_cloud(2000, 1);
+        let (router, server) = snapshot_server(&cloud);
+        let queries: Vec<Point3> = cloud.iter().step_by(13).copied().collect();
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|&q| server.submit(q, 1.1).expect("admitted"))
+            .collect();
+        let mut scratch = SearchScratch::new();
+        let mut expect = Vec::new();
+        for (i, (ticket, &q)) in tickets.into_iter().zip(&queries).enumerate() {
+            let result = ticket.wait().expect("served");
+            assert_eq!(result.epoch, 0);
+            let mut stats = SearchStats::default();
+            router.search_one(q, 1.1, &mut scratch, &mut expect, &mut stats);
+            assert_eq!(result.neighbors, expect, "query {i}");
+        }
+        let m = server.metrics();
+        assert_eq!(m.submitted, queries.len() as u64);
+        assert_eq!(m.served, queries.len() as u64);
+        assert_eq!(m.rejected, 0);
+        assert!(m.batches >= 1);
+    }
+
+    #[test]
+    fn zero_capacity_queue_rejects_with_overloaded() {
+        let cloud = urban_cloud(300, 2);
+        let (_router, server) = snapshot_server(&cloud);
+        let server = Server::new(
+            Arc::clone(server.publisher()),
+            ServeConfig {
+                queue_capacity: 0,
+                max_batch: 8,
+            },
+        );
+        match server.submit(cloud[0], 1.0) {
+            Err(ServeError::Overloaded { capacity: 0 }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(server.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn shutdown_stops_admission_but_drains_admitted() {
+        let cloud = urban_cloud(500, 3);
+        let (_router, server) = snapshot_server(&cloud);
+        let ticket = server.submit(cloud[1], 0.9).expect("admitted");
+        server.begin_shutdown();
+        assert_eq!(
+            server.submit(cloud[2], 0.9).err(),
+            Some(ServeError::ShuttingDown)
+        );
+        let result = ticket.wait().expect("admitted requests still drain");
+        assert!(!result.neighbors.is_empty());
+    }
+
+    #[test]
+    fn degenerate_inputs_answer_empty_without_queueing() {
+        let cloud = urban_cloud(300, 4);
+        let (_router, server) = snapshot_server(&cloud);
+        for r in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+            let result = server.radius_query(cloud[0], r).expect("short-circuit");
+            assert!(result.neighbors.is_empty(), "radius {r}");
+        }
+        let bad_center = Point3::new(f32::NAN, 0.0, 0.0);
+        let result = server.radius_query(bad_center, 1.0).expect("short-circuit");
+        assert!(result.neighbors.is_empty());
+        assert_eq!(server.metrics().submitted, 0, "degenerates must not queue");
+    }
+
+    #[test]
+    fn requests_ride_the_epoch_they_were_absorbed_under() {
+        let cloud = urban_cloud(1200, 5);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(3));
+        let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+        let server = Server::new(Arc::clone(&publisher), ServeConfig::default());
+
+        let before = server.radius_query(cloud[7], 1.0).expect("served");
+        assert_eq!(before.epoch, 0);
+
+        // Delete the probe's own point and publish epoch 1.
+        assert!(router.delete(7));
+        router.commit();
+        publisher.publish(router.snapshot());
+
+        let after = server.radius_query(cloud[7], 1.0).expect("served");
+        assert_eq!(after.epoch, 1);
+        assert!(before.neighbors.iter().any(|n| n.index == 7));
+        assert!(after.neighbors.iter().all(|n| n.index != 7));
+    }
+
+    #[test]
+    fn fully_quarantined_snapshot_fails_typed_not_silent() {
+        let cloud = urban_cloud(400, 6);
+        let mut router =
+            ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(2));
+        for s in 0..router.num_shards() {
+            router.quarantine(s);
+        }
+        let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+        let server = Server::new(publisher, ServeConfig::default());
+        match server.radius_query(cloud[0], 1.0) {
+            Err(ServeError::Query(QueryError::NoCoverage { offline })) => {
+                assert_eq!(offline.len(), 2);
+            }
+            other => panic!("expected NoCoverage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_engine_serves_single_tree_snapshots() {
+        let cloud = urban_cloud(800, 7);
+        let mut sim = SimEngine::disabled();
+        let tree = Arc::new(BonsaiTree::build(
+            cloud.clone(),
+            KdTreeConfig::default(),
+            &mut sim,
+        ));
+        let engine = RadiusSearchEngine::shared_bonsai(Arc::clone(&tree));
+        let publisher = Arc::new(EpochPublisher::new(engine));
+        let server = Server::new(publisher, ServeConfig::default());
+        let got = server.radius_query(cloud[11], 0.8).expect("served");
+        let expect = tree.radius_search_simple(cloud[11], 0.8);
+        assert_eq!(got.neighbors, expect);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_correct_answers() {
+        let cloud = urban_cloud(2500, 8);
+        let (router, server) = snapshot_server(&cloud);
+        let server = &server;
+        let cloud_ref = &cloud;
+        let results: Vec<Vec<(usize, QueryResult)>> = thread::scope(|s| {
+            (0..4usize)
+                .map(|t| {
+                    s.spawn(move || {
+                        (0..50usize)
+                            .map(|k| {
+                                let qi = (t * 61 + k * 7) % cloud_ref.len();
+                                let r = server
+                                    .radius_query(cloud_ref[qi], 1.0)
+                                    .expect("admitted under default capacity");
+                                (qi, r)
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        let mut scratch = SearchScratch::new();
+        let mut expect = Vec::new();
+        for (qi, got) in results.into_iter().flatten() {
+            let mut stats = SearchStats::default();
+            router.search_one(cloud[qi], 1.0, &mut scratch, &mut expect, &mut stats);
+            assert_eq!(got.neighbors, expect, "query {qi}");
+        }
+    }
+}

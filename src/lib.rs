@@ -15,6 +15,7 @@
 //! | [`core`] | `bonsai-core` | **the paper's contribution**: compressed leaves, exact search |
 //! | [`cluster`] | `bonsai-cluster` | Autoware-style euclidean clustering |
 //! | [`ndt`] | `bonsai-ndt` | NDT scan matching (localization workload) |
+//! | [`serve`] | `bonsai-serve` | async serving: epoch-pinned snapshots, batching, admission control |
 //! | [`pipeline`] | `bonsai-pipeline` | every table/figure as a runnable experiment |
 //!
 //! # Quick start
@@ -71,4 +72,5 @@ pub use bonsai_kdtree as kdtree;
 pub use bonsai_lidar as lidar;
 pub use bonsai_ndt as ndt;
 pub use bonsai_pipeline as pipeline;
+pub use bonsai_serve as serve;
 pub use bonsai_sim as sim;

@@ -1,0 +1,246 @@
+//! Seeded multi-threaded serving stress: submitter threads hammer a
+//! `bonsai-serve` executor while a churn thread mutates the router and
+//! publishes epochs, with debug assertions armed in CI. Every accepted
+//! answer must be the stop-the-world answer of the epoch it reports;
+//! every rejection must be a typed admission error. Deterministic per
+//! seed: set `STRESS_SEED=<n>` to replay a failure — every assertion
+//! message carries the seed that produced it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use kd_bonsai::core::{EpochPublisher, RouterSnapshot, ShardConfig, ShardRouter};
+use kd_bonsai::geom::Point3;
+use kd_bonsai::kdtree::{KdTreeConfig, SearchScratch, SearchStats};
+use kd_bonsai::serve::{QueryResult, ServeConfig, ServeError, Server};
+
+fn stress_seed() -> u64 {
+    std::env::var("STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_BA5E_0001)
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn unit(&mut self) -> f32 {
+        (self.next_u64() >> 11) as f32 / (1u64 << 53) as f32
+    }
+    fn point(&mut self) -> Point3 {
+        Point3::new(
+            (self.unit() - 0.5) * 80.0,
+            (self.unit() - 0.5) * 80.0,
+            self.unit() * 3.0,
+        )
+    }
+}
+
+/// Submitters race the churn thread; every served answer is checked
+/// against the stop-the-world reference of the epoch it reports.
+#[test]
+fn concurrent_serving_under_churn_is_epoch_consistent() {
+    let seed = stress_seed();
+    let mut rng = XorShift::new(seed);
+    let cloud: Vec<Point3> = (0..2000).map(|_| rng.point()).collect();
+    let mut router =
+        ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+    let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+    let server = Server::new(
+        Arc::clone(&publisher),
+        ServeConfig {
+            queue_capacity: 4096,
+            max_batch: 32,
+        },
+    );
+
+    // Epoch id → the snapshot as published, recorded by the churn
+    // thread for post-hoc verification.
+    let ledger: Mutex<HashMap<u64, RouterSnapshot>> = Mutex::new(HashMap::new());
+    ledger.lock().expect("ledger").insert(0, router.snapshot());
+    let radius = 1.1f32;
+
+    const SUBMITTERS: usize = 4;
+    const QUERIES_PER_THREAD: usize = 150;
+    const CHURN_ROUNDS: usize = 10;
+
+    let server_ref = &server;
+    let ledger_ref = &ledger;
+    let cloud_ref = &cloud;
+    let answered: Vec<Vec<(Point3, QueryResult)>> = thread::scope(|s| {
+        let churn = s.spawn(move || {
+            let mut rng = XorShift::new(seed ^ 0xC0DE);
+            for round in 0..CHURN_ROUNDS {
+                for _ in 0..50 {
+                    let g = (rng.next_u64() % 2000) as u32;
+                    router.delete(g);
+                }
+                let fresh: Vec<Point3> = (0..30).map(|_| rng.point()).collect();
+                router.apply_update(&fresh, &[]);
+                router.commit();
+                if round % 3 == 2 {
+                    let shard = (rng.next_u64() as usize) % router.num_shards().max(1);
+                    router.rebuild_shard(shard);
+                }
+                let snap = router.snapshot();
+                let id = publisher.publish(snap.clone());
+                ledger_ref.lock().expect("ledger").insert(id, snap);
+                thread::yield_now();
+            }
+        });
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut rng = XorShift::new(seed ^ (t as u64 + 1) << 17);
+                    let mut got = Vec::new();
+                    for k in 0..QUERIES_PER_THREAD {
+                        let q = if rng.unit() < 0.8 {
+                            cloud_ref[(rng.next_u64() as usize) % cloud_ref.len()]
+                        } else {
+                            rng.point()
+                        };
+                        match server_ref.radius_query(q, radius) {
+                            Ok(result) => got.push((q, result)),
+                            Err(err) => panic!(
+                                "seed {seed}: thread {t} query {k} failed with {err:?} \
+                                 (capacity 4096 should never reject this load)"
+                            ),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let answered = handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("seed {seed}: submitter panicked"))
+            })
+            .collect();
+        churn
+            .join()
+            .unwrap_or_else(|_| panic!("seed {seed}: churn thread panicked"));
+        answered
+    });
+
+    // Verify: every answer equals the stop-the-world answer of the
+    // epoch it reports.
+    let ledger = ledger.into_inner().expect("ledger");
+    let mut scratch = SearchScratch::new();
+    let mut checked = 0usize;
+    for (q, result) in answered.into_iter().flatten() {
+        let snap = ledger.get(&result.epoch).unwrap_or_else(|| {
+            panic!(
+                "seed {seed}: served epoch {} was never published",
+                result.epoch
+            )
+        });
+        let mut expect = Vec::new();
+        let mut stats = SearchStats::default();
+        snap.search_one(q, radius, &mut scratch, &mut expect, &mut stats);
+        assert_eq!(
+            result.neighbors, expect,
+            "seed {seed}: epoch {} answer diverged from stop-the-world",
+            result.epoch
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, SUBMITTERS * QUERIES_PER_THREAD, "seed {seed}");
+    let metrics = server.metrics();
+    assert_eq!(metrics.served, checked as u64, "seed {seed}: {metrics:?}");
+    assert_eq!(metrics.rejected, 0, "seed {seed}: {metrics:?}");
+}
+
+/// A tiny queue under many submitters: every failure is the typed
+/// `Overloaded` (admission, not a panic or a hang), every admitted
+/// request is answered, and the counters add up.
+#[test]
+fn admission_control_backpressure_is_typed_and_lossless() {
+    let seed = stress_seed();
+    let mut rng = XorShift::new(seed ^ 0xADA15510);
+    let cloud: Vec<Point3> = (0..800).map(|_| rng.point()).collect();
+    let router = ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(2));
+    let publisher = Arc::new(EpochPublisher::new(router.snapshot()));
+    let server = Server::new(
+        Arc::clone(&publisher),
+        ServeConfig {
+            queue_capacity: 8,
+            max_batch: 4,
+        },
+    );
+
+    const SUBMITTERS: usize = 6;
+    const TRIES: usize = 120;
+    let server_ref = &server;
+    let cloud_ref = &cloud;
+    let (answered, overloaded): (u64, u64) = thread::scope(|s| {
+        let handles: Vec<_> = (0..SUBMITTERS)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut rng = XorShift::new(seed ^ (0xF00D << t));
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    for k in 0..TRIES {
+                        let q = cloud_ref[(rng.next_u64() as usize) % cloud_ref.len()];
+                        match server_ref.submit(q, 0.9) {
+                            Ok(ticket) => {
+                                let result = ticket.wait().unwrap_or_else(|e| {
+                                    panic!(
+                                        "seed {seed}: thread {t} try {k}: admitted \
+                                         request failed: {e:?}"
+                                    )
+                                });
+                                assert!(
+                                    result.epoch == 0,
+                                    "seed {seed}: no churn here, epoch must stay 0"
+                                );
+                                ok += 1;
+                            }
+                            Err(ServeError::Overloaded { capacity }) => {
+                                assert_eq!(capacity, 8, "seed {seed}");
+                                shed += 1;
+                                thread::yield_now();
+                            }
+                            Err(other) => {
+                                panic!("seed {seed}: thread {t} try {k}: unexpected {other:?}")
+                            }
+                        }
+                    }
+                    (ok, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("seed {seed}: submitter panicked"))
+            })
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    });
+
+    assert_eq!(
+        answered + overloaded,
+        (SUBMITTERS * TRIES) as u64,
+        "seed {seed}: every try must resolve one way"
+    );
+    assert!(answered > 0, "seed {seed}: nothing was ever admitted");
+    let metrics = server.metrics();
+    assert_eq!(metrics.served, answered, "seed {seed}: {metrics:?}");
+    assert_eq!(metrics.rejected, overloaded, "seed {seed}: {metrics:?}");
+    assert!(
+        metrics.max_batch_absorbed <= 4,
+        "seed {seed}: batch cap ignored: {metrics:?}"
+    );
+}
