@@ -50,12 +50,13 @@ mod extract;
 mod pipeline;
 mod streaming;
 
-pub use bonsai_core::{CompactionPolicy, Coverage};
+pub use bonsai_core::{AdaptReport, CompactionPolicy, Coverage, ShardPolicy};
 pub use extract::{
     extract_euclidean_clusters, extract_euclidean_clusters_batched,
     extract_euclidean_clusters_sharded, ClusterOutput, TreeMode,
 };
 pub use pipeline::{
-    AuditPolicy, ClusterParams, FramePipeline, FrameResult, PipelineError, StreamingPipeline,
+    AdaptPolicy, AuditPolicy, ClusterParams, FramePipeline, FrameResult, PipelineError,
+    StreamingPipeline,
 };
 pub use streaming::{FrameUpdate, HealReport, StreamingExtractor};

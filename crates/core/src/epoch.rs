@@ -203,6 +203,25 @@ impl<T> EpochPublisher<T> {
             .map(|(id, _)| *id)
             .collect()
     }
+
+    /// How far the oldest still-pinned epoch lags the current one:
+    /// `current − oldest_live`, 0 when no reader pins anything older
+    /// than the current epoch. The staleness signal the adaptive
+    /// sharding policy bounds topology changes on
+    /// ([`ShardPolicy::max_epoch_lag`](crate::ShardPolicy::max_epoch_lag)):
+    /// a reader that far behind is wedged or mid-recovery, and every
+    /// split/merge widens the window it must catch up across.
+    pub fn epoch_lag(&self) -> u64 {
+        let state = self.locked();
+        let current = state.current.id;
+        state
+            .history
+            .iter()
+            .filter(|(_, w)| w.strong_count() > 0)
+            .map(|(id, _)| *id)
+            .min()
+            .map_or(0, |oldest| current - oldest)
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +259,23 @@ mod tests {
             p.try_pin_epoch(99),
             Err(QueryError::EpochRetired { epoch: 99 })
         ));
+    }
+
+    #[test]
+    fn epoch_lag_follows_the_oldest_pin() {
+        let p = EpochPublisher::new(0u32);
+        assert_eq!(p.epoch_lag(), 0, "current epoch alone lags nothing");
+        let e0 = p.pin();
+        for v in 1..=5 {
+            p.publish(v);
+        }
+        assert_eq!(p.epoch_lag(), 5, "epoch 0 is pinned five publishes back");
+        let e3 = p.try_pin_epoch(5).expect("current epoch pins");
+        drop(e0);
+        assert_eq!(p.epoch_lag(), 0, "only the current epoch remains pinned");
+        drop(e3);
+        p.publish(6);
+        assert_eq!(p.epoch_lag(), 0);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod shell;
 
+mod adapt;
 mod audit;
 #[cfg(feature = "chaos")]
 mod chaos;
@@ -55,6 +56,10 @@ mod simd;
 mod software;
 mod tree;
 
+pub use adapt::{
+    find_best_split_plane, AdaptDecision, AdaptReport, LoadReport, LoadSample, RejectReason,
+    ShardLoadProfile, ShardLoadReport, ShardPolicy, SplitPlane,
+};
 #[cfg(feature = "chaos")]
 pub use chaos::{FaultKind, FaultPlan};
 pub use directory::{CompressedDirectory, LeafRef};

@@ -424,14 +424,22 @@ mod tests {
             "nearest",
             "insert",
             "delete",
+            "split_shard",
+            "merge_shards",
+            "adapt_step",
+            "worker_partition",
+            "search_batch_shards",
+            "search_batch_shard_parallel",
         ] {
             assert!(rules::is_entry_point_name(n), "{n}");
         }
         for n in [
             "radius_is_searchable",
+            "shard_is_adaptable",
             "rebuild_shard",
             "search_batch",
             "commit",
+            "load_report",
         ] {
             assert!(!rules::is_entry_point_name(n), "{n}");
         }

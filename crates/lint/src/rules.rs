@@ -576,18 +576,32 @@ fn check_debug_assert(
 // ---------------------------------------------------------------------------
 
 /// Whether a `pub fn` name is a search/mutation entry point by the
-/// repo convention.
+/// repo convention. The adaptive-topology surface (split/merge,
+/// policy stepping, worker partitioning, per-subset serving) is
+/// entry-point surface too: each must refuse quarantined or
+/// stale-pinned shards before touching topology, or filter them
+/// before serving.
 pub fn is_entry_point_name(name: &str) -> bool {
     name == "knn"
         || name == "nearest"
         || name == "insert"
         || name == "delete"
+        || name == "split_shard"
+        || name == "merge_shards"
+        || name == "adapt_step"
+        || name == "worker_partition"
+        || name == "search_batch_shards"
+        || name == "search_batch_shard_parallel"
         || (name.starts_with("radius_") && name != "radius_is_searchable")
 }
 
 /// Whether an identifier, called, discharges the guard obligation:
 /// the guards themselves, the finite-point guard, or delegation to
-/// another function of the search/mutation surface.
+/// another function of the search/mutation surface. For the adaptive
+/// surface the guards are `shard_is_adaptable` (typed refusal of
+/// quarantined/stale-pinned shards) and the health-filtering
+/// balancer/route builders (`balance_shards_by_load`, `build_subset`)
+/// every subset-serving path routes through.
 fn is_guard_or_delegate(name: &str) -> bool {
     name == "radius_is_searchable"
         || name == "query_is_searchable"
@@ -596,6 +610,13 @@ fn is_guard_or_delegate(name: &str) -> bool {
         || name == "nearest"
         || name == "insert"
         || name == "delete"
+        || name == "shard_is_adaptable"
+        || name == "try_split"
+        || name == "try_merge"
+        || name == "balance_shards_by_load"
+        || name == "build_subset"
+        || name == "split_shard"
+        || name == "merge_shards"
         || name.contains("radius")
 }
 

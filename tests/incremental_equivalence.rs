@@ -34,10 +34,13 @@ fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
 
 /// One scripted step: `kind` 0 inserts, 1 deletes, 2 checkpoints
 /// (commit + compare against a fresh rebuild), 3 compacts (commit +
-/// full single-tree compaction + a rolling router shard rebuild) and
-/// then checkpoints; `arg` seeds the step's choice of point/index.
+/// full single-tree compaction + a rolling router shard rebuild),
+/// 4 adapts (commit + load-driven `adapt_step` on both routers), 5
+/// splits or merges directly (commit + a targeted `split_shard` /
+/// `merge_shards`); kinds 2–5 all end in the full checkpoint
+/// comparison; `arg` seeds the step's choice of point/index/plane.
 fn arb_ops(max: usize) -> impl Strategy<Value = Vec<(u8, usize)>> {
-    prop::collection::vec((0u8..4, 0usize..10_000), 4..max)
+    prop::collection::vec((0u8..6, 0usize..10_000), 4..max)
 }
 
 fn engine_for<'t>(tree: &'t BonsaiTree, mode: TreeMode) -> RadiusSearchEngine<'t> {
@@ -159,9 +162,14 @@ proptest! {
         // The routers recycle global indices retired by shard rebuilds
         // (generation-tagged free list); the single tree always
         // appends. Maintain the correspondence explicitly: it is the
-        // identity until the first rebuild retires something.
-        let mut tree2router: Vec<u32> = (0..cloud.len() as u32).collect();
-        let mut router2tree: Vec<u32> = (0..cloud.len() as u32).collect();
+        // identity until the first rebuild retires something. Kept per
+        // router because the adaptive policy reads mode-specific load
+        // counters, so the two routers' topologies — and with them
+        // their recycling index spaces — may legitimately diverge.
+        let mut t2r_base: Vec<u32> = (0..cloud.len() as u32).collect();
+        let mut r2t_base: Vec<u32> = t2r_base.clone();
+        let mut t2r_bonsai: Vec<u32> = t2r_base.clone();
+        let mut r2t_bonsai: Vec<u32> = t2r_base.clone();
         for (step, &(kind, arg)) in ops.iter().enumerate() {
             match kind {
                 0 => {
@@ -170,17 +178,27 @@ proptest! {
                     let a = tree.insert(&mut sim, p);
                     let b = router_base.insert(p);
                     let c = router_bonsai.insert(p);
-                    prop_assert_eq!(b, c, "step {}: the routers disagree", step);
+                    prop_assert_eq!(
+                        b.is_some(), c.is_some(), "step {}: the routers disagree", step
+                    );
                     prop_assert_eq!(a.is_some(), b.is_some(), "step {}: insert divergence", step);
-                    if let (Some(ti), Some(ri)) = (a, b) {
-                        if ti as usize >= tree2router.len() {
-                            tree2router.resize(ti as usize + 1, u32::MAX);
+                    if let Some(ti) = a {
+                        let record = |t2r: &mut Vec<u32>, r2t: &mut Vec<u32>, ri: u32| {
+                            if ti as usize >= t2r.len() {
+                                t2r.resize(ti as usize + 1, u32::MAX);
+                            }
+                            if ri as usize >= r2t.len() {
+                                r2t.resize(ri as usize + 1, u32::MAX);
+                            }
+                            t2r[ti as usize] = ri;
+                            r2t[ri as usize] = ti;
+                        };
+                        if let Some(ri) = b {
+                            record(&mut t2r_base, &mut r2t_base, ri);
                         }
-                        if ri as usize >= router2tree.len() {
-                            router2tree.resize(ri as usize + 1, u32::MAX);
+                        if let Some(ri) = c {
+                            record(&mut t2r_bonsai, &mut r2t_bonsai, ri);
                         }
-                        tree2router[ti as usize] = ri;
-                        router2tree[ri as usize] = ti;
                     }
                 }
                 1 => {
@@ -190,9 +208,8 @@ proptest! {
                     // dead one's slot may have been recycled), so the
                     // routers are exercised when the tree delete lands.
                     if a {
-                        let ridx = tree2router[idx as usize];
-                        let b = router_base.delete(ridx);
-                        let c = router_bonsai.delete(ridx);
+                        let b = router_base.delete(t2r_base[idx as usize]);
+                        let c = router_bonsai.delete(t2r_bonsai[idx as usize]);
                         prop_assert!(b && c, "step {}: delete divergence", step);
                     }
                 }
@@ -215,6 +232,81 @@ proptest! {
                             router_base.rebuild_shard(s);
                             router_bonsai.rebuild_shard(s);
                         }
+                    }
+
+                    if kind == 4 {
+                        // Adaptive checkpoint: hammer one live
+                        // neighborhood so the load profile sees a hot
+                        // shard, then run the policy on both routers.
+                        // Whatever it decides (split, merge, typed
+                        // refusal) must be invisible to every
+                        // comparison below.
+                        let policy = kd_bonsai::core::ShardPolicy {
+                            min_split_points: 8,
+                            min_queries: 4.0,
+                            split_ratio: 1.2,
+                            merge_ratio: 0.4,
+                            max_shards: 8,
+                            ..kd_bonsai::core::ShardPolicy::default()
+                        };
+                        let live: Vec<u32> = tree.kd_tree().live_indices().collect();
+                        if !live.is_empty() {
+                            let hot_at = live[arg % live.len()];
+                            let hot = tree.kd_tree().points()[hot_at as usize];
+                            let hot_queries = [hot; 24];
+                            let mut b = kd_bonsai::kdtree::QueryBatch::new();
+                            for _ in 0..3 {
+                                router_base.search_batch(&hot_queries, radius, &mut b);
+                                router_bonsai.search_batch(&hot_queries, radius, &mut b);
+                                router_base.adapt_step(&policy, 0);
+                                router_bonsai.adapt_step(&policy, 0);
+                            }
+                        }
+                    }
+
+                    if kind == 5 {
+                        // Direct topology surgery, per engine: split
+                        // the chosen shard through its own point
+                        // median (or merge it with its neighbor). The
+                        // two routers may have diverged topologically
+                        // after kind-4 adapt checkpoints (their load
+                        // counters legitimately differ by mode), so
+                        // each operates on its own layout and the
+                        // accept/refuse outcome is free — only the
+                        // result comparisons below must not notice.
+                        let surgery = |router: &mut ShardRouter, r2t: &[u32]| {
+                            if router.num_shards() == 0 {
+                                return;
+                            }
+                            let s = arg % router.num_shards();
+                            if arg % 2 == 0 {
+                                let axis = arg % 3;
+                                let coord = |p: Point3| match axis {
+                                    0 => p.x,
+                                    1 => p.y,
+                                    _ => p.z,
+                                };
+                                // The shard's member coordinates, read
+                                // back through the router→tree map.
+                                let mut c: Vec<f32> = router
+                                    .shard_points(s)
+                                    .iter()
+                                    .filter_map(|&g| r2t.get(g as usize))
+                                    .filter(|&&t| t != u32::MAX)
+                                    .map(|&t| coord(tree.kd_tree().points()[t as usize]))
+                                    .collect();
+                                if !c.is_empty() {
+                                    c.sort_unstable_by(f32::total_cmp);
+                                    let plane = c[c.len() / 2];
+                                    let _ = router.split_shard(s, axis, plane);
+                                }
+                            } else {
+                                let t = (s + 1) % router.num_shards();
+                                let _ = router.merge_shards(s, t);
+                            }
+                        };
+                        surgery(&mut router_base, &r2t_base);
+                        surgery(&mut router_bonsai, &r2t_bonsai);
                     }
 
                     // Deep-audit checkpoint: every commit, compaction
@@ -245,9 +337,9 @@ proptest! {
                     for mode in MODES {
                         let engine = engine_for(&tree, mode);
                         let fresh_engine = engine_for(&fresh, mode);
-                        let router = match mode {
-                            TreeMode::Baseline => &router_base,
-                            _ => &router_bonsai,
+                        let (router, r2t) = match mode {
+                            TreeMode::Baseline => (&router_base, &r2t_base),
+                            _ => (&router_bonsai, &r2t_bonsai),
                         };
                         for (qi, &q) in queries.iter().enumerate() {
                             let mut stats = SearchStats::default();
@@ -282,7 +374,7 @@ proptest! {
                             let router_hits: Vec<Neighbor> = out
                                 .iter()
                                 .map(|n| Neighbor {
-                                    index: router2tree[n.index as usize],
+                                    index: r2t[n.index as usize],
                                     dist_sq: n.dist_sq,
                                 })
                                 .collect();
@@ -290,6 +382,33 @@ proptest! {
                                 keyed(&router_hits), expect,
                                 "{:?} step {} query {}: mutated router vs fresh rebuild",
                                 mode, step, qi
+                            );
+                        }
+                    }
+
+                    // Split/merge (and every other topology state) must
+                    // leave the routed batch deterministic and
+                    // canonically ordered: two passes agree bit for bit
+                    // — values, order, and `SearchStats` totals — and
+                    // each query's hits arrive in ascending global
+                    // index order.
+                    {
+                        let mut b1 = kd_bonsai::kdtree::QueryBatch::new();
+                        let mut b2 = kd_bonsai::kdtree::QueryBatch::new();
+                        router_bonsai.search_batch(&queries, radius, &mut b1);
+                        router_bonsai.search_batch(&queries, radius, &mut b2);
+                        prop_assert_eq!(
+                            b1.stats(), b2.stats(),
+                            "step {}: routed batch stats are nondeterministic", step
+                        );
+                        for i in 0..b1.num_queries() {
+                            prop_assert_eq!(
+                                b1.results(i), b2.results(i),
+                                "step {} query {}: routed batch is nondeterministic", step, i
+                            );
+                            prop_assert!(
+                                b1.results(i).windows(2).all(|w| w[0].index < w[1].index),
+                                "step {} query {}: hits out of canonical order", step, i
                             );
                         }
                     }
