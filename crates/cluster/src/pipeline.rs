@@ -19,6 +19,9 @@ pub enum PipelineError {
     /// could not restore a clean index; the violations that survived
     /// (or tripped the guard) are attached.
     CorruptionUnrecovered(Vec<AuditViolation>),
+    /// A point lookup named a global index that is out of range or
+    /// whose point has been deleted.
+    PointNotLive(u32),
 }
 
 impl fmt::Display for PipelineError {
@@ -37,6 +40,9 @@ impl fmt::Display for PipelineError {
                     write!(f, "; first: {first}")?;
                 }
                 write!(f, ")")
+            }
+            PipelineError::PointNotLive(idx) => {
+                write!(f, "global point index {idx} is out of range or deleted")
             }
         }
     }

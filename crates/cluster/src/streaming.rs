@@ -171,15 +171,16 @@ impl StreamingExtractor {
         self.coords[idx as usize]
     }
 
-    /// The coordinates of global point `idx`, or `None` when the index
-    /// is out of range or its point is not live — never panics, the
-    /// serving-path form of [`point`](StreamingExtractor::point).
-    pub fn try_point(&self, idx: u32) -> Option<Point3> {
+    /// The coordinates of global point `idx`, or
+    /// [`PipelineError::PointNotLive`] when the index is out of range
+    /// or its point has been deleted — never panics, the serving-path
+    /// form of [`point`](StreamingExtractor::point).
+    pub fn try_point(&self, idx: u32) -> Result<Point3, PipelineError> {
         let i = idx as usize;
         if i < self.coords.len() && self.alive[i] {
-            Some(self.coords[i])
+            Ok(self.coords[i])
         } else {
-            None
+            Err(PipelineError::PointNotLive(idx))
         }
     }
 

@@ -73,6 +73,29 @@ pub struct ShardPolicy {
     /// many queries in total — prevents adapting to noise right after a
     /// build or rebalance. Defaults to 64.
     pub min_queries: f64,
+    /// Per-populated-shard dispatch tax on split proposals, as a
+    /// fraction of the no-split SAH cost. Every extra shard makes
+    /// *every* routed query test one more bounding box, so a split must
+    /// beat not just its own SAH cost but the fleet-wide dispatch
+    /// overhead it adds: a candidate plane is accepted only when
+    /// `split_cost < no_split_cost × (1 − dispatch_cost × populated)`.
+    /// At the default 0.002 a split into the 64th shard must win by
+    /// ~13% — the measured single-threaded dispatch overhead at that
+    /// shard count — while splits among a handful of shards pay under
+    /// 1%. Set to 0 to restore the untaxed sweep. Defaults to 0.002.
+    pub dispatch_cost: f64,
+    /// The load profile counts as *flat* when the hottest populated
+    /// shard's work is at most this multiple of the mean — no shard is
+    /// worth chasing, so topology should shrink toward cheap dispatch
+    /// rather than hold a fine partition nobody needs. Defaults to
+    /// 1.25.
+    pub flat_ratio: f64,
+    /// When the profile is flat and more than this many shards are
+    /// populated, the nearest adaptable pair is merged even though
+    /// neither is `merge_ratio`-cold — uniform load over many shards
+    /// pays dispatch for nothing. Below this floor a flat profile is
+    /// left alone. Defaults to 8.
+    pub flat_floor: usize,
 }
 
 impl Default for ShardPolicy {
@@ -87,6 +110,9 @@ impl Default for ShardPolicy {
             bins: 16,
             max_epoch_lag: 8,
             min_queries: 64.0,
+            dispatch_cost: 0.002,
+            flat_ratio: 1.25,
+            flat_floor: 8,
         }
     }
 }
@@ -227,9 +253,10 @@ pub enum RejectReason {
         /// Current shard slot count.
         shards: usize,
     },
-    /// The SAH sweep found no plane cheaper than not splitting (e.g.
-    /// all points coincide), or the requested plane puts every live
-    /// point on one side.
+    /// The SAH sweep found no plane cheaper than not splitting after
+    /// the dispatch tax (e.g. all points coincide, or the gain is
+    /// smaller than the per-query cost of one more shard box test), or
+    /// the requested plane puts every live point on one side.
     NoGain {
         /// The shard that was proposed for splitting.
         shard: usize,
@@ -436,12 +463,24 @@ pub struct SplitPlane {
 /// observed query density implicitly, by only sweeping shards the load
 /// profile already marked hot.
 pub fn find_best_split_plane(points: &[Point3], bins: usize) -> Option<SplitPlane> {
+    find_best_split_plane_taxed(points, bins, 0.0)
+}
+
+/// [`find_best_split_plane`] with a dispatch tax: a candidate plane is
+/// accepted only when its SAH cost beats `no_split_cost × (1 − tax)`,
+/// so the split's traversal gain must also cover the router-level
+/// overhead of testing one more shard box per query. `tax` is the
+/// policy's `dispatch_cost × populated` (a tax ≥ 1 refuses every
+/// split); the reported `split_cost`/`no_split_cost` stay untaxed so
+/// observers compare raw SAH numbers.
+pub fn find_best_split_plane_taxed(points: &[Point3], bins: usize, tax: f64) -> Option<SplitPlane> {
     let aabb = Aabb::from_points(points.iter().copied())?;
     let n = points.len();
     if n < 2 || bins < 2 {
         return None;
     }
     let no_split_cost = n as f64 * half_area(&aabb);
+    let accept_below = no_split_cost * (1.0 - tax).max(0.0);
     let mut best: Option<SplitPlane> = None;
     for axis in 0..3usize {
         let lo = aabb.min[axis];
@@ -493,7 +532,7 @@ pub fn find_best_split_plane(points: &[Point3], bins: usize) -> Option<SplitPlan
                     Some(a) => right as f64 * half_area(a),
                     None => 0.0,
                 };
-            if cost < no_split_cost && best.as_ref().is_none_or(|p| cost < p.split_cost) {
+            if cost < accept_below && best.as_ref().is_none_or(|p| cost < p.split_cost) {
                 best = Some(SplitPlane {
                     axis,
                     position: lo + width * (b as f32 / bins as f32),
@@ -565,6 +604,28 @@ mod tests {
         // dominant face, so the SAH must see a real gain.
         assert!(plane.split_cost < plane.no_split_cost);
         assert_eq!(plane.axis, 0, "x is the widest axis of this cloud");
+    }
+
+    #[test]
+    fn dispatch_tax_vetoes_marginal_splits() {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            let o = (i % 10) as f32 * 0.05;
+            pts.push(Point3::new(-10.0 + o, o, 0.5 + o));
+            pts.push(Point3::new(10.0 + o, o, 0.5 + o));
+        }
+        let untaxed = find_best_split_plane_taxed(&pts, 16, 0.0).expect("two blobs split");
+        let gain = 1.0 - untaxed.split_cost / untaxed.no_split_cost;
+        assert!(gain > 0.0 && gain < 1.0);
+        // A tax below the winning plane's gain keeps it — with the
+        // reported costs untaxed, identical to the plain sweep.
+        let taxed = find_best_split_plane_taxed(&pts, 16, gain * 0.5).expect("survives tax");
+        assert_eq!(taxed, untaxed);
+        // A tax above the best gain refuses every plane; so does the
+        // degenerate tax ≥ 1.
+        assert!(find_best_split_plane_taxed(&pts, 16, gain * 1.01).is_none());
+        assert!(find_best_split_plane_taxed(&pts, 16, 1.0).is_none());
+        assert!(find_best_split_plane_taxed(&pts, 16, 7.5).is_none());
     }
 
     #[test]

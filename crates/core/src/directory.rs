@@ -97,6 +97,9 @@ impl CompressedDirectory {
     /// # Panics
     ///
     /// Panics if `leaf` is out of range or already has a structure.
+    // lint: allow(guard-dataflow) — directory baking API: it consumes
+    // an already-encoded leaf and takes no query point or radius from
+    // outside the crate, so there is no degenerate input to guard.
     pub fn insert(&mut self, leaf: LeafId, compressed: &CompressedLeaf) -> u64 {
         let slot = &mut self.refs[leaf as usize];
         assert!(slot.is_none(), "leaf {leaf} compressed twice");

@@ -57,8 +57,8 @@ mod software;
 mod tree;
 
 pub use adapt::{
-    find_best_split_plane, AdaptDecision, AdaptReport, LoadReport, LoadSample, RejectReason,
-    ShardLoadProfile, ShardLoadReport, ShardPolicy, SplitPlane,
+    find_best_split_plane, find_best_split_plane_taxed, AdaptDecision, AdaptReport, LoadReport,
+    LoadSample, RejectReason, ShardLoadProfile, ShardLoadReport, ShardPolicy, SplitPlane,
 };
 #[cfg(feature = "chaos")]
 pub use chaos::{FaultKind, FaultPlan};

@@ -40,7 +40,7 @@ use bonsai_kdtree::{
 use bonsai_sim::SimEngine;
 
 use crate::adapt::{
-    find_best_split_plane, AdaptDecision, AdaptReport, AdaptState, LoadReport, RejectReason,
+    find_best_split_plane_taxed, AdaptDecision, AdaptReport, AdaptState, LoadReport, RejectReason,
     ShardLoad, ShardLoadReport, ShardPolicy,
 };
 use crate::engine::{append_hits, EngineMode};
@@ -522,6 +522,9 @@ impl ShardRouter {
                 si = empty;
             }
         }
+        // lint: allow(cow-discipline) — insert IS the mutation that
+        // creates the dirt; there is nothing to commit before cloning,
+        // and a pinned snapshot must not see the new point anyway.
         let shard = Arc::make_mut(&mut self.shards[si]);
         shard.aabb.insert(p);
         // lint: allow(panic-free-serving) — the router's `insert`
@@ -587,6 +590,9 @@ impl ShardRouter {
             return false;
         }
         let mut sim = SimEngine::disabled();
+        // lint: allow(cow-discipline) — delete IS the mutation that
+        // creates the dirt; the clone must happen before we can mark
+        // anything dirty, so there is no gate to consult.
         let shard = Arc::make_mut(&mut self.shards[loc.shard as usize]);
         if shard.quarantined {
             // The tree is suspect — queue the delete instead of
@@ -1136,6 +1142,9 @@ impl ShardRouter {
     ///
     /// Panics if `shard >= num_shards()`.
     pub fn quarantine(&mut self, shard: usize) {
+        // lint: allow(cow-discipline) — a health-flag flip must copy
+        // even a clean pinned shard: readers on older epochs keep
+        // serving the pre-quarantine snapshot by design.
         Arc::make_mut(&mut self.shards[shard]).quarantined = true;
     }
 
@@ -1416,6 +1425,9 @@ impl ShardRouter {
             return;
         }
         for &t in targets {
+            // lint: allow(cow-discipline) — the heal replaces target
+            // trees wholesale; any uncommitted dirt they carried is
+            // superseded by the authoritative rebuild that follows.
             Arc::make_mut(&mut self.shards[t]).quarantined = true;
         }
         // Reverse map over the healthy shards: which globals they own
@@ -1711,9 +1723,15 @@ impl ShardRouter {
     /// counter window into the decaying profile, then propose — and,
     /// when every guard passes, execute — at most **one** topology
     /// change. The hottest shard is split when its decayed work exceeds
-    /// `split_ratio ×` the per-shard mean, at the plane a binned SAH
-    /// sweep over its live points picks; otherwise the two nearest
-    /// cold shards (both below `merge_ratio ×` the mean) are merged.
+    /// `split_ratio ×` the populated-shard mean, at the plane a binned SAH
+    /// sweep over its live points picks — provided the sweep's gain
+    /// also beats the `dispatch_cost ×` populated-shard tax (every
+    /// shard slot makes every routed query test one more box).
+    /// Otherwise the two nearest cold shards (both below
+    /// `merge_ratio ×` the mean) are merged; when the profile is flat
+    /// (`flat_ratio`) across more than `flat_floor` populated shards,
+    /// the nearest adaptable pair merges even without a cold shard, so
+    /// a uniform stream walks an over-split fleet back down.
     /// Every refused proposal lands in the returned [`AdaptReport`] and
     /// the [`load_report`](ShardRouter::load_report) decision log as a
     /// typed [`RejectReason`]; quarantined (heal-in-progress) shards
@@ -1736,11 +1754,20 @@ impl ShardRouter {
         if total_queries < policy.min_queries {
             return report; // not enough signal to act on yet
         }
-        let mean = self.adapt.profile[..k]
-            .iter()
-            .map(|p| p.work())
+        // The reference mean is over *populated* shards: emptied slots
+        // (merges, rebuilds) carry zero work forever, and letting them
+        // dilute the mean makes every live shard look split-hot — a
+        // freshly merged shard would ping-pong straight back into a
+        // split.
+        let pop_count = (0..k)
+            .filter(|&i| self.shards[i].tree.kd().num_live() > 0)
+            .count()
+            .max(1);
+        let mean = (0..k)
+            .filter(|&i| self.shards[i].tree.kd().num_live() > 0)
+            .map(|i| self.adapt.profile[i].work())
             .sum::<f64>()
-            / k as f64;
+            / pop_count as f64;
         let step = self.adapt.step;
         let hot = (0..k).max_by(|&a, &b| {
             self.adapt.profile[a]
@@ -1839,8 +1866,12 @@ impl ShardRouter {
                 points: pts.len(),
             });
         }
-        let plane =
-            find_best_split_plane(&pts, policy.bins).ok_or(RejectReason::NoGain { shard })?;
+        // Every populated shard already charges each query one box
+        // test, so the split's SAH gain must also cover the dispatch
+        // slot it adds — the tax grows with the fleet.
+        let tax = policy.dispatch_cost * populated as f64;
+        let plane = find_best_split_plane_taxed(&pts, policy.bins, tax)
+            .ok_or(RejectReason::NoGain { shard })?;
         let sibling = self.split_shard(shard, plane.axis, plane.position)?;
         self.adapt.on_split(shard, sibling);
         Ok((sibling, plane.axis, plane.position))
@@ -1855,22 +1886,31 @@ impl ShardRouter {
         mean: f64,
     ) -> Result<Option<(usize, usize)>, RejectReason> {
         let k = self.shards.len();
-        let cold: Vec<usize> = (0..k)
-            .filter(|&i| {
-                self.shard_is_adaptable(i).is_ok()
-                    && self.shards[i].tree.kd().num_live() > 0
-                    && self.adapt.profile[i].work() < policy.merge_ratio * mean
-            })
-            .collect();
-        if cold.len() < 2 {
-            return Ok(None);
-        }
         let populated = self
             .shards
             .iter()
             .filter(|s| s.tree.kd().num_live() > 0)
             .count();
         if populated <= policy.min_shards {
+            return Ok(None);
+        }
+        // A flat profile over many shards is itself a reason to merge:
+        // no shard is hot enough to justify the per-query dispatch cost
+        // of the fine partition, so any adaptable pair is fair game —
+        // repeated steps walk the fleet back down toward `flat_floor`.
+        let max_work = (0..k)
+            .filter(|&i| self.shards[i].tree.kd().num_live() > 0)
+            .map(|i| self.adapt.profile[i].work())
+            .fold(0.0f64, f64::max);
+        let flat = populated > policy.flat_floor && max_work <= policy.flat_ratio * mean;
+        let cold: Vec<usize> = (0..k)
+            .filter(|&i| {
+                self.shard_is_adaptable(i).is_ok()
+                    && self.shards[i].tree.kd().num_live() > 0
+                    && (flat || self.adapt.profile[i].work() < policy.merge_ratio * mean)
+            })
+            .collect();
+        if cold.len() < 2 {
             return Ok(None);
         }
         if epoch_lag > policy.max_epoch_lag {
@@ -2340,6 +2380,9 @@ impl ShardRouter {
         let start = rng.below(candidates.len());
         for k in 0..candidates.len() {
             let si = candidates[(start + k) % candidates.len()];
+            // lint: allow(cow-discipline) — seeded fault injection
+            // deliberately mutates a live tree to plant corruption;
+            // bypassing the dirty gate is the point of the exercise.
             if f(&mut Arc::make_mut(&mut self.shards[si]).tree, rng) {
                 return Some(si);
             }
@@ -2574,6 +2617,7 @@ fn build_shards(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adapt::find_best_split_plane;
     use crate::RadiusSearchEngine;
 
     fn urban_cloud(n: usize, seed: u64) -> Vec<Point3> {
@@ -3440,6 +3484,73 @@ mod tests {
         }
     }
 
+    /// A uniform query stream over an over-split fleet must walk the
+    /// topology back down: a flat load profile earns nothing from a
+    /// fine partition, while every populated shard taxes every routed
+    /// query with one more box test.
+    #[test]
+    fn flat_profile_over_split_fleet_merges_back_down() {
+        // A regular grid, not `urban_cloud`: the clustered cloud has
+        // genuine hot spots, while this test needs per-shard work that
+        // is actually flat.
+        let mut cloud = Vec::with_capacity(16 * 16 * 16);
+        for x in 0..16 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    cloud.push(Point3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        let mut router = ShardRouter::bonsai(
+            &cloud,
+            KdTreeConfig::default(),
+            ShardConfig::with_shards(16),
+        );
+        // split_ratio is raised above the default: a freshly merged
+        // shard inherits both halves' profiles (~2× the populated
+        // mean), and decay noise around the default 2.0 threshold
+        // could tip it into a spurious re-split.
+        let policy = ShardPolicy {
+            min_queries: 16.0,
+            split_ratio: 3.0,
+            flat_ratio: 2.0,
+            flat_floor: 4,
+            ..ShardPolicy::default()
+        };
+        let queries: Vec<Point3> = cloud.iter().step_by(17).copied().collect();
+        let before_live = router.num_points();
+        let mut batch = QueryBatch::new();
+        let mut merges = 0u64;
+        for _ in 0..20 {
+            router.search_batch(&queries, 1.0, &mut batch);
+            let report = router.adapt_step(&policy, 0);
+            assert_eq!(report.splits, 0, "uniform load must never split");
+            merges += report.merges;
+        }
+        assert!(merges >= 2, "flat profile over 16 shards must merge");
+        let populated = router
+            .load_report()
+            .shards
+            .iter()
+            .filter(|s| s.points > 0)
+            .count();
+        assert!(
+            populated >= policy.flat_floor.min(policy.min_shards.max(2)),
+            "merging must respect the floors, populated {populated}"
+        );
+        assert!(
+            populated < 16,
+            "fleet must actually shrink, populated {populated}"
+        );
+        assert_eq!(
+            router.num_points(),
+            before_live,
+            "merges must not lose points"
+        );
+        let audit = router.audit();
+        assert!(audit.is_empty(), "{audit:?}");
+    }
+
     /// The guard-fix satellite, as a regression test: a quarantined
     /// (heal-in-progress) shard is never chosen for a topology change,
     /// and neither is anything else while pinned readers lag beyond the
@@ -3451,9 +3562,14 @@ mod tests {
         let cloud = urban_cloud(3000, 37);
         let mut router =
             ShardRouter::bonsai(&cloud, KdTreeConfig::default(), ShardConfig::with_shards(4));
+        // split_ratio is lowered so the hot shard stays decisively
+        // above the populated-shard mean across the decay the blocked
+        // steps cost it — this test exercises the guards, not the
+        // hotness threshold.
         let policy = ShardPolicy {
             min_split_points: 64,
             min_queries: 16.0,
+            split_ratio: 1.5,
             ..ShardPolicy::default()
         };
         let ego = cloud[0];

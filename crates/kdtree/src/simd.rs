@@ -127,6 +127,9 @@ static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 /// [`LaneBackend::Scalar`] when the `simd` feature is off, the host
 /// supports no vector backend, or a [`scalar_override`] is active.
 pub fn active_backend() -> LaneBackend {
+    // HB: none forgone — writers serialize on OVERRIDE_LOCK's mutex;
+    // a racing reader at worst picks a backend one toggle stale, and
+    // both backends return identical results.
     if !cfg!(feature = "simd") || FORCE_SCALAR.load(Ordering::Relaxed) {
         return LaneBackend::Scalar;
     }
@@ -145,12 +148,17 @@ impl ScalarOverride {
     /// Forces (or releases) the scalar path for every sweep in the
     /// process while this handle is alive.
     pub fn set(&self, force_scalar: bool) {
+        // HB: the `_serialize` MutexGuard held by this handle orders
+        // every store against other override holders; readers need no
+        // edge (see `active_backend`).
         FORCE_SCALAR.store(force_scalar, Ordering::Relaxed);
     }
 }
 
 impl Drop for ScalarOverride {
     fn drop(&mut self) {
+        // HB: still under the handle's `_serialize` MutexGuard — the
+        // release-on-drop store is ordered with `set` by the mutex.
         FORCE_SCALAR.store(false, Ordering::Relaxed);
     }
 }

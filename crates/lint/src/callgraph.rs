@@ -1,0 +1,243 @@
+//! A conservative workspace-internal call graph over the symbol table.
+//!
+//! Callsites are token-level: any identifier immediately followed by
+//! `(` that is not a keyword, a macro bang, or an `fn` declaration is
+//! a call — this covers free calls (`guard(x)`), path calls
+//! (`Shard::guard(x)`) and method syntax (`self.guard(x)`) alike.
+//! `use a::b as c;` renames are undone before the name is recorded.
+//!
+//! Resolution is **by name, to every workspace `fn` with that name**:
+//! without type information a method call is ambiguous, and the graph
+//! deliberately over-approximates — a spurious edge can only make
+//! guard-dataflow *pass* a function that deserves scrutiny at one
+//! remove, never fail a guarded one, and the entry-point surface is
+//! small enough that the imprecision is reviewable. `#[cfg(test)]`
+//! items are kept as callers but never traversed as callees, so a
+//! guard that only a test harness reaches does not count.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::{Lexed, TokKind};
+use crate::symbols::FileSymbols;
+
+/// Identifiers that look like calls when followed by `(` but are
+/// control flow or binding syntax.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "let", "fn",
+    "unsafe", "box", "dyn", "impl", "where", "ref", "mut", "use", "pub", "yield", "await",
+];
+
+/// The resolved names called from one body's token range
+/// (`use`-aliases undone, deduplicated).
+pub fn call_names(
+    lexed: &Lexed,
+    body: (usize, usize),
+    aliases: &BTreeMap<String, String>,
+) -> BTreeSet<String> {
+    let toks = &lexed.tokens;
+    let mut out = BTreeSet::new();
+    let end = body.1.min(toks.len().saturating_sub(1));
+    for j in body.0..=end {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident
+            || !toks.get(j + 1).is_some_and(|n| n.is_punct(b'('))
+            || (j > 0 && toks[j - 1].is_ident("fn"))
+            || CALL_KEYWORDS.contains(&t.text.as_str())
+        {
+            continue;
+        }
+        let resolved = aliases.get(&t.text).unwrap_or(&t.text);
+        out.insert(resolved.clone());
+    }
+    out
+}
+
+/// One `fn` node of the graph.
+#[derive(Debug)]
+pub struct FnNode {
+    pub name: String,
+    pub is_test: bool,
+    /// Resolved names this body calls.
+    pub calls: BTreeSet<String>,
+}
+
+/// The workspace call graph: flattened `fn` nodes, a name index for
+/// conservative resolution, and a per-file index back into the
+/// symbol tables.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// `index[file][fn]` → node id, parallel to the input ordering.
+    pub index: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `(lexed, symbols)` pairs, one per file,
+    /// in workspace order.
+    pub fn build(files: &[(&Lexed, &FileSymbols)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut index = Vec::new();
+        for (lexed, syms) in files {
+            let mut ids = Vec::with_capacity(syms.fns.len());
+            for f in &syms.fns {
+                let calls = f
+                    .body
+                    .map(|b| call_names(lexed, b, &syms.aliases))
+                    .unwrap_or_default();
+                ids.push(nodes.len());
+                nodes.push(FnNode {
+                    name: f.name.clone(),
+                    is_test: f.is_test,
+                    calls,
+                });
+            }
+            index.push(ids);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (id, n) in nodes.iter().enumerate() {
+            by_name.entry(n.name.clone()).or_default().push(id);
+        }
+        CallGraph {
+            nodes,
+            by_name,
+            index,
+        }
+    }
+
+    /// Breadth-first reachability: does `start` transitively call a
+    /// name satisfying `target`? Edges fan out to every same-named
+    /// non-test workspace `fn` (the conservative over-approximation);
+    /// cycles terminate through the visited set.
+    pub fn reaches(&self, start: usize, target: &dyn Fn(&str) -> bool) -> bool {
+        let mut seen = vec![false; self.nodes.len()];
+        seen[start] = true;
+        let mut q = VecDeque::from([start]);
+        while let Some(id) = q.pop_front() {
+            for name in &self.nodes[id].calls {
+                if target(name) {
+                    return true;
+                }
+                for &cid in self.by_name.get(name).map_or(&[][..], |v| v.as_slice()) {
+                    if !self.nodes[cid].is_test && !seen[cid] {
+                        seen[cid] = true;
+                        q.push_back(cid);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::scan_attributes;
+    use crate::symbols;
+
+    struct Built {
+        graph: CallGraph,
+    }
+
+    fn build(srcs: &[&str]) -> Built {
+        let lexed: Vec<_> = srcs.iter().map(|s| lex(s)).collect();
+        let syms: Vec<_> = lexed
+            .iter()
+            .map(|l| {
+                let (tr, _) = scan_attributes(&l.tokens);
+                symbols::scan(l, &tr)
+            })
+            .collect();
+        let pairs: Vec<_> = lexed.iter().zip(syms.iter()).collect();
+        Built {
+            graph: CallGraph::build(&pairs),
+        }
+    }
+
+    fn node(b: &Built, file: usize, f: usize) -> usize {
+        b.graph.index[file][f]
+    }
+
+    #[test]
+    fn direct_and_method_syntax_calls_resolve() {
+        let b = build(&[
+            "pub fn entry(&self, r: f32) { self.checked(r); }\nfn checked(r: f32) { if !radius_is_searchable(r) { return; } }\n",
+        ]);
+        let is_guard = |n: &str| n == "radius_is_searchable";
+        assert!(
+            b.graph.reaches(node(&b, 0, 0), &is_guard),
+            "via method call"
+        );
+        assert!(b.graph.reaches(node(&b, 0, 1), &is_guard), "direct");
+    }
+
+    #[test]
+    fn use_aliased_calls_resolve_to_the_original_name() {
+        let b = build(&[
+            "use crate::guards::radius_is_searchable as ok;\npub fn entry(r: f32) { if ok(r) {} }\n",
+        ]);
+        assert!(b
+            .graph
+            .reaches(node(&b, 0, 0), &|n| n == "radius_is_searchable"));
+    }
+
+    #[test]
+    fn cross_file_delegation_reaches_through_the_chain() {
+        let b = build(&[
+            "pub fn entry(q: P) { middle(q) }\n",
+            "pub fn middle(q: P) { leaf(q) }\nfn leaf(q: P) { q.is_finite(); guard(q); }\nfn guard(q: P) { query_is_searchable(q); }\n",
+        ]);
+        assert!(b
+            .graph
+            .reaches(node(&b, 0, 0), &|n| n == "query_is_searchable"));
+        assert!(!b.graph.reaches(node(&b, 0, 0), &|n| n == "absent"));
+    }
+
+    #[test]
+    fn recursion_and_cycles_terminate() {
+        let b = build(&[
+            "pub fn a(x: u32) { b(x) }\nfn b(x: u32) { a(x); c(x) }\nfn c(x: u32) { c(x) }\n",
+        ]);
+        // No guard anywhere in the a↔b / c→c cycle: must terminate
+        // and answer false.
+        assert!(!b.graph.reaches(node(&b, 0, 0), &|n| n == "is_finite"));
+    }
+
+    #[test]
+    fn shadowed_names_over_approximate_to_every_candidate() {
+        // Two `check` fns in different files; only one reaches the
+        // guard. The caller's edge fans out to both, so reachability
+        // holds — the documented conservative direction.
+        let b = build(&[
+            "pub fn entry(r: f32) { check(r) }\nfn check(_r: f32) {}\n",
+            "fn check(r: f32) { radius_is_searchable(r); }\n",
+        ]);
+        assert!(b
+            .graph
+            .reaches(node(&b, 0, 0), &|n| n == "radius_is_searchable"));
+    }
+
+    #[test]
+    fn cfg_test_only_callees_are_not_traversed() {
+        let b = build(&[
+            "pub fn entry(r: f32) { helper(r) }\n#[cfg(test)]\nmod tests {\n    pub fn helper(r: f32) { radius_is_searchable(r); }\n}\n",
+        ]);
+        // The only fn named `helper` is test-gated: the guard must not
+        // count as reached through it.
+        assert!(!b
+            .graph
+            .reaches(node(&b, 0, 0), &|n| n == "radius_is_searchable"));
+    }
+
+    #[test]
+    fn macro_invocations_and_keywords_are_not_calls() {
+        let lexed = lex("fn f(x: u32) { if (x > 0) { vec![x]; println!(\"{}\", x); g(x); } }\n");
+        let (tr, _) = scan_attributes(&lexed.tokens);
+        let syms = symbols::scan(&lexed, &tr);
+        let calls = call_names(&lexed, syms.fns[0].body.unwrap(), &syms.aliases);
+        assert!(calls.contains("g"));
+        assert!(!calls.contains("if") && !calls.contains("println") && !calls.contains("vec"));
+    }
+}

@@ -1,0 +1,383 @@
+//! The concurrency-discipline rules: atomic-ordering-discipline,
+//! cow-discipline and epoch-pin-balance.
+//!
+//! PRs 8–9 made the serving core's correctness rest on conventions no
+//! syntactic rule can see: relaxed atomics are *only* load-accounting
+//! counters, copy-on-write shard mutation happens *only* behind the
+//! dirty gate, and a pinned epoch is only a snapshot while somebody
+//! holds it. These checks read the same token stream as the line
+//! rules but lean on the symbol table for function extents.
+
+use std::path::Path;
+
+use crate::lexer::{Comment, Lexed, TokKind};
+use crate::rules::{comment_covers, in_regions, Diagnostic, FilePolicy, Regions, Rule};
+use crate::symbols::FileSymbols;
+
+/// The memory-ordering variants of `std::sync::atomic::Ordering`.
+/// (`cmp::Ordering`'s variants — `Less`/`Equal`/`Greater` — never
+/// match, so comparison code is naturally out of scope.)
+const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Functions that pin an epoch snapshot. `pin` is the publisher's
+/// actual method; `pin_epoch`/`try_pin_epoch` are the spec names the
+/// convention is written against.
+const PIN_NAMES: &[&str] = &["pin", "pin_epoch", "try_pin_epoch"];
+
+/// atomic-ordering-discipline: every `Ordering::<variant>` use must be
+/// `Relaxed` inside an allowlisted counter module, or carry a
+/// `// HB:` comment naming its Acquire/Release partner site.
+#[allow(clippy::too_many_arguments)] // the shared per-file analysis state, passed flat like the sibling rules
+pub fn check_atomic_ordering(
+    path: &Path,
+    lexed: &Lexed,
+    symbols: &FileSymbols,
+    test_regions: &Regions,
+    attr_lines: &Regions,
+    policy: FilePolicy,
+    allowed: &dyn Fn(Rule, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    let is_hb = |c: &Comment| c.text.contains("HB:");
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("Ordering")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct(b':'))
+            || !toks.get(i + 2).is_some_and(|n| n.is_punct(b':'))
+        {
+            continue;
+        }
+        let Some(ord) = toks.get(i + 3) else { continue };
+        if ord.kind != TokKind::Ident || !MEMORY_ORDERINGS.contains(&ord.text.as_str()) {
+            continue;
+        }
+        let line = ord.line;
+        if symbols.in_use(i)
+            || in_regions(test_regions, line)
+            || allowed(Rule::AtomicOrderingDiscipline, line)
+        {
+            continue;
+        }
+        if ord.text == "Relaxed" && policy.atomic_counters {
+            continue;
+        }
+        if comment_covers(lexed, attr_lines, line, &is_hb) {
+            continue;
+        }
+        let message = if ord.text == "Relaxed" {
+            "`Ordering::Relaxed` outside an allowlisted counter module: either this is \
+             load accounting (move it to a counter module / extend ATOMIC_COUNTER_MODULES \
+             in bonsai-lint) or it participates in synchronization and needs a `// HB:` \
+             comment naming the happens-before edge it forgoes"
+                .to_string()
+        } else {
+            format!(
+                "`Ordering::{}` without a `// HB:` comment naming its Acquire/Release \
+                 partner site — document the happens-before edge this ordering creates",
+                ord.text
+            )
+        };
+        diags.push(Diagnostic {
+            file: path.to_path_buf(),
+            line,
+            rule: Rule::AtomicOrderingDiscipline,
+            message,
+        });
+    }
+}
+
+/// cow-discipline: `Arc::make_mut` only inside the sanctioned
+/// copy-on-write home (`core/src/shard.rs`), and there only in
+/// functions that consult the dirty gate (`has_dirty_nodes`) at an
+/// earlier point of the same body.
+pub fn check_cow(
+    path: &Path,
+    lexed: &Lexed,
+    symbols: &FileSymbols,
+    test_regions: &Regions,
+    policy: FilePolicy,
+    allowed: &dyn Fn(Rule, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("make_mut") || !toks.get(i + 1).is_some_and(|n| n.is_punct(b'(')) {
+            continue;
+        }
+        let line = t.line;
+        if in_regions(test_regions, line) || allowed(Rule::CowDiscipline, line) {
+            continue;
+        }
+        if !policy.cow_home {
+            diags.push(Diagnostic {
+                file: path.to_path_buf(),
+                line,
+                rule: Rule::CowDiscipline,
+                message: "`Arc::make_mut` outside the copy-on-write home \
+                          (`core/src/shard.rs`): shard snapshots are cloned only on the \
+                          commit path behind the dirty gate — route the mutation through \
+                          the shard API or justify with an allow"
+                    .to_string(),
+            });
+            continue;
+        }
+        // In the cow home: the enclosing fn must have consulted the
+        // dirty gate before reaching for make_mut.
+        let gated = symbols.enclosing_fn(i).is_some_and(|f| {
+            let (a, _) = f.body.unwrap_or((i, i));
+            toks[a..i].iter().enumerate().any(|(off, g)| {
+                g.is_ident("has_dirty_nodes")
+                    && toks.get(a + off + 1).is_some_and(|n| n.is_punct(b'('))
+            })
+        });
+        if !gated {
+            diags.push(Diagnostic {
+                file: path.to_path_buf(),
+                line,
+                rule: Rule::CowDiscipline,
+                message: "`Arc::make_mut` without consulting the dirty gate \
+                          (`has_dirty_nodes`) earlier in the same function: cloning a \
+                          shard that still carries uncommitted dirt either loses the \
+                          dirt or copies it needlessly — gate the clone or justify with \
+                          an allow"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// epoch-pin-balance: the result of `pin`/`pin_epoch`/`try_pin_epoch`
+/// must flow into a binding, a return value, an argument, or a tail
+/// expression — never be dropped in the statement that pinned it
+/// (`publisher.pin();` holds the snapshot for zero instructions and
+/// then retires it, which is always a bug or dead code).
+pub fn check_pin_balance(
+    path: &Path,
+    lexed: &Lexed,
+    symbols: &FileSymbols,
+    test_regions: &Regions,
+    allowed: &dyn Fn(Rule, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !PIN_NAMES.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct(b'('))
+            || (i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            continue;
+        }
+        let line = t.line;
+        if symbols.in_use(i)
+            || in_regions(test_regions, line)
+            || allowed(Rule::EpochPinBalance, line)
+        {
+            continue;
+        }
+        if pin_flows(toks, i) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: path.to_path_buf(),
+            line,
+            rule: Rule::EpochPinBalance,
+            message: format!(
+                "the epoch pinned by `{}()` is dropped in the same statement — bind it \
+                 (`let epoch = …`), return it, or pass it on; a pin nobody holds \
+                 snapshots nothing",
+                t.text
+            ),
+        });
+    }
+}
+
+/// Whether the pin call at token `i` flows somewhere. Backward: a `=`
+/// (covers `let x =` and `=>` match arms), a `let`/`return`, or an
+/// enclosing call/index/list position (`(`/`[`/`,`) before the
+/// statement boundary means the value is consumed. Forward: a
+/// statement that ends at a closing `}` instead of `;` is a tail
+/// expression. `drop(…pin())` is explicitly a non-flow.
+fn pin_flows(toks: &[crate::lexer::Token], i: usize) -> bool {
+    // Backward scan to the statement boundary.
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct(b')') | TokKind::Punct(b']') => depth += 1,
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => {
+                if depth > 0 {
+                    depth -= 1;
+                } else {
+                    // Argument position: consumed by the enclosing
+                    // call — unless that call is `drop`.
+                    return !(j > 0 && toks[j - 1].is_ident("drop"));
+                }
+            }
+            TokKind::Punct(b',') if depth == 0 => return true, // list/arg element
+            TokKind::Punct(b'=') if depth == 0 => return true, // binding or match arm
+            TokKind::Ident if depth == 0 && (t.text == "let" || t.text == "return") => {
+                return true;
+            }
+            TokKind::Punct(b'{') | TokKind::Punct(b'}') | TokKind::Punct(b';') if depth == 0 => {
+                break; // statement boundary with nothing binding so far
+            }
+            _ => {}
+        }
+    }
+    // Forward: skip the call's argument list, then look for the
+    // statement end. `}` before `;` means tail expression.
+    let mut k = i + 1;
+    let mut d = 0i32;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Punct(b'(') => {
+                d += 1;
+            }
+            TokKind::Punct(b')') => {
+                d -= 1;
+                if d == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let mut fd = 0i32;
+    while k < toks.len() {
+        match toks[k].kind {
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => fd += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                if fd == 0 {
+                    return true; // tail expression / last arm
+                }
+                fd -= 1;
+            }
+            TokKind::Punct(b',') if fd == 0 => return true,
+            TokKind::Punct(b';') if fd == 0 => return false, // dropped
+            _ => {}
+        }
+        k += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_file;
+    use std::path::Path;
+
+    const CONC: FilePolicy = FilePolicy {
+        panic_free: false,
+        hot_path: false,
+        guard_surface: false,
+        concurrency: true,
+        atomic_counters: false,
+        cow_home: false,
+        typed_errors: false,
+    };
+
+    fn check(src: &str, policy: FilePolicy) -> Vec<(Rule, u32)> {
+        check_file(Path::new("mem.rs"), src, policy)
+            .iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn relaxed_needs_counter_module_or_hb() {
+        let bad = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert_eq!(check(bad, CONC), [(Rule::AtomicOrderingDiscipline, 1)]);
+        assert!(
+            check(
+                bad,
+                FilePolicy {
+                    atomic_counters: true,
+                    ..CONC
+                }
+            )
+            .is_empty(),
+            "counter modules sanction Relaxed"
+        );
+        let hb = "fn f(c: &AtomicU64) {\n    // HB: pairs with the Acquire in reader().\n    c.store(1, Ordering::Relaxed);\n}\n";
+        assert!(check(hb, CONC).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_need_hb_partners() {
+        let bad = "fn f(c: &AtomicU64) { c.load(Ordering::Acquire); }\n";
+        assert_eq!(check(bad, CONC), [(Rule::AtomicOrderingDiscipline, 1)]);
+        let good = "fn f(c: &AtomicU64) {\n    c.load(Ordering::Acquire) // HB: pairs with the Release store in publish().\n}\n";
+        assert!(check(good, CONC).is_empty(), "{:?}", check(good, CONC));
+        // Counter allowlisting does NOT excuse Acquire.
+        assert_eq!(
+            check(
+                bad,
+                FilePolicy {
+                    atomic_counters: true,
+                    ..CONC
+                }
+            ),
+            [(Rule::AtomicOrderingDiscipline, 1)]
+        );
+    }
+
+    #[test]
+    fn cmp_ordering_and_imports_are_out_of_scope() {
+        let src = "use std::sync::atomic::Ordering;\nfn f(a: u32, b: u32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n";
+        assert!(check(src, CONC).is_empty());
+    }
+
+    #[test]
+    fn make_mut_outside_the_cow_home_is_flagged() {
+        let src = "fn f(a: &mut Arc<V>) { Arc::make_mut(a).push(1); }\n";
+        assert_eq!(check(src, CONC), [(Rule::CowDiscipline, 1)]);
+    }
+
+    #[test]
+    fn cow_home_requires_the_dirty_gate_first() {
+        let home = FilePolicy {
+            cow_home: true,
+            ..CONC
+        };
+        let ungated = "fn commit(a: &mut Arc<V>) {\n    Arc::make_mut(a).push(1);\n}\n";
+        assert_eq!(check(ungated, home), [(Rule::CowDiscipline, 2)]);
+        let gated = "fn commit(a: &mut Arc<V>) {\n    if !a.tree.has_dirty_nodes() { return; }\n    Arc::make_mut(a).push(1);\n}\n";
+        assert!(check(gated, home).is_empty());
+    }
+
+    #[test]
+    fn pin_must_flow_into_a_binding_return_or_tail() {
+        let dropped = "fn f(p: &Publisher) {\n    p.pin();\n}\n";
+        assert_eq!(check(dropped, CONC), [(Rule::EpochPinBalance, 2)]);
+        let explicit_drop = "fn f(p: &Publisher) {\n    drop(p.pin());\n}\n";
+        assert_eq!(check(explicit_drop, CONC), [(Rule::EpochPinBalance, 2)]);
+
+        for good in [
+            "fn f(p: &Publisher) {\n    let epoch = p.pin();\n    epoch.search();\n}\n",
+            "fn f(p: &Publisher) -> Epoch {\n    return p.try_pin_epoch(3);\n}\n",
+            "fn f(p: &Publisher) -> Epoch {\n    p.pin()\n}\n",
+            "fn f(p: &Publisher) {\n    serve(p.pin_epoch());\n}\n",
+            "fn f(p: &Publisher) -> Epoch {\n    match x {\n        A => p.pin(),\n        B => q,\n    }\n}\n",
+            "fn f(p: &Publisher) {\n    let e = p.try_pin_epoch(2)?;\n    e.go();\n}\n",
+        ] {
+            assert!(check(good, CONC).is_empty(), "{good}");
+        }
+
+        // `fn pin(` definitions are not callsites.
+        let def = "impl P {\n    pub fn pin(&self) -> Epoch { self.snap() }\n}\n";
+        assert!(check(def, CONC).is_empty());
+    }
+
+    #[test]
+    fn dropped_pin_behind_question_mark_is_still_dropped() {
+        let src =
+            "fn f(p: &Publisher) -> Result<(), E> {\n    p.try_pin_epoch(1)?;\n    Ok(())\n}\n";
+        assert_eq!(check(src, CONC), [(Rule::EpochPinBalance, 2)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! The call-graph dataflow rules: guard-dataflow and
+//! typed-error-discipline.
+//!
+//! guard-dataflow replaces the PR 7 name-pattern guard-coverage rule
+//! (and its `GUARD_ALLOWLIST`): instead of pattern-matching "calls
+//! something that sounds guarded", an entry point is guarded iff it
+//! **transitively reaches** one of the degenerate-input guards —
+//! `radius_is_searchable`, `query_is_searchable` or `is_finite` —
+//! through the workspace call graph, with `#[cfg(test)]`-only callees
+//! excluded. Exemptions are per-site justified allows in the tree,
+//! where reviewers see them.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Lexed;
+use crate::rules::{is_entry_point_name, Diagnostic, FilePolicy, Rule};
+use crate::symbols::{FileSymbols, Visibility};
+
+/// The degenerate-input guards an entry point must reach.
+pub const GUARD_FNS: &[&str] = &["radius_is_searchable", "query_is_searchable", "is_finite"];
+
+/// Error types that are never acceptable on a public fallible serving
+/// API (by final path segment).
+const STRINGLY: &[&str] = &["String", "str"];
+
+/// guard-dataflow over one file (`file_idx` into the graph's index).
+#[allow(clippy::too_many_arguments)]
+pub fn check_guard_dataflow(
+    path: &Path,
+    symbols: &FileSymbols,
+    graph: &CallGraph,
+    file_idx: usize,
+    policy: FilePolicy,
+    allowed: &dyn Fn(Rule, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !policy.guard_surface {
+        return;
+    }
+    let is_guard = |n: &str| GUARD_FNS.contains(&n);
+    for (fi, f) in symbols.fns.iter().enumerate() {
+        // Plain `pub fn` only: `pub(crate)`/`pub(super)` helpers are
+        // internal and pre-guarded by their public callers.
+        if f.vis != Visibility::Pub
+            || f.is_test
+            || !is_entry_point_name(&f.name)
+            || allowed(Rule::GuardDataflow, f.sig_line)
+        {
+            continue;
+        }
+        let node = graph.index[file_idx][fi];
+        if graph.reaches(node, &is_guard) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            file: path.to_path_buf(),
+            line: f.sig_line,
+            rule: Rule::GuardDataflow,
+            message: format!(
+                "entry point `pub fn {}` never reaches a degenerate-input guard \
+                 (`radius_is_searchable`/`query_is_searchable`/`is_finite`) through the \
+                 call graph — guard it, delegate to a guarded function, or add a \
+                 justified `// lint: allow(guard-dataflow)`",
+                f.name
+            ),
+        });
+    }
+}
+
+/// typed-error-discipline over one file: public `try_*` APIs must
+/// return `Result<_, E>` with `E` a workspace-defined error enum, and
+/// no public fallible API may error with `String`/`&str`/`Box<dyn …>`.
+pub fn check_typed_errors(
+    path: &Path,
+    lexed: &Lexed,
+    symbols: &FileSymbols,
+    enums: &BTreeSet<String>,
+    policy: FilePolicy,
+    allowed: &dyn Fn(Rule, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if !policy.typed_errors {
+        return;
+    }
+    for f in &symbols.fns {
+        if f.vis != Visibility::Pub || f.is_test || allowed(Rule::TypedErrorDiscipline, f.sig_line)
+        {
+            continue;
+        }
+        let is_try = f.name.starts_with("try_");
+        let err = f.ret.and_then(|r| error_type(lexed, r));
+        match (is_try, err) {
+            (true, None) => {
+                // `try_*` that does not return Result at all (bare
+                // value or Option).
+                let what = f
+                    .ret
+                    .map(|(a, b)| {
+                        if lexed.tokens[a..b].iter().any(|t| t.is_ident("Option")) {
+                            "`Option` hides *why* the call failed"
+                        } else {
+                            "an infallible return type contradicts the name"
+                        }
+                    })
+                    .unwrap_or("an infallible return type contradicts the name");
+                diags.push(Diagnostic {
+                    file: path.to_path_buf(),
+                    line: f.sig_line,
+                    rule: Rule::TypedErrorDiscipline,
+                    message: format!(
+                        "public `pub fn {}` is a `try_*` API but does not return \
+                         `Result<_, E>` with a workspace error enum — {what}; return a \
+                         typed error or justify with an allow",
+                        f.name
+                    ),
+                });
+            }
+            (true, Some(err)) => {
+                if STRINGLY.contains(&err.as_str()) || err == "Box" {
+                    diags.push(stringly(path, f.sig_line, &f.name, &err));
+                } else if !enums.contains(&err) {
+                    diags.push(Diagnostic {
+                        file: path.to_path_buf(),
+                        line: f.sig_line,
+                        rule: Rule::TypedErrorDiscipline,
+                        message: format!(
+                            "public `pub fn {}` errors with `{err}`, which is not a \
+                             workspace-defined error enum — serving callers match on \
+                             typed variants, not foreign or opaque errors",
+                            f.name
+                        ),
+                    });
+                }
+            }
+            (false, Some(err)) => {
+                // Non-`try_` fallible APIs only have to avoid stringly
+                // errors; foreign typed errors (`io::Error` on report
+                // writers) are legitimate.
+                if STRINGLY.contains(&err.as_str()) || err == "Box" {
+                    diags.push(stringly(path, f.sig_line, &f.name, &err));
+                }
+            }
+            (false, None) => {}
+        }
+    }
+}
+
+fn stringly(path: &Path, line: u32, name: &str, err: &str) -> Diagnostic {
+    let shown = if err == "Box" { "Box<dyn …>" } else { err };
+    Diagnostic {
+        file: path.to_path_buf(),
+        line,
+        rule: Rule::TypedErrorDiscipline,
+        message: format!(
+            "public `pub fn {name}` errors with `{shown}` — serving APIs return a \
+             workspace-defined error enum (`QueryError`/`ServeError`/`PipelineError`), \
+             never stringly or type-erased errors"
+        ),
+    }
+}
+
+/// The error type of a `Result<…>` return type, by final path segment
+/// of the last top-level generic argument. `Box<…>` collapses to
+/// `"Box"`. `None` when the return type has no `Result`.
+fn error_type(lexed: &Lexed, ret: (usize, usize)) -> Option<String> {
+    let toks = &lexed.tokens[ret.0..ret.1];
+    let r = toks.iter().position(|t| t.is_ident("Result"))?;
+    let mut i = r + 1;
+    if !toks.get(i).is_some_and(|t| t.is_punct(b'<')) {
+        return None; // bare `Result` alias — cannot judge
+    }
+    i += 1;
+    let mut depth = 1i32;
+    let mut last_arg_start = i;
+    let mut end = toks.len();
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            crate::lexer::TokKind::Punct(b'<') => depth += 1,
+            // The `>` of `->` (fn-pointer types inside generics) does
+            // not close an angle bracket.
+            crate::lexer::TokKind::Punct(b'>') if !toks[i - 1].is_punct(b'-') => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            crate::lexer::TokKind::Punct(b',') if depth == 1 => last_arg_start = i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    // Final path segment of the error argument: the ident chain up to
+    // the first `<` / end, skipping references and lifetimes.
+    let seg = &toks[last_arg_start..end];
+    let mut last_ident: Option<&str> = None;
+    for t in seg {
+        match t.kind {
+            crate::lexer::TokKind::Ident if t.text == "dyn" => continue,
+            crate::lexer::TokKind::Ident => {
+                last_ident = Some(&t.text);
+                if t.text == "Box" {
+                    break; // `Box<dyn Error>` — the box is the verdict
+                }
+            }
+            crate::lexer::TokKind::Punct(b':') | crate::lexer::TokKind::Punct(b'&') => continue,
+            crate::lexer::TokKind::Lifetime => continue,
+            crate::lexer::TokKind::Punct(b'<') => break,
+            _ => continue,
+        }
+    }
+    last_ident.map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_file;
+    use crate::rules::FilePolicy;
+
+    const GUARD: FilePolicy = FilePolicy {
+        panic_free: false,
+        hot_path: false,
+        guard_surface: true,
+        concurrency: false,
+        atomic_counters: false,
+        cow_home: false,
+        typed_errors: false,
+    };
+
+    const TYPED: FilePolicy = FilePolicy {
+        guard_surface: false,
+        typed_errors: true,
+        ..GUARD
+    };
+
+    fn check(src: &str, policy: FilePolicy) -> Vec<(Rule, u32)> {
+        check_file(Path::new("mem.rs"), src, policy)
+            .iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn unguarded_entry_point_flagged_guarded_passes() {
+        let bad =
+            "impl T {\n    pub fn radius_search(&self, r: f32) -> Vec<u32> { self.walk(r) }\n}\n";
+        assert_eq!(check(bad, GUARD), [(Rule::GuardDataflow, 2)]);
+
+        let guarded = "impl T {\n    pub fn radius_search(&self, r: f32) -> Vec<u32> {\n        \
+            if !radius_is_searchable(r) { return Vec::new(); }\n        self.walk(r)\n    }\n}\n";
+        assert!(check(guarded, GUARD).is_empty());
+    }
+
+    #[test]
+    fn transitive_delegation_discharges_the_guard() {
+        // nearest → knn → helper → query_is_searchable: three hops.
+        let src = "impl T {\n    pub fn nearest(&self, q: P) -> Option<u32> { self.knn(q, 1).pop() }\n    pub fn knn(&self, q: P, k: usize) -> Vec<u32> { self.checked(q, k) }\n    fn checked(&self, q: P, k: usize) -> Vec<u32> {\n        if !query_is_searchable(q) { return Vec::new(); }\n        self.walk(q, k)\n    }\n}\n";
+        assert!(check(src, GUARD).is_empty(), "{:?}", check(src, GUARD));
+    }
+
+    #[test]
+    fn delegation_to_an_unguarded_sink_is_not_enough() {
+        // Under the retired name-pattern rule, calling anything with
+        // "radius" in the name passed; dataflow requires the chain to
+        // actually end at a guard.
+        let src = "impl T {\n    pub fn radius_search(&self, r: f32) -> Vec<u32> { self.radius_inner(r) }\n    fn radius_inner(&self, r: f32) -> Vec<u32> { self.walk(r) }\n}\n";
+        assert_eq!(check(src, GUARD), [(Rule::GuardDataflow, 2)]);
+    }
+
+    #[test]
+    fn fn_level_allow_covers_entry_points() {
+        let with_allow = "impl T {\n    \
+            // lint: allow(guard-dataflow) — idx is bounds-checked by the caller contract.\n    \
+            pub fn delete(&mut self, idx: u32) -> bool { self.kill(idx) }\n}\n";
+        assert!(check(with_allow, GUARD).is_empty());
+    }
+
+    #[test]
+    fn non_pub_and_non_entry_names_are_ignored() {
+        let src = "fn insert(x: u32) {}\npub(crate) fn delete(x: u32) {}\n\
+                   pub fn rebuild_all(&mut self) { self.x(); }\n";
+        assert!(check(src, GUARD).is_empty());
+    }
+
+    #[test]
+    fn try_apis_need_workspace_error_enums() {
+        let good = "pub enum QueryError { Stale }\nimpl T {\n    pub fn try_search(&self) -> Result<u32, QueryError> { Ok(1) }\n}\n";
+        assert!(check(good, TYPED).is_empty());
+
+        let option = "impl T {\n    pub fn try_take(&self) -> Option<u32> { None }\n}\n";
+        assert_eq!(check(option, TYPED), [(Rule::TypedErrorDiscipline, 2)]);
+
+        let foreign =
+            "impl T {\n    pub fn try_read(&self) -> Result<u32, std::io::Error> { Ok(1) }\n}\n";
+        assert_eq!(check(foreign, TYPED), [(Rule::TypedErrorDiscipline, 2)]);
+    }
+
+    #[test]
+    fn stringly_errors_are_flagged_on_any_pub_fallible_api() {
+        let stringly = "impl T {\n    pub fn commit(&self) -> Result<(), String> { Ok(()) }\n}\n";
+        assert_eq!(check(stringly, TYPED), [(Rule::TypedErrorDiscipline, 2)]);
+        let boxed = "impl T {\n    pub fn commit(&self) -> Result<(), Box<dyn std::error::Error>> { Ok(()) }\n}\n";
+        assert_eq!(check(boxed, TYPED), [(Rule::TypedErrorDiscipline, 2)]);
+        // Foreign typed errors on non-try APIs are legitimate
+        // (io::Error on report writers).
+        let io = "impl T {\n    pub fn write_report(&self) -> Result<(), std::io::Error> { Ok(()) }\n}\n";
+        assert!(check(io, TYPED).is_empty());
+        // Nested generics in the Ok position don't confuse the error
+        // argument extraction.
+        let nested = "pub enum ServeError { Busy }\nimpl T {\n    pub fn drain(&self) -> Result<Vec<(u32, f32)>, ServeError> { Ok(Vec::new()) }\n}\n";
+        assert!(check(nested, TYPED).is_empty());
+    }
+}

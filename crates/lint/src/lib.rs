@@ -5,26 +5,38 @@
 //! The runtime defenses (deep auditor, chaos harness) catch invariant
 //! violations *after* they happen; this crate makes the conventions
 //! those defenses exist to police regression-proof at review time.
-//! Five repo-specific rules run over a minimal hand-rolled Rust lexer
-//! (the workspace is offline — no `syn`, no rustc driver):
+//! The rules run over a minimal hand-rolled Rust lexer (the workspace
+//! is offline — no `syn`, no rustc driver) plus an analysis layer —
+//! a symbol table ([`symbols`]) and a conservative workspace call
+//! graph ([`callgraph`]) — for the checks token patterns cannot see:
 //!
 //! 1. **unsafe-hygiene** — every `unsafe` is immediately preceded by a
 //!    `// SAFETY:` comment (or a `# Safety` doc section).
 //! 2. **panic-free-serving** — no `unwrap()`/`expect()`/`panic!`/
 //!    `todo!`/`unimplemented!` in non-test library code of the serving
-//!    crates (`bonsai-kdtree`, `bonsai-core`, `bonsai-cluster`,
-//!    `bonsai-pipeline`); `chaos.rs` fault injectors are exempt but
-//!    still scanned by every other rule.
-//! 3. **guard-coverage** — `pub fn` search/mutation entry points
-//!    (`radius_*`, `knn`, `nearest`, `insert`, `delete` in
-//!    `bonsai-kdtree`/`bonsai-core`) call or delegate to the
-//!    degenerate-input guards.
+//!    crates; `chaos.rs` fault injectors are exempt but still scanned
+//!    by every other rule.
+//! 3. **guard-dataflow** — `pub fn` search/mutation entry points
+//!    transitively reach a degenerate-input guard
+//!    (`radius_is_searchable`/`query_is_searchable`/`is_finite`)
+//!    through the call graph; `#[cfg(test)]`-only callees don't count.
 //! 4. **feature-gates** — `feature = "…"` names exist in the crate's
 //!    `Cargo.toml`, feature entries reference real dependencies and
 //!    real features, and a declared feature propagates (transitively)
 //!    to every direct dependency that declares the same feature.
 //! 5. **debug-assert-discipline** — bare `assert!` in hot-path
 //!    modules is either `debug_assert!` or carries a justified allow.
+//! 6. **atomic-ordering-discipline** — every `Ordering::` use is
+//!    `Relaxed` inside an allowlisted counter module, or carries a
+//!    `// HB:` comment naming its Acquire/Release partner site.
+//! 7. **cow-discipline** — `Arc::make_mut` only inside the
+//!    copy-on-write home (`core/src/shard.rs`), in functions that
+//!    consult the dirty gate (`has_dirty_nodes`) first.
+//! 8. **epoch-pin-balance** — a pinned epoch flows into a binding or
+//!    return value, never dropped in the statement that pinned it.
+//! 9. **typed-error-discipline** — public `try_*`/fallible serving
+//!    APIs return `Result` with a workspace-defined error enum, never
+//!    `String`/`Box<dyn Error>`.
 //!
 //! Suppression is per-site and must be justified:
 //!
@@ -33,18 +45,24 @@
 //! ```
 //!
 //! Bare allows and unknown rule names are violations themselves
-//! (`allow-syntax`). Run with `cargo run -p bonsai-lint -- --check`.
+//! (`allow-syntax`). Run with `cargo run -p bonsai-lint -- --check`
+//! (add `--json` for machine-readable diagnostics).
 
+pub mod callgraph;
+pub mod concurrency;
+pub mod dataflow;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod symbols;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use lexer::TokKind;
 use manifest::Manifest;
-pub use rules::{check_file, Diagnostic, FilePolicy, Rule};
+pub use rules::{Diagnostic, FilePolicy, Rule};
 
 /// Crates whose library code must stay panic-free (rule 2).
 pub const SERVING_CRATES: &[&str] = &[
@@ -55,8 +73,17 @@ pub const SERVING_CRATES: &[&str] = &[
     "bonsai-serve",
 ];
 
-/// Crates whose `pub fn` entry points are held to rule 3.
+/// Crates whose `pub fn` entry points are held to guard-dataflow.
 pub const GUARD_CRATES: &[&str] = &["bonsai-kdtree", "bonsai-core", "bonsai-serve"];
+
+/// Crates whose public fallible APIs are held to
+/// typed-error-discipline.
+pub const TYPED_ERROR_CRATES: &[&str] = &[
+    "bonsai-core",
+    "bonsai-cluster",
+    "bonsai-pipeline",
+    "bonsai-serve",
+];
 
 /// Hot-path modules (rule 5): the search / sweep / mutate files whose
 /// release-build cost a bare `assert!` lands on.
@@ -73,23 +100,16 @@ pub const HOT_MODULES: &[(&str, &str)] = &[
     ("bonsai-core", "shard.rs"),
 ];
 
-/// Entry points that are pre-guarded internally and exempt from rule 3
-/// by design, with the reason on record: `(path suffix, fn, reason)`.
-pub const GUARD_ALLOWLIST: &[(&str, &str, &str)] = &[
-    (
-        "crates/core/src/directory.rs",
-        "insert",
-        "directory baking API: consumes an already-encoded leaf, takes no query point or \
-         index from outside the crate — there is no degenerate input to guard",
-    ),
-    (
-        "crates/kdtree/src/mutate.rs",
-        "delete",
-        "guarded by the constant-time `alive` liveness check at its first line: an \
-         out-of-range or dead index returns false before any traversal, and the stored \
-         point (not caller input) drives the walk",
-    ),
-];
+/// Counter modules where bare `Ordering::Relaxed` is the sanctioned
+/// idiom: load-accounting counters whose readers tolerate staleness by
+/// design (`ShardLoad` decay sampling). Everything else needs an
+/// `// HB:` comment or a justified allow.
+pub const ATOMIC_COUNTER_MODULES: &[(&str, &str)] = &[("bonsai-core", "adapt.rs")];
+
+/// The one file sanctioned to call `Arc::make_mut` on shard snapshots
+/// (cow-discipline): the copy-on-write commit path behind the dirty
+/// gate.
+pub const COW_HOME: (&str, &str) = ("bonsai-core", "shard.rs");
 
 /// One crate of the workspace: its directory and parsed manifest.
 #[derive(Debug)]
@@ -124,11 +144,146 @@ pub fn load_workspace(root: &Path) -> Vec<WorkspaceCrate> {
     crates
 }
 
+/// One source file queued for analysis: path (as diagnostics should
+/// print it), contents, and the per-file rule policy.
+#[derive(Debug)]
+pub struct SourceSpec {
+    pub path: PathBuf,
+    pub src: String,
+    pub policy: FilePolicy,
+}
+
+/// The per-file half of an [`analyze`] run, kept so callers can
+/// inspect what the analysis layer extracted.
+struct FileAnalysis {
+    lexed: lexer::Lexed,
+    symbols: symbols::FileSymbols,
+    allows: Vec<rules::Allow>,
+    test_regions: rules::Regions,
+    attr_lines: rules::Regions,
+}
+
+/// Runs every source-level rule over a batch of files **as one
+/// analysis unit**: the call graph, alias table and error-enum set
+/// span the whole batch, so guard-dataflow sees cross-file delegation
+/// chains. (Feature-gates is manifest-level and runs separately in
+/// [`check_workspace`].)
+pub fn check_sources(inputs: &[SourceSpec]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut files = Vec::with_capacity(inputs.len());
+    for spec in inputs {
+        let lexed = lexer::lex(&spec.src);
+        let (allows, mut allow_diags) = rules::parse_allows(&spec.path, &lexed);
+        diags.append(&mut allow_diags);
+        let (test_regions, attr_lines) = rules::scan_attributes(&lexed.tokens);
+        let symbols = symbols::scan(&lexed, &test_regions);
+        files.push(FileAnalysis {
+            lexed,
+            symbols,
+            allows,
+            test_regions,
+            attr_lines,
+        });
+    }
+
+    // Workspace-level context: the call graph and the error-enum set.
+    let pairs: Vec<(&lexer::Lexed, &symbols::FileSymbols)> =
+        files.iter().map(|f| (&f.lexed, &f.symbols)).collect();
+    let graph = CallGraph::build(&pairs);
+    let enums: BTreeSet<String> = files
+        .iter()
+        .flat_map(|f| f.symbols.enums.iter().cloned())
+        .collect();
+
+    for (idx, (spec, fa)) in inputs.iter().zip(files.iter()).enumerate() {
+        let allowed = |rule: Rule, line: u32| rules::is_allowed(&fa.allows, rule, line);
+        let policy = spec.policy;
+        rules::check_unsafe_hygiene(&spec.path, &fa.lexed, &fa.attr_lines, &allowed, &mut diags);
+        if policy.panic_free {
+            rules::check_panic_free(
+                &spec.path,
+                &fa.lexed,
+                &fa.test_regions,
+                &allowed,
+                &mut diags,
+            );
+        }
+        if policy.hot_path {
+            rules::check_debug_assert(
+                &spec.path,
+                &fa.lexed,
+                &fa.test_regions,
+                &allowed,
+                &mut diags,
+            );
+        }
+        if policy.concurrency {
+            concurrency::check_atomic_ordering(
+                &spec.path,
+                &fa.lexed,
+                &fa.symbols,
+                &fa.test_regions,
+                &fa.attr_lines,
+                policy,
+                &allowed,
+                &mut diags,
+            );
+            concurrency::check_cow(
+                &spec.path,
+                &fa.lexed,
+                &fa.symbols,
+                &fa.test_regions,
+                policy,
+                &allowed,
+                &mut diags,
+            );
+            concurrency::check_pin_balance(
+                &spec.path,
+                &fa.lexed,
+                &fa.symbols,
+                &fa.test_regions,
+                &allowed,
+                &mut diags,
+            );
+        }
+        dataflow::check_guard_dataflow(
+            &spec.path,
+            &fa.symbols,
+            &graph,
+            idx,
+            policy,
+            &allowed,
+            &mut diags,
+        );
+        dataflow::check_typed_errors(
+            &spec.path,
+            &fa.lexed,
+            &fa.symbols,
+            &enums,
+            policy,
+            &allowed,
+            &mut diags,
+        );
+    }
+    diags
+}
+
+/// Checks one source file in isolation (fixtures, unit tests). The
+/// call graph and enum set cover just this file; cross-file
+/// delegation needs [`check_sources`].
+pub fn check_file(path: &Path, src: &str, policy: FilePolicy) -> Vec<Diagnostic> {
+    check_sources(&[SourceSpec {
+        path: path.to_path_buf(),
+        src: src.to_string(),
+        policy,
+    }])
+}
+
 /// Runs every rule over the workspace at `root`. The returned
 /// diagnostics are sorted by file then line.
 pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
     let crates = load_workspace(root);
-    let mut diags = Vec::new();
+    let mut sources: Vec<SourceSpec> = Vec::new();
     // (crate index, file, line, feature name) of every `feature = "…"`
     // occurrence, across src/tests/benches/examples.
     let mut feature_uses: Vec<(usize, PathBuf, u32, String)> = Vec::new();
@@ -149,12 +304,22 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
                     .file_name()
                     .map(|f| f.to_string_lossy().into_owned())
                     .unwrap_or_default();
+                let serving = SERVING_CRATES.contains(&name);
+                let is_chaos = file_name == "chaos.rs";
                 let policy = FilePolicy {
-                    panic_free: SERVING_CRATES.contains(&name) && file_name != "chaos.rs",
+                    panic_free: serving && !is_chaos,
                     hot_path: HOT_MODULES.contains(&(name, file_name.as_str())),
-                    guard_surface: GUARD_CRATES.contains(&name) && file_name != "chaos.rs",
+                    guard_surface: GUARD_CRATES.contains(&name) && !is_chaos,
+                    concurrency: serving && !is_chaos,
+                    atomic_counters: ATOMIC_COUNTER_MODULES.contains(&(name, file_name.as_str())),
+                    cow_home: (name, file_name.as_str()) == COW_HOME,
+                    typed_errors: TYPED_ERROR_CRATES.contains(&name) && !is_chaos,
                 };
-                diags.extend(check_file(&rel, &src, policy, GUARD_ALLOWLIST));
+                sources.push(SourceSpec {
+                    path: rel.clone(),
+                    src: src.clone(),
+                    policy,
+                });
             }
             for (feat, line) in extract_feature_uses(&src) {
                 feature_uses.push((ci, rel.clone(), line, feat));
@@ -162,9 +327,49 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
         }
     }
 
+    let mut diags = check_sources(&sources);
     diags.extend(check_feature_gates(root, &crates, &feature_uses));
     diags.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     diags
+}
+
+/// Renders diagnostics as a JSON array (the `--json` CLI contract):
+/// `[{"file": …, "line": …, "rule": …, "message": …}, …]`. Hand-rolled
+/// like the rest of the crate — the workspace is offline.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            esc(&d.file.to_string_lossy().replace('\\', "/")),
+            d.line,
+            d.rule,
+            esc(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
 }
 
 /// The `.rs` files rule scanning covers for one crate: everything
@@ -231,7 +436,7 @@ pub fn extract_feature_uses(src: &str) -> Vec<(String, u32)> {
     out
 }
 
-/// Rule 4 over the whole workspace; see the crate docs.
+/// The feature-gates rule over the whole workspace; see the crate docs.
 fn check_feature_gates(
     root: &Path,
     crates: &[WorkspaceCrate],
@@ -443,5 +648,41 @@ mod tests {
         ] {
             assert!(!rules::is_entry_point_name(n), "{n}");
         }
+    }
+
+    #[test]
+    fn cross_file_delegation_satisfies_guard_dataflow() {
+        // The entry point delegates into another file that guards:
+        // single-file analysis would flag it, batch analysis must not.
+        let entry = SourceSpec {
+            path: PathBuf::from("a.rs"),
+            src: "pub fn radius_probe(&self, r: f32) -> u32 { checked_walk(r) }\n".into(),
+            policy: FilePolicy {
+                guard_surface: true,
+                ..FilePolicy::default()
+            },
+        };
+        let helper = SourceSpec {
+            path: PathBuf::from("b.rs"),
+            src: "pub(crate) fn checked_walk(r: f32) -> u32 {\n    if !radius_is_searchable(r) { return 0; }\n    1\n}\n".into(),
+            policy: FilePolicy::default(),
+        };
+        assert!(check_sources(&[entry, helper]).is_empty());
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_round_trips_the_fields() {
+        let diags = vec![Diagnostic {
+            file: PathBuf::from("crates/x/src/a.rs"),
+            line: 7,
+            rule: Rule::GuardDataflow,
+            message: "say \"why\" — a\\b".to_string(),
+        }];
+        let json = render_json(&diags);
+        assert!(json.contains("\"file\":\"crates/x/src/a.rs\""));
+        assert!(json.contains("\"line\":7"));
+        assert!(json.contains("\"rule\":\"guard-dataflow\""));
+        assert!(json.contains("say \\\"why\\\" — a\\\\b"));
+        assert_eq!(render_json(&[]), "[]\n");
     }
 }

@@ -3,11 +3,15 @@
 //!
 //! ```text
 //! cargo run -p bonsai-lint -- --check            # whole workspace
+//! cargo run -p bonsai-lint -- --check --json     # machine-readable
 //! cargo run -p bonsai-lint -- --check --root DIR # another tree
 //! cargo run -p bonsai-lint -- --list-rules
 //! ```
 //!
 //! Exit status: 0 when clean, 1 on any violation, 2 on usage errors.
+//! With `--json`, stdout is exactly one JSON array of
+//! `{"file", "line", "rule", "message"}` objects (empty array when
+//! clean) — the contract the CI annotation step consumes.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,11 +19,13 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             // --check is the only mode; accepted for CI readability.
             "--check" => {}
+            "--json" => json = true,
             "--list-rules" => list_rules = true,
             "--root" => match args.next() {
                 Some(r) => root = Some(PathBuf::from(r)),
@@ -31,8 +37,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "bonsai-lint — K-D Bonsai repo-invariant checks\n\n\
-                     USAGE: bonsai-lint [--check] [--root DIR] [--list-rules]\n\n\
-                     Exits 0 when the tree is clean, 1 on violations."
+                     USAGE: bonsai-lint [--check] [--json] [--root DIR] [--list-rules]\n\n\
+                     Exits 0 when the tree is clean, 1 on violations. --json prints\n\
+                     diagnostics as a JSON array for CI annotation."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -45,13 +52,21 @@ fn main() -> ExitCode {
 
     if list_rules {
         for (name, what) in RULES {
-            println!("{name:<24} {what}");
+            println!("{name:<28} {what}");
         }
         return ExitCode::SUCCESS;
     }
 
     let root = root.unwrap_or_else(find_workspace_root);
     let diags = bonsai_lint::check_workspace(&root);
+    if json {
+        print!("{}", bonsai_lint::render_json(&diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     for d in &diags {
         println!("{d}");
     }
@@ -79,8 +94,8 @@ const RULES: &[(&str, &str)] = &[
         "no unwrap/expect/panic!/todo! in serving-crate library code",
     ),
     (
-        "guard-coverage",
-        "pub entry points (radius_*, knn, nearest, insert, delete) hit a degenerate-input guard",
+        "guard-dataflow",
+        "pub entry points transitively reach a degenerate-input guard through the call graph",
     ),
     (
         "feature-gates",
@@ -89,6 +104,22 @@ const RULES: &[(&str, &str)] = &[
     (
         "debug-assert-discipline",
         "bare assert! in hot-path modules must be debug_assert! or justified",
+    ),
+    (
+        "atomic-ordering-discipline",
+        "Ordering:: uses are Relaxed in counter modules or carry an `// HB:` partner comment",
+    ),
+    (
+        "cow-discipline",
+        "Arc::make_mut only in core/src/shard.rs functions that consult the dirty gate first",
+    ),
+    (
+        "epoch-pin-balance",
+        "a pinned epoch flows into a binding or return value, never dropped where pinned",
+    ),
+    (
+        "typed-error-discipline",
+        "public try_*/fallible serving APIs return Result with a workspace error enum",
     ),
     (
         "allow-syntax",

@@ -1,7 +1,11 @@
-//! The five repo-invariant rules and the inline-allow mechanism.
+//! The rule registry, the inline-allow mechanism, and the
+//! single-file token rules (unsafe-hygiene, panic-free-serving,
+//! debug-assert-discipline).
 //!
-//! Every rule reports [`Diagnostic`]s at `file:line` granularity and
-//! honours the allow convention:
+//! The concurrency rules live in [`crate::concurrency`] and the
+//! call-graph dataflow rules in [`crate::dataflow`]; all of them
+//! report [`Diagnostic`]s at `file:line` granularity and honour the
+//! allow convention:
 //!
 //! ```text
 //! // lint: allow(<rule-name>) — <justification>
@@ -16,7 +20,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::lexer::{Comment, Lexed, TokKind, Token};
 
 /// The rule a diagnostic belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,9 +31,9 @@ pub enum Rule {
     /// No `unwrap()` / `expect()` / `panic!` / `todo!` /
     /// `unimplemented!` in non-test serving-crate library code.
     PanicFreeServing,
-    /// `pub fn` search/mutation entry points must call (or delegate
-    /// to) a guard.
-    GuardCoverage,
+    /// `pub fn` search/mutation entry points must transitively reach a
+    /// degenerate-input guard through the call graph.
+    GuardDataflow,
     /// `feature = "…"` names must exist in the crate's `Cargo.toml`,
     /// and declared feature chains must propagate to every dependency
     /// that declares the same feature.
@@ -37,6 +41,19 @@ pub enum Rule {
     /// Bare `assert!` / `assert_eq!` / `assert_ne!` in hot-path
     /// modules must be `debug_assert!` or carry a justified allow.
     DebugAssertDiscipline,
+    /// Every `Ordering::` use is `Relaxed` inside an allowlisted
+    /// counter module, or carries a `// HB:` comment naming its
+    /// happens-before partner site.
+    AtomicOrderingDiscipline,
+    /// `Arc::make_mut` only inside `core/src/shard.rs` functions that
+    /// consult the dirty gate (`has_dirty_nodes`) first.
+    CowDiscipline,
+    /// A pinned epoch must flow into a binding or return value, never
+    /// be dropped in the statement that pinned it.
+    EpochPinBalance,
+    /// Public `try_*`/fallible serving APIs return `Result` with a
+    /// workspace-defined error enum, never `String`/`Box<dyn Error>`.
+    TypedErrorDiscipline,
     /// Malformed `lint: allow` comments (bare, unknown rule).
     AllowSyntax,
 }
@@ -47,9 +64,13 @@ impl Rule {
         match self {
             Rule::UnsafeHygiene => "unsafe-hygiene",
             Rule::PanicFreeServing => "panic-free-serving",
-            Rule::GuardCoverage => "guard-coverage",
+            Rule::GuardDataflow => "guard-dataflow",
             Rule::FeatureGates => "feature-gates",
             Rule::DebugAssertDiscipline => "debug-assert-discipline",
+            Rule::AtomicOrderingDiscipline => "atomic-ordering-discipline",
+            Rule::CowDiscipline => "cow-discipline",
+            Rule::EpochPinBalance => "epoch-pin-balance",
+            Rule::TypedErrorDiscipline => "typed-error-discipline",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -60,20 +81,28 @@ impl Rule {
         match name {
             "unsafe-hygiene" => Some(Rule::UnsafeHygiene),
             "panic-free-serving" => Some(Rule::PanicFreeServing),
-            "guard-coverage" => Some(Rule::GuardCoverage),
+            "guard-dataflow" => Some(Rule::GuardDataflow),
             "feature-gates" => Some(Rule::FeatureGates),
             "debug-assert-discipline" => Some(Rule::DebugAssertDiscipline),
+            "atomic-ordering-discipline" => Some(Rule::AtomicOrderingDiscipline),
+            "cow-discipline" => Some(Rule::CowDiscipline),
+            "epoch-pin-balance" => Some(Rule::EpochPinBalance),
+            "typed-error-discipline" => Some(Rule::TypedErrorDiscipline),
             _ => None,
         }
     }
 
-    /// Every allowable rule, for `--list-rules`.
-    pub const ALL: [Rule; 6] = [
+    /// Every rule, for `--list-rules`.
+    pub const ALL: [Rule; 10] = [
         Rule::UnsafeHygiene,
         Rule::PanicFreeServing,
-        Rule::GuardCoverage,
+        Rule::GuardDataflow,
         Rule::FeatureGates,
         Rule::DebugAssertDiscipline,
+        Rule::AtomicOrderingDiscipline,
+        Rule::CowDiscipline,
+        Rule::EpochPinBalance,
+        Rule::TypedErrorDiscipline,
         Rule::AllowSyntax,
     ];
 }
@@ -114,70 +143,48 @@ pub struct FilePolicy {
     pub panic_free: bool,
     /// Apply [`Rule::DebugAssertDiscipline`].
     pub hot_path: bool,
-    /// Apply [`Rule::GuardCoverage`].
+    /// Apply [`Rule::GuardDataflow`] to this file's entry points.
     pub guard_surface: bool,
+    /// Apply the concurrency rules ([`Rule::AtomicOrderingDiscipline`],
+    /// [`Rule::CowDiscipline`], [`Rule::EpochPinBalance`]).
+    pub concurrency: bool,
+    /// This file is an allowlisted counter module: bare
+    /// `Ordering::Relaxed` is the sanctioned idiom here.
+    pub atomic_counters: bool,
+    /// This file is the sanctioned copy-on-write home
+    /// (`core/src/shard.rs`): `Arc::make_mut` is legal when the
+    /// enclosing function consults the dirty gate first.
+    pub cow_home: bool,
+    /// Apply [`Rule::TypedErrorDiscipline`] to this file's public
+    /// fallible APIs.
+    pub typed_errors: bool,
 }
 
 /// A parsed, well-formed allow comment.
 #[derive(Debug)]
-struct Allow {
-    rule: Rule,
+pub struct Allow {
+    pub rule: Rule,
     /// The inclusive line range this allow covers: a trailing allow
     /// covers its own line; an own-line allow covers the statement
     /// that starts on the next code line (through the terminating
     /// `;`/`,`, or up to a block opener — multi-line method chains are
     /// one suppression site, function bodies are not).
-    target: (u32, u32),
+    pub target: (u32, u32),
+}
+
+/// Whether `allows` suppresses `rule` at `line`.
+pub fn is_allowed(allows: &[Allow], rule: Rule, line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == rule && a.target.0 <= line && line <= a.target.1)
 }
 
 /// `(line_start, line_end)` inclusive ranges exempt from the panic and
 /// assert rules (`#[cfg(test)]` modules, `#[test]`/`#[bench]` items).
-type Regions = Vec<(u32, u32)>;
+pub type Regions = Vec<(u32, u32)>;
 
-fn in_regions(regions: &Regions, line: u32) -> bool {
+pub fn in_regions(regions: &Regions, line: u32) -> bool {
     regions.iter().any(|&(a, b)| a <= line && line <= b)
-}
-
-/// Checks one source file against every line-based rule `policy`
-/// enables ([`Rule::FeatureGates`] is workspace-level and lives in
-/// `lib.rs`). `guard_allowlist` entries are `(path-suffix, fn-name)`
-/// pairs of pre-guarded entry points.
-pub fn check_file(
-    path: &Path,
-    src: &str,
-    policy: FilePolicy,
-    guard_allowlist: &[(&str, &str, &str)],
-) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let mut diags = Vec::new();
-    let (allows, mut allow_diags) = parse_allows(path, &lexed);
-    diags.append(&mut allow_diags);
-    let (test_regions, attr_lines) = scan_attributes(&lexed.tokens);
-
-    let allowed = |rule: Rule, line: u32| {
-        allows
-            .iter()
-            .any(|a| a.rule == rule && a.target.0 <= line && line <= a.target.1)
-    };
-
-    check_unsafe_hygiene(path, &lexed, &attr_lines, &allowed, &mut diags);
-    if policy.panic_free {
-        check_panic_free(path, &lexed, &test_regions, &allowed, &mut diags);
-    }
-    if policy.hot_path {
-        check_debug_assert(path, &lexed, &test_regions, &allowed, &mut diags);
-    }
-    if policy.guard_surface {
-        check_guard_coverage(
-            path,
-            &lexed,
-            &test_regions,
-            &allowed,
-            guard_allowlist,
-            &mut diags,
-        );
-    }
-    diags
 }
 
 // ---------------------------------------------------------------------------
@@ -187,7 +194,7 @@ pub fn check_file(
 /// Minimum characters a justification must carry to count as one.
 const MIN_JUSTIFICATION: usize = 8;
 
-fn parse_allows(path: &Path, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
+pub fn parse_allows(path: &Path, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
     let mut diags = Vec::new();
     for c in &lexed.comments {
@@ -275,7 +282,7 @@ fn parse_allows(path: &Path, lexed: &Lexed) -> (Vec<Allow>, Vec<Diagnostic>) {
 /// unmatched closer — so an allow before a multi-line method chain
 /// covers the whole chain, but an allow before a `fn` does not blanket
 /// its body.
-fn statement_extent(lexed: &Lexed, after: u32) -> (u32, u32) {
+pub fn statement_extent(lexed: &Lexed, after: u32) -> (u32, u32) {
     let toks = &lexed.tokens;
     let Some(first) = toks.iter().position(|t| t.line > after) else {
         return (after + 1, after + 1);
@@ -308,9 +315,10 @@ fn statement_extent(lexed: &Lexed, after: u32) -> (u32, u32) {
 // ---------------------------------------------------------------------------
 
 /// One pass over the token stream: records the line span of every
-/// attribute (so the SAFETY walk can step over them) and the line
-/// regions of test-gated items (`#[cfg(test)] mod`, `#[test] fn`, …).
-fn scan_attributes(tokens: &[Token]) -> (Regions, Regions) {
+/// attribute (so the comment-adjacency walks can step over them) and
+/// the line regions of test-gated items (`#[cfg(test)] mod`,
+/// `#[test] fn`, …).
+pub fn scan_attributes(tokens: &[Token]) -> (Regions, Regions) {
     let mut test_regions: Regions = Vec::new();
     let mut attr_lines: Regions = Vec::new();
     let mut i = 0usize;
@@ -372,7 +380,7 @@ fn scan_attributes(tokens: &[Token]) -> (Regions, Regions) {
 /// From token index `j` (just past an item's attributes), the item's
 /// extent: `(open index, last line)`. The item ends at the matching
 /// `}` of its first top-level brace, or at a top-level `;`.
-fn item_extent(tokens: &[Token], mut j: usize) -> Option<(usize, u32)> {
+pub fn item_extent(tokens: &[Token], mut j: usize) -> Option<(usize, u32)> {
     let mut paren = 0i32;
     while j < tokens.len() {
         match tokens[j].kind {
@@ -405,18 +413,62 @@ fn item_extent(tokens: &[Token], mut j: usize) -> Option<(usize, u32)> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 1: unsafe-hygiene
+// Comment-adjacency walks (SAFETY / HB)
 // ---------------------------------------------------------------------------
 
-fn check_unsafe_hygiene(
+/// Walks upward from `line` through contiguous comment/attribute lines
+/// looking for a comment satisfying `pred`. A blank line or a code
+/// line ends the walk. A trailing comment on `line` itself also
+/// counts.
+pub fn comment_covers(
+    lexed: &Lexed,
+    attr_lines: &Regions,
+    line: u32,
+    pred: &dyn Fn(&Comment) -> bool,
+) -> bool {
+    let comment_at = |l: u32| {
+        lexed
+            .comments
+            .iter()
+            .find(|c| c.line <= l && l <= c.end_line)
+    };
+    if let Some(c) = comment_at(line) {
+        if c.trailing && pred(c) {
+            return true;
+        }
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if let Some(c) = comment_at(l) {
+            if pred(c) {
+                return true;
+            }
+            l = c.line; // jump to the top of a multi-line comment
+            continue;
+        }
+        if in_regions(attr_lines, l) {
+            continue;
+        }
+        // A code statement or a blank line breaks adjacency:
+        // "immediately preceding" means contiguous.
+        return false;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-hygiene
+// ---------------------------------------------------------------------------
+
+pub fn check_unsafe_hygiene(
     path: &Path,
     lexed: &Lexed,
     attr_lines: &Regions,
     allowed: &dyn Fn(Rule, u32) -> bool,
     diags: &mut Vec<Diagnostic>,
 ) {
-    // Per-line code presence, for the upward walk.
-    let code_lines: std::collections::BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let is_safety = |c: &Comment| c.text.contains("SAFETY:") || c.text.contains("# Safety");
     for t in &lexed.tokens {
         if !t.is_ident("unsafe") {
             continue;
@@ -425,7 +477,7 @@ fn check_unsafe_hygiene(
         if allowed(Rule::UnsafeHygiene, line) {
             continue;
         }
-        if safety_comment_covers(lexed, attr_lines, &code_lines, line) {
+        if comment_covers(lexed, attr_lines, line, &is_safety) {
             continue;
         }
         diags.push(Diagnostic {
@@ -439,54 +491,11 @@ fn check_unsafe_hygiene(
     }
 }
 
-/// Walks upward from the `unsafe` keyword's line through contiguous
-/// comment/attribute lines looking for `SAFETY:` (or a `# Safety` doc
-/// section). A blank line or a code line ends the walk. A trailing
-/// `// SAFETY:` on the keyword's own line also counts.
-fn safety_comment_covers(
-    lexed: &Lexed,
-    attr_lines: &Regions,
-    code_lines: &std::collections::BTreeSet<u32>,
-    line: u32,
-) -> bool {
-    let is_safety = |c: &Comment| c.text.contains("SAFETY:") || c.text.contains("# Safety");
-    let comment_at = |l: u32| {
-        lexed
-            .comments
-            .iter()
-            .find(|c| c.line <= l && l <= c.end_line)
-    };
-    if let Some(c) = comment_at(line) {
-        if c.trailing && is_safety(c) {
-            return true;
-        }
-    }
-    let mut l = line;
-    while l > 1 {
-        l -= 1;
-        if let Some(c) = comment_at(l) {
-            if is_safety(c) {
-                return true;
-            }
-            l = c.line; // jump to the top of a multi-line comment
-            continue;
-        }
-        if in_regions(attr_lines, l) {
-            continue;
-        }
-        if code_lines.contains(&l) {
-            return false; // a code statement breaks adjacency
-        }
-        return false; // blank line: "immediately preceding" means contiguous
-    }
-    false
-}
-
 // ---------------------------------------------------------------------------
-// Rule 2: panic-free-serving
+// Rule: panic-free-serving
 // ---------------------------------------------------------------------------
 
-fn check_panic_free(
+pub fn check_panic_free(
     path: &Path,
     lexed: &Lexed,
     test_regions: &Regions,
@@ -535,10 +544,10 @@ fn check_panic_free(
 }
 
 // ---------------------------------------------------------------------------
-// Rule 5: debug-assert-discipline
+// Rule: debug-assert-discipline
 // ---------------------------------------------------------------------------
 
-fn check_debug_assert(
+pub fn check_debug_assert(
     path: &Path,
     lexed: &Lexed,
     test_regions: &Regions,
@@ -572,7 +581,7 @@ fn check_debug_assert(
 }
 
 // ---------------------------------------------------------------------------
-// Rule 3: guard-coverage
+// Entry-point convention (consumed by the guard-dataflow rule)
 // ---------------------------------------------------------------------------
 
 /// Whether a `pub fn` name is a search/mutation entry point by the
@@ -595,120 +604,23 @@ pub fn is_entry_point_name(name: &str) -> bool {
         || (name.starts_with("radius_") && name != "radius_is_searchable")
 }
 
-/// Whether an identifier, called, discharges the guard obligation:
-/// the guards themselves, the finite-point guard, or delegation to
-/// another function of the search/mutation surface. For the adaptive
-/// surface the guards are `shard_is_adaptable` (typed refusal of
-/// quarantined/stale-pinned shards) and the health-filtering
-/// balancer/route builders (`balance_shards_by_load`, `build_subset`)
-/// every subset-serving path routes through.
-fn is_guard_or_delegate(name: &str) -> bool {
-    name == "radius_is_searchable"
-        || name == "query_is_searchable"
-        || name == "is_finite"
-        || name == "knn"
-        || name == "nearest"
-        || name == "insert"
-        || name == "delete"
-        || name == "shard_is_adaptable"
-        || name == "try_split"
-        || name == "try_merge"
-        || name == "balance_shards_by_load"
-        || name == "build_subset"
-        || name == "split_shard"
-        || name == "merge_shards"
-        || name.contains("radius")
-}
-
-fn check_guard_coverage(
-    path: &Path,
-    lexed: &Lexed,
-    test_regions: &Regions,
-    allowed: &dyn Fn(Rule, u32) -> bool,
-    guard_allowlist: &[(&str, &str, &str)],
-    diags: &mut Vec<Diagnostic>,
-) {
-    let toks = &lexed.tokens;
-    let path_str = path.to_string_lossy().replace('\\', "/");
-    let mut i = 0usize;
-    while i < toks.len() {
-        // Plain `pub fn` only: `pub(crate)`/`pub(super)` helpers are
-        // internal and pre-guarded by their public callers.
-        if !(toks[i].is_ident("pub") && toks.get(i + 1).is_some_and(|t| t.is_ident("fn"))) {
-            i += 1;
-            continue;
-        }
-        let Some(name_tok) = toks.get(i + 2) else {
-            break;
-        };
-        let name = name_tok.text.clone();
-        let sig_line = toks[i].line;
-        if !is_entry_point_name(&name)
-            || in_regions(test_regions, sig_line)
-            || allowed(Rule::GuardCoverage, sig_line)
-            || guard_allowlist
-                .iter()
-                .any(|(suffix, f, _)| *f == name && path_str.ends_with(suffix))
-        {
-            i += 3;
-            continue;
-        }
-        let Some((open, _)) = item_extent(toks, i + 3) else {
-            i += 3;
-            continue;
-        };
-        // Walk the body for a guard call or a delegating call.
-        let mut depth = 0i32;
-        let mut j = open;
-        let mut guarded = false;
-        while j < toks.len() {
-            match toks[j].kind {
-                TokKind::Punct(b'{') => depth += 1,
-                TokKind::Punct(b'}') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                TokKind::Ident
-                    if is_guard_or_delegate(&toks[j].text)
-                        && toks.get(j + 1).is_some_and(|n| n.is_punct(b'(')) =>
-                {
-                    guarded = true;
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        if !guarded {
-            diags.push(Diagnostic {
-                file: path.to_path_buf(),
-                line: sig_line,
-                rule: Rule::GuardCoverage,
-                message: format!(
-                    "entry point `pub fn {name}` neither calls a search/mutation guard \
-                     (`radius_is_searchable`/`query_is_searchable`/`is_finite`) nor \
-                     delegates to a guarded entry point; guard it, allowlist it in \
-                     bonsai-lint, or add a justified `// lint: allow(guard-coverage)`"
-                ),
-            });
-        }
-        i = j.max(i + 3);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check_file;
 
     fn check(src: &str, policy: FilePolicy) -> Vec<Diagnostic> {
-        check_file(Path::new("mem.rs"), src, policy, &[])
+        check_file(Path::new("mem.rs"), src, policy)
     }
 
     const ALL: FilePolicy = FilePolicy {
         panic_free: true,
         hot_path: true,
         guard_surface: true,
+        concurrency: false,
+        atomic_counters: false,
+        cow_home: false,
+        typed_errors: false,
     };
 
     #[test]
@@ -786,6 +698,14 @@ mod tests {
     }
 
     #[test]
+    fn retired_guard_coverage_name_is_unknown() {
+        let src = "// lint: allow(guard-coverage) — the rule this excused is retired.\nfn f() {}\n";
+        let d = check(src, ALL);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::AllowSyntax);
+    }
+
+    #[test]
     fn bare_assert_flagged_in_hot_path_only() {
         let src = "fn f(n: usize) { assert!(n > 0); debug_assert!(n < 10); }\n";
         let hot = check(src, ALL);
@@ -799,52 +719,5 @@ mod tests {
             },
         );
         assert!(cold.is_empty());
-    }
-
-    #[test]
-    fn unguarded_entry_point_flagged_guarded_passes() {
-        let bad =
-            "impl T {\n    pub fn radius_search(&self, r: f32) -> Vec<u32> { self.walk(r) }\n}\n";
-        let d = check(bad, ALL);
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, Rule::GuardCoverage);
-
-        let guarded = "impl T {\n    pub fn radius_search(&self, r: f32) -> Vec<u32> {\n        \
-            if !radius_is_searchable(r) { return Vec::new(); }\n        self.walk(r)\n    }\n}\n";
-        assert!(check(guarded, ALL).is_empty());
-
-        let delegating = "impl T {\n    pub fn nearest(&self, q: P) -> Option<u32> {\n        \
-            self.knn(q, 1).pop()\n    }\n}\n";
-        assert!(check(delegating, ALL).is_empty());
-
-        let finite_guard =
-            "impl T {\n    pub fn insert(&mut self, p: P) -> Option<u32> {\n        \
-            if !p.is_finite() { return None; }\n        Some(self.push(p))\n    }\n}\n";
-        assert!(check(finite_guard, ALL).is_empty());
-    }
-
-    #[test]
-    fn allowlist_and_fn_level_allow_cover_entry_points() {
-        let src =
-            "impl T {\n    pub fn delete(&mut self, idx: u32) -> bool { self.kill(idx) }\n}\n";
-        let d = check_file(
-            Path::new("crates/x/src/mutate.rs"),
-            src,
-            ALL,
-            &[("crates/x/src/mutate.rs", "delete", "liveness-checked")],
-        );
-        assert!(d.is_empty(), "{d:?}");
-
-        let with_allow = "impl T {\n    \
-            // lint: allow(guard-coverage) — idx is bounds-checked by the caller contract.\n    \
-            pub fn delete(&mut self, idx: u32) -> bool { self.kill(idx) }\n}\n";
-        assert!(check(with_allow, ALL).is_empty());
-    }
-
-    #[test]
-    fn non_pub_and_non_entry_names_are_ignored() {
-        let src = "fn insert(x: u32) {}\npub(crate) fn delete(x: u32) {}\n\
-                   pub fn rebuild_all(&mut self) { self.x(); }\n";
-        assert!(check(src, ALL).is_empty());
     }
 }

@@ -1,0 +1,432 @@
+//! Workspace symbol extraction: `fn` items, enums and `use` aliases,
+//! recovered from the lexed token stream.
+//!
+//! This is the first half of the analysis layer the call-graph rules
+//! run on (the second is [`crate::callgraph`]). It stays deliberately
+//! token-level — no type resolution, no macro expansion — and errs on
+//! the side of *recording more*: a nested `fn` inside another `fn` is
+//! its own item, a `fn` in a `#[cfg(test)]` module is recorded but
+//! flagged `is_test`, and a `use a::b as c;` alias is kept so callsite
+//! resolution can undo the rename.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Lexed, TokKind, Token};
+use crate::rules::{in_regions, Regions};
+
+/// How visible a `fn` item is. The dataflow rules only hold plain
+/// `pub` items to entry-point obligations; `pub(crate)`/`pub(super)`
+/// helpers are internal surface pre-guarded by their public callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// `pub fn`.
+    Pub,
+    /// `pub(crate)` / `pub(super)` / `pub(in …)`.
+    Restricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One `fn` item: where it is, how it is declared, and the token
+/// extent of its body (the per-function statement stream the
+/// intraprocedural checks walk).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Enclosing `mod` names, outermost first (impl blocks are not
+    /// path segments — token-level analysis cannot name them).
+    pub module_path: Vec<String>,
+    pub vis: Visibility,
+    pub is_unsafe: bool,
+    /// Carries a `#[target_feature(…)]` attribute.
+    pub has_target_feature: bool,
+    /// Lives in a `#[cfg(test)]` region or is a `#[test]`/`#[bench]`
+    /// item; excluded from guard-dataflow reachability.
+    pub is_test: bool,
+    /// Line of the first signature token (`pub` when present).
+    pub sig_line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Inclusive token-index range of the body braces, `None` for
+    /// bodiless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Half-open token-index range of the return type (after `->`,
+    /// before `where`/body), `None` when the fn returns `()`.
+    pub ret: Option<(usize, usize)>,
+}
+
+/// Everything the analysis layer knows about one file's items.
+#[derive(Debug, Default)]
+pub struct FileSymbols {
+    pub fns: Vec<FnItem>,
+    /// Declared `enum` names (the typed-error rule's notion of a
+    /// workspace-defined error type).
+    pub enums: Vec<String>,
+    /// `use a::b as c;` renames: alias → original final segment.
+    pub aliases: BTreeMap<String, String>,
+    /// Token-index ranges of `use` statements (import paths are not
+    /// callsites or atomic-ordering uses).
+    pub use_ranges: Vec<(usize, usize)>,
+}
+
+impl FileSymbols {
+    /// The innermost `fn` whose body contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= i && i <= b))
+            .min_by_key(|f| f.body.map(|(a, b)| b - a).unwrap_or(usize::MAX))
+    }
+
+    /// Whether token index `i` falls inside a `use` statement.
+    pub fn in_use(&self, i: usize) -> bool {
+        self.use_ranges.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+}
+
+/// Scans one lexed file. `test_regions` comes from the attribute pass
+/// (see `rules::scan_attributes`) and decides `FnItem::is_test`.
+pub fn scan(lexed: &Lexed, test_regions: &Regions) -> FileSymbols {
+    let toks = &lexed.tokens;
+    let mut out = FileSymbols::default();
+    let mut depth: i32 = 0;
+    // (module name, depth its body lives at) — popped when the brace
+    // depth drops back below.
+    let mut mods: Vec<(String, i32)> = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct(b'{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                while mods.last().is_some_and(|m| m.1 > depth) {
+                    mods.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident if t.text == "mod" => {
+                if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(b'{'))
+                {
+                    mods.push((toks[i + 1].text.clone(), depth + 1));
+                    i += 2; // the `{` bumps depth on its own iteration
+                } else {
+                    i += 1; // `mod name;` — out-of-line, nothing to track
+                }
+            }
+            TokKind::Ident if t.text == "use" => {
+                let start = i;
+                let mut j = i + 1;
+                while j < toks.len() && !toks[j].is_punct(b';') {
+                    if toks[j].is_ident("as")
+                        && toks[j - 1].kind == TokKind::Ident
+                        && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Ident)
+                    {
+                        out.aliases
+                            .insert(toks[j + 1].text.clone(), toks[j - 1].text.clone());
+                    }
+                    j += 1;
+                }
+                out.use_ranges.push((start, j));
+                i = j + 1;
+            }
+            TokKind::Ident if t.text == "enum" => {
+                if let Some(n) = toks.get(i + 1) {
+                    if n.kind == TokKind::Ident {
+                        out.enums.push(n.text.clone());
+                    }
+                }
+                i += 2;
+            }
+            // `fn` followed by a name is an item; `fn(` is a pointer
+            // type and is skipped.
+            TokKind::Ident if t.text == "fn" => {
+                if toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+                    let item = scan_fn(toks, i, &mods, test_regions);
+                    out.fns.push(item);
+                }
+                // Continue *into* the signature/body: nested fns and
+                // mods are still items, and depth tracking needs the
+                // braces.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Extracts one `fn` item starting at the `fn` keyword (`toks[fn_i]`).
+fn scan_fn(toks: &[Token], fn_i: usize, mods: &[(String, i32)], test_regions: &Regions) -> FnItem {
+    let name = toks[fn_i + 1].text.clone();
+    // Walk the declaration modifiers backward from `fn`:
+    // `pub (crate) const unsafe extern "C" fn …` in any prefix order.
+    let mut vis = Visibility::Private;
+    let mut is_unsafe = false;
+    let mut sig_line = toks[fn_i].line;
+    let mut k = fn_i as isize - 1;
+    while k >= 0 {
+        let t = &toks[k as usize];
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "const" | "async" | "extern") => {
+                sig_line = t.line;
+                k -= 1;
+            }
+            TokKind::Str => k -= 1, // extern ABI string
+            TokKind::Ident if t.text == "unsafe" => {
+                is_unsafe = true;
+                sig_line = t.line;
+                k -= 1;
+            }
+            TokKind::Ident if t.text == "pub" => {
+                vis = Visibility::Pub;
+                sig_line = t.line;
+                k -= 1;
+                break;
+            }
+            TokKind::Punct(b')') => {
+                // Possibly the `)` of `pub(crate)`; match back to `(`.
+                let mut d = 1i32;
+                let mut m = k - 1;
+                while m >= 0 && d > 0 {
+                    match toks[m as usize].kind {
+                        TokKind::Punct(b')') => d += 1,
+                        TokKind::Punct(b'(') => d -= 1,
+                        _ => {}
+                    }
+                    m -= 1;
+                }
+                if m >= 0 && toks[m as usize].is_ident("pub") {
+                    vis = Visibility::Restricted;
+                    sig_line = toks[m as usize].line;
+                    k = m - 1;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    // Attributes above the declaration: `#[target_feature(…)]`.
+    let mut has_target_feature = false;
+    while k >= 1 && toks[k as usize].is_punct(b']') {
+        let mut d = 1i32;
+        let mut m = k - 1;
+        let mut saw_tf = false;
+        while m >= 0 && d > 0 {
+            match toks[m as usize].kind {
+                TokKind::Punct(b']') => d += 1,
+                TokKind::Punct(b'[') => d -= 1,
+                TokKind::Ident if toks[m as usize].text == "target_feature" => saw_tf = true,
+                _ => {}
+            }
+            m -= 1;
+        }
+        if m >= 0 && toks[m as usize].is_punct(b'#') {
+            has_target_feature |= saw_tf;
+            k = m - 1;
+        } else {
+            break;
+        }
+    }
+
+    // Forward over generics and parameters to the return type / body.
+    let mut j = fn_i + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct(b'<')) {
+        let mut d = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'<') => d += 1,
+                // The `>` of a `->` inside generic bounds (Fn traits)
+                // does not close an angle bracket.
+                TokKind::Punct(b'>') if !toks[j - 1].is_punct(b'-') => {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut ret = None;
+    let mut body = None;
+    if toks.get(j).is_some_and(|t| t.is_punct(b'(')) {
+        let mut d = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'(') => d += 1,
+                TokKind::Punct(b')') => {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct(b'-'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(b'>'))
+        {
+            let start = j + 2;
+            let mut e = start;
+            let mut d = 0i32;
+            while e < toks.len() {
+                let t = &toks[e];
+                match t.kind {
+                    TokKind::Punct(b'(') | TokKind::Punct(b'[') => d += 1,
+                    TokKind::Punct(b')') | TokKind::Punct(b']') => {
+                        if d == 0 {
+                            break;
+                        }
+                        d -= 1;
+                    }
+                    TokKind::Punct(b'{') | TokKind::Punct(b';') if d == 0 => break,
+                    TokKind::Ident if d == 0 && t.text == "where" => break,
+                    _ => {}
+                }
+                e += 1;
+            }
+            ret = Some((start, e));
+            j = e;
+        }
+        // The body: the first top-level `{` (past any where clause),
+        // or a `;` for bodiless trait declarations.
+        let mut d = 0i32;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct(b'(') | TokKind::Punct(b'[') => d += 1,
+                TokKind::Punct(b')') | TokKind::Punct(b']') => d -= 1,
+                TokKind::Punct(b';') if d == 0 => break,
+                TokKind::Punct(b'{') if d == 0 => {
+                    let open = j;
+                    let mut bd = 0i32;
+                    while j < toks.len() {
+                        match toks[j].kind {
+                            TokKind::Punct(b'{') => bd += 1,
+                            TokKind::Punct(b'}') => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    body = Some((open, j.min(toks.len() - 1)));
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+
+    FnItem {
+        name,
+        module_path: mods.iter().map(|(n, _)| n.clone()).collect(),
+        vis,
+        is_unsafe,
+        has_target_feature,
+        is_test: in_regions(test_regions, sig_line),
+        sig_line,
+        fn_idx: fn_i,
+        body,
+        ret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::scan_attributes;
+
+    fn scan_src(src: &str) -> FileSymbols {
+        let lexed = lex(src);
+        let (test_regions, _) = scan_attributes(&lexed.tokens);
+        scan(&lexed, &test_regions)
+    }
+
+    #[test]
+    fn fn_items_carry_path_visibility_and_attrs() {
+        let src = "\
+mod outer {
+    pub mod inner {
+        #[target_feature(enable = \"avx2\")]
+        pub unsafe fn fast(x: u32) -> u32 { x }
+        pub(crate) fn helper() {}
+        fn private_one() {}
+    }
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a_test() { helper(); }
+}
+";
+        let s = scan_src(src);
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["fast", "helper", "private_one", "a_test"]);
+        let fast = &s.fns[0];
+        assert_eq!(fast.module_path, ["outer", "inner"]);
+        assert_eq!(fast.vis, Visibility::Pub);
+        assert!(fast.is_unsafe && fast.has_target_feature && !fast.is_test);
+        assert_eq!(s.fns[1].vis, Visibility::Restricted);
+        assert_eq!(s.fns[2].vis, Visibility::Private);
+        assert!(s.fns[3].is_test, "#[cfg(test)] fns are flagged");
+    }
+
+    #[test]
+    fn use_aliases_and_ranges_are_recorded() {
+        let src = "use a::b as c;\nuse x::{y as z, w};\nfn f() { c(); }\n";
+        let s = scan_src(src);
+        assert_eq!(s.aliases.get("c").map(String::as_str), Some("b"));
+        assert_eq!(s.aliases.get("z").map(String::as_str), Some("y"));
+        assert!(s.in_use(1), "token inside `use` statement");
+        assert!(!s.in_use(100));
+    }
+
+    #[test]
+    fn return_types_and_bodies_are_delimited() {
+        let src = "pub fn g<T: Fn(u32) -> bool>(t: T) -> Result<u32, QueryError> where T: Sized {\n    t(1);\n    Ok(2)\n}\nfn unit() {}\ntrait T { fn decl(&self) -> u32; }\n";
+        let s = scan_src(src);
+        let g = &s.fns[0];
+        let (a, b) = g.ret.expect("g has a return type");
+        let lexed = lex(src);
+        let ret_text: Vec<&str> = lexed.tokens[a..b].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(ret_text, ["Result", "<", "u32", ",", "QueryError", ">"]);
+        assert!(g.body.is_some());
+        assert!(s.fns[1].ret.is_none());
+        assert!(s.fns[2].body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let src = "fn outer() {\n    fn inner() { work(); }\n    inner();\n}\n";
+        let s = scan_src(src);
+        let lexed = lex(src);
+        let work_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("work"))
+            .unwrap();
+        assert_eq!(s.enclosing_fn(work_idx).unwrap().name, "inner");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn apply(f: fn(u32) -> u32) -> u32 { f(1) }\n";
+        let s = scan_src(src);
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "apply");
+    }
+}

@@ -1,17 +1,24 @@
 //! Self-tests over the fixture corpus: every known-bad file must light
 //! up with the exact diagnostics, the known-good file and the real
 //! workspace must come back clean, and the CLI must turn those results
-//! into exit codes.
+//! into exit codes (and, with `--json`, into the annotation contract).
 
 use std::path::{Path, PathBuf};
 
 use bonsai_lint::{check_file, check_workspace, Diagnostic, FilePolicy, Rule};
 
-/// The strictest per-file policy: every line rule enabled.
+/// The strictest per-file policy: every rule enabled, no sanctioned
+/// sites. `cow_home` is on so the cow fixture exercises the dirty-gate
+/// dataflow rather than the blanket out-of-home ban;
+/// `atomic_counters` stays off so bare `Relaxed` is never sanctioned.
 const STRICT: FilePolicy = FilePolicy {
     panic_free: true,
     hot_path: true,
     guard_surface: true,
+    concurrency: true,
+    atomic_counters: false,
+    cow_home: true,
+    typed_errors: true,
 };
 
 fn fixture_dir() -> PathBuf {
@@ -20,7 +27,7 @@ fn fixture_dir() -> PathBuf {
 
 fn check_fixture(name: &str) -> Vec<Diagnostic> {
     let src = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
-    check_file(Path::new(name), &src, STRICT, &[])
+    check_file(Path::new(name), &src, STRICT)
 }
 
 /// Asserts the fixture produced exactly `expected` as (rule, line)
@@ -59,7 +66,7 @@ fn unknown_rule_allow_fixture() {
 
 #[test]
 fn unguarded_entry_fixture() {
-    assert_diags("unguarded_entry.rs", &[(Rule::GuardCoverage, 6)]);
+    assert_diags("unguarded_entry.rs", &[(Rule::GuardDataflow, 6)]);
 }
 
 #[test]
@@ -73,6 +80,46 @@ fn panicky_fixture() {
 #[test]
 fn bare_assert_fixture() {
     assert_diags("bare_assert.rs", &[(Rule::DebugAssertDiscipline, 4)]);
+}
+
+#[test]
+fn atomic_ordering_fixture() {
+    // The `Release` store and bare `Relaxed` load are flagged; the
+    // `Acquire` load carrying its `// HB:` partner comment is not.
+    assert_diags(
+        "atomic_ordering.rs",
+        &[
+            (Rule::AtomicOrderingDiscipline, 12),
+            (Rule::AtomicOrderingDiscipline, 16),
+        ],
+    );
+}
+
+#[test]
+fn cow_ungated_fixture() {
+    // `touch` clones without consulting the dirty gate; the gated
+    // sibling function stays clean.
+    assert_diags("cow_ungated.rs", &[(Rule::CowDiscipline, 13)]);
+}
+
+#[test]
+fn pin_dropped_fixture() {
+    // The statement-dropped pin is flagged; the let-bound pin is not.
+    assert_diags("pin_dropped.rs", &[(Rule::EpochPinBalance, 7)]);
+}
+
+#[test]
+fn stringly_errors_fixture() {
+    // `try_*` hiding its reason in `Option`, a `String` error, and a
+    // `Box<dyn Error>` — one diagnostic per signature line.
+    assert_diags(
+        "stringly_errors.rs",
+        &[
+            (Rule::TypedErrorDiscipline, 5),
+            (Rule::TypedErrorDiscipline, 9),
+            (Rule::TypedErrorDiscipline, 13),
+        ],
+    );
 }
 
 #[test]
@@ -112,7 +159,7 @@ fn phantom_feature_workspace_lights_up() {
 }
 
 /// The serving front-end is held to the serving rules: `bonsai-serve`
-/// must be in both the panic-free and the guard-coverage crate lists,
+/// must be in both the panic-free and the guard-dataflow crate lists,
 /// and the workspace scan must actually visit it (it is a member and a
 /// workspace dependency, so `load_workspace` picks it up both ways).
 #[test]
@@ -124,6 +171,10 @@ fn serve_crate_is_under_the_serving_rules() {
     assert!(
         bonsai_lint::GUARD_CRATES.contains(&"bonsai-serve"),
         "bonsai-serve entry points must discharge the guard rule"
+    );
+    assert!(
+        bonsai_lint::TYPED_ERROR_CRATES.contains(&"bonsai-serve"),
+        "bonsai-serve fallible APIs must return typed errors"
     );
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -146,10 +197,14 @@ fn serve_policy_catches_unguarded_serving_entry() {
         panic_free: true,
         hot_path: false,
         guard_surface: true,
+        concurrency: true,
+        atomic_counters: false,
+        cow_home: false,
+        typed_errors: true,
     };
-    let diags = check_file(Path::new("crates/serve/src/lib.rs"), src, policy, &[]);
+    let diags = check_file(Path::new("crates/serve/src/lib.rs"), src, policy);
     let pairs: Vec<(Rule, u32)> = diags.iter().map(|d| (d.rule, d.line)).collect();
-    assert_eq!(pairs, vec![(Rule::GuardCoverage, 3)], "{}", render(&diags));
+    assert_eq!(pairs, vec![(Rule::GuardDataflow, 3)], "{}", render(&diags));
 }
 
 /// The real workspace must lint clean — this is the same gate CI runs,
@@ -193,5 +248,53 @@ fn cli_exit_codes_follow_findings() {
     assert!(
         stdout.contains("Cargo.toml:") && stdout.contains("[feature-gates]"),
         "diagnostics must carry file:line and the rule name:\n{stdout}"
+    );
+}
+
+/// `--json` contract: exactly one JSON array of
+/// `{"file","line","rule","message"}` objects on stdout, `[]` when
+/// clean — the shape the CI annotation step consumes verbatim.
+#[test]
+fn json_mode_round_trips_for_ci_annotations() {
+    let bin = env!("CARGO_BIN_EXE_bonsai-lint");
+
+    let bad_root = fixture_dir().join("phantom_feature");
+    let out = std::process::Command::new(bin)
+        .args(["--check", "--json", "--root"])
+        .arg(&bad_root)
+        .output()
+        .expect("run bonsai-lint");
+    assert_eq!(out.status.code(), Some(1), "violations must still exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("json output is utf-8");
+    assert!(
+        stdout.starts_with('[') && stdout.ends_with("]\n"),
+        "stdout must be one JSON array:\n{stdout}"
+    );
+    let entries: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .collect();
+    assert!(!entries.is_empty(), "violations must produce entries");
+    for e in &entries {
+        for key in ["\"file\":\"", "\"line\":", "\"rule\":\"", "\"message\":\""] {
+            assert!(e.contains(key), "entry missing {key}: {e}");
+        }
+    }
+    assert!(
+        stdout.contains("\"rule\":\"feature-gates\""),
+        "rule names must round-trip:\n{stdout}"
+    );
+
+    let clean_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = std::process::Command::new(bin)
+        .args(["--check", "--json", "--root"])
+        .arg(&clean_root)
+        .output()
+        .expect("run bonsai-lint");
+    assert!(out.status.success(), "clean tree must exit 0");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "[]\n",
+        "clean tree must print the empty array"
     );
 }

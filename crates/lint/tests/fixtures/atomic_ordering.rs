@@ -1,0 +1,23 @@
+//! Known-bad: atomics that participate in synchronization with no
+//! `// HB:` comment naming the happens-before partner, plus the
+//! counter idiom (`Relaxed`) outside any allowlisted counter module.
+//! The `Acquire` load at the bottom carries its partner comment and
+//! must stay clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(next: u64) {
+    EPOCH.store(next, Ordering::Release);
+}
+
+pub fn current_hint() -> u64 {
+    EPOCH.load(Ordering::Relaxed)
+}
+
+pub fn pin() -> u64 {
+    // HB: pairs with the `Release` store in `publish` — a pinned
+    // reader must observe every write from before the publish.
+    EPOCH.load(Ordering::Acquire)
+}

@@ -1,0 +1,22 @@
+//! Known-bad: `Arc::make_mut` in the copy-on-write home without
+//! consulting the dirty gate first. The gated function below it does
+//! it by the book and must stay clean.
+
+use std::sync::Arc;
+
+pub struct Router {
+    shards: Vec<Arc<Shard>>,
+}
+
+impl Router {
+    pub fn touch(&mut self, i: usize) {
+        Arc::make_mut(&mut self.shards[i]).dirty = true;
+    }
+
+    pub fn commit_then_touch(&mut self, i: usize) {
+        if self.shards[i].has_dirty_nodes() {
+            self.flush(i);
+        }
+        Arc::make_mut(&mut self.shards[i]).dirty = false;
+    }
+}

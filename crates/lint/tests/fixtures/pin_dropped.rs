@@ -1,0 +1,13 @@
+//! Known-bad: a pinned epoch dropped in the very statement that
+//! pinned it — the guard lasts zero instructions, so the snapshot it
+//! was supposed to protect can be reclaimed immediately. The binding
+//! form below it must stay clean.
+
+pub fn warm_up(publisher: &EpochPublisher) {
+    publisher.pin();
+}
+
+pub fn snapshot_len(publisher: &EpochPublisher) -> usize {
+    let pinned = publisher.pin();
+    pinned.snapshot().len()
+}

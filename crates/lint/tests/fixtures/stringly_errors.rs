@@ -1,0 +1,15 @@
+//! Known-bad: public fallible serving APIs that hide or stringify
+//! their failure modes — `try_*` returning `Option`, `Result` with a
+//! bare `String`, and the catch-all `Box<dyn Error>`.
+
+pub fn try_lookup(table: &[u32], idx: usize) -> Option<u32> {
+    table.get(idx).copied()
+}
+
+pub fn load(path: &str) -> Result<Vec<u32>, String> {
+    Err(format!("cannot read {path}"))
+}
+
+pub fn parse(s: &str) -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(s.len() as u32)
+}

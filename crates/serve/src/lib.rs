@@ -304,6 +304,9 @@ impl Ticket {
     /// Non-blocking poll: the answer if the executor has produced it.
     /// After `Some`, the ticket is spent (`wait` would block forever);
     /// callers should consume the ticket on `Some`.
+    // lint: allow(typed-error-discipline) — `Option` IS the poll
+    // contract: `None` means not-ready-yet, not failure; the error
+    // channel lives inside `Outcome` itself.
     pub fn try_take(&self) -> Option<Outcome> {
         relock(&self.state.slot).take()
     }
